@@ -1,0 +1,83 @@
+// E13 -- ablation of the Figure 2 select() policy.
+//
+// The paper leaves select() as "a randomly selected element of ValidPairs".
+// The choice affects the chain the algorithm builds: how many intervals get
+// crossed per iteration (shorter chains = fewer control messages = more
+// residual concurrency, the paper's informal quality metric). We compare
+// random selection (the paper), deterministic first-pair, and a greedy
+// policy that crosses the interval reaching furthest.
+#include <benchmark/benchmark.h>
+
+#include "control/offline_disjunctive.hpp"
+#include "trace/random_trace.hpp"
+
+using namespace predctrl;
+
+namespace {
+
+struct Instance {
+  Deposet deposet;
+  PredicateTable predicate;
+};
+
+Instance make_instance(uint64_t seed) {
+  Rng rng(seed);
+  RandomTraceOptions topt;
+  topt.num_processes = 16;
+  topt.events_per_process = 120;
+  topt.send_probability = 0.15;
+  Instance inst;
+  inst.deposet = random_deposet(topt, rng);
+  RandomPredicateOptions popt;
+  popt.false_probability = 0.45;
+  popt.flip_probability = 0.3;
+  inst.predicate = random_predicate_table(inst.deposet, popt, rng);
+  return inst;
+}
+
+void run_policy(benchmark::State& state, SelectPolicy policy) {
+  // Average the chain statistics over several instances: selection effects
+  // are distributional, not per-instance.
+  std::vector<Instance> instances;
+  for (uint64_t s = 100; s < 110; ++s) instances.push_back(make_instance(s));
+
+  double edges = 0;
+  double iterations = 0;
+  int controllable = 0;
+  for (auto _ : state) {
+    edges = iterations = 0;
+    controllable = 0;
+    for (size_t i = 0; i < instances.size(); ++i) {
+      OfflineControlOptions opt;
+      opt.select = policy;
+      opt.seed = 7 + i;
+      OfflineControlResult r =
+          control_disjunctive_offline(instances[i].deposet, instances[i].predicate, opt);
+      if (r.controllable) {
+        ++controllable;
+        edges += static_cast<double>(r.control.size());
+        iterations += static_cast<double>(r.iterations);
+      }
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  if (controllable > 0) {
+    state.counters["mean_control_edges"] = edges / controllable;
+    state.counters["mean_iterations"] = iterations / controllable;
+  }
+  state.counters["controllable_instances"] = controllable;
+}
+
+void BM_SelectRandom(benchmark::State& state) { run_policy(state, SelectPolicy::kRandom); }
+void BM_SelectFirst(benchmark::State& state) { run_policy(state, SelectPolicy::kFirst); }
+void BM_SelectGreedyFarthest(benchmark::State& state) {
+  run_policy(state, SelectPolicy::kGreedyFarthest);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SelectRandom)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SelectFirst)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SelectGreedyFarthest)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

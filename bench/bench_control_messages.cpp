@@ -1,0 +1,90 @@
+// E4 -- control message complexity (paper, Section 5 "Evaluation").
+//
+// |C~>| is O(np): at most one forced-before edge per crossed false interval.
+// We measure the emitted relation size against n*p on random traces, and
+// reproduce the paper's concrete data point: on two-process mutual-exclusion
+// traces the controller costs at most one message per critical section "in
+// the worst case (which is unlikely)".
+#include <benchmark/benchmark.h>
+
+#include "control/offline_disjunctive.hpp"
+#include "predicates/intervals.hpp"
+#include "trace/random_trace.hpp"
+
+using namespace predctrl;
+
+namespace {
+
+void BM_RelationSizeVsNP(benchmark::State& state) {
+  const int32_t n = static_cast<int32_t>(state.range(0));
+  const int32_t p = static_cast<int32_t>(state.range(1));
+  Rng rng(17);
+  RandomTraceOptions topt;
+  topt.num_processes = n;
+  topt.events_per_process = 6 * p;
+  topt.send_probability = 0.1;
+  Deposet d = random_deposet(topt, rng);
+  RandomPredicateOptions popt;
+  popt.false_probability = 0.5;
+  popt.flip_probability = 1.0 / 3.0;
+  PredicateTable pred = random_predicate_table(d, popt, rng);
+
+  int64_t total_intervals = 0;
+  for (const auto& s : extract_false_intervals(pred))
+    total_intervals += static_cast<int64_t>(s.size());
+
+  int64_t edges = 0;
+  bool controllable = false;
+  for (auto _ : state) {
+    OfflineControlResult r = control_disjunctive_offline(d, pred);
+    edges = static_cast<int64_t>(r.control.size());
+    controllable = r.controllable;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["control_edges"] = static_cast<double>(edges);
+  state.counters["total_intervals"] = static_cast<double>(total_intervals);
+  state.counters["np_bound"] = static_cast<double>(n) * p;
+  state.counters["controllable"] = controllable ? 1 : 0;
+}
+
+// Two-process mutual exclusion: `cs` critical sections per process, no
+// messages. Expect control_edges <= critical sections (1 message per CS).
+void BM_MutexMessagesPerCs(benchmark::State& state) {
+  const int32_t cs = static_cast<int32_t>(state.range(0));
+  DeposetBuilder b(2);
+  // Each CS: 2 true states then 2 false states; trailing true tail.
+  const int32_t len = 4 * cs + 2;
+  b.set_length(0, len);
+  b.set_length(1, len);
+  Deposet d = b.build();
+  PredicateTable pred(2);
+  Rng rng(3);
+  for (ProcessId proc = 0; proc < 2; ++proc) {
+    auto& row = pred[static_cast<size_t>(proc)];
+    row.assign(static_cast<size_t>(len), true);
+    // Stagger the sections a little so they are not identical.
+    int32_t offset = proc == 0 ? 1 : 2;
+    for (int32_t c = 0; c < cs; ++c)
+      for (int32_t k = 0; k < 2; ++k)
+        row[static_cast<size_t>(4 * c + offset + k)] = false;
+  }
+
+  int64_t edges = 0;
+  for (auto _ : state) {
+    OfflineControlResult r = control_disjunctive_offline(d, pred);
+    edges = static_cast<int64_t>(r.control.size());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["control_edges"] = static_cast<double>(edges);
+  state.counters["critical_sections"] = static_cast<double>(2 * cs);
+  state.counters["msgs_per_cs"] = static_cast<double>(edges) / (2.0 * cs);
+}
+
+}  // namespace
+
+BENCHMARK(BM_RelationSizeVsNP)
+    ->ArgsProduct({{4, 8, 16, 32}, {8, 32}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MutexMessagesPerCs)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

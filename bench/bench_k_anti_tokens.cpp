@@ -1,0 +1,78 @@
+// Extension bench: the generalized n-k anti-token strategy across the whole
+// k spectrum, against the classic k-mutex baselines. The paper conjectures
+// ("for large k, a different class of algorithms may be more appropriate"
+// -- meaning its anti-tokens win at large k, tokens at small k); this bench
+// locates the crossover.
+#include <benchmark/benchmark.h>
+
+#include "mutex/kmutex.hpp"
+
+using namespace predctrl;
+using namespace predctrl::mutex;
+
+namespace {
+
+CsWorkloadOptions workload(int32_t n) {
+  CsWorkloadOptions o;
+  o.num_processes = n;
+  o.cs_per_process = 20;
+  o.think_min = 500;
+  o.think_max = 4'000;
+  o.cs_min = 1'000;
+  o.cs_max = 4'000;
+  o.delay_min = 1'000;
+  o.delay_max = 3'000;
+  o.seed = 33;
+  return o;
+}
+
+void annotate(benchmark::State& state, const MutexRunResult& r, int32_t k) {
+  state.counters["msgs_per_entry"] = r.messages_per_entry();
+  state.counters["mean_resp_us"] = r.mean_response();
+  state.counters["ok"] = (!r.deadlocked && r.max_concurrent_cs <= k) ? 1 : 0;
+}
+
+// n = 12 fixed; sweep k.
+constexpr int32_t kN = 12;
+
+void BM_AntiTokens(benchmark::State& state) {
+  const int32_t k = static_cast<int32_t>(state.range(0));
+  MutexRunResult r;
+  for (auto _ : state) {
+    r = run_generalized_kmutex(workload(kN), k);
+    benchmark::DoNotOptimize(r);
+  }
+  annotate(state, r, k);
+  state.counters["anti_tokens"] = kN - k;
+}
+
+void BM_CoordinatorAtK(benchmark::State& state) {
+  const int32_t k = static_cast<int32_t>(state.range(0));
+  MutexRunResult r;
+  for (auto _ : state) {
+    r = run_coordinator_kmutex(workload(kN), k);
+    benchmark::DoNotOptimize(r);
+  }
+  annotate(state, r, k);
+}
+
+void BM_TokenRingAtK(benchmark::State& state) {
+  const int32_t k = static_cast<int32_t>(state.range(0));
+  MutexRunResult r;
+  for (auto _ : state) {
+    r = run_token_ring_kmutex(workload(kN), k);
+    benchmark::DoNotOptimize(r);
+  }
+  annotate(state, r, k);
+}
+
+}  // namespace
+
+BENCHMARK(BM_AntiTokens)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(11)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CoordinatorAtK)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(11)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TokenRingAtK)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(11)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// E8 -- scapegoat vs classical k-mutex algorithms at k = n-1 (paper,
+// Section 6): "our control strategy is simpler and more efficient than
+// existing solutions to the k-mutual exclusion problem when specialized to
+// the k = n-1 case" -- a single anti-token beats k tokens.
+//
+// Expected shape: scapegoat messages/entry ~ 2/n and far below both
+// baselines (~3 for the coordinator: request+grant+release; ring-distance
+// dependent for the token ring), for every n.
+#include <benchmark/benchmark.h>
+
+#include "mutex/kmutex.hpp"
+
+using namespace predctrl;
+using namespace predctrl::mutex;
+
+namespace {
+
+CsWorkloadOptions workload(int32_t n) {
+  CsWorkloadOptions o;
+  o.num_processes = n;
+  o.cs_per_process = 20;
+  o.delay_min = 1'000;
+  o.delay_max = 3'000;
+  o.seed = 21;
+  return o;
+}
+
+void annotate(benchmark::State& state, const MutexRunResult& r) {
+  state.counters["msgs_per_entry"] = r.messages_per_entry();
+  state.counters["mean_resp_us"] = r.mean_response();
+  state.counters["max_concurrent"] = r.max_concurrent_cs;
+  state.counters["ok"] =
+      (!r.deadlocked && r.max_concurrent_cs <= static_cast<int32_t>(state.range(0)) - 1)
+          ? 1
+          : 0;
+}
+
+void BM_Scapegoat(benchmark::State& state) {
+  MutexRunResult r;
+  for (auto _ : state) {
+    r = run_scapegoat_mutex(workload(static_cast<int32_t>(state.range(0))));
+    benchmark::DoNotOptimize(r);
+  }
+  annotate(state, r);
+}
+
+void BM_Coordinator(benchmark::State& state) {
+  const int32_t n = static_cast<int32_t>(state.range(0));
+  MutexRunResult r;
+  for (auto _ : state) {
+    r = run_coordinator_kmutex(workload(n), n - 1);
+    benchmark::DoNotOptimize(r);
+  }
+  annotate(state, r);
+}
+
+void BM_TokenRing(benchmark::State& state) {
+  const int32_t n = static_cast<int32_t>(state.range(0));
+  MutexRunResult r;
+  for (auto _ : state) {
+    r = run_token_ring_kmutex(workload(n), n - 1);
+    benchmark::DoNotOptimize(r);
+  }
+  annotate(state, r);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Scapegoat)->Arg(3)->Arg(6)->Arg(12)->Arg(24)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Coordinator)->Arg(3)->Arg(6)->Arg(12)->Arg(24)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TokenRing)->Arg(3)->Arg(6)->Arg(12)->Arg(24)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

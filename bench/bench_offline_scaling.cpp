@@ -1,0 +1,84 @@
+// E3 -- Figure 2 algorithm complexity (paper, Section 5 "Evaluation").
+//
+// The paper claims O(n^2 p) for the incremental ValidPairs maintenance and
+// O(n^3 p) for the naive recomputation. We time both on random traces,
+// sweeping n at fixed p and p at fixed n, and export the crossable() checks
+// performed (`pair_checks`) -- the clean machine-independent work measure in
+// which the n^2-vs-n^3 separation shows directly.
+#include <benchmark/benchmark.h>
+
+#include "control/offline_disjunctive.hpp"
+#include "trace/random_trace.hpp"
+
+using namespace predctrl;
+
+namespace {
+
+struct Instance {
+  Deposet deposet;
+  PredicateTable predicate;
+};
+
+// Random trace whose per-process false-interval count is ~p.
+Instance make_instance(int32_t n, int32_t p, uint64_t seed) {
+  Rng rng(seed);
+  RandomTraceOptions topt;
+  topt.num_processes = n;
+  topt.events_per_process = 6 * p;  // ~6 states per interval period
+  topt.send_probability = 0.1;
+  Instance inst;
+  inst.deposet = random_deposet(topt, rng);
+  RandomPredicateOptions popt;
+  popt.false_probability = 0.5;
+  popt.flip_probability = 1.0 / 3.0;  // expected run length 3 -> ~p intervals
+  inst.predicate = random_predicate_table(inst.deposet, popt, rng);
+  return inst;
+}
+
+void run_case(benchmark::State& state, ValidPairsImpl impl) {
+  const int32_t n = static_cast<int32_t>(state.range(0));
+  const int32_t p = static_cast<int32_t>(state.range(1));
+  Instance inst = make_instance(n, p, 42);
+  OfflineControlOptions opt;
+  opt.impl = impl;
+  opt.select = SelectPolicy::kFirst;
+
+  int64_t pair_checks = 0;
+  int64_t iterations = 0;
+  int64_t edges = 0;
+  for (auto _ : state) {
+    OfflineControlResult r = control_disjunctive_offline(inst.deposet, inst.predicate, opt);
+    pair_checks = r.pair_checks;
+    iterations = r.iterations;
+    edges = static_cast<int64_t>(r.control.size());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["pair_checks"] = static_cast<double>(pair_checks);
+  state.counters["crossings"] = static_cast<double>(iterations);
+  state.counters["control_edges"] = static_cast<double>(edges);
+}
+
+void BM_Offline_Incremental(benchmark::State& state) {
+  run_case(state, ValidPairsImpl::kIncremental);
+}
+void BM_Offline_Naive(benchmark::State& state) { run_case(state, ValidPairsImpl::kNaive); }
+
+}  // namespace
+
+// Sweep n at fixed p = 16 (expect slope ~2 vs ~3 in pair_checks) ...
+BENCHMARK(BM_Offline_Incremental)
+    ->ArgsProduct({{4, 8, 16, 32, 64}, {16}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Offline_Naive)
+    ->ArgsProduct({{4, 8, 16, 32, 64}, {16}})
+    ->Unit(benchmark::kMillisecond);
+
+// ... and p at fixed n = 16 (both linear in p).
+BENCHMARK(BM_Offline_Incremental)
+    ->ArgsProduct({{16}, {4, 16, 64, 128}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Offline_Naive)
+    ->ArgsProduct({{16}, {4, 16, 64, 128}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

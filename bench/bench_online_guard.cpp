@@ -1,0 +1,76 @@
+// Extension bench: overhead of on-line guarding (online/guard.hpp) on
+// scripted workloads -- the generic counterpart of the mutex measurements
+// in bench_online_mutex. Reports control-message cost and virtual-time
+// stretch of a guarded run relative to the same system unguarded.
+#include <benchmark/benchmark.h>
+
+#include "online/guard.hpp"
+#include "trace/random_trace.hpp"
+
+using namespace predctrl;
+using namespace predctrl::online;
+
+namespace {
+
+struct Workload {
+  sim::ScriptedSystem system;
+  PredicateTable truth;
+};
+
+Workload make_workload(int32_t n, int32_t events) {
+  Rng rng(91);
+  RandomTraceOptions topt;
+  topt.num_processes = n;
+  topt.events_per_process = events;
+  topt.send_probability = 0.2;
+  Deposet d = random_deposet(topt, rng);
+  RandomPredicateOptions popt;
+  popt.false_probability = 0.35;
+  popt.flip_probability = 0.3;
+  PredicateTable raw = random_predicate_table(d, popt, rng);
+  raw[0][0] = true;  // B holds initially
+  Workload w;
+  w.system = sim::scripts_from_deposet(d, &raw, rng);
+  w.truth = enforce_online_assumptions(w.system, raw);
+  return w;
+}
+
+void BM_Unguarded(benchmark::State& state) {
+  Workload w = make_workload(static_cast<int32_t>(state.range(0)),
+                             static_cast<int32_t>(state.range(1)));
+  sim::SimTime end = 0;
+  for (auto _ : state) {
+    auto run = sim::run_scripts(w.system, {});
+    end = run.stats.end_time;
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["virtual_us"] = static_cast<double>(end);
+}
+
+void BM_Guarded(benchmark::State& state) {
+  Workload w = make_workload(static_cast<int32_t>(state.range(0)),
+                             static_cast<int32_t>(state.range(1)));
+  sim::SimTime base_end = sim::run_scripts(w.system, {}).stats.end_time;
+  sim::SimTime end = 0;
+  int64_t ctl = 0;
+  bool safe = true;
+  for (auto _ : state) {
+    auto run = run_scripts_guarded(w.system, w.truth, {});
+    end = run.stats.end_time;
+    ctl = run.stats.control_messages;
+    safe = !run.deadlocked;
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["virtual_us"] = static_cast<double>(end);
+  state.counters["virtual_overhead"] =
+      base_end > 0 ? static_cast<double>(end) / static_cast<double>(base_end) : 0;
+  state.counters["control_msgs"] = static_cast<double>(ctl);
+  state.counters["ok"] = safe ? 1 : 0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_Unguarded)->ArgsProduct({{4, 16}, {50, 200}})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Guarded)->ArgsProduct({{4, 16}, {50, 200}})->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

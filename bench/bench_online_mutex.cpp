@@ -1,0 +1,81 @@
+// E6/E7 -- on-line strategy overhead (paper, Section 6 "Evaluation").
+//
+// Claims reproduced:
+//   * 2 control messages per n critical-section entries (only the current
+//     scapegoat's entries pay a handoff), so messages/entry ~ 2/n;
+//   * handoff response time within [2T, 2T + E_max] at fixed delay T;
+//   * the broadcast variant lowers per-handoff response toward 2T at the
+//     cost of n-1 requests per handoff (and scapegoat proliferation, which
+//     raises the *number* of handoffs -- see EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include "mutex/kmutex.hpp"
+
+using namespace predctrl;
+using namespace predctrl::mutex;
+
+namespace {
+
+CsWorkloadOptions workload(int32_t n, uint64_t seed) {
+  CsWorkloadOptions o;
+  o.num_processes = n;
+  o.cs_per_process = 25;
+  o.delay_min = o.delay_max = 2'000;  // fixed T
+  o.cs_min = 500;
+  o.cs_max = 4'000;  // E_max
+  o.seed = seed;
+  return o;
+}
+
+void annotate(benchmark::State& state, const MutexRunResult& r) {
+  state.counters["msgs_per_entry"] = r.messages_per_entry();
+  state.counters["two_over_n"] = 2.0 / static_cast<double>(state.range(0));
+  double handoff_sum = 0;
+  double handoff_max = 0;
+  int64_t handoffs = 0;
+  for (sim::SimTime d : r.response_delays) {
+    if (d == 0) continue;
+    handoff_sum += static_cast<double>(d);
+    handoff_max = std::max(handoff_max, static_cast<double>(d));
+    ++handoffs;
+  }
+  state.counters["handoffs"] = static_cast<double>(handoffs);
+  state.counters["handoff_mean_us"] = handoffs ? handoff_sum / static_cast<double>(handoffs) : 0;
+  state.counters["handoff_max_us"] = handoff_max;
+  state.counters["bound_2T_us"] = 4'000;           // 2T
+  state.counters["bound_2T_Emax_us"] = 8'000;       // 2T + E_max
+  state.counters["max_concurrent"] = r.max_concurrent_cs;
+  state.counters["safe"] =
+      (r.max_concurrent_cs <= static_cast<int32_t>(state.range(0)) - 1 && !r.deadlocked)
+          ? 1
+          : 0;
+}
+
+void BM_ScapegoatUnicast(benchmark::State& state) {
+  const int32_t n = static_cast<int32_t>(state.range(0));
+  MutexRunResult r;
+  for (auto _ : state) {
+    r = run_scapegoat_mutex(workload(n, 7));
+    benchmark::DoNotOptimize(r);
+  }
+  annotate(state, r);
+}
+
+void BM_ScapegoatBroadcast(benchmark::State& state) {
+  const int32_t n = static_cast<int32_t>(state.range(0));
+  MutexRunResult r;
+  for (auto _ : state) {
+    r = run_scapegoat_mutex(workload(n, 7), {.broadcast = true});
+    benchmark::DoNotOptimize(r);
+  }
+  annotate(state, r);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ScapegoatUnicast)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScapegoatBroadcast)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Substrate bench: message-race analysis (Netzer-Miller trace reduction,
+// the paper's reference [9]). Reports the fraction of receives a replay
+// system must trace (the rest are causally determined) across message
+// densities, plus the analysis throughput.
+#include <benchmark/benchmark.h>
+
+#include "trace/race.hpp"
+#include "trace/random_trace.hpp"
+
+using namespace predctrl;
+
+namespace {
+
+void BM_RaceAnalysis(benchmark::State& state) {
+  Rng rng(7);
+  RandomTraceOptions topt;
+  topt.num_processes = static_cast<int32_t>(state.range(0));
+  topt.events_per_process = 60;
+  topt.send_probability = static_cast<double>(state.range(1)) / 100.0;
+  Deposet d = random_deposet(topt, rng);
+
+  RaceAnalysis r;
+  for (auto _ : state) {
+    r = analyze_races(d);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["receives"] = static_cast<double>(r.total_receives);
+  state.counters["racing"] = static_cast<double>(r.racing_receives.size());
+  state.counters["trace_fraction"] = r.racing_fraction();
+}
+
+}  // namespace
+
+// Sweep process count x message density (send probability %).
+BENCHMARK(BM_RaceAnalysis)
+    ->ArgsProduct({{4, 16}, {10, 40, 80}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

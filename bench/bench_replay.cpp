@@ -1,0 +1,91 @@
+// E12 -- controlled replay fidelity and overhead (the observe/control/replay
+// debugging cycle, paper Sections 1 & 7).
+//
+// Measures, per trace size: wall time of an uncontrolled simulated run vs a
+// controlled replay, the added virtual time (serialization cost of the
+// forced-before edges), and the control messages paid (== |C~>|, bench E4's
+// quantity observed operationally).
+#include <benchmark/benchmark.h>
+
+#include "control/offline_disjunctive.hpp"
+#include "control/strategy.hpp"
+#include "runtime/scripted.hpp"
+#include "trace/random_trace.hpp"
+
+using namespace predctrl;
+using namespace predctrl::sim;
+
+namespace {
+
+struct Workbench {
+  ScriptedSystem system;
+  std::optional<ControlStrategy> strategy;
+  int64_t control_edges = 0;
+  SimTime base_time = 0;
+  SimTime controlled_time = 0;
+};
+
+Workbench make_workbench(int32_t n, int32_t events) {
+  // Draw seeds until the predicate is controllable (usually first try).
+  for (uint64_t seed = 1;; ++seed) {
+    Rng rng(seed);
+    RandomTraceOptions topt;
+    topt.num_processes = n;
+    topt.events_per_process = events;
+    topt.send_probability = 0.2;
+    Deposet d = random_deposet(topt, rng);
+    RandomPredicateOptions popt;
+    popt.false_probability = 0.4;
+    popt.flip_probability = 0.3;
+    PredicateTable pred = random_predicate_table(d, popt, rng);
+    auto r = control_disjunctive_offline(d, pred);
+    if (!r.controllable) continue;
+    Workbench w;
+    w.system = scripts_from_deposet(d, &pred, rng);
+    w.strategy = ControlStrategy::compile(d, r.control);
+    w.control_edges = static_cast<int64_t>(r.control.size());
+    return w;
+  }
+}
+
+void BM_UncontrolledRun(benchmark::State& state) {
+  Workbench w = make_workbench(static_cast<int32_t>(state.range(0)),
+                               static_cast<int32_t>(state.range(1)));
+  SimTime end = 0;
+  for (auto _ : state) {
+    RunResult r = run_scripts(w.system, {});
+    end = r.stats.end_time;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["virtual_us"] = static_cast<double>(end);
+}
+
+void BM_ControlledReplay(benchmark::State& state) {
+  Workbench w = make_workbench(static_cast<int32_t>(state.range(0)),
+                               static_cast<int32_t>(state.range(1)));
+  SimTime base_end = run_scripts(w.system, {}).stats.end_time;
+  SimTime end = 0;
+  int64_t ctl_msgs = 0;
+  for (auto _ : state) {
+    RunResult r = run_scripts(w.system, {}, &*w.strategy);
+    end = r.stats.end_time;
+    ctl_msgs = r.stats.control_messages;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["virtual_us"] = static_cast<double>(end);
+  state.counters["virtual_overhead"] =
+      base_end > 0 ? static_cast<double>(end) / static_cast<double>(base_end) : 0;
+  state.counters["control_msgs"] = static_cast<double>(ctl_msgs);
+  state.counters["control_edges"] = static_cast<double>(w.control_edges);
+}
+
+}  // namespace
+
+BENCHMARK(BM_UncontrolledRun)
+    ->ArgsProduct({{4, 16}, {50, 200}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ControlledReplay)
+    ->ArgsProduct({{4, 16}, {50, 200}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// E1/E2 -- the complexity cliff (paper, Section 4 vs Section 5).
+//
+// General predicate control reduces to Satisfying Global Sequence Detection,
+// which is NP-complete (Lemma 1): the SGSD search over the Figure 1 gadget
+// grows exponentially with the number of SAT variables, tracking DPLL.
+// Disjunctive control on computations of comparable size stays polynomial.
+#include <benchmark/benchmark.h>
+
+#include "control/offline_disjunctive.hpp"
+#include "sat/reduction.hpp"
+#include "trace/random_trace.hpp"
+
+using namespace predctrl;
+using namespace predctrl::sat;
+
+namespace {
+
+Cnf formula_for(int32_t vars, uint64_t seed) {
+  Rng rng(seed);
+  RandomCnfOptions opt;
+  opt.num_vars = vars;
+  opt.num_clauses = vars * 4;
+  return random_cnf(opt, rng);
+}
+
+void BM_SgsdViaReduction(benchmark::State& state) {
+  Cnf formula = formula_for(static_cast<int32_t>(state.range(0)), 11);
+  SgsdInstance inst = sat_to_sgsd(formula);
+  int64_t expansions = 0;
+  for (auto _ : state) {
+    SgsdResult r = find_satisfying_global_sequence(inst.deposet, inst.predicate,
+                                                   StepSemantics::kRealTime,
+                                                   /*max_expansions=*/200'000'000);
+    expansions = r.expansions;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["expansions"] = static_cast<double>(expansions);
+}
+
+void BM_DpllBaseline(benchmark::State& state) {
+  Cnf formula = formula_for(static_cast<int32_t>(state.range(0)), 11);
+  for (auto _ : state) {
+    SolveResult r = solve_dpll(formula);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+// Disjunctive control on a computation with as many processes as the gadget
+// has, and far more states, for contrast.
+void BM_DisjunctiveContrast(benchmark::State& state) {
+  const int32_t n = static_cast<int32_t>(state.range(0)) + 1;  // gadget width
+  Rng rng(5);
+  RandomTraceOptions topt;
+  topt.num_processes = n;
+  topt.events_per_process = 100;
+  Deposet d = random_deposet(topt, rng);
+  RandomPredicateOptions popt;
+  popt.false_probability = 0.4;
+  popt.flip_probability = 0.3;
+  PredicateTable pred = random_predicate_table(d, popt, rng);
+  for (auto _ : state) {
+    OfflineControlResult r = control_disjunctive_offline(d, pred);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_SgsdViaReduction)->DenseRange(4, 14, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DpllBaseline)->DenseRange(4, 14, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DisjunctiveContrast)->DenseRange(4, 14, 2)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

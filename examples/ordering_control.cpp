@@ -1,0 +1,78 @@
+// Fine-grained event ordering via predicate control -- the paper's example
+// (3): "x must happen before y" expressed as the disjunctive predicate
+// B = after_x v before_y.
+//
+// Two pipeline workers process batches concurrently; a race lets worker 1
+// publish results (event y) before worker 0 has committed its checkpoint
+// (event x). We trace a run, confirm the race, and synthesize the minimal
+// control message that orders x before y -- then show the controlled replay
+// never publishes early, across many schedules.
+#include <cstdio>
+
+#include "debug/session.hpp"
+#include "predicates/global_predicate.hpp"
+#include "trace/lattice.hpp"
+
+using namespace predctrl;
+using namespace predctrl::debug;
+using sim::Instr;
+using K = sim::Instr::Kind;
+
+int main() {
+  // Worker 0: prepares, commits checkpoint (event x), continues.
+  // Worker 1: prepares, publishes (event y), continues; one data message
+  // from worker 0's preparation feeds worker 1's preparation.
+  sim::ScriptedSystem system(2);
+  system[0].initial_vars = {{"x_done", 0}};
+  system[0].instrs = {
+      {K::kSend, 2'000, 1, {}},                 // prepare + feed worker 1
+      {K::kLocal, 8'000, -1, {{"x_done", 1}}},  // event x: checkpoint commit
+      {K::kLocal, 2'000, -1, {}},
+  };
+  system[1].initial_vars = {{"y_done", 0}};
+  system[1].instrs = {
+      {K::kRecv, 1'000, 0, {}},                 // consume the feed
+      {K::kLocal, 1'000, -1, {{"y_done", 1}}},  // event y: publish
+      {K::kLocal, 2'000, -1, {}},
+  };
+
+  // B = after_x v before_y.
+  LocalPredicate order = [](ProcessId p, const sim::VarMap& vars) {
+    if (p == 0) return vars.at("x_done") != 0;  // after_x
+    return vars.at("y_done") == 0;              // before_y
+  };
+
+  Session session(system, order);
+  Observation trace = session.observe(/*seed=*/3);
+
+  std::printf("observed: %lld states, %zu messages\n",
+              static_cast<long long>(trace.run.deposet.total_states()),
+              trace.run.deposet.messages().size());
+  auto violation = trace.first_violation();
+  std::printf("publish-before-checkpoint possible: %s\n", violation ? "yes" : "no");
+
+  ControlOutcome control = session.synthesize_control(trace);
+  if (!control.controllable) {
+    std::printf("cannot be ordered: the trace already forces y before x\n");
+    return 1;
+  }
+  std::printf("control relation (%zu edge(s)):\n", control.details.control.size());
+  for (const CausalEdge& e : control.details.control)
+    std::printf("  worker %d may not enter state %d until worker %d has left state %d\n",
+                e.to.process, e.to.index, e.from.process, e.from.index);
+
+  // Model-level guarantee...
+  auto cd = ControlledDeposet::create(trace.run.deposet, control.details.control);
+  bool model_safe = satisfies_everywhere(
+      *cd, [&](const Cut& c) { return eval_disjunctive(trace.predicate, c); });
+  std::printf("every consistent global state ordered: %s\n", model_safe ? "yes" : "no");
+
+  // ...and operationally, across schedules.
+  int violated = 0;
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Observation replay = session.replay(control, seed);
+    if (replay.run.deadlocked || replay.run_violated()) ++violated;
+  }
+  std::printf("controlled replays violating the order (25 schedules): %d\n", violated);
+  return (model_safe && violated == 0) ? 0 : 1;
+}

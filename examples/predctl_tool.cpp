@@ -1,0 +1,157 @@
+// predctl_tool -- command-line front end for the library's file formats.
+//
+// Usage:
+//   predctl_tool feasible  <deposet-file> <predicate-file> [realtime|simultaneous]
+//   predctl_tool detect    <deposet-file> <predicate-file>
+//   predctl_tool control   <deposet-file> <predicate-file> [realtime|simultaneous]
+//   predctl_tool dot       <deposet-file> [predicate-file]
+//   predctl_tool races     <deposet-file>
+//
+// File formats are the plain-text ones of trace/serialize.hpp (`deposet` /
+// `predicate` blocks); `-` reads from stdin. `control` prints the
+// forced-before relation plus the compiled per-process strategy; `dot`
+// emits graphviz for the computation (with the control edges when a
+// predicate is given and a controller exists).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "control/offline_disjunctive.hpp"
+#include "control/strategy.hpp"
+#include "predicates/detection.hpp"
+#include "predicates/global_predicate.hpp"
+#include "trace/dot.hpp"
+#include "trace/race.hpp"
+#include "trace/serialize.hpp"
+
+using namespace predctrl;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream os;
+    os << std::cin.rdbuf();
+    return os.str();
+  }
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+PredicateTable load_predicate(const std::string& path) {
+  std::istringstream is(slurp(path));
+  return read_predicate_table(is);
+}
+
+StepSemantics semantics_arg(int argc, char** argv, int index) {
+  if (argc <= index) return StepSemantics::kRealTime;
+  if (std::strcmp(argv[index], "simultaneous") == 0) return StepSemantics::kSimultaneous;
+  if (std::strcmp(argv[index], "realtime") == 0) return StepSemantics::kRealTime;
+  throw std::runtime_error("unknown semantics (want realtime|simultaneous)");
+}
+
+int usage() {
+  std::cerr << "usage: predctl_tool feasible|detect|control|dot|races <deposet> "
+               "[predicate] [realtime|simultaneous]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  try {
+    const std::string cmd = argv[1];
+    Deposet d = deposet_from_string(slurp(argv[2]));
+
+    if (cmd == "races") {
+      RaceAnalysis r = analyze_races(d);
+      std::cout << "receives: " << r.total_receives << "\nracing:   "
+                << r.racing_receives.size() << " (" << 100.0 * r.racing_fraction()
+                << "% must be traced for replay)\n";
+      for (const MessageRace& race : r.races)
+        std::cout << "  receive " << race.received.to << " could instead get the message "
+                  << race.could_have_received.from << "~>" << race.could_have_received.to
+                  << "\n";
+      return 0;
+    }
+
+    if (cmd == "dot" && argc == 3) {
+      std::cout << to_dot(d);
+      return 0;
+    }
+
+    if (argc < 4) return usage();
+    PredicateTable pred = load_predicate(argv[3]);
+
+    if (cmd == "feasible") {
+      auto r = find_satisfying_global_sequence(
+          d, [&](const Cut& c) { return eval_disjunctive(pred, c); },
+          semantics_arg(argc, argv, 4));
+      std::cout << (r.feasible ? "feasible" : "infeasible") << "\n";
+      if (r.feasible)
+        for (const Cut& c : r.sequence) std::cout << "  " << c << "\n";
+      return r.feasible ? 0 : 1;
+    }
+
+    if (cmd == "detect") {
+      PredicateTable neg = pred;
+      for (auto& row : neg)
+        for (size_t k = 0; k < row.size(); ++k) row[k] = !row[k];
+      auto det = detect_weak_conjunctive(d, neg);
+      if (!det.detected) {
+        std::cout << "no violating global state\n";
+        return 0;
+      }
+      std::cout << "violation possible; least violating global state: " << det.first_cut
+                << "\n";
+      return 1;
+    }
+
+    if (cmd == "control") {
+      OfflineControlOptions opt;
+      opt.semantics = semantics_arg(argc, argv, 4);
+      auto r = control_disjunctive_offline(d, pred, opt);
+      if (!r.controllable) {
+        std::cout << "No Controller Exists (predicate infeasible for this trace)\n";
+        std::cout << "blocking intervals:\n";
+        for (const FalseInterval& iv : r.blocking_intervals) std::cout << "  " << iv << "\n";
+        return 1;
+      }
+      std::cout << "control relation (" << r.control.size() << " edges):\n";
+      for (const CausalEdge& e : r.control) std::cout << "  " << e << "\n";
+      if (opt.semantics == StepSemantics::kRealTime) {
+        ControlStrategy s = ControlStrategy::compile(d, r.control);
+        std::cout << "strategy (" << s.message_count() << " control messages):\n";
+        for (ProcessId p = 0; p < d.num_processes(); ++p)
+          for (const ControlAction& a : s.actions(p)) {
+            if (a.kind == ControlAction::Kind::kSendOnExit)
+              std::cout << "  P" << p << ": on leaving state " << a.state
+                        << ", send token " << a.token << " to P" << a.peer << "\n";
+            else
+              std::cout << "  P" << p << ": before entering state " << a.state
+                        << ", wait for token " << a.token << " from P" << a.peer << "\n";
+          }
+      }
+      return 0;
+    }
+
+    if (cmd == "dot") {
+      DotOptions opt;
+      opt.predicate = &pred;
+      auto r = control_disjunctive_offline(d, pred);
+      if (r.controllable) opt.control_edges = r.control;
+      std::cout << to_dot(d, opt);
+      return 0;
+    }
+
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "predctl_tool: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,47 @@
+// Chandy-Lamport snapshots on the simulator: the classic money-conservation
+// experiment (the paper's reference [3], the seminal detection work the
+// predicate-control line builds on).
+//
+// Processes wire money to each other continuously; mid-burst, process 0
+// initiates a snapshot. The recorded balances plus recorded in-flight
+// amounts always equal the true total, although the system never stood
+// still -- and the per-process capture points show the snapshot is a
+// *consistent cut*, not an instant.
+#include <cstdio>
+
+#include "snapshot/chandy_lamport.hpp"
+
+using namespace predctrl::snapshot;
+
+int main() {
+  MoneyTransferOptions opt;
+  opt.num_processes = 6;
+  opt.initial_balance = 1'000;
+  opt.transfers_per_process = 40;
+  opt.transfer_gap_min = 200;
+  opt.transfer_gap_max = 2'000;
+  opt.snapshot_at = 9'000;
+
+  std::printf("%d banks, %lld each, heavy wiring; snapshot at t=%lldus\n\n",
+              opt.num_processes, static_cast<long long>(opt.initial_balance),
+              static_cast<long long>(opt.snapshot_at));
+
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    opt.seed = seed;
+    SnapshotResult r = run_money_transfer_snapshot(opt);
+    std::printf("seed %llu: recorded balances=%5lld + in-flight=%4lld = %5lld "
+                "(expected %lld) %s\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<long long>(r.recorded_balances),
+                static_cast<long long>(r.recorded_in_flight),
+                static_cast<long long>(r.recorded_total()),
+                static_cast<long long>(r.expected_total),
+                r.recorded_total() == r.expected_total ? "CONSERVED" : "BROKEN");
+    std::printf("        capture points (events executed per process):");
+    for (int64_t e : r.recorded_event_counts) std::printf(" %lld", static_cast<long long>(e));
+    std::printf("\n");
+  }
+  std::printf("\nThe capture points differ across processes: the snapshot is a\n"
+              "consistent global state, not a frozen instant.\n");
+  return 0;
+}

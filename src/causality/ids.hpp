@@ -1,0 +1,41 @@
+// Core identifier types for the deposet model (paper, Section 3).
+//
+// A distributed computation consists of n sequential processes P_0..P_{n-1}
+// (the paper indexes from 1; we index from 0). The local execution of P_i is
+// a sequence of local states; StateId names one of them by (process, index).
+// Index 0 is the special initial state (bottom_i in the paper) and index
+// len_i - 1 the special final state (top_i).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace predctrl {
+
+/// Index of a process, 0-based.
+using ProcessId = int32_t;
+
+/// Identifies one local state: the `index`-th state in the local execution of
+/// process `process`.
+struct StateId {
+  ProcessId process = -1;
+  int32_t index = -1;
+
+  friend auto operator<=>(const StateId&, const StateId&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const StateId& s) {
+  return os << 'P' << s.process << ':' << s.index;
+}
+
+}  // namespace predctrl
+
+template <>
+struct std::hash<predctrl::StateId> {
+  size_t operator()(const predctrl::StateId& s) const noexcept {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(static_cast<uint32_t>(s.process)) << 32) |
+                                 static_cast<uint32_t>(s.index));
+  }
+};

@@ -1,0 +1,74 @@
+// Vector clocks over local *states* (not events), following the state-based
+// happened-before relation of the paper (Section 3):
+//
+//   s -> t  (s causally precedes t) is the transitive closure of
+//     - `im`:  s immediately precedes t on the same process, and
+//     - `~>`:  the message sent in the event after s is received in the
+//              event before t (s "finishes" before t "starts").
+//
+// The clock of state t holds, per process i, the largest state index a such
+// that (i, a) ->= t, or kNone if no state of P_i causally precedes t.
+// For t's own process the component is t's own index. With clocks computed,
+// precedence queries are O(1):
+//
+//   (i, a) ->= (j, b)   iff   i == j ? a <= b : clock(j, b)[i] >= a.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "causality/ids.hpp"
+#include "util/check.hpp"
+
+namespace predctrl {
+
+/// One vector clock: a per-process high-water mark of causally preceding
+/// state indices. Value semantics; comparable component-wise.
+class VectorClock {
+ public:
+  /// Component value meaning "no state of that process causally precedes".
+  static constexpr int32_t kNone = -1;
+
+  VectorClock() = default;
+  explicit VectorClock(int32_t num_processes)
+      : comp_(static_cast<size_t>(num_processes), kNone) {
+    PREDCTRL_CHECK(num_processes >= 0, "negative process count");
+  }
+
+  int32_t size() const { return static_cast<int32_t>(comp_.size()); }
+
+  int32_t operator[](ProcessId p) const { return comp_[static_cast<size_t>(p)]; }
+  int32_t& operator[](ProcessId p) { return comp_[static_cast<size_t>(p)]; }
+
+  /// Component-wise maximum (join in the clock lattice).
+  void merge(const VectorClock& other) {
+    PREDCTRL_CHECK(other.size() == size(), "merging clocks of different widths");
+    for (size_t i = 0; i < comp_.size(); ++i)
+      if (other.comp_[i] > comp_[i]) comp_[i] = other.comp_[i];
+  }
+
+  /// True iff every component of *this is <= the matching component of other.
+  bool leq(const VectorClock& other) const {
+    PREDCTRL_CHECK(other.size() == size(), "comparing clocks of different widths");
+    for (size_t i = 0; i < comp_.size(); ++i)
+      if (comp_[i] > other.comp_[i]) return false;
+    return true;
+  }
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const VectorClock& vc) {
+    os << '[';
+    for (int32_t i = 0; i < vc.size(); ++i) {
+      if (i) os << ',';
+      os << vc[i];
+    }
+    return os << ']';
+  }
+
+ private:
+  std::vector<int32_t> comp_;
+};
+
+}  // namespace predctrl

@@ -1,0 +1,42 @@
+#include "control/controlled_deposet.hpp"
+
+#include "util/check.hpp"
+
+namespace predctrl {
+
+namespace {
+std::vector<CausalEdge> combined_edges(const Deposet& base, const ControlRelation& control) {
+  std::vector<CausalEdge> edges = base.messages();
+  edges.insert(edges.end(), control.begin(), control.end());
+  return edges;
+}
+}  // namespace
+
+bool control_interferes(const Deposet& base, const ControlRelation& control) {
+  ClockComputation cc = compute_state_clocks(base.lengths(), combined_edges(base, control));
+  return !cc.acyclic;
+}
+
+bool control_realizable(const Deposet& base, const ControlRelation& control) {
+  return event_order_acyclic(base.lengths(), combined_edges(base, control));
+}
+
+std::optional<ControlledDeposet> ControlledDeposet::create(Deposet base,
+                                                           ControlRelation control) {
+  for (const CausalEdge& e : control) {
+    PREDCTRL_CHECK(base.contains(e.from) && base.contains(e.to),
+                   "control edge endpoint outside the deposet");
+    PREDCTRL_CHECK(e.from.process != e.to.process, "control edge within a single process");
+  }
+  ClockComputation cc = compute_state_clocks(base.lengths(), combined_edges(base, control));
+  if (!cc.acyclic) return std::nullopt;
+
+  ControlledDeposet cd;
+  cd.realizable_ = event_order_acyclic(base.lengths(), combined_edges(base, control));
+  cd.base_ = std::move(base);
+  cd.control_ = std::move(control);
+  cd.clocks_ = std::move(cc.clocks);
+  return cd;
+}
+
+}  // namespace predctrl

@@ -1,0 +1,94 @@
+// Off-line predicate control for disjunctive predicates -- paper, Section 5,
+// Figure 2.
+//
+// Given a traced computation (deposet) and a disjunctive safety predicate
+// B = l_1 v ... v l_n (as a per-process truth table), constructs a control
+// relation C~> such that every global sequence of the controlled deposet
+// satisfies B -- or reports that no controller exists (exactly when B is
+// infeasible for the trace, Lemma 2).
+//
+// The algorithm builds a chain of alternating true-intervals and
+// backward-pointing C~> edges from some process's initial state to some
+// process's final state; every global state intersects the chain either at a
+// true interval (satisfying B) or at a control edge (inconsistent).
+//
+// Complexity: O(n^2 p) with the incremental ValidPairs maintenance the paper
+// describes, O(n^3 p) with the naive per-iteration recomputation (both are
+// provided; the scaling bench E3 separates them). |C~>| is O(np): one edge
+// per crossed interval at most.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "control/controlled_deposet.hpp"
+#include "predicates/intervals.hpp"
+#include "trace/deposet.hpp"
+#include "trace/random_trace.hpp"
+#include "util/rng.hpp"
+
+namespace predctrl {
+
+/// How ValidPairs() is evaluated (paper, Section 5 "Evaluation").
+enum class ValidPairsImpl {
+  /// Recompute crossable() for every pair each iteration: O(n^3 p) total.
+  kNaive,
+  /// Maintain the crossable matrix incrementally, refreshing only rows and
+  /// columns whose N(i) changed: O(n^2 p) total.
+  kIncremental,
+};
+
+/// Which element of ValidPairs() `select` returns (the paper uses a random
+/// element; the alternatives feed the E13 ablation).
+enum class SelectPolicy {
+  kRandom,          ///< uniform over the valid pairs found (paper default)
+  kFirst,           ///< first pair in (i, j) scan order (deterministic)
+  kGreedyFarthest,  ///< pair whose crossed interval ends furthest along
+};
+
+struct OfflineControlOptions {
+  ValidPairsImpl impl = ValidPairsImpl::kIncremental;
+  SelectPolicy select = SelectPolicy::kRandom;
+  uint64_t seed = 1;  ///< used by SelectPolicy::kRandom
+  /// Boundary semantics for crossable/overlap (trace/semantics.hpp). Under
+  /// kRealTime (default) the emitted relation is additionally deadlock-free
+  /// (event-acyclic) and the replayer can execute it; kSimultaneous matches
+  /// the paper's formal model and accepts strictly more predicates, but on
+  /// knife-edge traces the relation is only enforceable with zero-delay
+  /// synchrony.
+  StepSemantics semantics = StepSemantics::kRealTime;
+};
+
+struct OfflineControlResult {
+  /// False iff the algorithm exited with "No Controller Exists" -- B is then
+  /// infeasible for the trace (an overlapping set of false intervals exists).
+  bool controllable = false;
+
+  /// The C~> relation, in construction order. Valid iff controllable. Empty
+  /// when B needs no control (some process is true throughout from bottom).
+  ControlRelation control;
+
+  /// When not controllable: the next false interval N(i) of each process at
+  /// the point of failure -- a diagnostic witness for Lemma 2.
+  std::vector<FalseInterval> blocking_intervals;
+
+  // -- complexity accounting (benches E3/E4) --
+  int64_t iterations = 0;   ///< outer-loop iterations (intervals crossed)
+  int64_t pair_checks = 0;  ///< crossable() evaluations performed
+};
+
+/// Runs the Figure 2 algorithm. `predicate[p][k]` is l_p at state (p, k).
+OfflineControlResult control_disjunctive_offline(const Deposet& deposet,
+                                                 const PredicateTable& predicate,
+                                                 const OfflineControlOptions& options = {});
+
+/// Convenience: runs the algorithm and materializes the controlled deposet
+/// (throws std::logic_error if the produced relation interferes -- which the
+/// algorithm guarantees never happens). Returns nullopt iff not controllable.
+std::optional<ControlledDeposet> controlled_deposet_for(
+    const Deposet& deposet, const PredicateTable& predicate,
+    const OfflineControlOptions& options = {});
+
+}  // namespace predctrl

@@ -1,0 +1,66 @@
+#include "control/offline_general.hpp"
+
+#include "trace/lattice.hpp"
+#include "util/check.hpp"
+
+namespace predctrl {
+
+ControlRelation serialize_sequence(const Deposet& deposet, const std::vector<Cut>& sequence) {
+  auto check = check_global_sequence(deposet, sequence);
+  PREDCTRL_CHECK(check.ok, "serialize_sequence: " + check.error);
+
+  // The sequence's per-step advances, in order. Each step must advance
+  // exactly one process (real-time semantics).
+  struct Step {
+    ProcessId process;
+    int32_t entered;  // state index entered
+  };
+  std::vector<Step> steps;
+  for (size_t t = 1; t < sequence.size(); ++t) {
+    ProcessId mover = -1;
+    for (ProcessId p = 0; p < deposet.num_processes(); ++p) {
+      if (sequence[t][p] == sequence[t - 1][p]) continue;
+      PREDCTRL_CHECK(mover < 0,
+                     "serialize_sequence needs a single-advance sequence "
+                     "(one process per step)");
+      mover = p;
+    }
+    steps.push_back({mover, sequence[t][mover]});
+  }
+
+  // Chain consecutive events: the event entering steps[t].entered must
+  // complete before the event entering steps[t+1].entered. As a state edge
+  // that is {previous state of t's mover, entered state of t+1's mover}
+  // ("x finishes before y starts" with x = the state t's mover left).
+  ControlRelation control;
+  for (size_t t = 0; t + 1 < steps.size(); ++t) {
+    const Step& a = steps[t];
+    const Step& b = steps[t + 1];
+    if (a.process == b.process) continue;  // process order already serializes
+    StateId x{a.process, a.entered - 1};
+    StateId y{b.process, b.entered};
+    if (deposet.precedes(x, y)) continue;  // already ordered (e.g. a message)
+    control.push_back({x, y});
+  }
+  return control;
+}
+
+GeneralControlResult control_general_offline(
+    const Deposet& deposet, const std::function<bool(const Cut&)>& predicate,
+    int64_t max_expansions) {
+  GeneralControlResult result;
+  SgsdResult sgsd = find_satisfying_global_sequence(deposet, predicate,
+                                                    StepSemantics::kRealTime, max_expansions);
+  result.truncated = sgsd.truncated;
+  result.expansions = sgsd.expansions;
+  if (!sgsd.feasible) return result;
+
+  result.controllable = true;
+  result.sequence = std::move(sgsd.sequence);
+  result.control = serialize_sequence(deposet, result.sequence);
+  PREDCTRL_REQUIRE(control_realizable(deposet, result.control),
+                   "serialized sequence produced a deadlocking relation");
+  return result;
+}
+
+}  // namespace predctrl

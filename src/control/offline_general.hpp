@@ -1,0 +1,52 @@
+// Off-line predicate control for ARBITRARY global predicates -- the problem
+// the paper proves NP-hard (Section 4, Theorem 1).
+//
+// The paper's equivalence argument: a satisfying control strategy exists iff
+// a satisfying global sequence exists, because a strategy can be simulated
+// to produce a sequence and a sequence can be compiled into a strategy that
+// only allows (essentially) that sequence. We make the argument executable
+// under the real-time step semantics:
+//
+//   1. search for a satisfying single-advance global sequence (exhaustive
+//      SGSD -- exponential, unavoidable in general);
+//   2. serialize it: add a control edge between every pair of consecutive
+//      events of the sequence that are not already causally ordered. The
+//      controlled computation then admits exactly the linearization the
+//      sequence describes, so every run satisfies B.
+//
+// The emitted relation is O(S) edges -- far larger than the O(np) the
+// disjunctive algorithm achieves, which is the practical content of the
+// paper's complexity separation (bench E2).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "control/controlled_deposet.hpp"
+#include "predicates/detection.hpp"
+#include "trace/deposet.hpp"
+
+namespace predctrl {
+
+struct GeneralControlResult {
+  /// False iff B is infeasible (or the search budget was exhausted --
+  /// check `truncated`).
+  bool controllable = false;
+  ControlRelation control;    ///< valid iff controllable
+  std::vector<Cut> sequence;  ///< the satisfying sequence that was serialized
+  bool truncated = false;     ///< search hit max_expansions; result unknown
+  int64_t expansions = 0;     ///< SGSD work performed
+};
+
+/// Synthesizes a control relation that serializes `sequence` (a valid
+/// single-advance global sequence of `deposet`): consecutive events on
+/// different processes get a control edge unless already causally ordered.
+ControlRelation serialize_sequence(const Deposet& deposet, const std::vector<Cut>& sequence);
+
+/// Off-line control for an arbitrary predicate under real-time semantics.
+/// Exponential in the worst case (Theorem 1).
+GeneralControlResult control_general_offline(
+    const Deposet& deposet, const std::function<bool(const Cut&)>& predicate,
+    int64_t max_expansions = 1'000'000);
+
+}  // namespace predctrl

@@ -1,0 +1,65 @@
+// Executable distributed control strategies.
+//
+// A ControlRelation is declarative ("state y is forced after state x"). The
+// controllers enforce each edge x C~> y with one control message:
+//
+//   * controller of x.process sends token k when its process *exits* x
+//     (completes event x.index);
+//   * controller of y.process blocks its process before *entering* y
+//     (before event y.index - 1 completes) until token k has arrived.
+//
+// compile() turns a relation into per-process action lists the Replayer (and
+// any real controller harness) can execute directly. It validates that every
+// edge is physically enforceable -- the source must not be a final state
+// (its exit never happens) and the target must not be an initial state (its
+// entry precedes everything) -- and, unless check_deadlock is disabled, that
+// the whole plan is deadlock-free (control_realizable).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "control/controlled_deposet.hpp"
+#include "trace/deposet.hpp"
+
+namespace predctrl {
+
+/// One obligation of a process's controller during replay.
+struct ControlAction {
+  enum class Kind : uint8_t {
+    kSendOnExit,      ///< when leaving state `state`, send `token` to `peer`
+    kWaitBeforeEntry  ///< before entering state `state`, wait for `token`
+  };
+  Kind kind = Kind::kSendOnExit;
+  int32_t state = -1;   ///< local state index the action is anchored to
+  int32_t token = -1;   ///< control-message identifier (unique per edge)
+  ProcessId peer = -1;  ///< the other endpoint's process
+};
+
+/// A compiled, executable strategy: per-process actions sorted by state.
+class ControlStrategy {
+ public:
+  /// Compiles `control` against `base`. Throws std::invalid_argument on
+  /// unenforceable edges; throws std::invalid_argument if the plan can
+  /// deadlock (unless check_deadlock is false, for experiments that want to
+  /// demonstrate the deadlock).
+  static ControlStrategy compile(const Deposet& base, const ControlRelation& control,
+                                 bool check_deadlock = true);
+
+  int32_t num_processes() const { return static_cast<int32_t>(actions_.size()); }
+  int32_t num_tokens() const { return num_tokens_; }
+
+  /// Actions of process p, sorted by (state, kind).
+  const std::vector<ControlAction>& actions(ProcessId p) const {
+    return actions_[static_cast<size_t>(p)];
+  }
+
+  /// Total control messages a full replay will send (== relation size).
+  int32_t message_count() const { return num_tokens_; }
+
+ private:
+  std::vector<std::vector<ControlAction>> actions_;
+  int32_t num_tokens_ = 0;
+};
+
+}  // namespace predctrl

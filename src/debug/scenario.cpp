@@ -1,0 +1,75 @@
+#include "debug/scenario.hpp"
+
+#include "util/check.hpp"
+
+namespace predctrl::debug {
+
+namespace {
+int64_t var(const sim::VarMap& vars, const char* name, int64_t fallback) {
+  auto it = vars.find(name);
+  return it == vars.end() ? fallback : it->second;
+}
+}  // namespace
+
+ReplicatedServerScenario replicated_server_scenario() {
+  using sim::Instr;
+  using K = sim::Instr::Kind;
+
+  ReplicatedServerScenario s;
+  s.system.resize(3);
+
+  // Server 0: heartbeat to S1, cache flush (event f), maintenance window
+  // (states 3-4), back up when S1 acks.
+  sim::Script& s0 = s.system[0];
+  s0.initial_vars = {{"avail", 1}, {"f_done", 0}};
+  s0.instrs = {
+      {K::kSend, 1'000, 1, {}},                // -> state 1
+      {K::kLocal, 1'000, -1, {{"f_done", 1}}},  // -> state 2: event f
+      {K::kLocal, 1'000, -1, {{"avail", 0}}},   // -> state 3: down
+      {K::kLocal, 1'000, -1, {}},               // -> state 4
+      {K::kRecv, 1'000, 1, {{"avail", 1}}},     // -> state 5: up again
+  };
+
+  // Server 1: goes down upon S0's heartbeat, recovers, acks S0.
+  sim::Script& s1 = s.system[1];
+  s1.initial_vars = {{"avail", 1}};
+  s1.instrs = {
+      {K::kRecv, 1'000, 0, {{"avail", 0}}},  // -> state 1: down
+      {K::kLocal, 1'000, -1, {}},            // -> state 2
+      {K::kSend, 1'000, 0, {{"avail", 1}}},  // -> state 3: up, ack
+  };
+
+  // Server 2: maintenance window (states 1-2), then the re-index whose
+  // completion is event e.
+  sim::Script& s2 = s.system[2];
+  s2.initial_vars = {{"avail", 1}, {"e_done", 0}};
+  s2.instrs = {
+      {K::kLocal, 1'000, -1, {{"avail", 0}}},  // -> state 1: down
+      {K::kLocal, 3'000, -1, {}},              // -> state 2 (long re-index)
+      {K::kLocal, 3'000, -1, {{"avail", 1}}},  // -> state 3: up
+      {K::kLocal, 1'000, -1, {{"e_done", 1}}},  // -> state 4: event e
+      {K::kLocal, 1'000, -1, {}},               // -> state 5
+  };
+
+  s.availability = [](ProcessId, const sim::VarMap& vars) {
+    return var(vars, "avail", 1) != 0;
+  };
+
+  s.e_before_f = [](ProcessId p, const sim::VarMap& vars) {
+    if (p == 0) return var(vars, "f_done", 0) == 0;  // before_f
+    if (p == 2) return var(vars, "e_done", 0) != 0;  // after_e
+    return false;                                    // server 1 uninvolved
+  };
+
+  // possibly(f_done && !e_done): a global state where f has executed but e
+  // has not -- the witness that e/f are unordered (bug2).
+  s.bug2_witness = [](ProcessId p, const sim::VarMap& vars) {
+    if (p == 0) return var(vars, "f_done", 0) != 0;
+    if (p == 2) return var(vars, "e_done", 0) == 0;
+    return true;
+  };
+
+  return s;
+}
+
+}  // namespace predctrl::debug

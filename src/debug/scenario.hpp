@@ -1,0 +1,40 @@
+// The paper's running example (Section 7, Figure 4): a replicated server
+// system with three servers, each taking one maintenance window, where
+//
+//   bug1: all servers can be simultaneously unavailable, and
+//   bug2: event e (server 2 finishing its re-index) is not ordered before
+//         event f (server 0 starting its cache flush),
+//
+// and -- the Section 7 punchline -- enforcing "e before f" also eliminates
+// bug1, identifying bug2 as the root cause.
+//
+// The scenario is exposed as a library fixture so the walkthrough example,
+// the end-to-end test, and the documentation all use the same computation.
+#pragma once
+
+#include "debug/session.hpp"
+
+namespace predctrl::debug {
+
+struct ReplicatedServerScenario {
+  /// Three servers (see the .cpp for the exact event lists). Variables:
+  /// "avail" on every server; "f_done" on server 0; "e_done" on server 2.
+  sim::ScriptedSystem system;
+
+  /// l_i = "server i is available": B_avail = avail_0 v avail_1 v avail_2
+  /// ("at least one server is available at all times").
+  LocalPredicate availability;
+
+  /// l_0 = before_f, l_2 = after_e (l_1 = false): B_order = after_e v
+  /// before_f, the paper's example (3) encoding "e must happen before f".
+  LocalPredicate e_before_f;
+
+  /// Conjunctive witness conditions for bug2 ("f executed while e has not"):
+  /// evaluate over a traced run via RunResult::predicate_table and feed the
+  /// table to detect_weak_conjunctive.
+  LocalPredicate bug2_witness;
+};
+
+ReplicatedServerScenario replicated_server_scenario();
+
+}  // namespace predctrl::debug

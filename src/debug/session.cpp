@@ -1,0 +1,70 @@
+#include "debug/session.hpp"
+
+#include "predicates/global_predicate.hpp"
+#include "trace/lattice.hpp"
+#include "util/check.hpp"
+
+namespace predctrl::debug {
+
+namespace {
+// !B for disjunctive B: every local predicate false at once.
+PredicateTable negate_table(const PredicateTable& table) {
+  PredicateTable neg = table;
+  for (auto& row : neg)
+    for (size_t k = 0; k < row.size(); ++k) row[k] = !row[k];
+  return neg;
+}
+}  // namespace
+
+std::vector<Cut> Observation::violating_cuts() const {
+  return all_conjunctive_cuts(run.deposet, negate_table(predicate));
+}
+
+std::optional<Cut> Observation::first_violation() const {
+  ConjunctiveDetection d = detect_weak_conjunctive(run.deposet, negate_table(predicate));
+  if (!d.detected) return std::nullopt;
+  return d.first_cut;
+}
+
+bool Observation::run_violated() const {
+  for (const Cut& c : run.cut_timeline())
+    if (!eval_disjunctive(predicate, c)) return true;
+  return false;
+}
+
+Session::Session(sim::ScriptedSystem system, LocalPredicate predicate,
+                 sim::SimOptions options)
+    : system_(std::move(system)), predicate_(std::move(predicate)),
+      options_(options) {
+  PREDCTRL_CHECK(!system_.empty(), "empty system");
+  PREDCTRL_CHECK(static_cast<bool>(predicate_), "null predicate");
+}
+
+Observation Session::observe(uint64_t seed) const { return observe_impl(seed, nullptr); }
+
+Observation Session::observe_impl(uint64_t seed, const ControlStrategy* strategy) const {
+  sim::SimOptions opt = options_;
+  opt.seed = seed;
+  Observation obs;
+  obs.run = sim::run_scripts(system_, opt, strategy);
+  obs.predicate = obs.run.predicate_table(predicate_);
+  return obs;
+}
+
+ControlOutcome Session::synthesize_control(const Observation& obs,
+                                           const OfflineControlOptions& options) const {
+  ControlOutcome outcome;
+  outcome.details = control_disjunctive_offline(obs.run.deposet, obs.predicate, options);
+  outcome.controllable = outcome.details.controllable;
+  if (outcome.controllable)
+    outcome.strategy = ControlStrategy::compile(obs.run.deposet, outcome.details.control);
+  return outcome;
+}
+
+Observation Session::replay(const ControlOutcome& control, uint64_t seed) const {
+  PREDCTRL_CHECK(control.controllable && control.strategy.has_value(),
+                 "cannot replay without a controller");
+  return observe_impl(seed, &*control.strategy);
+}
+
+}  // namespace predctrl::debug

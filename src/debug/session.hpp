@@ -1,0 +1,85 @@
+// The active-debugging cycle -- paper, Sections 1 & 7.
+//
+// A Session wraps one scripted system and walks the paper's loop:
+//
+//   observe   -- run the system on the simulator and trace the deposet;
+//   detect    -- find global states of the trace where a safety predicate
+//                B = l_1 v ... v l_n breaks (weak-conjunctive detection of
+//                !B, the detector of the paper's reference [4]);
+//   control   -- synthesize the off-line control relation for B over the
+//                trace (Figure 2) and compile it to an executable strategy;
+//   replay    -- re-run the same system with the control messages enforced
+//                and confirm the run never passes a violating global state.
+//
+// The on-line half of the cycle (guarding fresh runs) lives in
+// online/scapegoat.hpp; examples/replicated_servers.cpp strings the whole
+// Section 7 story together.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "control/offline_disjunctive.hpp"
+#include "control/strategy.hpp"
+#include "predicates/detection.hpp"
+#include "runtime/scripted.hpp"
+
+namespace predctrl::debug {
+
+/// A disjunctive safety predicate over traced variables: local(p, vars) is
+/// l_p evaluated on a state's variable values.
+using LocalPredicate = std::function<bool(ProcessId, const sim::VarMap&)>;
+
+/// Everything learned from one observation of the system.
+struct Observation {
+  sim::RunResult run;
+  /// Truth table of the predicate over the traced states (filled by
+  /// Session::observe when a predicate is installed).
+  PredicateTable predicate;
+
+  /// All consistent global states of the trace violating B (exhaustive;
+  /// fine at debugging scale). These are the paper's G and H.
+  std::vector<Cut> violating_cuts() const;
+  /// The least violating cut, via the efficient detector.
+  std::optional<Cut> first_violation() const;
+  /// Did this particular run actually pass through a violating state?
+  bool run_violated() const;
+};
+
+struct ControlOutcome {
+  bool controllable = false;
+  OfflineControlResult details;
+  /// Compiled, executable strategy; meaningful iff controllable.
+  std::optional<ControlStrategy> strategy;
+};
+
+class Session {
+ public:
+  /// `system` is the program under debug; `predicate` the safety property to
+  /// maintain; `options` the simulated network.
+  Session(sim::ScriptedSystem system, LocalPredicate predicate,
+          sim::SimOptions options = {});
+
+  /// Runs the system once (seed selects the schedule) and returns the trace.
+  Observation observe(uint64_t seed) const;
+
+  /// Off-line control (Figure 2) for the predicate over an observation.
+  ControlOutcome synthesize_control(const Observation& obs,
+                                    const OfflineControlOptions& options = {}) const;
+
+  /// Controlled replay: the same system, the same kind of schedule, plus the
+  /// strategy's control messages.
+  Observation replay(const ControlOutcome& control, uint64_t seed) const;
+
+  const sim::ScriptedSystem& system() const { return system_; }
+
+ private:
+  Observation observe_impl(uint64_t seed, const ControlStrategy* strategy) const;
+
+  sim::ScriptedSystem system_;
+  LocalPredicate predicate_;
+  sim::SimOptions options_;
+};
+
+}  // namespace predctrl::debug

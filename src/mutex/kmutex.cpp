@@ -1,0 +1,290 @@
+#include "mutex/kmutex.hpp"
+
+#include <deque>
+#include <memory>
+
+#include "online/generalized_scapegoat.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace predctrl::mutex {
+
+using online::kAck;
+using online::kGrant;
+using online::kNowTrue;
+using online::kReq;
+using online::kWantFalse;
+using online::ScapegoatController;
+using online::ScapegoatOptions;
+using sim::AgentContext;
+using sim::AgentId;
+using sim::Message;
+using sim::SimEngine;
+using sim::SimOptions;
+
+namespace {
+
+SimOptions sim_options(const CsWorkloadOptions& options) {
+  SimOptions so;
+  so.seed = options.seed;
+  so.min_delay = options.delay_min;
+  so.max_delay = options.delay_max;
+  return so;
+}
+
+MutexRunResult collect(SimEngine& engine, const std::vector<CsProcess*>& procs,
+                       const TransitionLog& log, int32_t n) {
+  MutexRunResult result;
+  result.stats = engine.run();
+  result.deadlocked = !engine.blocked_agents().empty();
+  for (CsProcess* p : procs) {
+    result.cs_entries += p->entries();
+    result.response_delays.insert(result.response_delays.end(), p->response_delays().begin(),
+                                  p->response_delays().end());
+  }
+  result.max_concurrent_cs = log.max_concurrent_unavailable(n);
+  return result;
+}
+
+// ---------------------------------------------------------------- coordinator
+
+class Coordinator : public sim::Agent {
+ public:
+  explicit Coordinator(int32_t k) : k_(k) {}
+
+  void on_message(AgentContext& ctx, const Message& msg) override {
+    if (msg.type == kWantFalse) {
+      if (active_ < k_) {
+        ++active_;
+        grant(ctx, msg.from);
+      } else {
+        queue_.push_back(msg.from);
+      }
+    } else {
+      PREDCTRL_REQUIRE(msg.type == kNowTrue, "coordinator expected request or release");
+      if (!queue_.empty()) {
+        AgentId next = queue_.front();
+        queue_.pop_front();
+        grant(ctx, next);  // slot passes directly to the next requester
+      } else {
+        --active_;
+      }
+    }
+  }
+
+ private:
+  void grant(AgentContext& ctx, AgentId to) {
+    Message g;
+    g.type = kGrant;
+    g.plane = Message::Plane::kControl;
+    ctx.send(to, g);
+  }
+
+  int32_t k_;
+  int32_t active_ = 0;
+  std::deque<AgentId> queue_;
+};
+
+// ----------------------------------------------------------------- token ring
+
+// Message types private to the ring.
+constexpr int32_t kToken = 120;
+constexpr int32_t kTokenRequest = 121;  // a: origin ring index
+
+class RingGuard : public sim::Agent {
+ public:
+  RingGuard(int32_t index, int32_t n, AgentId process_agent, bool starts_with_token)
+      : index_(index), n_(n), process_agent_(process_agent),
+        idle_tokens_(starts_with_token ? 1 : 0) {}
+
+  void on_message(AgentContext& ctx, const Message& msg) override {
+    PREDCTRL_DEBUG("ring guard " << index_ << " t=" << ctx.now() << " msg=" << msg.type
+                                 << " a=" << msg.a << " idle=" << idle_tokens_
+                                 << " busy=" << busy_tokens_ << " waiting=" << proc_waiting_
+                                 << " q=" << queue_.size());
+    switch (msg.type) {
+      case kWantFalse:
+        if (idle_tokens_ > 0) {
+          --idle_tokens_;
+          ++busy_tokens_;
+          grant(ctx);
+        } else {
+          proc_waiting_ = true;
+          send_request(ctx, index_);
+        }
+        break;
+      case kNowTrue:
+        --busy_tokens_;
+        release_token(ctx);
+        break;
+      case kToken:
+        if (proc_waiting_) {
+          proc_waiting_ = false;
+          ++busy_tokens_;
+          grant(ctx);
+        } else {
+          ++idle_tokens_;
+          serve_queue(ctx);
+        }
+        break;
+      case kTokenRequest:
+        if (idle_tokens_ > 0) {
+          --idle_tokens_;
+          fly_token(ctx, static_cast<int32_t>(msg.a));
+        } else if (busy_tokens_ > static_cast<int32_t>(queue_.size())) {
+          // Each busy token guarantees exactly one future release, so park
+          // at most one request per busy token; everything beyond that must
+          // keep circulating. (Parking at merely *waiting* guards -- or
+          // parking more requests than guaranteed releases -- strands
+          // requests forever.)
+          queue_.push_back(static_cast<int32_t>(msg.a));
+        } else {
+          send_request(ctx, static_cast<int32_t>(msg.a));  // forward along the ring
+        }
+        break;
+      default:
+        PREDCTRL_REQUIRE(false, "unknown ring message");
+    }
+  }
+
+ private:
+  // Guards occupy agent ids [n, 2n); ring neighbour of guard i is i+1 mod n.
+  AgentId guard_agent(int32_t ring_index) const { return n_ + (ring_index % n_); }
+
+  void grant(AgentContext& ctx) {
+    Message g;
+    g.type = kGrant;
+    g.plane = Message::Plane::kControl;
+    ctx.send(process_agent_, g);
+  }
+
+  void send_request(AgentContext& ctx, int32_t origin) {
+    Message r;
+    r.type = kTokenRequest;
+    r.a = origin;
+    r.plane = Message::Plane::kControl;
+    ctx.send(guard_agent(index_ + 1), r);
+  }
+
+  void fly_token(AgentContext& ctx, int32_t to_ring_index) {
+    Message t;
+    t.type = kToken;
+    t.plane = Message::Plane::kControl;
+    ctx.send(guard_agent(to_ring_index), t);
+  }
+
+  void release_token(AgentContext& ctx) {
+    if (!queue_.empty()) {
+      int32_t origin = queue_.front();
+      queue_.pop_front();
+      fly_token(ctx, origin);
+    } else {
+      ++idle_tokens_;
+      serve_queue(ctx);
+    }
+  }
+
+  void serve_queue(AgentContext& ctx) {
+    while (idle_tokens_ > 0 && !queue_.empty()) {
+      --idle_tokens_;
+      int32_t origin = queue_.front();
+      queue_.pop_front();
+      fly_token(ctx, origin);
+    }
+  }
+
+  int32_t index_;
+  int32_t n_;
+  AgentId process_agent_;
+  int32_t idle_tokens_ = 0;
+  int32_t busy_tokens_ = 0;
+  bool proc_waiting_ = false;
+  std::deque<int32_t> queue_;
+};
+
+}  // namespace
+
+MutexRunResult run_scapegoat_mutex(const CsWorkloadOptions& options,
+                                   const ScapegoatOptions& strategy) {
+  const int32_t n = options.num_processes;
+  PREDCTRL_CHECK(n >= 2, "scapegoat mutex needs at least two processes");
+
+  SimEngine engine(sim_options(options));
+  TransitionLog log;
+  std::vector<CsProcess*> procs;
+
+  // Processes occupy agent ids [0, n); controllers [n, 2n).
+  for (int32_t i = 0; i < n; ++i) {
+    auto p = std::make_unique<CsProcess>(i, /*guard=*/n + i, Message::Plane::kLocal,
+                                         options, log);
+    procs.push_back(p.get());
+    engine.add_agent(std::move(p));
+  }
+  std::vector<AgentId> controller_ids;
+  for (int32_t i = 0; i < n; ++i) controller_ids.push_back(n + i);
+  for (int32_t i = 0; i < n; ++i)
+    engine.add_agent(
+        std::make_unique<ScapegoatController>(controller_ids, i, /*process=*/i, strategy));
+
+  return collect(engine, procs, log, n);
+}
+
+MutexRunResult run_generalized_kmutex(const CsWorkloadOptions& options, int32_t k) {
+  const int32_t n = options.num_processes;
+  PREDCTRL_CHECK(k >= 1 && k <= n - 1, "anti-token k must be in [1, n-1]");
+
+  SimEngine engine(sim_options(options));
+  TransitionLog log;
+  std::vector<CsProcess*> procs;
+  for (int32_t i = 0; i < n; ++i) {
+    auto p = std::make_unique<CsProcess>(i, /*guard=*/n + i, Message::Plane::kLocal,
+                                         options, log);
+    procs.push_back(p.get());
+    engine.add_agent(std::move(p));
+  }
+  std::vector<AgentId> controller_ids;
+  for (int32_t i = 0; i < n; ++i) controller_ids.push_back(n + i);
+  online::GeneralizedScapegoatOptions gopt;
+  gopt.anti_tokens = n - k;
+  for (int32_t i = 0; i < n; ++i)
+    engine.add_agent(std::make_unique<online::GeneralizedScapegoatController>(
+        controller_ids, i, /*process=*/i, gopt));
+  return collect(engine, procs, log, n);
+}
+
+MutexRunResult run_coordinator_kmutex(const CsWorkloadOptions& options, int32_t k) {
+  const int32_t n = options.num_processes;
+  PREDCTRL_CHECK(k >= 1, "need at least one slot");
+
+  SimEngine engine(sim_options(options));
+  TransitionLog log;
+  std::vector<CsProcess*> procs;
+  for (int32_t i = 0; i < n; ++i) {
+    auto p = std::make_unique<CsProcess>(i, /*guard=*/n, Message::Plane::kControl,
+                                         options, log);
+    procs.push_back(p.get());
+    engine.add_agent(std::move(p));
+  }
+  engine.add_agent(std::make_unique<Coordinator>(k));
+  return collect(engine, procs, log, n);
+}
+
+MutexRunResult run_token_ring_kmutex(const CsWorkloadOptions& options, int32_t k) {
+  const int32_t n = options.num_processes;
+  PREDCTRL_CHECK(k >= 1 && k <= n, "token count must be in [1, n]");
+
+  SimEngine engine(sim_options(options));
+  TransitionLog log;
+  std::vector<CsProcess*> procs;
+  for (int32_t i = 0; i < n; ++i) {
+    auto p = std::make_unique<CsProcess>(i, /*guard=*/n + i, Message::Plane::kControl,
+                                         options, log);
+    procs.push_back(p.get());
+    engine.add_agent(std::move(p));
+  }
+  for (int32_t i = 0; i < n; ++i)
+    engine.add_agent(std::make_unique<RingGuard>(i, n, /*process=*/i, i < k));
+  return collect(engine, procs, log, n);
+}
+
+}  // namespace predctrl::mutex

@@ -1,0 +1,42 @@
+// k-mutual-exclusion algorithms over the CS workload -- paper, Section 6.
+//
+// * run_scapegoat_mutex: the paper's on-line strategy specialized to
+//   (n-1)-mutual exclusion (the anti-token). Expected profile: 2 control
+//   messages per n CS entries (only the scapegoat's entries pay a handoff),
+//   response time 0 for non-scapegoats and within [2T, 2T + E_max] for the
+//   scapegoat; the broadcast variant trades messages for response time.
+//
+// * run_coordinator_kmutex: classic centralized arbiter (the textbook
+//   baseline): every entry costs 2 control messages (request + grant) plus
+//   1 release, response >= 2T even uncontended.
+//
+// * run_token_ring_kmutex: k tokens parked at ring nodes; a requester
+//   forwards a request hop by hop until it reaches a token (idle -> flown
+//   straight back; busy -> queued at the holder). Messages and response
+//   scale with ring distance.
+//
+// All three run the identical workload and report the same MutexRunResult,
+// which is what benches E6-E8 tabulate.
+#pragma once
+
+#include "mutex/workload.hpp"
+#include "online/scapegoat.hpp"
+
+namespace predctrl::mutex {
+
+/// The paper's strategy as (n-1)-mutual exclusion.
+MutexRunResult run_scapegoat_mutex(const CsWorkloadOptions& options,
+                                   const online::ScapegoatOptions& strategy = {});
+
+/// k-mutual exclusion for arbitrary k via n-k anti-tokens (the paper's
+/// closing generalization, online/generalized_scapegoat.hpp). Requires
+/// 1 <= k <= n-1.
+MutexRunResult run_generalized_kmutex(const CsWorkloadOptions& options, int32_t k);
+
+/// Centralized coordinator admitting at most k processes at once.
+MutexRunResult run_coordinator_kmutex(const CsWorkloadOptions& options, int32_t k);
+
+/// k tokens on a unidirectional ring.
+MutexRunResult run_token_ring_kmutex(const CsWorkloadOptions& options, int32_t k);
+
+}  // namespace predctrl::mutex

@@ -1,0 +1,111 @@
+#include "mutex/workload.hpp"
+
+#include <algorithm>
+
+#include "online/scapegoat.hpp"
+#include "util/check.hpp"
+
+namespace predctrl::mutex {
+
+using online::kGrant;
+using online::kNowTrue;
+using online::kWantFalse;
+using sim::AgentContext;
+using sim::Message;
+using sim::SimTime;
+
+namespace {
+constexpr int64_t kThinkDone = 1;
+constexpr int64_t kCsDone = 2;
+}  // namespace
+
+int32_t TransitionLog::max_concurrent_unavailable(int32_t num_processes) const {
+  std::vector<Transition> sorted = transitions_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Transition& a, const Transition& b) { return a.time < b.time; });
+  std::vector<bool> in_cs(static_cast<size_t>(num_processes), false);
+  int32_t current = 0;
+  int32_t max_seen = 0;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    SimTime t = sorted[i].time;
+    // Apply every transition at this instant before evaluating.
+    while (i < sorted.size() && sorted[i].time == t) {
+      const Transition& tr = sorted[i];
+      bool was = in_cs[static_cast<size_t>(tr.process)];
+      bool now = !tr.available;
+      if (was != now) {
+        in_cs[static_cast<size_t>(tr.process)] = now;
+        current += now ? 1 : -1;
+      }
+      ++i;
+    }
+    max_seen = std::max(max_seen, current);
+  }
+  return max_seen;
+}
+
+CsProcess::CsProcess(int32_t index, sim::AgentId guard, Message::Plane request_plane,
+                     const CsWorkloadOptions& options, TransitionLog& log)
+    : index_(index), guard_(guard), request_plane_(request_plane), options_(options),
+      log_(log) {}
+
+void CsProcess::on_start(AgentContext& ctx) {
+  log_.record(0, index_, /*available=*/true);
+  if (options_.cs_per_process > 0) start_thinking(ctx);
+}
+
+void CsProcess::start_thinking(AgentContext& ctx) {
+  SimTime think =
+      options_.think_min + ctx.rng().uniform(0, options_.think_max - options_.think_min);
+  ctx.set_timer(think, kThinkDone);
+}
+
+void CsProcess::on_timer(AgentContext& ctx, int64_t timer_id) {
+  if (timer_id == kThinkDone) {
+    requested_at_ = ctx.now();
+    ctx.mark_waiting("CS grant");
+    Message req;
+    req.type = kWantFalse;
+    req.plane = request_plane_;
+    ctx.send(guard_, req);
+  } else {
+    PREDCTRL_REQUIRE(timer_id == kCsDone, "unexpected timer in CS workload");
+    log_.record(ctx.now(), index_, /*available=*/true);
+    Message rel;
+    rel.type = kNowTrue;
+    rel.plane = request_plane_;
+    ctx.send(guard_, rel);
+    if (entries_ < options_.cs_per_process) start_thinking(ctx);
+  }
+}
+
+void CsProcess::on_message(AgentContext& ctx, const Message& msg) {
+  PREDCTRL_REQUIRE(msg.type == kGrant, "CS process expected a grant");
+  ctx.mark_done();
+  response_delays_.push_back(ctx.now() - requested_at_);
+  log_.record(ctx.now(), index_, /*available=*/false);
+  ++entries_;
+  SimTime cs = options_.cs_min + ctx.rng().uniform(0, options_.cs_max - options_.cs_min);
+  ctx.set_timer(cs, kCsDone);
+}
+
+double MutexRunResult::mean_response() const {
+  if (response_delays.empty()) return 0.0;
+  double sum = 0;
+  for (SimTime t : response_delays) sum += static_cast<double>(t);
+  return sum / static_cast<double>(response_delays.size());
+}
+
+SimTime MutexRunResult::max_response() const {
+  SimTime m = 0;
+  for (SimTime t : response_delays) m = std::max(m, t);
+  return m;
+}
+
+double MutexRunResult::messages_per_entry() const {
+  if (cs_entries == 0) return 0.0;
+  return static_cast<double>(stats.control_messages) / static_cast<double>(cs_entries);
+}
+
+}  // namespace predctrl::mutex

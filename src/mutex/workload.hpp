@@ -1,0 +1,106 @@
+// Critical-section workload -- paper, Section 6.
+//
+// With l_i = "P_i is not in its critical section", the disjunctive predicate
+// B = l_1 v ... v l_n says "at least one process is outside its CS", i.e.
+// (n-1)-mutual exclusion. The same workload drives the scapegoat strategy
+// and the baseline k-mutex algorithms so their message and response-time
+// profiles are directly comparable (benches E6-E8).
+//
+// A CsProcess thinks for a random time, asks its guard agent for permission
+// (kWantFalse), enters its CS on kGrant, leaves after a random CS time
+// (kNowTrue), and repeats. Which guard answers -- a co-located scapegoat
+// controller, a central coordinator, or a token-ring node -- is the
+// algorithm under test.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/sim.hpp"
+
+namespace predctrl::mutex {
+
+/// A change of a process's availability (true = outside its CS).
+struct Transition {
+  sim::SimTime time = 0;
+  int32_t process = 0;
+  bool available = true;
+};
+
+/// Shared sink recording all availability transitions of a run; the safety
+/// analyses sweep it in time order.
+class TransitionLog {
+ public:
+  void record(sim::SimTime time, int32_t process, bool available) {
+    transitions_.push_back({time, process, available});
+  }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// Largest number of processes simultaneously inside their CS (transitions
+  /// sharing a timestamp are applied together before evaluating).
+  int32_t max_concurrent_unavailable(int32_t num_processes) const;
+
+ private:
+  std::vector<Transition> transitions_;
+};
+
+struct CsWorkloadOptions {
+  int32_t num_processes = 4;
+  int32_t cs_per_process = 10;
+  sim::SimTime think_min = 5'000;
+  sim::SimTime think_max = 20'000;
+  sim::SimTime cs_min = 1'000;
+  sim::SimTime cs_max = 3'000;  ///< the paper's E_max
+  uint64_t seed = 1;
+  /// Message delay range (the paper's T is the average; use min == max for a
+  /// fixed T when checking the 2T / 2T + E_max bounds exactly).
+  sim::SimTime delay_min = 1'000;
+  sim::SimTime delay_max = 1'000;
+};
+
+/// The workload process. `guard` answers its kWantFalse requests;
+/// `request_plane` is kLocal for a co-located controller (scapegoat) and
+/// kControl for remote arbiters (coordinator / token ring), so message
+/// counters always reflect real network traffic.
+class CsProcess : public sim::Agent {
+ public:
+  CsProcess(int32_t index, sim::AgentId guard, sim::Message::Plane request_plane,
+            const CsWorkloadOptions& options, TransitionLog& log);
+
+  void on_start(sim::AgentContext& ctx) override;
+  void on_message(sim::AgentContext& ctx, const sim::Message& msg) override;
+  void on_timer(sim::AgentContext& ctx, int64_t timer_id) override;
+
+  int32_t entries() const { return entries_; }
+  /// Request-to-grant delay of every CS entry, in order.
+  const std::vector<sim::SimTime>& response_delays() const { return response_delays_; }
+
+ private:
+  void start_thinking(sim::AgentContext& ctx);
+
+  int32_t index_;
+  sim::AgentId guard_;
+  sim::Message::Plane request_plane_;
+  CsWorkloadOptions options_;
+  TransitionLog& log_;
+
+  int32_t entries_ = 0;
+  sim::SimTime requested_at_ = 0;
+  std::vector<sim::SimTime> response_delays_;
+};
+
+/// Common result shape for every mutex algorithm run.
+struct MutexRunResult {
+  sim::SimStats stats;
+  std::vector<sim::SimTime> response_delays;  ///< all entries, all processes
+  int64_t cs_entries = 0;
+  int32_t max_concurrent_cs = 0;
+  bool deadlocked = false;
+
+  double mean_response() const;
+  sim::SimTime max_response() const;
+  /// Control-plane messages per CS entry.
+  double messages_per_entry() const;
+};
+
+}  // namespace predctrl::mutex

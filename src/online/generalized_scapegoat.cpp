@@ -1,0 +1,113 @@
+#include "online/generalized_scapegoat.hpp"
+
+#include "util/check.hpp"
+
+namespace predctrl::online {
+
+using sim::AgentContext;
+using sim::AgentId;
+using sim::Message;
+
+GeneralizedScapegoatController::GeneralizedScapegoatController(
+    std::vector<AgentId> peers, int32_t index, AgentId process_agent,
+    const GeneralizedScapegoatOptions& options)
+    : peers_(std::move(peers)), index_(index), process_agent_(process_agent) {
+  PREDCTRL_CHECK(index_ >= 0 && index_ < static_cast<int32_t>(peers_.size()),
+                 "controller index out of range");
+  PREDCTRL_CHECK(options.anti_tokens >= 1 &&
+                     options.anti_tokens < static_cast<int32_t>(peers_.size()),
+                 "anti-token count must be in [1, n-1]");
+  holder_ = (index_ < options.anti_tokens);
+}
+
+void GeneralizedScapegoatController::on_message(AgentContext& ctx, const Message& msg) {
+  switch (msg.type) {
+    case kWantFalse:
+      handle_want_false(ctx);
+      break;
+    case kNowTrue:
+      proc_true_ = true;
+      if (!pending_reqs_.empty()) {
+        // Accept exactly one deferred transfer (distinct-holder invariant);
+        // the rest retry elsewhere.
+        PREDCTRL_REQUIRE(!holder_, "holder accumulated deferred requests");
+        holder_ = true;
+        reply(ctx, pending_reqs_.front(), kAck);
+        for (size_t i = 1; i < pending_reqs_.size(); ++i)
+          reply(ctx, pending_reqs_[i], kNak);
+        pending_reqs_.clear();
+      }
+      break;
+    case kReq:
+      handle_req(ctx, msg.from);
+      break;
+    case kAck:
+      PREDCTRL_REQUIRE(awaiting_reply_, "unsolicited ack");
+      awaiting_reply_ = false;
+      ctx.mark_done();
+      holder_ = false;
+      grant(ctx);
+      break;
+    case kNak:
+      PREDCTRL_REQUIRE(awaiting_reply_, "unsolicited nak");
+      ++naks_received_;
+      try_next_target(ctx);  // retry another random controller
+      break;
+    default:
+      PREDCTRL_REQUIRE(false, "unknown message type in generalized scapegoat");
+  }
+}
+
+void GeneralizedScapegoatController::handle_want_false(AgentContext& ctx) {
+  PREDCTRL_CHECK(!want_since_.has_value(), "process issued overlapping kWantFalse");
+  want_since_ = ctx.now();
+  if (!holder_) {
+    grant(ctx);
+    return;
+  }
+  awaiting_reply_ = true;
+  ctx.mark_waiting("anti-token handoff");
+  try_next_target(ctx);
+}
+
+void GeneralizedScapegoatController::try_next_target(AgentContext& ctx) {
+  size_t pick = ctx.rng().index(peers_.size() - 1);
+  if (pick >= static_cast<size_t>(index_)) ++pick;
+  Message req;
+  req.type = kReq;
+  req.plane = Message::Plane::kControl;
+  ctx.send(peers_[pick], req);
+}
+
+void GeneralizedScapegoatController::handle_req(AgentContext& ctx, AgentId from) {
+  if (holder_ || awaiting_reply_) {
+    // Already pinned (or shedding our own token): cannot take a second one.
+    reply(ctx, from, kNak);
+    return;
+  }
+  if (!proc_true_) {
+    pending_reqs_.push_back(from);
+    return;
+  }
+  holder_ = true;
+  reply(ctx, from, kAck);
+}
+
+void GeneralizedScapegoatController::grant(AgentContext& ctx) {
+  PREDCTRL_REQUIRE(want_since_.has_value(), "grant without a pending request");
+  want_since_.reset();
+  proc_true_ = false;
+  Message g;
+  g.type = kGrant;
+  g.plane = Message::Plane::kLocal;
+  ctx.send(process_agent_, g);
+}
+
+void GeneralizedScapegoatController::reply(AgentContext& ctx, AgentId to, int32_t type) {
+  Message m;
+  m.type = type;
+  m.plane = Message::Plane::kControl;
+  ctx.send(to, m);
+}
+
+}  // namespace predctrl::online

@@ -1,0 +1,60 @@
+#include "online/guard.hpp"
+
+#include "util/check.hpp"
+
+namespace predctrl::online {
+
+sim::RunResult run_scripts_guarded(const sim::ScriptedSystem& system,
+                                   const PredicateTable& truth,
+                                   const sim::SimOptions& options,
+                                   const ScapegoatOptions& strategy) {
+  const int32_t n = static_cast<int32_t>(system.size());
+  PREDCTRL_CHECK(static_cast<int32_t>(truth.size()) == n,
+                 "truth table does not match the system");
+
+  // The initial scapegoat must start true; fall back to the first process
+  // that does. B must hold at the initial global state.
+  int32_t initial = strategy.initial_scapegoat;
+  if (initial < 0 || initial >= n || !truth[static_cast<size_t>(initial)][0]) {
+    initial = -1;
+    for (int32_t i = 0; i < n && initial < 0; ++i)
+      if (truth[static_cast<size_t>(i)][0]) initial = i;
+    PREDCTRL_CHECK(initial >= 0,
+                   "B is false at the initial global state; no strategy can help");
+  }
+
+  sim::OnlineGating gating;
+  gating.truth = truth;
+  gating.make_guards = [&, initial](sim::SimEngine& engine) {
+    std::vector<sim::AgentId> guards;
+    std::vector<sim::AgentId> controller_ids;
+    for (int32_t i = 0; i < n; ++i) controller_ids.push_back(n + i);
+    ScapegoatOptions opts = strategy;
+    opts.initial_scapegoat = initial;
+    for (int32_t i = 0; i < n; ++i)
+      guards.push_back(engine.add_agent(std::make_unique<ScapegoatController>(
+          controller_ids, i, /*process=*/i, opts,
+          /*process_starts_true=*/truth[static_cast<size_t>(i)][0])));
+    return guards;
+  };
+  return sim::run_scripts(system, options, /*strategy=*/nullptr, &gating);
+}
+
+PredicateTable enforce_online_assumptions(const sim::ScriptedSystem& system,
+                                          PredicateTable truth) {
+  PREDCTRL_CHECK(truth.size() == system.size(), "truth table does not match the system");
+  for (size_t p = 0; p < system.size(); ++p) {
+    auto& row = truth[p];
+    PREDCTRL_CHECK(row.size() == system[p].instrs.size() + 1,
+                   "truth row does not match script length");
+    // A1: a process waiting on a receive sits at the state *before* the
+    // receive completes; that state must be true.
+    for (size_t k = 0; k < system[p].instrs.size(); ++k)
+      if (system[p].instrs[k].kind == sim::Instr::Kind::kRecv) row[k] = true;
+    // A2: the final state is true.
+    row.back() = true;
+  }
+  return truth;
+}
+
+}  // namespace predctrl::online

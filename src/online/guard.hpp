@@ -1,0 +1,36 @@
+// One-call on-line guarding of a scripted system: run the system with each
+// process gated by a Figure 3 scapegoat controller, maintaining
+// B = l_1 v ... v l_n on a computation that was never traced beforehand --
+// the paper's third application ("preventing possible bugs in computations
+// being run for the first time", Section 7).
+//
+// The guarded run is safe unconditionally (every global state it passes
+// satisfies B); it is additionally deadlock-free when the system honours
+// the paper's assumptions A1 (no process blocks -- e.g. on a receive --
+// while its local predicate is false) and A2 (l_i holds at final states).
+#pragma once
+
+#include "online/scapegoat.hpp"
+#include "runtime/scripted.hpp"
+#include "trace/random_trace.hpp"
+
+namespace predctrl::online {
+
+/// Runs `system` with scapegoat gating. `truth[p][k]` is l_p at state
+/// (p, k) (shape-checked against the scripts). The initial scapegoat is
+/// `options.initial_scapegoat`, or -- when that index's initial state is not
+/// true -- the first process whose initial state is; B(initial global
+/// state) must hold (some row starts true).
+sim::RunResult run_scripts_guarded(const sim::ScriptedSystem& system,
+                                   const PredicateTable& truth,
+                                   const sim::SimOptions& options,
+                                   const ScapegoatOptions& strategy = {});
+
+/// Rewrites a predicate table so the paper's on-line assumptions hold for
+/// the given system: states where a process waits on a receive are forced
+/// true (A1) and final states are forced true (A2). Used by tests and
+/// examples to generate guardable workloads.
+PredicateTable enforce_online_assumptions(const sim::ScriptedSystem& system,
+                                          PredicateTable truth);
+
+}  // namespace predctrl::online

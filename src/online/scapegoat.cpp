@@ -1,0 +1,118 @@
+#include "online/scapegoat.hpp"
+
+#include "util/check.hpp"
+
+namespace predctrl::online {
+
+using sim::AgentContext;
+using sim::AgentId;
+using sim::Message;
+
+ScapegoatController::ScapegoatController(std::vector<AgentId> peers, int32_t index,
+                                         AgentId process_agent,
+                                         const ScapegoatOptions& options,
+                                         bool process_starts_true)
+    : peers_(std::move(peers)), index_(index), process_agent_(process_agent),
+      options_(options), proc_true_(process_starts_true) {
+  PREDCTRL_CHECK(index_ >= 0 && index_ < static_cast<int32_t>(peers_.size()),
+                 "controller index out of range");
+  scapegoat_ = (options_.initial_scapegoat == index_);
+  PREDCTRL_CHECK(!scapegoat_ || proc_true_,
+                 "the initial scapegoat's local predicate must hold initially");
+}
+
+void ScapegoatController::on_message(AgentContext& ctx, const Message& msg) {
+  switch (msg.type) {
+    case kWantFalse:
+      handle_want_false(ctx);
+      break;
+    case kNowTrue:
+      proc_true_ = true;
+      if (!pending_reqs_.empty()) {
+        // pending && l_i(s): take the role and release every deferred
+        // requester (each of them stays true until this ack arrives).
+        scapegoat_ = true;
+        for (AgentId requester : pending_reqs_) {
+          Message ack;
+          ack.type = kAck;
+          ack.plane = Message::Plane::kControl;
+          ctx.send(requester, ack);
+        }
+        pending_reqs_.clear();
+      }
+      break;
+    case kReq:
+      handle_req(ctx, msg.from);
+      break;
+    case kAck:
+      handle_ack(ctx);
+      break;
+    default:
+      PREDCTRL_REQUIRE(false, "unknown message type in scapegoat controller");
+  }
+}
+
+void ScapegoatController::handle_want_false(AgentContext& ctx) {
+  PREDCTRL_CHECK(!want_since_.has_value(), "process issued overlapping kWantFalse");
+  want_since_ = ctx.now();
+  if (!scapegoat_) {
+    grant(ctx, /*handoff=*/false);
+    return;
+  }
+  // scapegoat && !l_i(s'): hand the role off before going false.
+  awaiting_ack_ = true;
+  ctx.mark_waiting("scapegoat handoff ack");
+  Message req;
+  req.type = kReq;
+  req.plane = Message::Plane::kControl;
+  if (options_.broadcast) {
+    for (size_t j = 0; j < peers_.size(); ++j)
+      if (static_cast<int32_t>(j) != index_) ctx.send(peers_[j], req);
+  } else {
+    size_t pick = ctx.rng().index(peers_.size() - 1);
+    if (pick >= static_cast<size_t>(index_)) ++pick;
+    ctx.send(peers_[pick], req);
+  }
+}
+
+void ScapegoatController::handle_req(AgentContext& ctx, AgentId from) {
+  // The paper's controller sits in a blocking receive(ack) during its own
+  // handoff; requests arriving meanwhile -- or while our process is false --
+  // are deferred until the process is (again) true.
+  if (awaiting_ack_ || !proc_true_) {
+    pending_reqs_.push_back(from);
+    return;
+  }
+  become_scapegoat_and_ack(ctx, from);
+}
+
+void ScapegoatController::handle_ack(AgentContext& ctx) {
+  if (!awaiting_ack_) return;  // late ack from a broadcast: harmless extra scapegoat
+  awaiting_ack_ = false;
+  ctx.mark_done();
+  scapegoat_ = false;
+  grant(ctx, /*handoff=*/true);
+  // Requests deferred during the handoff now wait for kNowTrue (our process
+  // is about to be false); nothing to do here.
+}
+
+void ScapegoatController::grant(AgentContext& ctx, bool handoff) {
+  PREDCTRL_REQUIRE(want_since_.has_value(), "grant without a pending request");
+  responses_.push_back({*want_since_, ctx.now(), handoff});
+  want_since_.reset();
+  proc_true_ = false;  // committed to a false state until kNowTrue
+  Message g;
+  g.type = kGrant;
+  g.plane = Message::Plane::kLocal;
+  ctx.send(process_agent_, g);
+}
+
+void ScapegoatController::become_scapegoat_and_ack(AgentContext& ctx, AgentId requester) {
+  scapegoat_ = true;
+  Message ack;
+  ack.type = kAck;
+  ack.plane = Message::Plane::kControl;
+  ctx.send(requester, ack);
+}
+
+}  // namespace predctrl::online

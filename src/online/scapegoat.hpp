@@ -1,0 +1,117 @@
+// On-line disjunctive predicate control -- paper, Section 6, Figure 3.
+//
+// Each process P_i is paired with a controller C_i. The safety predicate is
+// B = l_1 v ... v l_n; the strategy maintains it on computations that are
+// not known in advance, under the paper's assumptions:
+//
+//   A1: no process blocks while its local predicate is false, and
+//   A2: l_i holds at each final state,
+//
+// without which the problem is impossible (Theorem 3; see
+// tests/test_impossibility.cpp).
+//
+// The mechanism is a single "anti-token": at any time some process is the
+// *scapegoat* and must remain true until another process takes the role.
+// When the scapegoat's process wants to enter a false state, its controller
+// sends req to another controller and blocks the transition until an ack
+// arrives; the target controller acks immediately if its process is true
+// (becoming the scapegoat), or defers the ack until it is (`pending`).
+//
+// Protocol (process <-> its controller, co-located / zero delay):
+//   kWantFalse  P -> C   permission to enter a false state
+//   kGrant      C -> P   transition may proceed
+//   kNowTrue    P -> C   the process's predicate is true again
+// (controller <-> controller, control plane, delay T):
+//   kReq, kAck
+//
+// The broadcast variant (paper, Section 6 evaluation) sends req to every
+// other controller and proceeds on the first ack: response time approaches
+// 2T, at the price of n-1 messages per handoff (late acks simply add extra
+// scapegoats, which is safe -- more true processes, never fewer).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/scripted.hpp"
+#include "runtime/sim.hpp"
+
+namespace predctrl::online {
+
+/// Message types used by the scapegoat protocol. The local-plane half is the
+/// generic gate protocol of runtime/scripted.hpp (so gated ScriptedProcesses
+/// and hand-written workloads speak the same language); kReq/kAck are the
+/// controller-to-controller handoff.
+enum MsgType : int32_t {
+  kWantFalse = sim::kGateWantFalse,
+  kGrant = sim::kGateGrant,
+  kNowTrue = sim::kGateNowTrue,
+  kReq = 110,
+  kAck = 111,
+};
+
+struct ScapegoatOptions {
+  /// Send req to every other controller instead of one random pick.
+  bool broadcast = false;
+  /// Which controller starts as scapegoat (the paper's init(i)).
+  int32_t initial_scapegoat = 0;
+};
+
+/// One per-request measurement: the delay between the process asking to go
+/// false and the controller granting it (the "response time" of the paper's
+/// mutual-exclusion evaluation; zero when the controller is not scapegoat).
+struct ResponseSample {
+  sim::SimTime requested_at = 0;
+  sim::SimTime granted_at = 0;
+  bool was_scapegoat = false;  ///< the request needed a handoff
+  sim::SimTime delay() const { return granted_at - requested_at; }
+};
+
+/// The Figure 3 controller. The paired process must send kWantFalse before
+/// entering any false state (and wait for kGrant), and kNowTrue whenever its
+/// predicate turns true again. Processes and controllers live in one
+/// engine; the controller of process agent `process_agent` is a separate
+/// agent whose id the process must know.
+class ScapegoatController : public sim::Agent {
+ public:
+  /// `peers` are the agent ids of all controllers, indexed by process;
+  /// `index` is this controller's position in that vector.
+  /// `process_starts_true` is l_i evaluated at the initial state: a
+  /// controller whose process starts false defers incoming transfer
+  /// requests until the first kNowTrue (and must not be the initial
+  /// scapegoat).
+  ScapegoatController(std::vector<sim::AgentId> peers, int32_t index,
+                      sim::AgentId process_agent, const ScapegoatOptions& options,
+                      bool process_starts_true = true);
+
+  void on_message(sim::AgentContext& ctx, const sim::Message& msg) override;
+
+  bool is_scapegoat() const { return scapegoat_; }
+  const std::vector<ResponseSample>& responses() const { return responses_; }
+
+ private:
+  void handle_want_false(sim::AgentContext& ctx);
+  void handle_req(sim::AgentContext& ctx, sim::AgentId from);
+  void handle_ack(sim::AgentContext& ctx);
+  void grant(sim::AgentContext& ctx, bool handoff);
+  void become_scapegoat_and_ack(sim::AgentContext& ctx, sim::AgentId requester);
+
+  std::vector<sim::AgentId> peers_;
+  int32_t index_;
+  sim::AgentId process_agent_;
+  ScapegoatOptions options_;
+
+  bool scapegoat_ = false;
+  bool proc_true_ = true;  ///< conservative: false from grant until kNowTrue
+  bool awaiting_ack_ = false;
+  std::optional<sim::SimTime> want_since_;
+  /// Deferred scapegoat-transfer requests (either because our process is
+  /// false, or because our own handoff is in flight -- the paper's blocking
+  /// receive(ack) defers request processing the same way).
+  std::vector<sim::AgentId> pending_reqs_;
+
+  std::vector<ResponseSample> responses_;
+};
+
+}  // namespace predctrl::online

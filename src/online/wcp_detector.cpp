@@ -1,0 +1,119 @@
+#include "online/wcp_detector.hpp"
+
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace predctrl::online {
+
+using sim::AgentContext;
+using sim::Message;
+
+WcpDetector::WcpDetector(int32_t num_processes,
+                         std::shared_ptr<WcpDetectionOutcome> sink)
+    : n_(num_processes), sink_(std::move(sink)),
+      pending_(static_cast<size_t>(num_processes)),
+      next_seq_(static_cast<size_t>(num_processes), 0),
+      front_(static_cast<size_t>(num_processes)),
+      done_after_(static_cast<size_t>(num_processes), -1) {
+  PREDCTRL_CHECK(num_processes >= 1, "detector needs processes");
+  PREDCTRL_CHECK(sink_ != nullptr, "detector needs an outcome sink");
+}
+
+void WcpDetector::on_message(AgentContext& ctx, const Message& msg) {
+  if (outcome().conclusive) return;  // verdict already final
+  const size_t p = static_cast<size_t>(msg.from);
+  PREDCTRL_CHECK(msg.from >= 0 && msg.from < n_, "candidate from unknown process");
+
+  if (msg.type == sim::kDetectDone) {
+    // The marker carries the total candidate count, so a marker that
+    // overtakes late candidates on the control plane cannot fake a drain.
+    done_after_[p] = msg.b;
+  } else {
+    PREDCTRL_CHECK(msg.type == sim::kDetectCandidate, "unexpected detector message");
+    ++outcome().candidates_received;
+    Candidate c;
+    c.state = static_cast<int32_t>(msg.a);
+    c.clock = VectorClock(n_);
+    PREDCTRL_CHECK(msg.clock.size() == static_cast<size_t>(n_),
+                   "candidate without a full vector clock");
+    for (ProcessId q = 0; q < n_; ++q) c.clock[q] = msg.clock[static_cast<size_t>(q)];
+    pending_[p].emplace(msg.b, std::move(c));
+  }
+  advance(ctx);
+}
+
+void WcpDetector::advance(AgentContext& ctx) {
+  // Pull in-order candidates into the fronts, then repeatedly discard any
+  // front that causally precedes another front: it can never pair with that
+  // process's current-or-later candidates.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t p = 0; p < static_cast<size_t>(n_); ++p) {
+      if (front_[p].has_value()) continue;
+      auto it = pending_[p].find(next_seq_[p]);
+      if (it == pending_[p].end()) continue;
+      front_[p] = std::move(it->second);
+      pending_[p].erase(it);
+      ++next_seq_[p];
+      changed = true;
+    }
+    for (ProcessId i = 0; i < n_ && !changed; ++i) {
+      if (!front_[static_cast<size_t>(i)].has_value()) continue;
+      const Candidate& ci = *front_[static_cast<size_t>(i)];
+      for (ProcessId j = 0; j < n_; ++j) {
+        if (i == j || !front_[static_cast<size_t>(j)].has_value()) continue;
+        const Candidate& cj = *front_[static_cast<size_t>(j)];
+        // (i, ci.state) ->= (j, cj.state) iff cj's clock caught ci's state.
+        if (cj.clock[i] >= ci.state) {
+          front_[static_cast<size_t>(i)].reset();
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  bool all_present = true;
+  for (size_t p = 0; p < static_cast<size_t>(n_); ++p) {
+    if (front_[p].has_value()) continue;
+    all_present = false;
+    // A drained, completed process can never supply another candidate: the
+    // conjunction is undetectable. (Drained == every candidate up to the
+    // done-marker's count was consumed.)
+    if (done_after_[p] >= 0 && next_seq_[p] >= done_after_[p] && pending_[p].empty()) {
+      outcome().detected = false;
+      outcome().conclusive = true;
+      return;
+    }
+  }
+  if (!all_present) return;
+
+  // Pairwise concurrent fronts: detected, and least by the advance argument.
+  outcome().detected = true;
+  outcome().conclusive = true;
+  outcome().detected_at = ctx.now();
+  Cut cut(n_);
+  for (ProcessId p = 0; p < n_; ++p) cut[p] = front_[static_cast<size_t>(p)]->state;
+  outcome().cut = cut;
+}
+
+DetectedRun run_scripts_detected(const sim::ScriptedSystem& system,
+                                 const PredicateTable& conditions,
+                                 const sim::SimOptions& options) {
+  sim::OnlineDetection detection;
+  detection.conditions = conditions;
+  auto sink = std::make_shared<WcpDetectionOutcome>();
+  detection.make_detector = [&](sim::SimEngine& engine) {
+    return engine.add_agent(
+        std::make_unique<WcpDetector>(static_cast<int32_t>(system.size()), sink));
+  };
+
+  DetectedRun result;
+  result.run = sim::run_scripts(system, options, nullptr, nullptr, &detection);
+  result.detection = *sink;
+  return result;
+}
+
+}  // namespace predctrl::online

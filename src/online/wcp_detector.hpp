@@ -1,0 +1,86 @@
+// On-line weak-conjunctive predicate detection -- the Garg-Waldecker
+// detection *server* (the paper's reference [4], run live instead of
+// post-mortem).
+//
+// Each application process streams the vector clocks of its states that
+// satisfy the watched local condition c_p to a central detector agent while
+// the computation executes; the detector runs the candidate-advance
+// algorithm incrementally: whenever one present candidate causally precedes
+// another, the earlier one can never be part of a consistent all-conditions
+// cut at-or-after the current candidates, so it is discarded. Detection
+// fires at the *least* cut where every condition holds -- the same answer
+// the off-line detector computes from the full trace, but available during
+// the run (the property tests cross-check the two).
+//
+// This is the live version of the debugging cycle's "detect" step: watch
+// c_p = !l_p and the detector flags the first global state violating the
+// disjunctive safety predicate B = l_1 v ... v l_n as it becomes possible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "runtime/scripted.hpp"
+#include "runtime/sim.hpp"
+#include "trace/cut.hpp"
+
+namespace predctrl::online {
+
+struct WcpDetectionOutcome {
+  /// True iff a consistent cut satisfying every condition was found.
+  bool detected = false;
+  /// The least such cut; valid iff detected.
+  Cut cut;
+  /// Virtual time at which the detector concluded (for detection-latency
+  /// measurements); valid iff detected.
+  sim::SimTime detected_at = 0;
+  /// True iff the verdict is final: either detected, or every process
+  /// reported completion and no satisfying cut exists.
+  bool conclusive = false;
+  /// Candidate messages the detector consumed.
+  int64_t candidates_received = 0;
+};
+
+/// The detector agent. Deliveries may reorder on the control plane, so
+/// candidates carry per-process sequence numbers and are consumed in order.
+/// Findings are written through a shared sink so they survive the engine
+/// (which owns the agent).
+class WcpDetector : public sim::Agent {
+ public:
+  WcpDetector(int32_t num_processes, std::shared_ptr<WcpDetectionOutcome> sink);
+
+  void on_message(sim::AgentContext& ctx, const sim::Message& msg) override;
+
+ private:
+  void advance(sim::AgentContext& ctx);
+  WcpDetectionOutcome& outcome() { return *sink_; }
+
+  struct Candidate {
+    int32_t state = 0;
+    VectorClock clock;
+  };
+
+  int32_t n_;
+  std::shared_ptr<WcpDetectionOutcome> sink_;
+  std::vector<std::map<int64_t, Candidate>> pending_;  // by sequence number
+  std::vector<int64_t> next_seq_;
+  std::vector<std::optional<Candidate>> front_;
+  /// Total candidates each process will ever send (-1 = still running).
+  std::vector<int64_t> done_after_;
+};
+
+/// Convenience harness: run the system with a detector watching
+/// `conditions` (shape-matched to the scripts); returns the run and the
+/// detection outcome.
+struct DetectedRun {
+  sim::RunResult run;
+  WcpDetectionOutcome detection;
+};
+
+DetectedRun run_scripts_detected(const sim::ScriptedSystem& system,
+                                 const PredicateTable& conditions,
+                                 const sim::SimOptions& options);
+
+}  // namespace predctrl::online

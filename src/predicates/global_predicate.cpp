@@ -1,0 +1,154 @@
+#include "predicates/global_predicate.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace predctrl {
+
+PredicatePtr GlobalPredicate::constant(bool value) {
+  auto p = std::shared_ptr<GlobalPredicate>(new GlobalPredicate());
+  p->kind_ = Kind::kConst;
+  p->const_value_ = value;
+  return p;
+}
+
+PredicatePtr GlobalPredicate::local(ProcessId proc, std::function<bool(int32_t)> fn,
+                                    std::string name) {
+  PREDCTRL_CHECK(proc >= 0, "local predicate needs a process");
+  PREDCTRL_CHECK(static_cast<bool>(fn), "local predicate needs a function");
+  auto p = std::shared_ptr<GlobalPredicate>(new GlobalPredicate());
+  p->kind_ = Kind::kLocal;
+  p->process_ = proc;
+  p->local_fn_ = std::move(fn);
+  p->name_ = std::move(name);
+  return p;
+}
+
+PredicatePtr GlobalPredicate::local_row(ProcessId proc, std::vector<bool> row,
+                                        std::string name) {
+  auto shared_row = std::make_shared<std::vector<bool>>(std::move(row));
+  return local(
+      proc,
+      [shared_row](int32_t k) {
+        PREDCTRL_CHECK(k >= 0 && static_cast<size_t>(k) < shared_row->size(),
+                       "state index outside predicate row");
+        return (*shared_row)[static_cast<size_t>(k)];
+      },
+      std::move(name));
+}
+
+PredicatePtr GlobalPredicate::negation(PredicatePtr a) {
+  PREDCTRL_CHECK(a != nullptr, "null child");
+  auto p = std::shared_ptr<GlobalPredicate>(new GlobalPredicate());
+  p->kind_ = Kind::kNot;
+  p->children_ = {std::move(a)};
+  return p;
+}
+
+PredicatePtr GlobalPredicate::conjunction(std::vector<PredicatePtr> children) {
+  PREDCTRL_CHECK(!children.empty(), "empty conjunction");
+  for (const auto& c : children) PREDCTRL_CHECK(c != nullptr, "null child");
+  auto p = std::shared_ptr<GlobalPredicate>(new GlobalPredicate());
+  p->kind_ = Kind::kAnd;
+  p->children_ = std::move(children);
+  return p;
+}
+
+PredicatePtr GlobalPredicate::disjunction(std::vector<PredicatePtr> children) {
+  PREDCTRL_CHECK(!children.empty(), "empty disjunction");
+  for (const auto& c : children) PREDCTRL_CHECK(c != nullptr, "null child");
+  auto p = std::shared_ptr<GlobalPredicate>(new GlobalPredicate());
+  p->kind_ = Kind::kOr;
+  p->children_ = std::move(children);
+  return p;
+}
+
+bool GlobalPredicate::eval(const Cut& cut) const {
+  switch (kind_) {
+    case Kind::kConst:
+      return const_value_;
+    case Kind::kLocal:
+      PREDCTRL_CHECK(process_ < cut.num_processes(), "predicate process outside cut");
+      return local_fn_(cut[process_]);
+    case Kind::kNot:
+      return !children_[0]->eval(cut);
+    case Kind::kAnd:
+      for (const auto& c : children_)
+        if (!c->eval(cut)) return false;
+      return true;
+    case Kind::kOr:
+      for (const auto& c : children_)
+        if (c->eval(cut)) return true;
+      return false;
+  }
+  PREDCTRL_REQUIRE(false, "unreachable");
+}
+
+std::string GlobalPredicate::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kConst:
+      os << (const_value_ ? "true" : "false");
+      break;
+    case Kind::kLocal:
+      os << name_ << '_' << process_;
+      break;
+    case Kind::kNot:
+      os << '!' << children_[0]->to_string();
+      break;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      os << '(';
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i) os << (kind_ == Kind::kAnd ? " && " : " || ");
+        os << children_[i]->to_string();
+      }
+      os << ')';
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::optional<PredicateTable> GlobalPredicate::to_disjunctive_table(
+    const Deposet& deposet) const {
+  // Collect the disjuncts: either this node is a single local predicate, or
+  // an OR whose children are all local predicates.
+  std::vector<const GlobalPredicate*> leaves;
+  if (kind_ == Kind::kLocal) {
+    leaves.push_back(this);
+  } else if (kind_ == Kind::kOr) {
+    for (const auto& c : children_) {
+      if (c->kind_ != Kind::kLocal) return std::nullopt;
+      leaves.push_back(c.get());
+    }
+  } else {
+    return std::nullopt;
+  }
+
+  PredicateTable table(static_cast<size_t>(deposet.num_processes()));
+  for (ProcessId p = 0; p < deposet.num_processes(); ++p)
+    table[static_cast<size_t>(p)].assign(static_cast<size_t>(deposet.length(p)), false);
+
+  std::vector<bool> seen(static_cast<size_t>(deposet.num_processes()), false);
+  for (const GlobalPredicate* leaf : leaves) {
+    ProcessId p = leaf->process_;
+    if (p < 0 || p >= deposet.num_processes()) return std::nullopt;
+    if (seen[static_cast<size_t>(p)]) return std::nullopt;  // process repeated
+    seen[static_cast<size_t>(p)] = true;
+    for (int32_t k = 0; k < deposet.length(p); ++k)
+      table[static_cast<size_t>(p)][static_cast<size_t>(k)] = leaf->local_fn_(k);
+  }
+  return table;
+}
+
+bool eval_disjunctive(const PredicateTable& table, const Cut& cut) {
+  PREDCTRL_CHECK(static_cast<size_t>(cut.num_processes()) == table.size(),
+                 "cut width does not match predicate table");
+  for (ProcessId p = 0; p < cut.num_processes(); ++p)
+    if (table[static_cast<size_t>(p)][static_cast<size_t>(cut[p])]) return true;
+  return false;
+}
+
+}  // namespace predctrl

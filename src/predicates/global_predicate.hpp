@@ -1,0 +1,112 @@
+// Global predicates -- paper, Section 3.
+//
+// A local predicate for process P_i is a boolean function of P_i's state; a
+// global predicate is an expression over local predicates using !, &&, ||.
+// B(G) evaluates B at global state G by evaluating each local leaf at G's
+// component for its process.
+//
+// The general expression form feeds the NP-hard machinery (SGSD search, the
+// SAT reduction); the control algorithms consume the specialized
+// DisjunctivePredicate / PredicateTable forms, which `to_disjunctive_table`
+// extracts when the expression is syntactically disjunctive.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "causality/ids.hpp"
+#include "trace/cut.hpp"
+#include "trace/deposet.hpp"
+#include "trace/random_trace.hpp"
+
+namespace predctrl {
+
+class GlobalPredicate;
+using PredicatePtr = std::shared_ptr<const GlobalPredicate>;
+
+/// Immutable boolean expression tree over local predicates.
+class GlobalPredicate {
+ public:
+  enum class Kind { kConst, kLocal, kNot, kAnd, kOr };
+
+  /// A constant (used e.g. for processes without a local condition).
+  static PredicatePtr constant(bool value);
+
+  /// A local predicate of process p: `fn(k)` is the predicate's value in
+  /// local state (p, k). `name` is used for diagnostics only.
+  static PredicatePtr local(ProcessId p, std::function<bool(int32_t)> fn,
+                            std::string name = "l");
+
+  /// A local predicate given as an explicit truth row.
+  static PredicatePtr local_row(ProcessId p, std::vector<bool> row, std::string name = "l");
+
+  static PredicatePtr negation(PredicatePtr a);
+  static PredicatePtr conjunction(std::vector<PredicatePtr> children);
+  static PredicatePtr disjunction(std::vector<PredicatePtr> children);
+
+  /// Evaluates the predicate at a global state.
+  bool eval(const Cut& cut) const;
+
+  Kind kind() const { return kind_; }
+  ProcessId process() const { return process_; }
+  const std::vector<PredicatePtr>& children() const { return children_; }
+
+  /// Renders the expression for diagnostics, e.g. "(avail_0 || avail_1)".
+  std::string to_string() const;
+
+  /// If this predicate is a disjunction of local predicates (each process
+  /// appearing at most once), returns the equivalent per-process truth table
+  /// over `deposet`'s states: table[p][k] = l_p(k), with l_p == false for
+  /// processes that do not appear. Otherwise returns nullopt.
+  ///
+  /// This is the bridge from the general form to the paper's disjunctive
+  /// class B = l_1 v ... v l_n (Section 5).
+  std::optional<PredicateTable> to_disjunctive_table(const Deposet& deposet) const;
+
+ private:
+  GlobalPredicate() = default;
+
+  Kind kind_ = Kind::kConst;
+  bool const_value_ = false;
+  ProcessId process_ = -1;
+  std::function<bool(int32_t)> local_fn_;
+  std::string name_;
+  std::vector<PredicatePtr> children_;
+};
+
+/// Evaluates a disjunctive predicate given as a truth table:
+/// B(cut) = OR_p table[p][cut[p]].
+bool eval_disjunctive(const PredicateTable& table, const Cut& cut);
+
+/// True iff every consistent global state of `cs` satisfies `pred`.
+/// Exhaustive (exponential); for tests and small instances only. When the
+/// result is false and `witness` is non-null, a violating cut is stored.
+template <CausalStructure CS>
+bool satisfies_everywhere(const CS& cs, const std::function<bool(const Cut&)>& pred,
+                          Cut* witness = nullptr);
+
+}  // namespace predctrl
+
+#include "trace/lattice.hpp"
+
+namespace predctrl {
+
+template <CausalStructure CS>
+bool satisfies_everywhere(const CS& cs, const std::function<bool(const Cut&)>& pred,
+                          Cut* witness) {
+  bool ok = true;
+  for_each_consistent_cut(cs, [&](const Cut& c) {
+    if (!pred(c)) {
+      ok = false;
+      if (witness != nullptr) *witness = c;
+      return false;
+    }
+    return true;
+  });
+  return ok;
+}
+
+}  // namespace predctrl

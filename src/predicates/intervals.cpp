@@ -1,0 +1,100 @@
+#include "predicates/intervals.hpp"
+
+#include "util/check.hpp"
+
+namespace predctrl {
+
+std::ostream& operator<<(std::ostream& os, const FalseInterval& iv) {
+  return os << 'P' << iv.process << "[" << iv.lo << ".." << iv.hi << "]";
+}
+
+FalseIntervalSets extract_false_intervals(const PredicateTable& table) {
+  FalseIntervalSets sets(table.size());
+  for (size_t p = 0; p < table.size(); ++p) {
+    const auto& row = table[p];
+    PREDCTRL_CHECK(!row.empty(), "empty predicate row");
+    for (size_t k = 0; k < row.size(); ++k) {
+      if (row[k]) continue;
+      size_t lo = k;
+      while (k + 1 < row.size() && !row[k + 1]) ++k;
+      sets[p].push_back({static_cast<ProcessId>(p), static_cast<int32_t>(lo),
+                         static_cast<int32_t>(k)});
+    }
+  }
+  return sets;
+}
+
+int32_t max_intervals_per_process(const FalseIntervalSets& sets) {
+  size_t m = 0;
+  for (const auto& s : sets) m = std::max(m, s.size());
+  return static_cast<int32_t>(m);
+}
+
+bool crossable(const Deposet& deposet, const FalseInterval& a, const FalseInterval& b,
+               StepSemantics semantics) {
+  PREDCTRL_CHECK(a.process != b.process, "crossable() needs intervals on distinct processes");
+  if (deposet.is_bottom(a.lo_state()) || deposet.is_top(b.hi_state())) return false;
+  const StateId before_a{a.process, a.lo - 1};  // keeper's last true state
+  const StateId after_b{b.process, b.hi + 1};   // crossee's first true state again
+  if (semantics == StepSemantics::kRealTime) {
+    // a's entry event must not causally precede b's exit event. By
+    // transitivity this also covers every state *inside* b's interval.
+    return !deposet.precedes(before_a, after_b);
+  }
+  // kSimultaneous: two requirements.
+  //  1. The keeper can remain true (at states <= pred(a.lo)) while b
+  //     traverses its whole interval -- the binding stage is b.hi.
+  //  2. The keeper may enter a.lo at the same instant b exits, so a.lo must
+  //     be able to coexist with succ(b.hi).
+  // (1) is NOT implied by (2): a dependency landing mid-interval of b can
+  // drag the keeper inside its own interval even though the exit state is
+  // unconstrained.
+  return !deposet.precedes(before_a, b.hi_state()) &&
+         !deposet.precedes(a.lo_state(), after_b);
+}
+
+bool is_overlapping_set(const Deposet& deposet, const std::vector<FalseInterval>& selection,
+                        StepSemantics semantics) {
+  PREDCTRL_CHECK(static_cast<int32_t>(selection.size()) == deposet.num_processes(),
+                 "overlap needs exactly one interval per process");
+  const size_t n = selection.size();
+  for (size_t i = 0; i < n; ++i) {
+    PREDCTRL_CHECK(selection[i].process == static_cast<ProcessId>(i),
+                   "selection must be ordered by process");
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const FalseInterval& a = selection[i];
+      const FalseInterval& b = selection[j];
+      // overlap == "not crossable" in every ordered direction.
+      if (crossable(deposet, a, b, semantics)) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<FalseInterval>> find_overlapping_set(
+    const Deposet& deposet, const FalseIntervalSets& sets, StepSemantics semantics,
+    int64_t max_combinations) {
+  const size_t n = sets.size();
+  PREDCTRL_CHECK(static_cast<int32_t>(n) == deposet.num_processes(),
+                 "interval sets do not match deposet");
+  for (const auto& s : sets)
+    if (s.empty()) return std::nullopt;  // no full selection possible
+
+  std::vector<size_t> pick(n, 0);
+  std::vector<FalseInterval> selection(n);
+  int64_t visited = 0;
+  while (true) {
+    for (size_t p = 0; p < n; ++p) selection[p] = sets[p][pick[p]];
+    if (is_overlapping_set(deposet, selection, semantics)) return selection;
+    if (++visited >= max_combinations) return std::nullopt;
+    size_t p = 0;
+    for (; p < n; ++p) {
+      if (++pick[p] < sets[p].size()) break;
+      pick[p] = 0;
+    }
+    if (p == n) return std::nullopt;
+  }
+}
+
+}  // namespace predctrl

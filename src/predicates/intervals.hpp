@@ -1,0 +1,91 @@
+// False intervals of local predicates -- paper, Section 5.
+//
+// Given disjunctive B = l_1 v ... v l_n, the local sequence of P_i splits
+// into maximal runs of states where l_i is false; each run is a *false
+// interval* I with boundary states I.lo and I.hi. The off-line algorithm
+// works entirely on these intervals, and infeasibility is characterized by
+// an *overlapping* set of them (Lemma 2):
+//
+//   overlap(I_1..I_n)  ==  forall i,j:
+//       (I_i.lo -> I_j.hi) or (I_i.lo = bottom_i) or (I_j.hi = top_j)
+//
+// and a pair is *crossable* when I_j can be fully crossed before I_i is
+// entered.
+//
+// NOTE on boundary semantics: the paper's text writes crossable as
+// "!(I_i.lo -> I_j.hi)", relating the intervals' first/last *states*. Taken
+// literally this misses traces where *exiting* I_j (reaching the state after
+// I_j.hi) causally requires I_i to be entered -- e.g. when the message
+// enabling I_j's exit is sent from inside I_i. On such traces the literal
+// test manufactures a "crossable" pair for an infeasible predicate and the
+// emitted controller deadlocks. The exact condition depends on the step
+// semantics (trace/semantics.hpp):
+//
+//   kSimultaneous:  !(I_i.lo       -> succ(I_j.hi))   -- i may enter at the
+//                   same instant j exits (the paper-model knife edge)
+//   kRealTime:      !(pred(I_i.lo) -> succ(I_j.hi))   -- i's entry event must
+//                   not causally precede j's exit event
+//
+// (pred/succ are the adjacent states on the same process; both exist given
+// the boundary conjuncts). `overlap` is "not crossable in any ordered
+// direction" under the same semantics. The randomized exactness suites in
+// tests/test_offline_control.cpp validate both forms against exhaustive
+// feasibility oracles.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "causality/ids.hpp"
+#include "trace/deposet.hpp"
+#include "trace/random_trace.hpp"
+#include "trace/semantics.hpp"
+
+namespace predctrl {
+
+/// A maximal run [lo, hi] of consecutive false states on one process.
+struct FalseInterval {
+  ProcessId process = -1;
+  int32_t lo = -1;  ///< index of the first false state
+  int32_t hi = -1;  ///< index of the last false state (>= lo)
+
+  StateId lo_state() const { return {process, lo}; }
+  StateId hi_state() const { return {process, hi}; }
+
+  friend bool operator==(const FalseInterval&, const FalseInterval&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const FalseInterval& iv);
+
+/// Per-process false intervals, in increasing index order.
+using FalseIntervalSets = std::vector<std::vector<FalseInterval>>;
+
+/// Extracts the false intervals of every process from a truth table.
+FalseIntervalSets extract_false_intervals(const PredicateTable& table);
+
+/// Maximum number of false intervals on any process (the paper's `p`).
+int32_t max_intervals_per_process(const FalseIntervalSets& sets);
+
+/// crossable(I_a, I_b): can I_b be fully crossed before I_a is entered (see
+/// the boundary note above)? The two intervals must belong to different
+/// processes.
+bool crossable(const Deposet& deposet, const FalseInterval& a, const FalseInterval& b,
+               StepSemantics semantics = StepSemantics::kRealTime);
+
+/// Checks overlap(selection) -- one interval per process required.
+bool is_overlapping_set(const Deposet& deposet, const std::vector<FalseInterval>& selection,
+                        StepSemantics semantics = StepSemantics::kRealTime);
+
+/// Searches for an overlapping set (one interval per process) by exhaustive
+/// combination, visiting at most `max_combinations` candidates. Exponential;
+/// a test/diagnostic oracle for Lemma 2, not a production path. Processes
+/// with no false interval make the result trivially nullopt (no full
+/// selection exists).
+std::optional<std::vector<FalseInterval>> find_overlapping_set(
+    const Deposet& deposet, const FalseIntervalSets& sets,
+    StepSemantics semantics = StepSemantics::kRealTime,
+    int64_t max_combinations = 1 << 20);
+
+}  // namespace predctrl

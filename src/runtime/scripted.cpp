@@ -1,0 +1,417 @@
+#include "runtime/scripted.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace predctrl::sim {
+
+namespace {
+
+// Message types on the application / control planes.
+constexpr int32_t kAppMsg = 1;    // a: sender's pre-send state, b: channel seq
+constexpr int32_t kCtlToken = 2;  // a: token id
+
+// Shared recording sink for all processes of one run.
+struct Recorder {
+  explicit Recorder(int32_t n)
+      : vars(static_cast<size_t>(n)), entry_times(static_cast<size_t>(n)),
+        clocks(static_cast<size_t>(n)), builder(n) {}
+
+  std::vector<std::vector<VarMap>> vars;
+  std::vector<std::vector<SimTime>> entry_times;
+  std::vector<std::vector<VectorClock>> clocks;
+  DeposetBuilder builder;
+};
+
+class ScriptedProcess : public Agent {
+ public:
+  ScriptedProcess(ProcessId p, int32_t num_processes, const Script& script,
+                  Recorder& recorder, const ControlStrategy* strategy,
+                  const std::vector<bool>* truth, AgentId guard,
+                  const std::vector<bool>* detect_condition, AgentId detector)
+      : p_(p), script_(script), recorder_(recorder), strategy_(strategy),
+        truth_(truth), guard_(guard), detect_condition_(detect_condition),
+        detector_(detector), clock_(num_processes) {
+    if (truth_ != nullptr)
+      PREDCTRL_CHECK(truth_->size() == script_.instrs.size() + 1,
+                     "gating truth row does not match script length");
+    if (detect_condition_ != nullptr)
+      PREDCTRL_CHECK(detect_condition_->size() == script_.instrs.size() + 1,
+                     "detection condition row does not match script length");
+  }
+
+  void on_start(AgentContext& ctx) override {
+    recorder_.vars[static_cast<size_t>(p_)].push_back(script_.initial_vars);
+    recorder_.entry_times[static_cast<size_t>(p_)].push_back(0);
+    cur_vars_ = script_.initial_vars;
+    clock_[p_] = 0;
+    recorder_.clocks[static_cast<size_t>(p_)].push_back(clock_);
+    maybe_send_candidate(ctx, 0);
+    try_start(ctx);
+  }
+
+  void on_message(AgentContext& ctx, const Message& msg) override {
+    if (msg.type == kAppMsg) {
+      inbox_[msg.from].emplace(msg.b, msg);
+    } else if (msg.type == kCtlToken) {
+      tokens_.insert(msg.a);
+    } else if (msg.type == kGateGrant) {
+      PREDCTRL_REQUIRE(grant_requested_, "unsolicited gate grant");
+      grant_received_ = true;
+    }
+    if (phase_ == Phase::kIdle) try_start(ctx);
+  }
+
+  void on_timer(AgentContext& ctx, int64_t timer_id) override {
+    PREDCTRL_REQUIRE(phase_ == Phase::kWorking && timer_id == pc_,
+                     "unexpected timer in scripted process");
+    complete_event(ctx);
+  }
+
+ private:
+  enum class Phase : uint8_t { kIdle, kWorking, kDone };
+
+  const Instr& cur() const { return script_.instrs[static_cast<size_t>(pc_)]; }
+
+  // Attempts to begin the current instruction; blocks (stays idle, marked
+  // waiting) until its prerequisites -- control tokens for entering the next
+  // state, and for receives the matched message -- are available.
+  void try_start(AgentContext& ctx) {
+    if (phase_ != Phase::kIdle) return;
+    if (pc_ >= static_cast<int32_t>(script_.instrs.size())) {
+      phase_ = Phase::kDone;
+      ctx.mark_done();
+      if (detect_condition_ != nullptr) {
+        Message done;
+        done.type = kDetectDone;
+        done.b = next_candidate_seq_;  // candidates stop at this sequence
+        done.plane = Message::Plane::kControl;
+        ctx.send(detector_, done);
+      }
+      return;
+    }
+
+    // Control waits anchored at the state this event will enter.
+    for (const ControlAction& a : pending_waits(pc_ + 1)) {
+      if (!tokens_.contains(a.token)) {
+        ctx.mark_waiting("control token for entering state " + std::to_string(pc_ + 1));
+        return;
+      }
+    }
+
+    if (cur().kind == Instr::Kind::kRecv && !staged_recv_.has_value()) {
+      auto& q = inbox_[agent_of(cur().peer)];
+      auto it = q.find(next_recv_seq_[cur().peer]);
+      if (it == q.end()) {
+        ctx.mark_waiting("message from P" + std::to_string(cur().peer));
+        return;
+      }
+      staged_recv_ = it->second;
+      q.erase(it);
+      ++next_recv_seq_[cur().peer];
+    }
+
+    // On-line gating: a true -> false transition of the local predicate
+    // needs the guard's permission (the paper's "scapegoat && !l_i(s')"
+    // trigger; non-scapegoat guards grant instantly on the local plane).
+    // The gate is deliberately the LAST barrier: the guard conservatively
+    // treats a granted process as false until it reports back, so asking
+    // while another prerequisite (a receive, a control token) could still
+    // block would wedge scapegoat handoffs aimed at this process.
+    if (truth_ != nullptr && !(*truth_)[static_cast<size_t>(pc_) + 1] &&
+        (*truth_)[static_cast<size_t>(pc_)] && !grant_received_) {
+      if (!grant_requested_) {
+        grant_requested_ = true;
+        Message want;
+        want.type = kGateWantFalse;
+        want.plane = Message::Plane::kLocal;
+        ctx.send(guard_, want);
+      }
+      ctx.mark_waiting("gate grant for entering state " + std::to_string(pc_ + 1));
+      return;
+    }
+
+    ctx.mark_done();  // no longer blocked; the timer carries the work
+    phase_ = Phase::kWorking;
+    ctx.set_timer(cur().duration, pc_);
+  }
+
+  void complete_event(AgentContext& ctx) {
+    const Instr& instr = cur();
+    const int32_t leaving = pc_;  // state being exited by this event
+
+    if (instr.kind == Instr::Kind::kSend) {
+      Message m;
+      m.type = kAppMsg;
+      m.a = leaving;  // the paper's ~> relates the state before the send...
+      m.b = next_send_seq_[instr.peer]++;
+      m.plane = Message::Plane::kApplication;
+      // Piggyback the pre-send state's clock (the ~> source).
+      m.clock.resize(static_cast<size_t>(clock_.size()));
+      for (ProcessId q = 0; q < clock_.size(); ++q)
+        m.clock[static_cast<size_t>(q)] = clock_[q];
+      ctx.send(agent_of(instr.peer), m);
+    } else if (instr.kind == Instr::Kind::kRecv) {
+      // ...to the state after the receive.
+      recorder_.builder.add_message(
+          {static_cast<ProcessId>(process_of(staged_recv_->from)),
+           static_cast<int32_t>(staged_recv_->a)},
+          {p_, leaving + 1});
+      PREDCTRL_REQUIRE(staged_recv_->clock.size() ==
+                           static_cast<size_t>(clock_.size()),
+                       "application message without a piggybacked clock");
+      for (ProcessId q = 0; q < clock_.size(); ++q)
+        if (staged_recv_->clock[static_cast<size_t>(q)] > clock_[q])
+          clock_[q] = staged_recv_->clock[static_cast<size_t>(q)];
+      staged_recv_.reset();
+    }
+
+    // Enter the new state.
+    for (const auto& [k, v] : instr.updates) cur_vars_[k] = v;
+    clock_[p_] = leaving + 1;
+    recorder_.vars[static_cast<size_t>(p_)].push_back(cur_vars_);
+    recorder_.entry_times[static_cast<size_t>(p_)].push_back(ctx.now());
+    recorder_.clocks[static_cast<size_t>(p_)].push_back(clock_);
+    maybe_send_candidate(ctx, leaving + 1);
+
+    // Control sends anchored at the exited state.
+    if (strategy_ != nullptr) {
+      for (const ControlAction& a : strategy_->actions(p_)) {
+        if (a.kind != ControlAction::Kind::kSendOnExit || a.state != leaving) continue;
+        Message m;
+        m.type = kCtlToken;
+        m.a = a.token;
+        m.plane = Message::Plane::kControl;
+        ctx.send(agent_of(a.peer), m);
+      }
+    }
+
+    // On-line gating bookkeeping: report false -> true transitions; reset
+    // the grant latch for the next boundary.
+    if (truth_ != nullptr) {
+      const size_t entered = static_cast<size_t>(leaving) + 1;
+      if ((*truth_)[entered] && !(*truth_)[static_cast<size_t>(leaving)]) {
+        Message up;
+        up.type = kGateNowTrue;
+        up.plane = Message::Plane::kLocal;
+        ctx.send(guard_, up);
+      }
+      grant_requested_ = false;
+      grant_received_ = false;
+    }
+
+    ++pc_;
+    phase_ = Phase::kIdle;
+    try_start(ctx);
+  }
+
+  void maybe_send_candidate(AgentContext& ctx, int32_t state) {
+    if (detect_condition_ == nullptr ||
+        !(*detect_condition_)[static_cast<size_t>(state)])
+      return;
+    Message m;
+    m.type = kDetectCandidate;
+    m.a = state;
+    m.b = next_candidate_seq_++;
+    m.plane = Message::Plane::kControl;
+    m.clock.resize(static_cast<size_t>(clock_.size()));
+    for (ProcessId q = 0; q < clock_.size(); ++q)
+      m.clock[static_cast<size_t>(q)] = clock_[q];
+    ctx.send(detector_, m);
+  }
+
+  std::vector<ControlAction> pending_waits(int32_t state) const {
+    std::vector<ControlAction> waits;
+    if (strategy_ == nullptr) return waits;
+    for (const ControlAction& a : strategy_->actions(p_))
+      if (a.kind == ControlAction::Kind::kWaitBeforeEntry && a.state == state)
+        waits.push_back(a);
+    return waits;
+  }
+
+  // Agents are registered in process order, so ids coincide with processes.
+  static AgentId agent_of(ProcessId p) { return p; }
+  static ProcessId process_of(AgentId a) { return a; }
+
+  ProcessId p_;
+  const Script& script_;
+  Recorder& recorder_;
+  const ControlStrategy* strategy_;
+
+  Phase phase_ = Phase::kIdle;
+  int32_t pc_ = 0;
+  VarMap cur_vars_;
+  std::map<AgentId, std::map<int64_t, Message>> inbox_;  // per sender, by seq
+  std::map<ProcessId, int64_t> next_recv_seq_;
+  std::map<ProcessId, int64_t> next_send_seq_;
+  std::optional<Message> staged_recv_;
+  std::set<int64_t> tokens_;
+
+  // On-line gating state.
+  const std::vector<bool>* truth_;
+  AgentId guard_;
+  bool grant_requested_ = false;
+  bool grant_received_ = false;
+
+  // On-line detection state.
+  const std::vector<bool>* detect_condition_;
+  AgentId detector_;
+  int64_t next_candidate_seq_ = 0;
+
+  // On-line causality tracking (state-based; own component = state index).
+  VectorClock clock_;
+};
+
+}  // namespace
+
+std::vector<Cut> RunResult::cut_timeline() const {
+  struct Entry {
+    SimTime time;
+    ProcessId p;
+  };
+  std::vector<Entry> entries;
+  for (ProcessId p = 0; p < deposet.num_processes(); ++p)
+    for (size_t k = 1; k < entry_times[static_cast<size_t>(p)].size(); ++k)
+      entries.push_back({entry_times[static_cast<size_t>(p)][k], p});
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) { return a.time < b.time; });
+
+  std::vector<Cut> timeline{bottom_cut(deposet)};
+  size_t i = 0;
+  while (i < entries.size()) {
+    Cut next = timeline.back();
+    SimTime t = entries[i].time;
+    // Entries sharing a timestamp advance in one step (simultaneous events).
+    while (i < entries.size() && entries[i].time == t) {
+      ++next[entries[i].p];
+      ++i;
+    }
+    timeline.push_back(next);
+  }
+  return timeline;
+}
+
+PredicateTable RunResult::predicate_table(
+    const std::function<bool(ProcessId, const VarMap&)>& local) const {
+  PredicateTable table(vars.size());
+  for (ProcessId p = 0; p < static_cast<ProcessId>(vars.size()); ++p) {
+    const auto& states = vars[static_cast<size_t>(p)];
+    table[static_cast<size_t>(p)].resize(states.size());
+    for (size_t k = 0; k < states.size(); ++k)
+      table[static_cast<size_t>(p)][k] = local(p, states[k]);
+  }
+  return table;
+}
+
+RunResult run_scripts(const ScriptedSystem& system, const SimOptions& options,
+                      const ControlStrategy* strategy, const OnlineGating* gating,
+                      const OnlineDetection* detection) {
+  PREDCTRL_CHECK(!system.empty(), "empty system");
+  if (strategy != nullptr)
+    PREDCTRL_CHECK(strategy->num_processes() == static_cast<int32_t>(system.size()),
+                   "strategy does not match the system");
+  if (gating != nullptr) {
+    PREDCTRL_CHECK(gating->truth.size() == system.size(),
+                   "gating truth table does not match the system");
+    PREDCTRL_CHECK(static_cast<bool>(gating->make_guards), "gating needs a guard factory");
+  }
+  if (detection != nullptr) {
+    PREDCTRL_CHECK(detection->conditions.size() == system.size(),
+                   "detection conditions do not match the system");
+    PREDCTRL_CHECK(static_cast<bool>(detection->make_detector),
+                   "detection needs a detector factory");
+  }
+
+  const int32_t n = static_cast<int32_t>(system.size());
+  // Agent layout: processes [0, n); guards [n, 2n) when gating; the detector
+  // right after.
+  const AgentId detector_id = gating != nullptr ? 2 * n : n;
+  Recorder recorder(n);
+  SimEngine engine(options);
+  for (ProcessId p = 0; p < n; ++p) {
+    const std::vector<bool>* truth =
+        gating != nullptr ? &gating->truth[static_cast<size_t>(p)] : nullptr;
+    const AgentId guard = gating != nullptr ? n + p : -1;
+    const std::vector<bool>* condition =
+        detection != nullptr ? &detection->conditions[static_cast<size_t>(p)] : nullptr;
+    engine.add_agent(std::make_unique<ScriptedProcess>(
+        p, n, system[static_cast<size_t>(p)], recorder, strategy, truth, guard, condition,
+        detection != nullptr ? detector_id : -1));
+  }
+  if (gating != nullptr) {
+    std::vector<AgentId> guards = gating->make_guards(engine);
+    PREDCTRL_CHECK(static_cast<int32_t>(guards.size()) == n,
+                   "guard factory must create one guard per process");
+    for (ProcessId p = 0; p < n; ++p)
+      PREDCTRL_CHECK(guards[static_cast<size_t>(p)] == n + p,
+                     "guards must occupy agent ids n..2n-1 in process order");
+  }
+  if (detection != nullptr) {
+    AgentId got = detection->make_detector(engine);
+    PREDCTRL_CHECK(got == detector_id, "detector must follow the processes/guards");
+  }
+
+  RunResult result;
+  result.stats = engine.run();
+  result.blocked = engine.blocked_agents();
+  result.deadlocked = !result.blocked.empty() || engine.hit_time_limit();
+
+  for (ProcessId p = 0; p < n; ++p)
+    recorder.builder.set_length(
+        p, static_cast<int32_t>(recorder.vars[static_cast<size_t>(p)].size()));
+  result.deposet = recorder.builder.build();
+  result.vars = std::move(recorder.vars);
+  result.entry_times = std::move(recorder.entry_times);
+  result.clocks = std::move(recorder.clocks);
+  return result;
+}
+
+ScriptedSystem scripts_from_deposet(const Deposet& deposet, const PredicateTable* predicate,
+                                    Rng& rng, SimTime min_duration, SimTime max_duration) {
+  PREDCTRL_CHECK(min_duration >= 0 && min_duration <= max_duration, "bad duration range");
+  const int32_t n = deposet.num_processes();
+
+  // Event roles from the message edges.
+  struct Role {
+    Instr::Kind kind = Instr::Kind::kLocal;
+    ProcessId peer = -1;
+  };
+  std::vector<std::vector<Role>> roles(static_cast<size_t>(n));
+  for (ProcessId p = 0; p < n; ++p)
+    roles[static_cast<size_t>(p)].resize(static_cast<size_t>(deposet.length(p) - 1));
+  for (const MessageEdge& m : deposet.messages()) {
+    roles[static_cast<size_t>(m.from.process)][static_cast<size_t>(m.from.index)] = {
+        Instr::Kind::kSend, m.to.process};
+    roles[static_cast<size_t>(m.to.process)][static_cast<size_t>(m.to.index - 1)] = {
+        Instr::Kind::kRecv, m.from.process};
+  }
+
+  ScriptedSystem system(static_cast<size_t>(n));
+  for (ProcessId p = 0; p < n; ++p) {
+    Script& script = system[static_cast<size_t>(p)];
+    if (predicate != nullptr)
+      script.initial_vars["ok"] = (*predicate)[static_cast<size_t>(p)][0] ? 1 : 0;
+    for (int32_t e = 0; e < deposet.length(p) - 1; ++e) {
+      const Role& role = roles[static_cast<size_t>(p)][static_cast<size_t>(e)];
+      Instr instr;
+      instr.kind = role.kind;
+      instr.peer = role.peer;
+      instr.duration = min_duration + rng.uniform(0, max_duration - min_duration);
+      if (predicate != nullptr)
+        instr.updates["ok"] =
+            (*predicate)[static_cast<size_t>(p)][static_cast<size_t>(e + 1)] ? 1 : 0;
+      script.instrs.push_back(std::move(instr));
+    }
+  }
+  return system;
+}
+
+bool ok_var(ProcessId, const VarMap& vars) {
+  auto it = vars.find("ok");
+  return it != vars.end() && it->second != 0;
+}
+
+}  // namespace predctrl::sim

@@ -1,0 +1,159 @@
+// Scripted application processes on the simulator: the bridge between the
+// deposet model and executable runs.
+//
+// A Script is the paper's "local execution" made concrete: a sequence of
+// instructions, each performing one event (local step, message send, or
+// message receive) and entering one new local state with updated variables.
+// Running a ScriptedSystem:
+//
+//   * records the resulting computation as a deposet plus per-state variable
+//     values (the Tracer half of the observe/replay cycle), and
+//   * optionally enforces a compiled ControlStrategy (the Replayer half):
+//     before entering a state with a wait obligation the process blocks
+//     until the matching control token -- sent when the source state was
+//     exited -- arrives on the control plane.
+//
+// Message matching is by per-channel sequence number, so the deposet
+// produced by a run is a function of the scripts alone; delivery delays
+// only change *when* cuts happen, never the causal structure. That gives
+// the round-trip property tests their teeth: deposet -> scripts -> run ->
+// traced deposet is the identity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "causality/vector_clock.hpp"
+#include "control/strategy.hpp"
+#include "runtime/sim.hpp"
+#include "trace/cut.hpp"
+#include "trace/deposet.hpp"
+#include "trace/random_trace.hpp"
+
+namespace predctrl::sim {
+
+/// Local variable values of one state. Ordered map: deterministic rendering.
+using VarMap = std::map<std::string, int64_t>;
+
+/// Local-plane protocol between a gated process and its guard (an on-line
+/// controller such as online::ScapegoatController):
+///   kGateWantFalse  process -> guard  permission to enter a false state
+///   kGateGrant      guard -> process  transition may proceed
+///   kGateNowTrue    process -> guard  local predicate is true again
+enum GateMsg : int32_t {
+  kGateWantFalse = 100,
+  kGateGrant = 101,
+  kGateNowTrue = 102,
+};
+
+/// Detection-plane protocol between processes and an on-line detector
+/// (online/wcp_detector.hpp):
+///   kDetectCandidate  a: state index; clock: the state's vector clock --
+///                     sent for every state satisfying the watched local
+///                     condition;
+///   kDetectDone       the process reached its final state.
+enum DetectMsg : int32_t {
+  kDetectCandidate = 130,
+  kDetectDone = 131,
+};
+
+/// On-line detection of a scripted run (see run_scripts): each process
+/// streams the vector clocks of its condition-satisfying states to a
+/// detector agent while the computation runs.
+struct OnlineDetection {
+  /// conditions[p][k] = c_p at state (p, k); shapes must match the scripts.
+  PredicateTable conditions;
+  /// Called after the n process agents are registered; must add the
+  /// detector and return its agent id.
+  std::function<AgentId(SimEngine&)> make_detector;
+};
+
+/// On-line gating of a scripted run (see run_scripts): each process asks its
+/// guard before any true->false transition of its local predicate and
+/// reports false->true transitions, so an on-line strategy can maintain
+/// B = l_1 v ... v l_n on a computation nobody traced beforehand.
+struct OnlineGating {
+  /// truth[p][k] = l_p at state (p, k); shapes must match the scripts.
+  PredicateTable truth;
+  /// Called after the n process agents (ids 0..n-1) are registered; must add
+  /// one guard agent per process and return their ids in process order.
+  std::function<std::vector<AgentId>(SimEngine&)> make_guards;
+};
+
+/// One instruction = one event = one new local state.
+struct Instr {
+  enum class Kind : uint8_t { kLocal, kSend, kRecv };
+  Kind kind = Kind::kLocal;
+  /// Compute time consumed before the event fires.
+  SimTime duration = 1'000;
+  /// Peer process (not agent id) for kSend / kRecv.
+  ProcessId peer = -1;
+  /// Variable assignments applied upon entering the new state.
+  VarMap updates;
+};
+
+/// A process's full behaviour: initial variables plus its event list.
+struct Script {
+  VarMap initial_vars;
+  std::vector<Instr> instrs;
+};
+
+using ScriptedSystem = std::vector<Script>;
+
+/// Everything observed from one run.
+struct RunResult {
+  /// The traced computation (application messages only; control causality is
+  /// in the strategy, not re-traced).
+  Deposet deposet;
+  /// vars[p][k] = variable values of state (p, k).
+  std::vector<std::vector<VarMap>> vars;
+  /// clocks[p][k] = the vector clock process p computed ON-LINE when it
+  /// entered state k (piggybacked on application messages); must equal the
+  /// deposet's post-hoc clocks -- a cross-check the tests enforce.
+  std::vector<std::vector<VectorClock>> clocks;
+  /// (time, state) entry log per process; state k was entered at
+  /// entry_times[p][k] (state 0 at time 0).
+  std::vector<std::vector<SimTime>> entry_times;
+  SimStats stats;
+  /// Agents still waiting at quiescence: non-empty means deadlock.
+  std::vector<std::pair<AgentId, std::string>> blocked;
+  bool deadlocked = false;
+
+  /// The sequence of global states this run actually passed through
+  /// (state entries ordered by time; simultaneous entries advance together).
+  std::vector<Cut> cut_timeline() const;
+
+  /// Evaluates `local` on every state's variables: the truth table of a
+  /// variable-defined disjunctive predicate over the traced computation.
+  PredicateTable predicate_table(
+      const std::function<bool(ProcessId, const VarMap&)>& local) const;
+};
+
+/// Runs the system to quiescence. With a strategy, control tokens enforce
+/// the compiled relation (off-line replay); with gating, processes are
+/// guarded by on-line controllers. The run can then deadlock only if the
+/// strategy was compiled with check_deadlock=false (experiments), the
+/// gated system violates assumption A1, or scripts themselves are
+/// mismatched.
+RunResult run_scripts(const ScriptedSystem& system, const SimOptions& options,
+                      const ControlStrategy* strategy = nullptr,
+                      const OnlineGating* gating = nullptr,
+                      const OnlineDetection* detection = nullptr);
+
+/// Converts any deposet into an executable system: each event becomes an
+/// instruction (sends/receives derived from the message edges), with
+/// durations drawn from [min_duration, max_duration] and a boolean variable
+/// "ok" tracking `predicate` (when given) so the traced run carries the
+/// local predicates along.
+ScriptedSystem scripts_from_deposet(const Deposet& deposet, const PredicateTable* predicate,
+                                    Rng& rng, SimTime min_duration = 500,
+                                    SimTime max_duration = 2'000);
+
+/// The "ok" local predicate matching scripts_from_deposet's annotation.
+bool ok_var(ProcessId p, const VarMap& vars);
+
+}  // namespace predctrl::sim

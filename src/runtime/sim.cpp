@@ -1,0 +1,98 @@
+#include "runtime/sim.hpp"
+
+namespace predctrl::sim {
+
+SimTime AgentContext::now() const { return engine_.now(); }
+
+void AgentContext::send(AgentId to, Message msg) { engine_.send_from(self_, to, std::move(msg)); }
+
+void AgentContext::set_timer(SimTime delay, int64_t timer_id) {
+  engine_.timer_from(self_, delay, timer_id);
+}
+
+void AgentContext::mark_waiting(const std::string& why) {
+  engine_.waiting_[static_cast<size_t>(self_)] = why;
+}
+
+void AgentContext::mark_done() { engine_.waiting_[static_cast<size_t>(self_)].clear(); }
+
+Rng& AgentContext::rng() { return engine_.rng_; }
+
+SimEngine::SimEngine(const SimOptions& options) : options_(options), rng_(options.seed) {
+  PREDCTRL_CHECK(options.min_delay >= 0 && options.min_delay <= options.max_delay,
+                 "invalid delay range");
+}
+
+AgentId SimEngine::add_agent(std::unique_ptr<Agent> agent) {
+  PREDCTRL_CHECK(agent != nullptr, "null agent");
+  PREDCTRL_CHECK(!running_, "cannot add agents while running");
+  agents_.push_back(std::move(agent));
+  waiting_.emplace_back();
+  return static_cast<AgentId>(agents_.size() - 1);
+}
+
+void SimEngine::send_from(AgentId from, AgentId to, Message msg) {
+  PREDCTRL_CHECK(to >= 0 && to < num_agents(), "message to unknown agent");
+  msg.from = from;
+  msg.to = to;
+  SimTime delay = 0;
+  if (msg.plane != Message::Plane::kLocal)
+    delay = options_.min_delay + rng_.uniform(0, options_.max_delay - options_.min_delay);
+
+  ++stats_.messages_sent;
+  if (msg.plane == Message::Plane::kApplication) ++stats_.application_messages;
+  if (msg.plane == Message::Plane::kControl) ++stats_.control_messages;
+
+  SimTime deliver_at = now_ + delay;
+  if (options_.fifo_channels && msg.plane != Message::Plane::kLocal) {
+    SimTime& front = channel_front_[{from, to}];
+    if (deliver_at <= front) deliver_at = front + 1;
+    front = deliver_at;
+  }
+  queue_.push({deliver_at, next_seq_++, to, false, 0, std::move(msg)});
+}
+
+void SimEngine::timer_from(AgentId from, SimTime delay, int64_t timer_id) {
+  PREDCTRL_CHECK(delay >= 0, "negative timer delay");
+  queue_.push({now_ + delay, next_seq_++, from, true, timer_id, {}});
+}
+
+SimStats SimEngine::run() {
+  PREDCTRL_CHECK(!running_, "run() is not reentrant");
+  running_ = true;
+
+  for (AgentId id = 0; id < num_agents(); ++id) {
+    AgentContext ctx(*this, id);
+    agents_[static_cast<size_t>(id)]->on_start(ctx);
+  }
+
+  while (!queue_.empty()) {
+    PendingEvent ev = queue_.top();
+    queue_.pop();
+    if (options_.time_limit > 0 && ev.time > options_.time_limit) {
+      hit_time_limit_ = true;
+      break;
+    }
+    now_ = ev.time;
+    ++stats_.events_processed;
+    AgentContext ctx(*this, ev.target);
+    if (ev.is_timer)
+      agents_[static_cast<size_t>(ev.target)]->on_timer(ctx, ev.timer_id);
+    else
+      agents_[static_cast<size_t>(ev.target)]->on_message(ctx, ev.msg);
+  }
+
+  stats_.end_time = now_;
+  running_ = false;
+  return stats_;
+}
+
+std::vector<std::pair<AgentId, std::string>> SimEngine::blocked_agents() const {
+  std::vector<std::pair<AgentId, std::string>> blocked;
+  for (AgentId id = 0; id < num_agents(); ++id)
+    if (!waiting_[static_cast<size_t>(id)].empty())
+      blocked.emplace_back(id, waiting_[static_cast<size_t>(id)]);
+  return blocked;
+}
+
+}  // namespace predctrl::sim

@@ -1,0 +1,190 @@
+// Deterministic discrete-event simulation of an asynchronous message-passing
+// system -- the substrate the paper assumes.
+//
+// The model matches Section 3: sequential processes, reliable channels, no
+// ordering or bound on message delays (each delivery draws a delay from a
+// seeded distribution, so arbitrary reordering happens naturally and every
+// run is reproducible from its seed). Virtual time is explicit, which is
+// what lets the benches measure the paper's response-time bounds
+// (2T .. 2T + E_max) exactly.
+//
+// Agents are event-driven: the engine calls on_start once, then on_message /
+// on_timer as deliveries fire. "Blocking" is simply not scheduling further
+// work until an awaited message arrives -- the engine's quiescence detector
+// reports agents that declared work outstanding, which is how tests observe
+// deadlocks (e.g. the Theorem 3 impossibility scenario).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace predctrl::sim {
+
+/// Virtual time, in microseconds.
+using SimTime = int64_t;
+
+/// Agent identifier: index into the engine's agent table. Application
+/// processes and controllers are all agents.
+using AgentId = int32_t;
+
+/// A message between agents. `type` and payload fields are interpreted by
+/// the receiving agent.
+struct Message {
+  AgentId from = -1;
+  AgentId to = -1;
+  int32_t type = 0;
+  int64_t a = 0;  ///< first scalar payload
+  int64_t b = 0;  ///< second scalar payload
+  /// Optional piggybacked vector clock (state-based, one component per
+  /// process); empty when the sender does not track causality. Scripted
+  /// processes attach the clock of the pre-send state, matching the
+  /// deposet's ~> relation.
+  std::vector<int32_t> clock;
+
+  /// Channel plane: application traffic and control traffic are separated so
+  /// metrics can count them independently (the paper's evaluation counts
+  /// only control messages).
+  enum class Plane : uint8_t { kApplication, kControl, kLocal };
+  Plane plane = Plane::kApplication;
+};
+
+class SimEngine;
+
+/// Handle through which an agent interacts with the engine during a
+/// callback.
+class AgentContext {
+ public:
+  AgentContext(SimEngine& engine, AgentId self) : engine_(engine), self_(self) {}
+
+  AgentId self() const { return self_; }
+  SimTime now() const;
+
+  /// Sends a message; delivery delay is drawn per the plane's delay range.
+  void send(AgentId to, Message msg);
+
+  /// Schedules an on_timer callback after `delay`.
+  void set_timer(SimTime delay, int64_t timer_id);
+
+  /// Declares outstanding work: the engine reports the agent as blocked if
+  /// the simulation quiesces while any declared work remains. Counterpart:
+  /// mark_done().
+  void mark_waiting(const std::string& why);
+  void mark_done();
+
+  /// Engine-owned deterministic randomness.
+  Rng& rng();
+
+ private:
+  SimEngine& engine_;
+  AgentId self_;
+};
+
+/// Base class for simulated actors.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+  virtual void on_start(AgentContext& ctx) { (void)ctx; }
+  virtual void on_message(AgentContext& ctx, const Message& msg) {
+    (void)ctx;
+    (void)msg;
+  }
+  virtual void on_timer(AgentContext& ctx, int64_t timer_id) {
+    (void)ctx;
+    (void)timer_id;
+  }
+};
+
+struct SimOptions {
+  uint64_t seed = 1;
+  /// Application- and control-plane message delays are drawn uniformly from
+  /// [min_delay, max_delay]. kLocal-plane messages are delivered with zero
+  /// delay (co-located process/controller pairs).
+  SimTime min_delay = 1'000;
+  SimTime max_delay = 10'000;
+  /// Hard stop: the run aborts (deadlock suspected) if virtual time passes
+  /// this bound. 0 disables.
+  SimTime time_limit = 0;
+  /// When true, each directed (sender, receiver) channel delivers in send
+  /// order (delays still random, but never reordering). The paper's model
+  /// places no ordering constraint -- this exists for algorithms that
+  /// require FIFO channels, notably the Chandy-Lamport snapshot
+  /// (snapshot/chandy_lamport.hpp).
+  bool fifo_channels = false;
+};
+
+struct SimStats {
+  int64_t events_processed = 0;
+  int64_t messages_sent = 0;
+  int64_t application_messages = 0;
+  int64_t control_messages = 0;
+  SimTime end_time = 0;
+};
+
+/// The engine: a priority queue of (time, seq)-ordered deliveries.
+class SimEngine {
+ public:
+  explicit SimEngine(const SimOptions& options = {});
+
+  /// Registers an agent; returns its id (ids are assigned consecutively).
+  AgentId add_agent(std::unique_ptr<Agent> agent);
+
+  Agent& agent(AgentId id) { return *agents_[static_cast<size_t>(id)]; }
+  int32_t num_agents() const { return static_cast<int32_t>(agents_.size()); }
+
+  /// Runs to quiescence (empty event queue) or until the time limit.
+  /// Returns the collected statistics.
+  SimStats run();
+
+  SimTime now() const { return now_; }
+  const SimStats& stats() const { return stats_; }
+
+  /// Agents that declared outstanding work that never completed -- non-empty
+  /// after run() means the system deadlocked (or stopped early).
+  std::vector<std::pair<AgentId, std::string>> blocked_agents() const;
+
+  /// True iff run() stopped because the time limit was hit.
+  bool hit_time_limit() const { return hit_time_limit_; }
+
+ private:
+  friend class AgentContext;
+
+  struct PendingEvent {
+    SimTime time;
+    int64_t seq;  // FIFO tiebreak for equal times
+    AgentId target;
+    bool is_timer;
+    int64_t timer_id;
+    Message msg;
+
+    bool operator>(const PendingEvent& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  void send_from(AgentId from, AgentId to, Message msg);
+  void timer_from(AgentId from, SimTime delay, int64_t timer_id);
+
+  SimOptions options_;
+  Rng rng_;
+  /// Per directed channel: latest scheduled delivery (FIFO mode).
+  std::map<std::pair<AgentId, AgentId>, SimTime> channel_front_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::vector<std::string> waiting_;  // per-agent reason, empty = not waiting
+  std::priority_queue<PendingEvent, std::vector<PendingEvent>, std::greater<>> queue_;
+  SimTime now_ = 0;
+  int64_t next_seq_ = 0;
+  SimStats stats_;
+  bool hit_time_limit_ = false;
+  bool running_ = false;
+};
+
+}  // namespace predctrl::sim

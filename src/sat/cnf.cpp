@@ -1,0 +1,162 @@
+#include "sat/cnf.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace predctrl::sat {
+
+Cnf::Cnf(int32_t num_vars) : num_vars_(num_vars) {
+  PREDCTRL_CHECK(num_vars >= 0, "negative variable count");
+}
+
+void Cnf::add_clause(Clause clause) {
+  for (const Literal& l : clause)
+    PREDCTRL_CHECK(l.var >= 0 && l.var < num_vars_, "literal variable out of range");
+  clauses_.push_back(std::move(clause));
+}
+
+bool Cnf::eval(const Assignment& a) const {
+  PREDCTRL_CHECK(static_cast<int32_t>(a.size()) == num_vars_, "assignment width mismatch");
+  for (const Clause& c : clauses_) {
+    bool sat = false;
+    for (const Literal& l : c)
+      if (a[static_cast<size_t>(l.var)] == l.positive) {
+        sat = true;
+        break;
+      }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+std::string Cnf::to_string() const {
+  std::ostringstream os;
+  os << "p cnf " << num_vars_ << ' ' << clauses_.size() << '\n';
+  for (const Clause& c : clauses_) {
+    for (const Literal& l : c) os << (l.positive ? l.var + 1 : -(l.var + 1)) << ' ';
+    os << "0\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+enum class Value : uint8_t { kUnset, kTrue, kFalse };
+
+struct DpllState {
+  const Cnf& formula;
+  std::vector<Value> values;
+  int64_t decisions = 0;
+
+  bool lit_true(const Literal& l) const {
+    Value v = values[static_cast<size_t>(l.var)];
+    return v == (l.positive ? Value::kTrue : Value::kFalse);
+  }
+  bool lit_false(const Literal& l) const {
+    Value v = values[static_cast<size_t>(l.var)];
+    return v == (l.positive ? Value::kFalse : Value::kTrue);
+  }
+
+  // Returns false on conflict. Applies unit propagation to fixpoint.
+  bool propagate() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Clause& c : formula.clauses()) {
+        int32_t unset = 0;
+        const Literal* unit = nullptr;
+        bool sat = false;
+        for (const Literal& l : c) {
+          if (lit_true(l)) {
+            sat = true;
+            break;
+          }
+          if (!lit_false(l)) {
+            ++unset;
+            unit = &l;
+          }
+        }
+        if (sat) continue;
+        if (unset == 0) return false;  // conflict
+        if (unset == 1) {
+          values[static_cast<size_t>(unit->var)] =
+              unit->positive ? Value::kTrue : Value::kFalse;
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool search() {
+    if (!propagate()) return false;
+    // Pick the first unset variable (simple but complete).
+    int32_t var = -1;
+    for (size_t v = 0; v < values.size(); ++v)
+      if (values[v] == Value::kUnset) {
+        var = static_cast<int32_t>(v);
+        break;
+      }
+    if (var < 0) return true;  // all assigned, no conflict: satisfied
+
+    std::vector<Value> saved = values;
+    for (Value guess : {Value::kTrue, Value::kFalse}) {
+      ++decisions;
+      values[static_cast<size_t>(var)] = guess;
+      if (search()) return true;
+      values = saved;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+SolveResult solve_dpll(const Cnf& formula) {
+  DpllState state{formula, std::vector<Value>(static_cast<size_t>(formula.num_vars()),
+                                              Value::kUnset)};
+  SolveResult result;
+  result.satisfiable = state.search();
+  result.decisions = state.decisions;
+  if (result.satisfiable) {
+    result.assignment.resize(static_cast<size_t>(formula.num_vars()));
+    for (size_t v = 0; v < result.assignment.size(); ++v)
+      result.assignment[v] = (state.values[v] == Value::kTrue);  // kUnset -> false is fine
+    PREDCTRL_REQUIRE(formula.eval(result.assignment), "DPLL returned a non-model");
+  }
+  return result;
+}
+
+Cnf random_cnf(const RandomCnfOptions& options, Rng& rng) {
+  PREDCTRL_CHECK(options.num_vars >= 1, "need at least one variable");
+  PREDCTRL_CHECK(options.literals_per_clause >= 1, "need at least one literal per clause");
+  Cnf formula(options.num_vars);
+
+  Assignment planted;
+  if (options.plant_solution) {
+    planted.resize(static_cast<size_t>(options.num_vars));
+    for (size_t v = 0; v < planted.size(); ++v) planted[v] = rng.chance(0.5);
+  }
+
+  for (int32_t c = 0; c < options.num_clauses; ++c) {
+    Clause clause;
+    while (true) {
+      clause.clear();
+      for (int32_t l = 0; l < options.literals_per_clause; ++l) {
+        Literal lit{static_cast<int32_t>(rng.index(static_cast<size_t>(options.num_vars))),
+                    rng.chance(0.5)};
+        clause.push_back(lit);
+      }
+      if (!options.plant_solution) break;
+      bool sat = false;
+      for (const Literal& l : clause) sat |= (planted[static_cast<size_t>(l.var)] == l.positive);
+      if (sat) break;  // redraw clauses the planted model falsifies
+    }
+    formula.add_clause(std::move(clause));
+  }
+  return formula;
+}
+
+}  // namespace predctrl::sat

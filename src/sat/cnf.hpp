@@ -1,0 +1,73 @@
+// CNF formulas and a DPLL satisfiability solver.
+//
+// Substrate for the paper's Lemma 1 (SAT maps to Satisfying Global Sequence
+// Detection): the reduction needs a formula type, a ground-truth solver for
+// cross-checking, and random instance generation for the E1/E2 benches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace predctrl::sat {
+
+/// A literal: variable index (0-based) plus sign.
+struct Literal {
+  int32_t var = 0;
+  bool positive = true;
+
+  Literal negated() const { return {var, !positive}; }
+  friend auto operator<=>(const Literal&, const Literal&) = default;
+};
+
+using Clause = std::vector<Literal>;
+using Assignment = std::vector<bool>;  // indexed by variable
+
+/// A CNF formula over `num_vars` variables.
+class Cnf {
+ public:
+  explicit Cnf(int32_t num_vars);
+
+  int32_t num_vars() const { return num_vars_; }
+  const std::vector<Clause>& clauses() const { return clauses_; }
+
+  /// Adds a clause; literals must reference valid variables. An empty clause
+  /// makes the formula trivially unsatisfiable.
+  void add_clause(Clause clause);
+
+  /// Evaluates under a full assignment.
+  bool eval(const Assignment& a) const;
+
+  /// DIMACS-like rendering for diagnostics.
+  std::string to_string() const;
+
+ private:
+  int32_t num_vars_;
+  std::vector<Clause> clauses_;
+};
+
+struct SolveResult {
+  bool satisfiable = false;
+  Assignment assignment;  ///< valid iff satisfiable
+  int64_t decisions = 0;  ///< branching decisions made (work measure)
+};
+
+/// Complete DPLL search with unit propagation and pure-literal elimination.
+SolveResult solve_dpll(const Cnf& formula);
+
+struct RandomCnfOptions {
+  int32_t num_vars = 10;
+  int32_t num_clauses = 42;
+  int32_t literals_per_clause = 3;
+  /// If true, first draws a hidden assignment and only emits clauses it
+  /// satisfies (guarantees satisfiability).
+  bool plant_solution = false;
+};
+
+/// Uniform random k-CNF (optionally planted-satisfiable).
+Cnf random_cnf(const RandomCnfOptions& options, Rng& rng);
+
+}  // namespace predctrl::sat

@@ -1,0 +1,57 @@
+#include "sat/reduction.hpp"
+
+#include "util/check.hpp"
+
+namespace predctrl::sat {
+
+SgsdInstance sat_to_sgsd(const Cnf& formula) {
+  const int32_t m = formula.num_vars();
+  DeposetBuilder builder(m + 1);
+  for (ProcessId p = 0; p < m; ++p) builder.set_length(p, 2);
+  builder.set_length(m, 3);
+
+  SgsdInstance instance;
+  instance.deposet = builder.build();
+  instance.guard = m;
+
+  // Copy the formula into the closure by value; the instance is
+  // self-contained.
+  Cnf copy = formula;
+  instance.predicate = [copy, m](const Cut& cut) {
+    if (cut[m] != 1) return true;  // guard still true (state 0 or 2)
+    Assignment a = assignment_from_cut(copy, cut);
+    return copy.eval(a);
+  };
+  return instance;
+}
+
+Assignment assignment_from_cut(const Cnf& formula, const Cut& cut) {
+  Assignment a(static_cast<size_t>(formula.num_vars()));
+  for (int32_t v = 0; v < formula.num_vars(); ++v)
+    a[static_cast<size_t>(v)] = (cut[v] == 0);
+  return a;
+}
+
+Assignment model_from_sequence(const Cnf& formula, const SgsdInstance& instance,
+                               const std::vector<Cut>& sequence) {
+  for (const Cut& cut : sequence) {
+    if (cut[instance.guard] != 1) continue;
+    Assignment a = assignment_from_cut(formula, cut);
+    PREDCTRL_CHECK(formula.eval(a),
+                   "sequence dips the guard at a non-model assignment");
+    return a;
+  }
+  throw std::invalid_argument("sequence never passes the guard's false state");
+}
+
+std::optional<Assignment> solve_sat_via_sgsd(const Cnf& formula, StepSemantics semantics,
+                                             int64_t max_expansions) {
+  SgsdInstance instance = sat_to_sgsd(formula);
+  SgsdResult r = find_satisfying_global_sequence(instance.deposet, instance.predicate,
+                                                 semantics, max_expansions);
+  PREDCTRL_CHECK(!r.truncated, "SGSD search exceeded its expansion budget");
+  if (!r.feasible) return std::nullopt;
+  return model_from_sequence(formula, instance, r.sequence);
+}
+
+}  // namespace predctrl::sat

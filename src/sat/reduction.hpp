@@ -1,0 +1,57 @@
+// The Lemma 1 construction (paper, Section 4, Figure 1): SAT maps to
+// Satisfying Global Sequence Detection.
+//
+// For a boolean formula b over variables x_1..x_m, build a computation with
+// m + 1 processes:
+//   * each variable process has two states: first `true`, then `false`
+//     (its current state IS the variable's value);
+//   * the guard process x_{m+1} has three states: true, false, true.
+// No messages. The global predicate is B = b(x_1..x_m) v x_{m+1}.
+//
+// Every global sequence must pass through a global state with the guard in
+// its middle (false) state, where B forces b to hold under the assignment
+// read off the variable processes; conversely a model of b yields a
+// satisfying sequence (advance exactly the variables the model sets false,
+// dip the guard, then finish). Hence b is satisfiable iff B is feasible --
+// and SGSD inherits SAT's hardness (Theorem 1: off-line predicate control
+// for general predicates is NP-hard).
+#pragma once
+
+#include <functional>
+
+#include "predicates/detection.hpp"
+#include "sat/cnf.hpp"
+#include "trace/deposet.hpp"
+
+namespace predctrl::sat {
+
+/// The Figure 1 gadget for a formula over `num_vars` variables.
+struct SgsdInstance {
+  Deposet deposet;
+  /// B = b v x_guard, evaluated on a cut of `deposet`.
+  std::function<bool(const Cut&)> predicate;
+  ProcessId guard;  ///< index of the x_{m+1} process
+};
+
+/// Builds the reduction instance for `formula`.
+SgsdInstance sat_to_sgsd(const Cnf& formula);
+
+/// Reads the variable assignment off a cut of the gadget: x_i is true iff
+/// process i is still in its first state.
+Assignment assignment_from_cut(const Cnf& formula, const Cut& cut);
+
+/// Extracts a model of `formula` from a satisfying global sequence of the
+/// gadget (the cut where the guard dips). Throws std::invalid_argument if
+/// the sequence never dips the guard or the extracted assignment is not a
+/// model (i.e. the sequence was not actually satisfying).
+Assignment model_from_sequence(const Cnf& formula, const SgsdInstance& instance,
+                               const std::vector<Cut>& sequence);
+
+/// End-to-end: decides satisfiability of `formula` *via* the SGSD search
+/// (the forward direction of Lemma 1 made executable). Exponential, of
+/// course. Returns the model when satisfiable.
+std::optional<Assignment> solve_sat_via_sgsd(const Cnf& formula,
+                                             StepSemantics semantics,
+                                             int64_t max_expansions = 10'000'000);
+
+}  // namespace predctrl::sat

@@ -1,0 +1,169 @@
+#include "snapshot/chandy_lamport.hpp"
+
+#include <map>
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace predctrl::snapshot {
+
+using sim::AgentContext;
+using sim::AgentId;
+using sim::Message;
+using sim::SimTime;
+
+namespace {
+
+constexpr int32_t kTransfer = 1;  // a: amount
+constexpr int32_t kMarker = 2;
+
+constexpr int64_t kTransferTimer = 1;
+constexpr int64_t kSnapshotTimer = 2;
+
+// Shared result sink.
+struct Board {
+  explicit Board(int32_t n)
+      : recorded_balance(static_cast<size_t>(n), 0),
+        recorded_events(static_cast<size_t>(n), 0),
+        final_balance(static_cast<size_t>(n), 0),
+        state_recorded(static_cast<size_t>(n), false),
+        channels_done(static_cast<size_t>(n), 0) {}
+
+  std::vector<int64_t> recorded_balance;
+  std::vector<int64_t> recorded_events;
+  std::vector<int64_t> final_balance;
+  std::vector<bool> state_recorded;
+  std::vector<int32_t> channels_done;  // in-channel markers received
+  int64_t recorded_in_flight = 0;
+};
+
+class BankProcess : public sim::Agent {
+ public:
+  BankProcess(int32_t index, const MoneyTransferOptions& options, Board& board)
+      : index_(index), options_(options), board_(board),
+        balance_(options.initial_balance) {}
+
+  void on_start(AgentContext& ctx) override {
+    recording_.assign(static_cast<size_t>(options_.num_processes), false);
+    marker_seen_.assign(static_cast<size_t>(options_.num_processes), false);
+    if (options_.transfers_per_process > 0) schedule_transfer(ctx);
+    if (index_ == 0) ctx.set_timer(options_.snapshot_at, kSnapshotTimer);
+  }
+
+  void on_timer(AgentContext& ctx, int64_t id) override {
+    if (id == kSnapshotTimer) {
+      if (!board_.state_recorded[static_cast<size_t>(index_)]) record_state_and_emit(ctx);
+      return;
+    }
+    PREDCTRL_REQUIRE(id == kTransferTimer, "unexpected timer in bank process");
+    // Wire a random amount to a random peer.
+    if (balance_ > 0) {
+      int64_t amount = ctx.rng().uniform(1, std::max<int64_t>(1, balance_ / 4));
+      size_t pick = ctx.rng().index(static_cast<size_t>(options_.num_processes) - 1);
+      if (pick >= static_cast<size_t>(index_)) ++pick;
+      balance_ -= amount;
+      Message m;
+      m.type = kTransfer;
+      m.a = amount;
+      m.plane = Message::Plane::kApplication;
+      ctx.send(static_cast<AgentId>(pick), m);
+    }
+    ++events_;
+    if (++sent_ < options_.transfers_per_process) schedule_transfer(ctx);
+    board_.final_balance[static_cast<size_t>(index_)] = balance_;
+  }
+
+  void on_message(AgentContext& ctx, const Message& msg) override {
+    if (msg.type == kTransfer) {
+      balance_ += msg.a;
+      ++events_;
+      // If we are recording the channel the message arrived on, it was in
+      // flight when the snapshot line passed: it belongs to the channel
+      // state.
+      if (recording_[static_cast<size_t>(msg.from)]) board_.recorded_in_flight += msg.a;
+      board_.final_balance[static_cast<size_t>(index_)] = balance_;
+      return;
+    }
+    PREDCTRL_REQUIRE(msg.type == kMarker, "unknown message in bank process");
+    const size_t from = static_cast<size_t>(msg.from);
+    PREDCTRL_REQUIRE(!marker_seen_[from], "duplicate marker on a channel");
+    marker_seen_[from] = true;
+    if (!board_.state_recorded[static_cast<size_t>(index_)]) {
+      // First marker: record state; the delivering channel is empty.
+      record_state_and_emit(ctx);
+    }
+    recording_[from] = false;  // channel's contribution is complete
+    ++board_.channels_done[static_cast<size_t>(index_)];
+  }
+
+ private:
+  void schedule_transfer(AgentContext& ctx) {
+    ctx.set_timer(options_.transfer_gap_min +
+                      ctx.rng().uniform(0, options_.transfer_gap_max -
+                                               options_.transfer_gap_min),
+                  kTransferTimer);
+  }
+
+  void record_state_and_emit(AgentContext& ctx) {
+    board_.state_recorded[static_cast<size_t>(index_)] = true;
+    board_.recorded_balance[static_cast<size_t>(index_)] = balance_;
+    board_.recorded_events[static_cast<size_t>(index_)] = events_;
+    // Record every other incoming channel until its marker arrives...
+    for (int32_t p = 0; p < options_.num_processes; ++p)
+      if (p != index_ && !marker_seen_[static_cast<size_t>(p)])
+        recording_[static_cast<size_t>(p)] = true;
+    // ...and propagate markers on all outgoing channels.
+    for (int32_t p = 0; p < options_.num_processes; ++p) {
+      if (p == index_) continue;
+      Message marker;
+      marker.type = kMarker;
+      marker.plane = Message::Plane::kApplication;
+      ctx.send(p, marker);
+    }
+  }
+
+  int32_t index_;
+  MoneyTransferOptions options_;
+  Board& board_;
+
+  int64_t balance_;
+  int64_t events_ = 0;
+  int32_t sent_ = 0;
+  std::vector<bool> recording_;
+  std::vector<bool> marker_seen_;
+};
+
+}  // namespace
+
+SnapshotResult run_money_transfer_snapshot(const MoneyTransferOptions& options) {
+  PREDCTRL_CHECK(options.num_processes >= 2, "need at least two processes");
+  sim::SimOptions sopt;
+  sopt.seed = options.seed;
+  sopt.fifo_channels = options.fifo_channels;
+
+  Board board(options.num_processes);
+  sim::SimEngine engine(sopt);
+  for (int32_t i = 0; i < options.num_processes; ++i) {
+    board.final_balance[static_cast<size_t>(i)] = options.initial_balance;
+    engine.add_agent(std::make_unique<BankProcess>(i, options, board));
+  }
+  engine.run();
+
+  SnapshotResult result;
+  result.expected_total =
+      static_cast<int64_t>(options.num_processes) * options.initial_balance;
+  result.completed = true;
+  for (int32_t i = 0; i < options.num_processes; ++i) {
+    result.completed = result.completed &&
+                       board.state_recorded[static_cast<size_t>(i)] &&
+                       board.channels_done[static_cast<size_t>(i)] ==
+                           options.num_processes - 1;
+    result.recorded_balances += board.recorded_balance[static_cast<size_t>(i)];
+  }
+  result.recorded_in_flight = board.recorded_in_flight;
+  result.recorded_event_counts = board.recorded_events;
+  result.final_balances = board.final_balance;
+  return result;
+}
+
+}  // namespace predctrl::snapshot

@@ -1,0 +1,140 @@
+// Global states (cuts) and consistency -- paper, Section 3.
+//
+// A global state of a deposet is one local state per process; we represent
+// it by the per-process state indices. G is *consistent* iff its members are
+// pairwise concurrent; the set of consistent global states ordered
+// component-wise forms a lattice with the initial global state (all zeros)
+// as bottom and the final global state as top.
+//
+// Everything here is templated over a `CausalStructure` so the same
+// machinery works for plain deposets and for controlled deposets (which add
+// control edges to happened-before).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <vector>
+
+#include "causality/ids.hpp"
+#include "causality/vector_clock.hpp"
+#include "util/check.hpp"
+
+namespace predctrl {
+
+/// Anything that exposes per-process state chains with precomputed state
+/// vector clocks: Deposet and ControlledDeposet both model this.
+template <typename T>
+concept CausalStructure = requires(const T& t, StateId s, ProcessId p) {
+  { t.num_processes() } -> std::convertible_to<int32_t>;
+  { t.length(p) } -> std::convertible_to<int32_t>;
+  { t.clock(s) } -> std::same_as<const VectorClock&>;
+};
+
+/// A global state: state index per process. Plain value type.
+class Cut {
+ public:
+  Cut() = default;
+  explicit Cut(int32_t num_processes) : idx_(static_cast<size_t>(num_processes), 0) {}
+  explicit Cut(std::vector<int32_t> indices) : idx_(std::move(indices)) {}
+
+  int32_t num_processes() const { return static_cast<int32_t>(idx_.size()); }
+  int32_t operator[](ProcessId p) const { return idx_[static_cast<size_t>(p)]; }
+  int32_t& operator[](ProcessId p) { return idx_[static_cast<size_t>(p)]; }
+  StateId state(ProcessId p) const { return {p, idx_[static_cast<size_t>(p)]}; }
+  const std::vector<int32_t>& indices() const { return idx_; }
+
+  /// The lattice order: G <= H iff G[i] <= H[i] for all i.
+  bool leq(const Cut& other) const {
+    for (size_t i = 0; i < idx_.size(); ++i)
+      if (idx_[i] > other.idx_[i]) return false;
+    return true;
+  }
+
+  Cut join(const Cut& other) const {
+    Cut r(*this);
+    for (size_t i = 0; i < idx_.size(); ++i)
+      if (other.idx_[i] > r.idx_[i]) r.idx_[i] = other.idx_[i];
+    return r;
+  }
+
+  Cut meet(const Cut& other) const {
+    Cut r(*this);
+    for (size_t i = 0; i < idx_.size(); ++i)
+      if (other.idx_[i] < r.idx_[i]) r.idx_[i] = other.idx_[i];
+    return r;
+  }
+
+  friend bool operator==(const Cut&, const Cut&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Cut& c) {
+    os << '(';
+    for (size_t i = 0; i < c.idx_.size(); ++i) {
+      if (i) os << ',';
+      os << c.idx_[i];
+    }
+    return os << ')';
+  }
+
+ private:
+  std::vector<int32_t> idx_;
+};
+
+struct CutHash {
+  size_t operator()(const Cut& c) const noexcept {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (int32_t v : c.indices()) {
+      h ^= static_cast<size_t>(static_cast<uint32_t>(v));
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+/// The initial global state (bottom in the lattice).
+template <CausalStructure CS>
+Cut bottom_cut(const CS& cs) {
+  return Cut(cs.num_processes());
+}
+
+/// The final global state (top in the lattice).
+template <CausalStructure CS>
+Cut top_cut(const CS& cs) {
+  Cut c(cs.num_processes());
+  for (ProcessId p = 0; p < cs.num_processes(); ++p) c[p] = cs.length(p) - 1;
+  return c;
+}
+
+/// True iff the cut's members are pairwise concurrent. O(n^2).
+///
+/// (i, cut[i]) -> (j, cut[j]) holds iff clock(cut.state(j))[i] >= cut[i]:
+/// the clock component is the largest index of a process-i state that
+/// causally precedes-or-equals cut.state(j), and a state of i preceding j's
+/// member means i's member has *finished* -- it cannot coexist with it.
+template <CausalStructure CS>
+bool is_consistent(const CS& cs, const Cut& cut) {
+  const int32_t n = cs.num_processes();
+  PREDCTRL_CHECK(cut.num_processes() == n, "cut width mismatch");
+  for (ProcessId j = 0; j < n; ++j) {
+    PREDCTRL_CHECK(cut[j] >= 0 && cut[j] < cs.length(j), "cut index out of range");
+    const VectorClock& vc = cs.clock(cut.state(j));
+    for (ProcessId i = 0; i < n; ++i)
+      if (i != j && vc[i] >= cut[i]) return false;
+  }
+  return true;
+}
+
+/// Given a consistent cut, true iff advancing process p by one state yields
+/// another consistent cut. O(n): only the new state can introduce a
+/// violation.
+template <CausalStructure CS>
+bool can_advance(const CS& cs, const Cut& cut, ProcessId p) {
+  if (cut[p] + 1 >= cs.length(p)) return false;
+  const VectorClock& vc = cs.clock({p, cut[p] + 1});
+  for (ProcessId i = 0; i < cs.num_processes(); ++i)
+    if (i != p && vc[i] >= cut[i]) return false;
+  return true;
+}
+
+}  // namespace predctrl

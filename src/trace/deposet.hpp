@@ -1,0 +1,123 @@
+// The deposet (decomposed partially-ordered set) model of a distributed
+// computation -- paper, Section 3.
+//
+// A deposet is a tuple (S_1, ..., S_n, im, ~>): per-process sequences of
+// local states, plus message edges s ~> t meaning "the message sent in the
+// event after s is received in the event before t". Happened-before (->) is
+// the transitive closure of im and ~>. A valid deposet satisfies:
+//
+//   D1: no messages are received before the initial state,
+//   D2: no messages are sent after the final state,
+//   D3: a single event does not both send and receive,
+//
+// and (->) is an irreflexive partial order. `Deposet::build` validates all of
+// this and precomputes vector clocks so precedence queries are O(1).
+//
+// Event numbering convention: event k of process p takes state (p, k) to
+// state (p, k+1). A message edge {from, to} is sent by event from.index on
+// from.process and received by event to.index - 1 on to.process.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "causality/clock_computation.hpp"
+#include "causality/ids.hpp"
+#include "causality/vector_clock.hpp"
+
+namespace predctrl {
+
+/// A message edge of a deposet: from ~> to.
+using MessageEdge = CausalEdge;
+
+class Deposet;
+
+/// Incrementally assembles a deposet; `build()` validates and freezes it.
+class DeposetBuilder {
+ public:
+  /// Starts a computation over `num_processes` processes, each initially with
+  /// a single local state (the initial state).
+  explicit DeposetBuilder(int32_t num_processes);
+
+  /// Sets the number of local states of process p (>= 1). States are
+  /// anonymous here; any per-state data (variable values, predicate truth)
+  /// lives in companion structures keyed by StateId.
+  void set_length(ProcessId p, int32_t num_states);
+
+  int32_t length(ProcessId p) const;
+  int32_t num_processes() const { return static_cast<int32_t>(lengths_.size()); }
+
+  /// Records a message edge from ~> to. Endpoint validity (range, D1-D3) is
+  /// checked at build() time so messages can be added before lengths are
+  /// final.
+  void add_message(StateId from, StateId to);
+
+  /// Validates D1-D3 plus acyclicity and produces the immutable deposet.
+  /// Throws std::invalid_argument describing the first violation found.
+  Deposet build() const;
+
+ private:
+  std::vector<int32_t> lengths_;
+  std::vector<MessageEdge> messages_;
+};
+
+/// An immutable, validated deposet with O(1) causal-precedence queries.
+class Deposet {
+ public:
+  /// Empty placeholder (0 processes) so the type can live in aggregates;
+  /// assign a DeposetBuilder::build() result before use.
+  Deposet() = default;
+
+  int32_t num_processes() const { return static_cast<int32_t>(lengths_.size()); }
+  int32_t length(ProcessId p) const { return lengths_[static_cast<size_t>(p)]; }
+  const std::vector<int32_t>& lengths() const { return lengths_; }
+
+  int64_t total_states() const { return total_states_; }
+
+  const std::vector<MessageEdge>& messages() const { return messages_; }
+
+  /// The special initial state of process p (bottom_p in the paper).
+  StateId bottom(ProcessId p) const { return {p, 0}; }
+  /// The special final state of process p (top_p in the paper).
+  StateId top(ProcessId p) const { return {p, length(p) - 1}; }
+
+  bool is_bottom(StateId s) const { return s.index == 0; }
+  bool is_top(StateId s) const { return s.index == length(s.process) - 1; }
+
+  /// Vector clock of a state (see causality/vector_clock.hpp).
+  const VectorClock& clock(StateId s) const {
+    return clocks_[static_cast<size_t>(s.process)][static_cast<size_t>(s.index)];
+  }
+
+  /// a ->= b: a causally precedes b, or a == b.
+  bool precedes_eq(StateId a, StateId b) const {
+    if (a.process == b.process) return a.index <= b.index;
+    return clock(b)[a.process] >= a.index;
+  }
+
+  /// a -> b: a causally precedes b (strict; the paper's "happened before").
+  bool precedes(StateId a, StateId b) const { return a != b && precedes_eq(a, b); }
+
+  /// a || b: neither causally precedes the other.
+  bool concurrent(StateId a, StateId b) const {
+    return !precedes_eq(a, b) && !precedes_eq(b, a);
+  }
+
+  /// True if s is a valid state of this deposet.
+  bool contains(StateId s) const {
+    return s.process >= 0 && s.process < num_processes() && s.index >= 0 &&
+           s.index < length(s.process);
+  }
+
+ private:
+  friend class DeposetBuilder;
+
+  std::vector<int32_t> lengths_;
+  std::vector<MessageEdge> messages_;
+  std::vector<std::vector<VectorClock>> clocks_;
+  int64_t total_states_ = 0;
+};
+
+}  // namespace predctrl

@@ -1,0 +1,56 @@
+#include "trace/dot.hpp"
+
+#include <sstream>
+
+namespace predctrl {
+
+namespace {
+std::string node_name(StateId s) {
+  std::ostringstream os;
+  os << "s_" << s.process << '_' << s.index;
+  return os.str();
+}
+}  // namespace
+
+std::string to_dot(const Deposet& deposet, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph " << options.graph_name << " {\n";
+  os << "  rankdir=LR;\n  node [shape=circle, fontsize=10];\n";
+
+  for (ProcessId p = 0; p < deposet.num_processes(); ++p) {
+    os << "  subgraph cluster_p" << p << " {\n";
+    os << "    label=\"P" << p << "\";\n    style=invis;\n";
+    for (int32_t k = 0; k < deposet.length(p); ++k) {
+      StateId s{p, k};
+      os << "    " << node_name(s) << " [label=\"";
+      if (!options.labels.empty() && static_cast<size_t>(p) < options.labels.size() &&
+          static_cast<size_t>(k) < options.labels[static_cast<size_t>(p)].size()) {
+        os << options.labels[static_cast<size_t>(p)][static_cast<size_t>(k)];
+      } else {
+        os << k;
+      }
+      os << "\"";
+      if (options.predicate != nullptr &&
+          !(*options.predicate)[static_cast<size_t>(p)][static_cast<size_t>(k)]) {
+        os << ", style=filled, fillcolor=gray80";
+      }
+      os << "];\n";
+    }
+    // Chain edges keep the rank order.
+    for (int32_t k = 0; k + 1 < deposet.length(p); ++k)
+      os << "    " << node_name({p, k}) << " -> " << node_name({p, k + 1})
+         << " [weight=10];\n";
+    os << "  }\n";
+  }
+
+  for (const MessageEdge& m : deposet.messages())
+    os << "  " << node_name(m.from) << " -> " << node_name(m.to) << " [constraint=false];\n";
+  for (const CausalEdge& e : options.control_edges)
+    os << "  " << node_name(e.from) << " -> " << node_name(e.to)
+       << " [constraint=false, style=dashed, label=\"ctl\", color=red];\n";
+
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace predctrl

@@ -1,0 +1,33 @@
+// Graphviz (DOT) export of computations as space-time diagrams.
+//
+// Each process is one horizontal rank of state nodes; message edges are
+// drawn solid, control edges (when exporting a controlled deposet) dashed.
+// States that are false under an optional predicate table are shaded --
+// this reproduces the visual language of the paper's Figure 4, where thick
+// intervals mark "server unavailable".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "causality/clock_computation.hpp"
+#include "trace/deposet.hpp"
+#include "trace/random_trace.hpp"
+
+namespace predctrl {
+
+struct DotOptions {
+  std::string graph_name = "computation";
+  /// When set, states with a false local predicate are shaded.
+  const PredicateTable* predicate = nullptr;
+  /// Extra (control) edges, drawn dashed and labelled "ctl".
+  std::vector<CausalEdge> control_edges;
+  /// Optional per-state labels, keyed (process, index); defaults to indices.
+  std::vector<std::vector<std::string>> labels;
+};
+
+/// Renders the computation as a DOT digraph.
+std::string to_dot(const Deposet& deposet, const DotOptions& options = {});
+
+}  // namespace predctrl

@@ -1,0 +1,97 @@
+// Enumeration of the lattice of consistent global states, and validation of
+// global sequences -- paper, Section 3.
+//
+// The set of consistent cuts of a deposet, ordered component-wise, is a
+// distributive lattice; every consistent cut is reachable from the initial
+// global state by advancing one process at a time through consistent cuts.
+// Enumeration is exponential in general -- these routines exist as ground
+// truth oracles for tests and for the (deliberately) brute-force SGSD
+// search, not as production paths.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/cut.hpp"
+
+namespace predctrl {
+
+/// Visits every consistent cut of `cs` exactly once (BFS order from the
+/// initial global state). Stops early if `visit` returns false.
+/// Returns the number of cuts visited.
+template <CausalStructure CS>
+int64_t for_each_consistent_cut(const CS& cs, const std::function<bool(const Cut&)>& visit) {
+  Cut start = bottom_cut(cs);
+  if (!is_consistent(cs, start)) return 0;  // possible for controlled deposets
+
+  std::unordered_set<Cut, CutHash> seen{start};
+  std::deque<Cut> frontier{start};
+  int64_t visited = 0;
+  while (!frontier.empty()) {
+    Cut cur = std::move(frontier.front());
+    frontier.pop_front();
+    ++visited;
+    if (!visit(cur)) return visited;
+    for (ProcessId p = 0; p < cs.num_processes(); ++p) {
+      if (!can_advance(cs, cur, p)) continue;
+      Cut next = cur;
+      ++next[p];
+      if (seen.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return visited;
+}
+
+/// Counts the consistent cuts of `cs`.
+template <CausalStructure CS>
+int64_t count_consistent_cuts(const CS& cs) {
+  return for_each_consistent_cut(cs, [](const Cut&) { return true; });
+}
+
+/// Collects all consistent cuts (use only on small instances).
+template <CausalStructure CS>
+std::vector<Cut> all_consistent_cuts(const CS& cs) {
+  std::vector<Cut> cuts;
+  for_each_consistent_cut(cs, [&](const Cut& c) {
+    cuts.push_back(c);
+    return true;
+  });
+  return cuts;
+}
+
+/// A global sequence (paper, Section 3): a sequence of consistent global
+/// states from the initial to the final global state whose restriction to
+/// each process is that process's full local sequence with stuttering. We
+/// normalize away stutters: each step advances every process by zero or one
+/// states and at least one process advances.
+struct GlobalSequenceCheck {
+  bool ok = false;
+  std::string error;  ///< empty iff ok
+};
+
+template <CausalStructure CS>
+GlobalSequenceCheck check_global_sequence(const CS& cs, const std::vector<Cut>& seq) {
+  auto fail = [](std::string msg) { return GlobalSequenceCheck{false, std::move(msg)}; };
+  if (seq.empty()) return fail("empty sequence");
+  if (!(seq.front() == bottom_cut(cs))) return fail("does not start at the initial global state");
+  if (!(seq.back() == top_cut(cs))) return fail("does not end at the final global state");
+  for (size_t t = 0; t < seq.size(); ++t) {
+    if (seq[t].num_processes() != cs.num_processes()) return fail("cut width mismatch");
+    if (!is_consistent(cs, seq[t])) return fail("contains an inconsistent global state");
+    if (t == 0) continue;
+    bool advanced = false;
+    for (ProcessId p = 0; p < cs.num_processes(); ++p) {
+      int32_t d = seq[t][p] - seq[t - 1][p];
+      if (d < 0 || d > 1) return fail("a step advances a process by more than one state");
+      advanced |= (d == 1);
+    }
+    if (!advanced) return fail("a step advances no process");
+  }
+  return {true, ""};
+}
+
+}  // namespace predctrl

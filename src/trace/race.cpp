@@ -1,0 +1,46 @@
+#include "trace/race.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace predctrl {
+
+bool event_before_eq(const Deposet& deposet, ProcessId p, int32_t a, ProcessId q,
+                     int32_t b) {
+  PREDCTRL_CHECK(a >= 0 && a < deposet.length(p) - 1, "event a out of range");
+  PREDCTRL_CHECK(b >= 0 && b < deposet.length(q) - 1, "event b out of range");
+  if (p == q) return a <= b;
+  // Event a completes state (p, a); event b begins state (q, b + 1):
+  // a happens-before b iff (p, a) finished before (q, b + 1) started.
+  return deposet.precedes({p, a}, {q, b + 1});
+}
+
+RaceAnalysis analyze_races(const Deposet& deposet) {
+  RaceAnalysis result;
+  const auto& messages = deposet.messages();
+  result.total_receives = static_cast<int64_t>(messages.size());
+
+  std::vector<bool> racing(messages.size(), false);
+  for (size_t i = 0; i < messages.size(); ++i) {
+    const MessageEdge& m1 = messages[i];
+    const ProcessId dst = m1.to.process;
+    const int32_t recv1 = m1.to.index - 1;  // the receive event of m1
+    for (size_t j = 0; j < messages.size(); ++j) {
+      if (i == j) continue;
+      const MessageEdge& m2 = messages[j];
+      if (m2.to.process != dst) continue;
+      if (m2.to.index <= m1.to.index) continue;  // only later receives race earlier ones
+      // m2 races r(m1) iff its send is not causally after r(m1).
+      if (event_before_eq(deposet, dst, recv1, m2.from.process, m2.from.index)) continue;
+      racing[i] = true;
+      result.races.push_back({m1, m2});
+    }
+  }
+
+  for (size_t i = 0; i < messages.size(); ++i)
+    if (racing[i]) result.racing_receives.push_back(messages[i]);
+  return result;
+}
+
+}  // namespace predctrl

@@ -1,0 +1,53 @@
+// Message-race analysis for replay tracing -- the substrate behind the
+// paper's related work on replay (Netzer & Miller, "Optimal tracing and
+// replay for debugging message-passing programs", reference [9]; message
+// races are also the bug class of reference [11]).
+//
+// A receive event *races* when some other message could have been delivered
+// to it instead: message m2 races receive r(m1) (same destination process,
+// r(m2) after r(m1)) iff m2's send is not causally after r(m1) -- at the
+// moment r(m1) fired, m2 could already have been in flight. Non-racing
+// receives are fully determined by causality, so a replay system only needs
+// to trace the racing ones; the racing fraction is the trace-size reduction
+// the related work is about (bench_race_analysis measures it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/deposet.hpp"
+
+namespace predctrl {
+
+/// One witness: `could_have_received` could have arrived at the receive
+/// event of `received` instead.
+struct MessageRace {
+  MessageEdge received;
+  MessageEdge could_have_received;
+};
+
+struct RaceAnalysis {
+  /// Receives with at least one race (subset of deposet.messages()); these
+  /// are the events a replay mechanism must trace.
+  std::vector<MessageEdge> racing_receives;
+  /// All witness pairs found.
+  std::vector<MessageRace> races;
+  int64_t total_receives = 0;
+
+  double racing_fraction() const {
+    return total_receives == 0
+               ? 0.0
+               : static_cast<double>(racing_receives.size()) /
+                     static_cast<double>(total_receives);
+  }
+};
+
+/// O(messages^2) pairwise analysis over a traced computation.
+RaceAnalysis analyze_races(const Deposet& deposet);
+
+/// True iff event `a` on process p causally precedes-or-equals event `b` on
+/// process q (events are the paper's state transitions: event k of process
+/// p takes state (p,k) to (p,k+1)).
+bool event_before_eq(const Deposet& deposet, ProcessId p, int32_t a, ProcessId q, int32_t b);
+
+}  // namespace predctrl

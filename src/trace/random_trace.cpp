@@ -1,0 +1,92 @@
+#include "trace/random_trace.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace predctrl {
+
+Deposet random_deposet(const RandomTraceOptions& options, Rng& rng) {
+  const int32_t n = options.num_processes;
+  PREDCTRL_CHECK(n >= 1, "need at least one process");
+  PREDCTRL_CHECK(options.events_per_process >= 0, "negative event budget");
+
+  DeposetBuilder builder(n);
+  std::vector<int32_t> events(static_cast<size_t>(n), 0);  // events generated so far
+  // In-flight messages per destination: the send-side state id.
+  std::vector<std::deque<StateId>> in_flight(static_cast<size_t>(n));
+
+  std::vector<ProcessId> active;
+  for (ProcessId p = 0; p < n; ++p) active.push_back(p);
+
+  while (!active.empty()) {
+    ProcessId p = active[rng.index(active.size())];
+    auto& budget_used = events[static_cast<size_t>(p)];
+    auto& inbox = in_flight[static_cast<size_t>(p)];
+    const bool budget_left = budget_used < options.events_per_process;
+
+    if (!inbox.empty() && (!budget_left || rng.chance(options.receive_probability))) {
+      // Receive event: consumes the oldest in-flight message for p.
+      StateId from = inbox.front();
+      inbox.pop_front();
+      builder.add_message(from, {p, budget_used + 1});
+      ++budget_used;
+    } else if (budget_left && n >= 2 && rng.chance(options.send_probability)) {
+      // Send event from state (p, budget_used) to a random other process.
+      ProcessId q = static_cast<ProcessId>(rng.index(static_cast<size_t>(n) - 1));
+      if (q >= p) ++q;
+      in_flight[static_cast<size_t>(q)].push_back({p, budget_used});
+      ++budget_used;
+    } else if (budget_left) {
+      ++budget_used;  // local event
+    }
+
+    if (budget_used >= options.events_per_process && inbox.empty()) {
+      // Process done (it may be re-activated only through its inbox; since
+      // messages to it may still arrive, re-scan at the end).
+      active.erase(std::find(active.begin(), active.end(), p));
+    }
+  }
+
+  // Drain any messages that were sent to processes after they went inactive.
+  bool drained = true;
+  do {
+    drained = true;
+    for (ProcessId p = 0; p < n; ++p) {
+      auto& inbox = in_flight[static_cast<size_t>(p)];
+      while (!inbox.empty()) {
+        StateId from = inbox.front();
+        inbox.pop_front();
+        builder.add_message(from, {p, events[static_cast<size_t>(p)] + 1});
+        ++events[static_cast<size_t>(p)];
+        drained = false;
+      }
+    }
+  } while (!drained);
+
+  for (ProcessId p = 0; p < n; ++p)
+    builder.set_length(p, events[static_cast<size_t>(p)] + 1);
+  return builder.build();
+}
+
+PredicateTable random_predicate_table(const Deposet& deposet,
+                                      const RandomPredicateOptions& options, Rng& rng) {
+  PredicateTable table(static_cast<size_t>(deposet.num_processes()));
+  for (ProcessId p = 0; p < deposet.num_processes(); ++p) {
+    auto& row = table[static_cast<size_t>(p)];
+    row.resize(static_cast<size_t>(deposet.length(p)));
+    if (options.flip_probability < 0) {
+      for (size_t k = 0; k < row.size(); ++k) row[k] = !rng.chance(options.false_probability);
+    } else {
+      bool value = !rng.chance(options.false_probability);
+      for (size_t k = 0; k < row.size(); ++k) {
+        row[k] = value;
+        if (rng.chance(options.flip_probability)) value = !value;
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace predctrl

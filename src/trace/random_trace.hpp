@@ -1,0 +1,52 @@
+// Random deposet generation.
+//
+// Generates valid deposets by simulating an interleaved execution: events
+// are produced in a global order, a receive only ever consumes a message
+// that was already sent, and every event plays a single role (local, send,
+// or receive), so D1-D3 and acyclicity hold by construction.
+//
+// Used by property tests (small instances checked against exhaustive
+// oracles) and by the scaling benches (large instances).
+#pragma once
+
+#include <vector>
+
+#include "trace/deposet.hpp"
+#include "util/rng.hpp"
+
+namespace predctrl {
+
+struct RandomTraceOptions {
+  int32_t num_processes = 3;
+  /// Approximate number of events per process (the actual count can exceed
+  /// this slightly while in-flight messages drain).
+  int32_t events_per_process = 10;
+  /// Probability that a generated event is a message send.
+  double send_probability = 0.25;
+  /// Probability that a process with deliverable in-flight messages receives
+  /// one instead of taking its own action.
+  double receive_probability = 0.5;
+};
+
+/// Generates a random valid deposet.
+Deposet random_deposet(const RandomTraceOptions& options, Rng& rng);
+
+/// Per-process, per-state truth assignment for the local predicates l_i --
+/// the canonical input shape for interval extraction and the control
+/// algorithms. truth[p][k] is l_p evaluated in state (p, k).
+using PredicateTable = std::vector<std::vector<bool>>;
+
+struct RandomPredicateOptions {
+  /// Probability that a state is `false` under its local predicate.
+  double false_probability = 0.3;
+  /// Probability of *flipping* truth from one state to the next instead of
+  /// drawing it independently; yields longer runs (intervals) when low.
+  /// Negative disables the run-based model (independent draws).
+  double flip_probability = -1.0;
+};
+
+/// Random local-predicate truth table matching the deposet's shape.
+PredicateTable random_predicate_table(const Deposet& deposet,
+                                      const RandomPredicateOptions& options, Rng& rng);
+
+}  // namespace predctrl

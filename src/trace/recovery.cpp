@@ -1,0 +1,50 @@
+#include "trace/recovery.hpp"
+
+#include "util/check.hpp"
+
+namespace predctrl {
+
+RecoveryLine compute_recovery_line(const Deposet& deposet, const Cut& checkpoints) {
+  const int32_t n = deposet.num_processes();
+  PREDCTRL_CHECK(checkpoints.num_processes() == n, "checkpoint width mismatch");
+  for (ProcessId p = 0; p < n; ++p)
+    PREDCTRL_CHECK(checkpoints[p] >= 0 && checkpoints[p] < deposet.length(p),
+                   "checkpoint out of range");
+
+  RecoveryLine result;
+  result.line = checkpoints;
+
+  // Fixpoint: while some pair (i, j) has i's state causally finishing before
+  // j's state starts (an orphan dependency), roll j back until it no longer
+  // knows of i's current state. Componentwise non-increasing, so it
+  // terminates; the result is the greatest consistent cut <= checkpoints
+  // because each lowering is forced (any consistent cut <= checkpoints must
+  // satisfy it).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.rounds;
+    for (ProcessId j = 0; j < n; ++j) {
+      for (ProcessId i = 0; i < n; ++i) {
+        if (i == j) continue;
+        while (result.line[j] > 0 &&
+               deposet.clock({j, result.line[j]})[i] >= result.line[i]) {
+          --result.line[j];
+          changed = true;
+        }
+        // line[j] == 0 cannot causally know anyone (initial states have no
+        // receives by D1), so the loop above always exits in range.
+      }
+    }
+  }
+  PREDCTRL_REQUIRE(is_consistent(deposet, result.line), "recovery line not consistent");
+
+  for (ProcessId p = 0; p < n; ++p) {
+    if (result.line[p] == checkpoints[p]) continue;
+    result.rolled_back.push_back(p);
+    result.states_lost += checkpoints[p] - result.line[p];
+  }
+  return result;
+}
+
+}  // namespace predctrl

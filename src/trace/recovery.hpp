@@ -1,0 +1,40 @@
+// Consistent recovery lines -- the "distributed recovery" application the
+// paper's conclusions name for off-line predicate control.
+//
+// After a fault, each process can roll back to its latest checkpoint; but a
+// set of checkpoints is usable only if it forms a CONSISTENT global state
+// (no orphan messages: received before the line, sent after it). The
+// greatest consistent cut dominated by the checkpoints is the canonical
+// recovery line; rolling back to anything larger replays orphans, anything
+// smaller discards work needlessly. Since consistent cuts are closed under
+// join, that greatest cut exists and the classic fixpoint (repeatedly roll
+// back any process whose checkpoint causally depends on a state after
+// another's) converges to it -- the "domino effect" is the fixpoint taking
+// multiple rounds.
+//
+// Once recovered, the re-execution from the line is a computation known a
+// priori -- exactly where the paper says off-line predicate control applies:
+// synthesize a controller for "the bug does not recur" and replay under it
+// (examples/recovery_replay.cpp walks the full story).
+#pragma once
+
+#include "trace/cut.hpp"
+#include "trace/deposet.hpp"
+
+namespace predctrl {
+
+struct RecoveryLine {
+  /// The greatest consistent cut component-wise <= the checkpoints.
+  Cut line;
+  /// Processes that had to roll back past their chosen checkpoint (the
+  /// domino effect's victims), with the states they lost.
+  std::vector<ProcessId> rolled_back;
+  int64_t states_lost = 0;  ///< sum over processes of checkpoint - line
+  int32_t rounds = 0;       ///< fixpoint iterations (domino depth)
+};
+
+/// Computes the recovery line for per-process checkpoint states
+/// `checkpoints` (one state index per process, each in range).
+RecoveryLine compute_recovery_line(const Deposet& deposet, const Cut& checkpoints);
+
+}  // namespace predctrl

@@ -1,0 +1,44 @@
+// Step semantics: what "a global sequence" may do in one step.
+//
+// The paper's formal model (Section 3) lets a step of a global sequence
+// advance several processes at once ("this does not enforce an interleaving
+// of events since ... multiple local events can take place simultaneously"),
+// and its NP-hardness reduction (Lemma 1) depends on such simultaneous
+// steps. Taken to the letter, this even allows a message's send and receive
+// to occur at the same instant -- a zero-delay synchrony that no blocking
+// controller on a real asynchronous system can enforce.
+//
+// A deployable control strategy lives in real time: events are totally
+// ordered (concurrent events may be ordered either way), so a run passes
+// through every cut of some linearization and the observable global states
+// are exactly those on single-event paths through the lattice.
+//
+// The two readings yield different feasibility notions (kSimultaneous
+// accepts strictly more predicates) and different `crossable` boundary
+// conditions, so the library carries the choice explicitly:
+//
+//  * kRealTime      -- executable semantics. Feasibility = a single-advance
+//                      path of satisfying consistent cuts; control relations
+//                      must additionally be event-acyclic (no controller
+//                      deadlock). This is the default: it is what replay on
+//                      a real system (or our simulator) can actually do.
+//  * kSimultaneous  -- the paper's formal model. Feasibility = a
+//                      multi-advance path; emitted control relations are
+//                      correct for the consistent-cut semantics but may
+//                      deadlock a real replay on knife-edge traces.
+//
+// Note on the paper's crossable(I_i, I_j) = "!(I_i.lo -> I_j.hi)": under
+// kSimultaneous the exact condition is !(I_i.lo -> succ(I_j.hi)), and under
+// kRealTime it is !(pred(I_i.lo) -> succ(I_j.hi)); the literal text is
+// wrong under both (see predicates/intervals.hpp and the randomized
+// exactness suites in tests/test_offline_control.cpp).
+#pragma once
+
+namespace predctrl {
+
+enum class StepSemantics {
+  kRealTime,      ///< executable: single-event steps, deadlock-free control
+  kSimultaneous,  ///< paper model: simultaneous multi-process steps
+};
+
+}  // namespace predctrl

@@ -1,0 +1,108 @@
+#include "trace/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace predctrl {
+
+namespace {
+
+// Reads the next non-comment token.
+std::string next_token(std::istream& is) {
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') {
+      std::string rest;
+      std::getline(is, rest);
+      continue;
+    }
+    return tok;
+  }
+  throw std::invalid_argument("unexpected end of input while parsing");
+}
+
+int64_t next_int(std::istream& is) {
+  std::string tok = next_token(is);
+  try {
+    return std::stoll(tok);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("expected integer, got '" + tok + "'");
+  }
+}
+
+void expect(std::istream& is, const std::string& keyword) {
+  std::string tok = next_token(is);
+  PREDCTRL_CHECK(tok == keyword, "expected '" + keyword + "', got '" + tok + "'");
+}
+
+}  // namespace
+
+void write_deposet(std::ostream& os, const Deposet& deposet) {
+  os << "deposet " << deposet.num_processes() << "\n";
+  os << "lengths";
+  for (ProcessId p = 0; p < deposet.num_processes(); ++p) os << ' ' << deposet.length(p);
+  os << "\n";
+  for (const MessageEdge& m : deposet.messages())
+    os << "msg " << m.from.process << ' ' << m.from.index << ' ' << m.to.process << ' '
+       << m.to.index << "\n";
+  os << "end\n";
+}
+
+Deposet read_deposet(std::istream& is) {
+  expect(is, "deposet");
+  int64_t n = next_int(is);
+  PREDCTRL_CHECK(n >= 1 && n <= (1 << 20), "implausible process count");
+  DeposetBuilder builder(static_cast<int32_t>(n));
+  expect(is, "lengths");
+  for (ProcessId p = 0; p < n; ++p)
+    builder.set_length(p, static_cast<int32_t>(next_int(is)));
+  for (std::string tok = next_token(is); tok != "end"; tok = next_token(is)) {
+    PREDCTRL_CHECK(tok == "msg", "expected 'msg' or 'end', got '" + tok + "'");
+    StateId from{static_cast<ProcessId>(next_int(is)), static_cast<int32_t>(next_int(is))};
+    StateId to{static_cast<ProcessId>(next_int(is)), static_cast<int32_t>(next_int(is))};
+    builder.add_message(from, to);
+  }
+  return builder.build();
+}
+
+void write_predicate_table(std::ostream& os, const PredicateTable& table) {
+  os << "predicate " << table.size() << "\n";
+  for (const auto& row : table) {
+    os << "row " << row.size();
+    for (bool b : row) os << ' ' << (b ? 1 : 0);
+    os << "\n";
+  }
+  os << "end\n";
+}
+
+PredicateTable read_predicate_table(std::istream& is) {
+  expect(is, "predicate");
+  int64_t n = next_int(is);
+  PREDCTRL_CHECK(n >= 1 && n <= (1 << 20), "implausible process count");
+  PredicateTable table(static_cast<size_t>(n));
+  for (auto& row : table) {
+    expect(is, "row");
+    int64_t len = next_int(is);
+    PREDCTRL_CHECK(len >= 1 && len <= (1LL << 30), "implausible row length");
+    row.resize(static_cast<size_t>(len));
+    for (size_t k = 0; k < row.size(); ++k) row[k] = (next_int(is) != 0);
+  }
+  expect(is, "end");
+  return table;
+}
+
+std::string deposet_to_string(const Deposet& deposet) {
+  std::ostringstream os;
+  write_deposet(os, deposet);
+  return os.str();
+}
+
+Deposet deposet_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_deposet(is);
+}
+
+}  // namespace predctrl

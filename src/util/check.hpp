@@ -1,0 +1,39 @@
+// Lightweight runtime-check macros used throughout the library.
+//
+// PREDCTRL_CHECK      -- validates caller-supplied input; throws std::invalid_argument.
+// PREDCTRL_REQUIRE    -- validates internal invariants; throws std::logic_error.
+// Both are always on (they guard algorithmic invariants that must hold even in
+// release builds; the cost is negligible next to the algorithms they guard).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace predctrl::detail {
+
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  if (std::string(kind) == "PREDCTRL_CHECK") throw std::invalid_argument(os.str());
+  throw std::logic_error(os.str());
+}
+
+}  // namespace predctrl::detail
+
+#define PREDCTRL_CHECK(cond, msg)                                              \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::predctrl::detail::throw_check_failure("PREDCTRL_CHECK", #cond,         \
+                                              __FILE__, __LINE__, (msg));      \
+  } while (false)
+
+#define PREDCTRL_REQUIRE(cond, msg)                                            \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::predctrl::detail::throw_check_failure("PREDCTRL_REQUIRE", #cond,       \
+                                              __FILE__, __LINE__, (msg));      \
+  } while (false)

@@ -1,0 +1,28 @@
+#include "util/logging.hpp"
+
+namespace predctrl {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  std::cerr << "[predctrl " << level_name(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace predctrl

@@ -1,0 +1,39 @@
+// Minimal leveled logger.
+//
+// The library itself is silent by default; examples and benches raise the
+// level to narrate what is happening. Not thread-safe by design: the
+// simulator is single-threaded (discrete events), and tests set the level
+// once up front.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace predctrl {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace predctrl
+
+#define PREDCTRL_LOG(level, stream_expr)                                  \
+  do {                                                                    \
+    if (static_cast<int>(level) >= static_cast<int>(::predctrl::log_level())) { \
+      std::ostringstream os_;                                             \
+      os_ << stream_expr;                                                 \
+      ::predctrl::detail::log_emit(level, os_.str());                     \
+    }                                                                     \
+  } while (false)
+
+#define PREDCTRL_DEBUG(s) PREDCTRL_LOG(::predctrl::LogLevel::kDebug, s)
+#define PREDCTRL_INFO(s) PREDCTRL_LOG(::predctrl::LogLevel::kInfo, s)
+#define PREDCTRL_WARN(s) PREDCTRL_LOG(::predctrl::LogLevel::kWarn, s)
+#define PREDCTRL_ERROR(s) PREDCTRL_LOG(::predctrl::LogLevel::kError, s)

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/cut.hpp"
+#include "trace/lattice.hpp"
+#include "trace/random_trace.hpp"
+
+namespace predctrl {
+namespace {
+
+Deposet ping_pong() {
+  DeposetBuilder b(2);
+  b.set_length(0, 4);
+  b.set_length(1, 4);
+  b.add_message({0, 0}, {1, 1});
+  b.add_message({1, 1}, {0, 2});
+  return b.build();
+}
+
+// Brute-force consistency oracle from the message-closure view: a cut is
+// consistent iff for every message s ~> t, if the receiver has reached (or
+// passed) t then the sender has *left* s.
+bool consistent_oracle(const Deposet& d, const Cut& cut) {
+  for (const MessageEdge& m : d.messages())
+    if (cut[m.to.process] >= m.to.index && cut[m.from.process] <= m.from.index) return false;
+  return true;
+}
+
+TEST(Cut, OrderJoinMeet) {
+  Cut a(std::vector<int32_t>{1, 3});
+  Cut b(std::vector<int32_t>{2, 2});
+  EXPECT_FALSE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+  EXPECT_EQ(a.join(b), Cut(std::vector<int32_t>{2, 3}));
+  EXPECT_EQ(a.meet(b), Cut(std::vector<int32_t>{1, 2}));
+  EXPECT_TRUE(a.meet(b).leq(a));
+  EXPECT_TRUE(a.leq(a.join(b)));
+}
+
+TEST(Cut, BottomAndTopAreConsistent) {
+  Deposet d = ping_pong();
+  EXPECT_TRUE(is_consistent(d, bottom_cut(d)));
+  EXPECT_TRUE(is_consistent(d, top_cut(d)));
+}
+
+TEST(Cut, MessageMakesCutInconsistent) {
+  Deposet d = ping_pong();
+  // P1 received ((1,1)) but P0 has not left the sending state (0,0).
+  EXPECT_FALSE(is_consistent(d, Cut(std::vector<int32_t>{0, 1})));
+  // Once P0 is at state 1, the receive is covered.
+  EXPECT_TRUE(is_consistent(d, Cut(std::vector<int32_t>{1, 1})));
+}
+
+TEST(Cut, ConsistencyMatchesOracleOnPingPong) {
+  Deposet d = ping_pong();
+  for (int32_t i = 0; i < d.length(0); ++i)
+    for (int32_t j = 0; j < d.length(1); ++j) {
+      Cut c(std::vector<int32_t>{i, j});
+      EXPECT_EQ(is_consistent(d, c), consistent_oracle(d, c)) << c;
+    }
+}
+
+TEST(Lattice, EnumeratesAllConsistentCutsOfPingPong) {
+  Deposet d = ping_pong();
+  int64_t brute = 0;
+  for (int32_t i = 0; i < d.length(0); ++i)
+    for (int32_t j = 0; j < d.length(1); ++j)
+      if (consistent_oracle(d, Cut(std::vector<int32_t>{i, j}))) ++brute;
+  EXPECT_EQ(count_consistent_cuts(d), brute);
+}
+
+TEST(Lattice, IndependentProcessesFormFullGrid) {
+  DeposetBuilder b(2);
+  b.set_length(0, 3);
+  b.set_length(1, 5);
+  Deposet d = b.build();
+  EXPECT_EQ(count_consistent_cuts(d), 15);
+}
+
+TEST(Lattice, EarlyStopHonored) {
+  DeposetBuilder b(2);
+  b.set_length(0, 10);
+  b.set_length(1, 10);
+  Deposet d = b.build();
+  int64_t seen = for_each_consistent_cut(d, [](const Cut&) { return false; });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(Lattice, JoinAndMeetOfConsistentCutsAreConsistent) {
+  // Lattice closure property on a random deposet.
+  Rng rng(7);
+  RandomTraceOptions opt;
+  opt.num_processes = 3;
+  opt.events_per_process = 5;
+  Deposet d = random_deposet(opt, rng);
+  std::vector<Cut> cuts = all_consistent_cuts(d);
+  for (size_t a = 0; a < cuts.size(); a += 3)
+    for (size_t b2 = a; b2 < cuts.size(); b2 += 5) {
+      EXPECT_TRUE(is_consistent(d, cuts[a].join(cuts[b2])));
+      EXPECT_TRUE(is_consistent(d, cuts[a].meet(cuts[b2])));
+    }
+}
+
+class LatticeRandomized : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: the O(n^2) vector-clock consistency test agrees with the
+// message-closure oracle on every cut of a random computation, and the BFS
+// enumerator finds exactly the consistent cuts.
+TEST_P(LatticeRandomized, ConsistencyAgreesWithOracleEverywhere) {
+  Rng rng(GetParam());
+  RandomTraceOptions opt;
+  opt.num_processes = static_cast<int32_t>(2 + rng.index(2));
+  opt.events_per_process = static_cast<int32_t>(3 + rng.index(4));
+  opt.send_probability = 0.35;
+  Deposet d = random_deposet(opt, rng);
+
+  // Exhaustive over the full (possibly inconsistent) grid.
+  int64_t consistent_count = 0;
+  std::vector<int32_t> idx(static_cast<size_t>(d.num_processes()), 0);
+  while (true) {
+    Cut c{idx};
+    EXPECT_EQ(is_consistent(d, c), consistent_oracle(d, c)) << c;
+    if (consistent_oracle(d, c)) ++consistent_count;
+    // Odometer increment.
+    int32_t p = 0;
+    for (; p < d.num_processes(); ++p) {
+      if (++idx[static_cast<size_t>(p)] < d.length(p)) break;
+      idx[static_cast<size_t>(p)] = 0;
+    }
+    if (p == d.num_processes()) break;
+  }
+  EXPECT_EQ(count_consistent_cuts(d), consistent_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatticeRandomized,
+                         ::testing::Range<uint64_t>(0, 25));
+
+TEST(GlobalSequence, AcceptsValidSequence) {
+  Deposet d = ping_pong();
+  std::vector<Cut> seq{
+      Cut(std::vector<int32_t>{0, 0}), Cut(std::vector<int32_t>{1, 0}),
+      Cut(std::vector<int32_t>{1, 1}),
+      Cut(std::vector<int32_t>{2, 2}),  // simultaneous advance
+      Cut(std::vector<int32_t>{3, 3})};
+  EXPECT_TRUE(check_global_sequence(d, seq).ok) << check_global_sequence(d, seq).error;
+}
+
+TEST(GlobalSequence, RejectsInconsistentState) {
+  Deposet d = ping_pong();
+  std::vector<Cut> seq{Cut(std::vector<int32_t>{0, 0}), Cut(std::vector<int32_t>{0, 1}),
+                       Cut(std::vector<int32_t>{1, 1}), Cut(std::vector<int32_t>{2, 2}),
+                       Cut(std::vector<int32_t>{3, 3})};
+  auto r = check_global_sequence(d, seq);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("inconsistent"), std::string::npos);
+}
+
+TEST(GlobalSequence, RejectsSkippedStates) {
+  Deposet d = ping_pong();
+  std::vector<Cut> seq{Cut(std::vector<int32_t>{0, 0}), Cut(std::vector<int32_t>{2, 0}),
+                       Cut(std::vector<int32_t>{3, 3})};
+  EXPECT_FALSE(check_global_sequence(d, seq).ok);
+}
+
+TEST(GlobalSequence, RejectsWrongEndpoints) {
+  Deposet d = ping_pong();
+  EXPECT_FALSE(check_global_sequence(d, {Cut(std::vector<int32_t>{1, 0})}).ok);
+  EXPECT_FALSE(check_global_sequence(d, {}).ok);
+}
+
+}  // namespace
+}  // namespace predctrl

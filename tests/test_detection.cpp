@@ -1,0 +1,185 @@
+#include "predicates/detection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "predicates/global_predicate.hpp"
+#include "trace/lattice.hpp"
+#include "trace/random_trace.hpp"
+
+namespace predctrl {
+namespace {
+
+Deposet grid(int32_t n, int32_t len) {
+  DeposetBuilder b(n);
+  for (ProcessId p = 0; p < n; ++p) b.set_length(p, len);
+  return b.build();
+}
+
+TEST(WeakConjunctive, DetectsSimpleOverlap) {
+  Deposet d = grid(2, 4);
+  // c_0 true at {1,2}, c_1 true at {2}: least satisfying cut (1, 2).
+  PredicateTable cond{{false, true, true, false}, {false, false, true, false}};
+  auto r = detect_weak_conjunctive(d, cond);
+  ASSERT_TRUE(r.detected);
+  EXPECT_EQ(r.first_cut, Cut(std::vector<int32_t>{1, 2}));
+}
+
+TEST(WeakConjunctive, NotDetectedWhenAProcessNeverSatisfies) {
+  Deposet d = grid(2, 3);
+  PredicateTable cond{{true, true, true}, {false, false, false}};
+  EXPECT_FALSE(detect_weak_conjunctive(d, cond).detected);
+}
+
+TEST(WeakConjunctive, CausalityForcesAdvance) {
+  // P0's only satisfying state precedes P1's, so they cannot coexist; P0
+  // must advance to its second satisfying state.
+  DeposetBuilder b(2);
+  b.set_length(0, 4);
+  b.set_length(1, 3);
+  b.add_message({0, 1}, {1, 1});  // (0,1) -> (1,1): they cannot coexist
+  Deposet d = b.build();
+  PredicateTable cond{{false, true, false, true}, {false, true, false}};
+  auto r = detect_weak_conjunctive(d, cond);
+  ASSERT_TRUE(r.detected);
+  EXPECT_EQ(r.first_cut, Cut(std::vector<int32_t>{3, 1}));
+}
+
+TEST(WeakConjunctive, UndetectableWhenCausalChainExhausts) {
+  DeposetBuilder b(2);
+  b.set_length(0, 3);
+  b.set_length(1, 3);
+  b.add_message({0, 1}, {1, 1});
+  Deposet d = b.build();
+  // P0 satisfies only at 1; P1 only at 1; (0,1) -> (1,1) kills the pair and
+  // P0 has no later satisfying state.
+  PredicateTable cond{{false, true, false}, {false, true, false}};
+  EXPECT_FALSE(detect_weak_conjunctive(d, cond).detected);
+}
+
+class WeakConjunctiveRandom : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: the O(n^2 S) detector agrees with the exhaustive lattice filter,
+// and when detected, returns the least satisfying cut.
+TEST_P(WeakConjunctiveRandom, AgreesWithExhaustiveOracle) {
+  Rng rng(GetParam());
+  RandomTraceOptions opt;
+  opt.num_processes = static_cast<int32_t>(2 + rng.index(3));
+  opt.events_per_process = static_cast<int32_t>(3 + rng.index(5));
+  Deposet d = random_deposet(opt, rng);
+  RandomPredicateOptions popt;
+  popt.false_probability = 0.5;
+  PredicateTable cond = random_predicate_table(d, popt, rng);
+
+  std::vector<Cut> oracle = all_conjunctive_cuts(d, cond);
+  auto r = detect_weak_conjunctive(d, cond);
+  EXPECT_EQ(r.detected, !oracle.empty());
+  if (r.detected) {
+    // Least: below-or-equal every satisfying cut.
+    for (const Cut& c : oracle) EXPECT_TRUE(r.first_cut.leq(c)) << r.first_cut << " vs " << c;
+    bool found = false;
+    for (const Cut& c : oracle) found |= (c == r.first_cut);
+    EXPECT_TRUE(found);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeakConjunctiveRandom, ::testing::Range<uint64_t>(0, 40));
+
+TEST(Sgsd, TrivialFeasibleWhenPredicateAlwaysTrue) {
+  Deposet d = grid(2, 3);
+  auto r = find_satisfying_global_sequence(d, [](const Cut&) { return true; });
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(check_global_sequence(d, r.sequence).ok);
+}
+
+TEST(Sgsd, InfeasibleWhenBottomViolates) {
+  Deposet d = grid(2, 3);
+  auto r = find_satisfying_global_sequence(
+      d, [](const Cut& c) { return c[0] + c[1] > 0; });
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Sgsd, RequiresSimultaneousAdvance) {
+  // B = (x0 == x1): only the diagonal satisfies; a sequence exists but only
+  // with simultaneous steps. This is the essence of the Lemma 1 gadget --
+  // and exactly what real-time (single-event) runs cannot do.
+  Deposet d = grid(2, 4);
+  auto diag = [](const Cut& c) { return c[0] == c[1]; };
+  auto r = find_satisfying_global_sequence(d, diag, StepSemantics::kSimultaneous);
+  ASSERT_TRUE(r.feasible);
+  auto chk = check_global_sequence(d, r.sequence);
+  EXPECT_TRUE(chk.ok) << chk.error;
+  for (const Cut& c : r.sequence) EXPECT_EQ(c[0], c[1]);
+
+  EXPECT_FALSE(find_satisfying_global_sequence(d, diag, StepSemantics::kRealTime).feasible);
+}
+
+TEST(Sgsd, InfeasibleWhenDiagonalBroken) {
+  Deposet d = grid(2, 4);
+  auto r = find_satisfying_global_sequence(
+      d,
+      [](const Cut& c) { return c[0] == c[1] && !(c[0] == 2 && c[1] == 2); },
+      StepSemantics::kSimultaneous);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(Sgsd, RealTimeSequencesAdvanceOneProcessPerStep) {
+  Deposet d = grid(3, 3);
+  auto r = find_satisfying_global_sequence(d, [](const Cut&) { return true; },
+                                           StepSemantics::kRealTime);
+  ASSERT_TRUE(r.feasible);
+  for (size_t t = 1; t < r.sequence.size(); ++t) {
+    int32_t moved = 0;
+    for (ProcessId p = 0; p < 3; ++p) moved += r.sequence[t][p] - r.sequence[t - 1][p];
+    EXPECT_EQ(moved, 1);
+  }
+}
+
+TEST(Sgsd, TruncationReported) {
+  Deposet d = grid(4, 8);
+  auto r = find_satisfying_global_sequence(
+      d, [](const Cut& c) { return c[0] != 7 || c[1] == 7; },
+      StepSemantics::kSimultaneous, /*max_expansions=*/10);
+  EXPECT_TRUE(r.truncated);
+}
+
+TEST(Sgsd, RespectsCausality) {
+  DeposetBuilder b(2);
+  b.set_length(0, 3);
+  b.set_length(1, 3);
+  b.add_message({0, 0}, {1, 1});
+  Deposet d = b.build();
+  auto r = find_satisfying_global_sequence(d, [](const Cut&) { return true; });
+  ASSERT_TRUE(r.feasible);
+  auto chk = check_global_sequence(d, r.sequence);
+  EXPECT_TRUE(chk.ok) << chk.error;
+}
+
+class SgsdRandom : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: SGSD feasibility matches a direct reachability computation over
+// the satisfying sub-lattice, and returned sequences validate.
+TEST_P(SgsdRandom, SequencesValidateAndSatisfy) {
+  Rng rng(GetParam());
+  RandomTraceOptions opt;
+  opt.num_processes = static_cast<int32_t>(2 + rng.index(2));
+  opt.events_per_process = static_cast<int32_t>(3 + rng.index(4));
+  Deposet d = random_deposet(opt, rng);
+  RandomPredicateOptions popt;
+  popt.false_probability = 0.35;
+  PredicateTable table = random_predicate_table(d, popt, rng);
+  auto pred = [&](const Cut& c) { return eval_disjunctive(table, c); };
+
+  auto r = find_satisfying_global_sequence(d, pred);
+  ASSERT_FALSE(r.truncated);
+  if (r.feasible) {
+    auto chk = check_global_sequence(d, r.sequence);
+    EXPECT_TRUE(chk.ok) << chk.error;
+    for (const Cut& c : r.sequence) EXPECT_TRUE(pred(c)) << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SgsdRandom, ::testing::Range<uint64_t>(100, 140));
+
+}  // namespace
+}  // namespace predctrl

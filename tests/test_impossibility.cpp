@@ -1,0 +1,136 @@
+// Theorem 3 (paper, Section 6): on-line predicate control for non-trivial
+// disjunctive predicates is impossible without the assumptions
+//
+//   A1: no process blocks while its local predicate is false,
+//   A2: l_i holds at the final state.
+//
+// The theorem's counter-example shape: if a process may sit in a false state
+// indefinitely, any controller that lets a second process go false risks an
+// all-false global state, and any controller that doesn't must block it
+// forever. We exhibit the scenario against the scapegoat strategy: a process
+// that violates A1 (enters its CS and never leaves) wedges the handoff, and
+// the engine's quiescence detector reports the deadlock -- while the same
+// workload with A1 restored completes.
+#include <gtest/gtest.h>
+
+#include "mutex/kmutex.hpp"
+#include "online/scapegoat.hpp"
+#include "runtime/sim.hpp"
+
+namespace predctrl::online {
+namespace {
+
+using sim::AgentContext;
+using sim::AgentId;
+using sim::Message;
+using sim::SimEngine;
+
+// Requests its CS once and never exits: a direct violation of A1.
+class StuckProcess : public sim::Agent {
+ public:
+  StuckProcess(AgentId guard) : guard_(guard) {}
+  void on_start(AgentContext& ctx) override {
+    Message req;
+    req.type = kWantFalse;
+    req.plane = Message::Plane::kLocal;
+    ctx.send(guard_, req);
+  }
+  void on_message(AgentContext& ctx, const Message& msg) override {
+    ASSERT_EQ(msg.type, kGrant);
+    in_cs_ = true;
+    (void)ctx;  // never exits, never notifies kNowTrue
+  }
+  bool in_cs() const { return in_cs_; }
+
+ private:
+  AgentId guard_;
+  bool in_cs_ = false;
+};
+
+// Requests its CS once after a delay, exiting properly afterwards.
+class PoliteProcess : public sim::Agent {
+ public:
+  PoliteProcess(AgentId guard) : guard_(guard) {}
+  void on_start(AgentContext& ctx) override { ctx.set_timer(50'000, 1); }
+  void on_timer(AgentContext& ctx, int64_t id) override {
+    if (id == 1) {
+      ctx.mark_waiting("CS grant");
+      Message req;
+      req.type = kWantFalse;
+      req.plane = Message::Plane::kLocal;
+      ctx.send(guard_, req);
+    } else {
+      Message rel;
+      rel.type = kNowTrue;
+      rel.plane = Message::Plane::kLocal;
+      ctx.send(guard_, rel);
+      entered_and_left_ = true;
+    }
+  }
+  void on_message(AgentContext& ctx, const Message& msg) override {
+    ASSERT_EQ(msg.type, kGrant);
+    ctx.mark_done();
+    ctx.set_timer(2'000, 2);
+  }
+  bool entered_and_left() const { return entered_and_left_; }
+
+ private:
+  AgentId guard_;
+  bool entered_and_left_ = false;
+};
+
+TEST(Impossibility, A1ViolationWedgesTheStrategy) {
+  SimEngine engine;
+  // Agents: 0 = stuck process, 1 = polite process, 2/3 = their controllers.
+  auto stuck = std::make_unique<StuckProcess>(2);
+  auto polite = std::make_unique<PoliteProcess>(3);
+  StuckProcess* stuck_p = stuck.get();
+  PoliteProcess* polite_p = polite.get();
+  engine.add_agent(std::move(stuck));
+  engine.add_agent(std::move(polite));
+  ScapegoatOptions opt;
+  opt.initial_scapegoat = 1;  // the polite process starts as scapegoat
+  engine.add_agent(std::make_unique<ScapegoatController>(
+      std::vector<AgentId>{2, 3}, 0, 0, opt));
+  engine.add_agent(std::make_unique<ScapegoatController>(
+      std::vector<AgentId>{2, 3}, 1, 1, opt));
+  engine.run();
+
+  // The stuck process got in immediately (its controller was not the
+  // scapegoat). The polite process -- the scapegoat -- must hand off to the
+  // stuck process's controller, whose process never becomes true again:
+  // the handoff blocks forever.
+  EXPECT_TRUE(stuck_p->in_cs());
+  EXPECT_FALSE(polite_p->entered_and_left());
+  auto blocked = engine.blocked_agents();
+  ASSERT_FALSE(blocked.empty());
+  bool controller_wedged = false;
+  bool process_wedged = false;
+  for (const auto& [id, why] : blocked) {
+    controller_wedged |= (id == 3 && why.find("ack") != std::string::npos);
+    process_wedged |= (id == 1);
+  }
+  EXPECT_TRUE(controller_wedged);
+  EXPECT_TRUE(process_wedged);
+
+  // Note the safety half of the dilemma: had the controller granted instead
+  // of blocking, both processes would have been in their CS with n = 2 --
+  // the all-false global state. Blocking forever or violating B are the only
+  // options, which is Theorem 3's impossibility.
+}
+
+TEST(Impossibility, SameShapeWithA1Completes) {
+  // Identical topology, but the "stuck" process is replaced by a workload
+  // process that honours A1: everything completes.
+  mutex::CsWorkloadOptions o;
+  o.num_processes = 2;
+  o.cs_per_process = 5;
+  o.seed = 9;
+  auto r = mutex::run_scapegoat_mutex(o);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.cs_entries, 10);
+  EXPECT_LE(r.max_concurrent_cs, 1);
+}
+
+}  // namespace
+}  // namespace predctrl::online

@@ -1,0 +1,338 @@
+#include "control/offline_disjunctive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "predicates/detection.hpp"
+#include "predicates/global_predicate.hpp"
+#include "trace/lattice.hpp"
+#include "trace/random_trace.hpp"
+#include "trace/serialize.hpp"
+
+namespace predctrl {
+namespace {
+
+Deposet grid(int32_t n, int32_t len) {
+  DeposetBuilder b(n);
+  for (ProcessId p = 0; p < n; ++p) b.set_length(p, len);
+  return b.build();
+}
+
+// Two-process mutual exclusion trace from the paper's example list:
+// B = !cs_0 || !cs_1. Each process enters the critical section once, with no
+// messages, so uncontrolled runs can overlap the sections.
+struct MutexTrace {
+  Deposet deposet = grid(2, 5);
+  // cs during states 1..2 on P0, states 2..3 on P1 -> l_p = "not in cs".
+  PredicateTable predicate{{true, false, false, true, true},
+                           {true, true, false, false, true}};
+};
+
+TEST(OfflineControl, MutexTraceBecomesSafe) {
+  MutexTrace t;
+  // Uncontrolled, a violating cut exists (both in cs): e.g. (1, 2).
+  EXPECT_FALSE(satisfies_everywhere(
+      t.deposet, [&](const Cut& c) { return eval_disjunctive(t.predicate, c); }));
+
+  OfflineControlResult r = control_disjunctive_offline(t.deposet, t.predicate);
+  ASSERT_TRUE(r.controllable);
+  EXPECT_FALSE(r.control.empty());
+
+  auto cd = ControlledDeposet::create(t.deposet, r.control);
+  ASSERT_TRUE(cd.has_value());
+  EXPECT_TRUE(satisfies_everywhere(
+      *cd, [&](const Cut& c) { return eval_disjunctive(t.predicate, c); }));
+}
+
+TEST(OfflineControl, NoControlNeededWhenAProcessIsAlwaysTrue) {
+  Deposet d = grid(3, 4);
+  PredicateTable pred{{false, false, false, false},
+                      {true, true, true, true},
+                      {false, true, false, true}};
+  OfflineControlResult r = control_disjunctive_offline(d, pred);
+  ASSERT_TRUE(r.controllable);
+  EXPECT_TRUE(r.control.empty());
+}
+
+TEST(OfflineControl, InfeasibleWhenBottomAllFalse) {
+  Deposet d = grid(2, 4);
+  PredicateTable pred{{false, true, true, true}, {false, true, true, true}};
+  OfflineControlResult r = control_disjunctive_offline(d, pred);
+  EXPECT_FALSE(r.controllable);
+  ASSERT_EQ(r.blocking_intervals.size(), 2u);
+  EXPECT_TRUE(is_overlapping_set(d, r.blocking_intervals));
+}
+
+TEST(OfflineControl, InfeasibleWhenTopAllFalse) {
+  Deposet d = grid(2, 4);
+  PredicateTable pred{{true, true, true, false}, {true, true, true, false}};
+  OfflineControlResult r = control_disjunctive_offline(d, pred);
+  EXPECT_FALSE(r.controllable);
+}
+
+TEST(OfflineControl, CausallyForcedOverlapIsInfeasible) {
+  // Messages pin P0's false interval inside P1's: every sequence hits a
+  // global state with both false.
+  DeposetBuilder b(2);
+  b.set_length(0, 6);
+  b.set_length(1, 6);
+  // P1 enters its interval, then tells P0; P0 crosses its interval and
+  // tells P1; only then does P1 leave its interval.
+  b.add_message({1, 1}, {0, 2});  // P1 (inside interval) -> P0 before its interval
+  b.add_message({0, 4}, {1, 4});  // P0 (after its interval) -> P1 before leaving
+  Deposet d = b.build();
+  PredicateTable pred{{true, true, true, false, true, true},
+                      {true, false, false, false, false, true}};
+  // Sanity: P1 is false during [1..4]; P0's false state 3 sits causally
+  // inside it.
+  OfflineControlResult r = control_disjunctive_offline(d, pred);
+  EXPECT_FALSE(r.controllable);
+  // Cross-check with the exhaustive SGSD oracle.
+  auto sgsd = find_satisfying_global_sequence(
+      d, [&](const Cut& c) { return eval_disjunctive(pred, c); });
+  EXPECT_FALSE(sgsd.feasible);
+}
+
+TEST(OfflineControl, HappensBeforeControlViaPredicate) {
+  // Paper example (3): "x must happen before y" as after_x || before_y.
+  // Event x = P0's event 1 (after_x true from state 2); event y = P1's
+  // event 2 (before_y true until state 2).
+  Deposet d = grid(2, 5);
+  PredicateTable pred{{false, false, true, true, true},   // after_x
+                      {true, true, true, false, false}};  // before_y
+  OfflineControlResult r = control_disjunctive_offline(d, pred);
+  ASSERT_TRUE(r.controllable);
+  auto cd = ControlledDeposet::create(d, r.control);
+  ASSERT_TRUE(cd.has_value());
+  // In every consistent cut of the controlled computation, y not yet
+  // executed or x already executed.
+  EXPECT_TRUE(satisfies_everywhere(
+      *cd, [&](const Cut& c) { return c[0] >= 2 || c[1] <= 2; }));
+}
+
+class OfflineControlRandom
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int, int, int>> {};
+
+// The central property suite. For random small computations and random
+// disjunctive predicates, under every implementation/selection/semantics
+// combination:
+//  * if the algorithm emits a controller, the controlled deposet is
+//    non-interfering and satisfies B in every consistent global state
+//    (equivalently: every controlled global sequence satisfies B), the
+//    relation has at most one edge per crossed interval (O(np)), and --
+//    under kRealTime -- is deadlock-free (event-acyclic);
+//  * if it reports "No Controller Exists", the exhaustive SGSD search under
+//    the same step semantics confirms B is infeasible (exactness).
+TEST_P(OfflineControlRandom, MatchesExhaustiveOracle) {
+  const uint64_t seed = std::get<0>(GetParam());
+  OfflineControlOptions opt;
+  opt.impl = static_cast<ValidPairsImpl>(std::get<1>(GetParam()));
+  opt.select = static_cast<SelectPolicy>(std::get<2>(GetParam()));
+  opt.semantics = static_cast<StepSemantics>(std::get<3>(GetParam()));
+  opt.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+
+  Rng rng(seed);
+  RandomTraceOptions topt;
+  topt.num_processes = static_cast<int32_t>(2 + rng.index(3));
+  topt.events_per_process = static_cast<int32_t>(3 + rng.index(5));
+  topt.send_probability = 0.3;
+  Deposet d = random_deposet(topt, rng);
+
+  RandomPredicateOptions popt;
+  popt.false_probability = 0.45;
+  PredicateTable pred = random_predicate_table(d, popt, rng);
+  auto B = [&](const Cut& c) { return eval_disjunctive(pred, c); };
+
+  OfflineControlResult r = control_disjunctive_offline(d, pred, opt);
+
+  int64_t total_intervals = 0;
+  for (const auto& s : extract_false_intervals(pred)) total_intervals += s.size();
+
+  if (r.controllable) {
+    EXPECT_LE(static_cast<int64_t>(r.control.size()), total_intervals);
+    auto cd = ControlledDeposet::create(d, r.control);
+    ASSERT_TRUE(cd.has_value()) << "algorithm produced an interfering relation";
+    if (opt.semantics == StepSemantics::kRealTime) {
+      EXPECT_TRUE(cd->realizable()) << "algorithm produced a deadlocking relation";
+    }
+    Cut witness;
+    bool safe = satisfies_everywhere(*cd, B, &witness);
+    EXPECT_TRUE(safe) << "controlled deposet violates B at " << witness;
+  } else {
+    auto sgsd = find_satisfying_global_sequence(d, B, opt.semantics);
+    ASSERT_FALSE(sgsd.truncated);
+    EXPECT_FALSE(sgsd.feasible)
+        << "algorithm said No Controller Exists but a satisfying sequence exists";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OfflineControlRandom,
+    ::testing::Combine(::testing::Range<uint64_t>(0, 40), ::testing::Values(0, 1),
+                       ::testing::Values(0, 1, 2), ::testing::Values(0, 1)));
+
+// Completeness direction: whenever the oracle says feasible, the algorithm
+// must find a controller (and vice versa), across many random instances and
+// both step semantics.
+class OfflineControlExactness
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(OfflineControlExactness, FeasibleIffControllable) {
+  Rng rng(std::get<0>(GetParam()) + 10'000);
+  const auto semantics = static_cast<StepSemantics>(std::get<1>(GetParam()));
+  RandomTraceOptions topt;
+  topt.num_processes = static_cast<int32_t>(2 + rng.index(2));
+  topt.events_per_process = static_cast<int32_t>(3 + rng.index(4));
+  Deposet d = random_deposet(topt, rng);
+  RandomPredicateOptions popt;
+  popt.false_probability = 0.5;
+  PredicateTable pred = random_predicate_table(d, popt, rng);
+  auto B = [&](const Cut& c) { return eval_disjunctive(pred, c); };
+
+  OfflineControlOptions opt;
+  opt.semantics = semantics;
+  OfflineControlResult r = control_disjunctive_offline(d, pred, opt);
+  auto sgsd = find_satisfying_global_sequence(d, B, semantics);
+  ASSERT_FALSE(sgsd.truncated);
+  EXPECT_EQ(r.controllable, sgsd.feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OfflineControlExactness,
+                         ::testing::Combine(::testing::Range<uint64_t>(0, 80),
+                                            ::testing::Values(0, 1)));
+
+TEST(OfflineControl, SemanticsDifferOnKnifeEdgeTrace) {
+  // A trace where exiting P1's false interval is enabled by the very message
+  // that begins P0's false interval: under the paper's simultaneous-step
+  // model a controller exists (P0 enters exactly as P1 exits), but no
+  // real-time controller can avoid the all-false cut (1, 0).
+  DeposetBuilder b(2);
+  b.set_length(0, 3);
+  b.set_length(1, 3);
+  b.add_message({0, 0}, {1, 1});
+  Deposet d = b.build();
+  PredicateTable pred{{true, false, true}, {false, true, true}};
+
+  OfflineControlOptions realtime;
+  realtime.semantics = StepSemantics::kRealTime;
+  EXPECT_FALSE(control_disjunctive_offline(d, pred, realtime).controllable);
+  EXPECT_FALSE(find_satisfying_global_sequence(
+                   d, [&](const Cut& c) { return eval_disjunctive(pred, c); },
+                   StepSemantics::kRealTime)
+                   .feasible);
+
+  OfflineControlOptions model;
+  model.semantics = StepSemantics::kSimultaneous;
+  OfflineControlResult r = control_disjunctive_offline(d, pred, model);
+  ASSERT_TRUE(r.controllable);
+  auto cd = ControlledDeposet::create(d, r.control);
+  ASSERT_TRUE(cd.has_value());
+  EXPECT_TRUE(satisfies_everywhere(
+      *cd, [&](const Cut& c) { return eval_disjunctive(pred, c); }));
+  // ... but that controller cannot be executed with blocking messages.
+  EXPECT_FALSE(cd->realizable());
+}
+
+TEST(OfflineControl, RegressionStaleKeeperDeadlock) {
+  // Found by randomized search: under the paper's literal advance condition
+  // (next(i) "finished before" the crossing point), P1 is bookkept outside
+  // its false interval although P2's exit of state 7 transitively requires
+  // P1's first event -- P1 then becomes a bogus keeper and the emitted edge
+  // (2,7) C~> (1,1) deadlocks the replay. The forced-entry advancement
+  // must keep the output executable.
+  Deposet d = deposet_from_string(
+      "deposet 3\n"
+      "lengths 11 10 12\n"
+      "msg 0 3 1 2\nmsg 0 5 1 3\nmsg 1 0 2 3\nmsg 1 4 2 9\n"
+      "msg 1 6 2 10\nmsg 1 8 2 11\nmsg 2 4 1 8\nmsg 2 7 0 10\nend\n");
+  PredicateTable pred{{false, true, false, true, true, false, false, false, false,
+                       false, false},
+                      {true, false, false, false, false, false, false, true, true, true},
+                      {true, true, true, true, true, false, false, false, true, false,
+                       false, false}};
+  auto B = [&](const Cut& c) { return eval_disjunctive(pred, c); };
+  auto oracle = find_satisfying_global_sequence(d, B, StepSemantics::kRealTime);
+  ASSERT_TRUE(oracle.feasible);
+
+  OfflineControlResult r = control_disjunctive_offline(d, pred);
+  ASSERT_TRUE(r.controllable);
+  auto cd = ControlledDeposet::create(d, r.control);
+  ASSERT_TRUE(cd.has_value());
+  EXPECT_TRUE(cd->realizable());
+  EXPECT_TRUE(satisfies_everywhere(*cd, B));
+}
+
+class OfflineControlRealizability : public ::testing::TestWithParam<uint64_t> {};
+
+// Larger randomized instances (beyond what the exhaustive-oracle sweep can
+// afford): every emitted relation must be executable (the property whose
+// violation the regression above pinned down).
+TEST_P(OfflineControlRealizability, EmittedRelationsNeverDeadlock) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 7919 + 3);
+  RandomTraceOptions topt;
+  topt.num_processes = static_cast<int32_t>(2 + seed % 9);
+  topt.events_per_process = static_cast<int32_t>(10 + seed % 60);
+  topt.send_probability = 0.25;
+  Deposet d = random_deposet(topt, rng);
+  RandomPredicateOptions popt;
+  popt.false_probability = 0.45;
+  popt.flip_probability = (seed % 2) ? 0.3 : -1.0;
+  PredicateTable pred = random_predicate_table(d, popt, rng);
+
+  OfflineControlOptions opt;
+  opt.impl = (seed % 2) ? ValidPairsImpl::kIncremental : ValidPairsImpl::kNaive;
+  opt.select = static_cast<SelectPolicy>(seed % 3);
+  opt.seed = seed;
+  OfflineControlResult r = control_disjunctive_offline(d, pred, opt);
+  if (!r.controllable) return;
+  EXPECT_TRUE(control_realizable(d, r.control));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OfflineControlRealizability,
+                         ::testing::Range<uint64_t>(0, 120));
+
+TEST(OfflineControl, DeterministicGivenSeed) {
+  Rng rng(5);
+  Deposet d = random_deposet({4, 8, 0.3, 0.5}, rng);
+  PredicateTable pred = random_predicate_table(d, {0.4, -1.0}, rng);
+  OfflineControlOptions opt;
+  opt.seed = 77;
+  auto r1 = control_disjunctive_offline(d, pred, opt);
+  auto r2 = control_disjunctive_offline(d, pred, opt);
+  EXPECT_EQ(r1.controllable, r2.controllable);
+  EXPECT_EQ(r1.control, r2.control);
+}
+
+TEST(OfflineControl, NaiveDoesMorePairChecksOnWideInstances) {
+  Rng rng(8);
+  RandomTraceOptions topt;
+  topt.num_processes = 12;
+  topt.events_per_process = 60;
+  topt.send_probability = 0.15;
+  Deposet d = random_deposet(topt, rng);
+  RandomPredicateOptions popt;
+  popt.false_probability = 0.4;
+  popt.flip_probability = 0.3;
+  PredicateTable pred = random_predicate_table(d, popt, rng);
+
+  OfflineControlOptions naive{ValidPairsImpl::kNaive, SelectPolicy::kFirst, 1};
+  OfflineControlOptions incr{ValidPairsImpl::kIncremental, SelectPolicy::kFirst, 1};
+  auto rn = control_disjunctive_offline(d, pred, naive);
+  auto ri = control_disjunctive_offline(d, pred, incr);
+  EXPECT_EQ(rn.controllable, ri.controllable);
+  if (rn.iterations > 4) {
+    EXPECT_GT(rn.pair_checks, ri.pair_checks);
+  }
+}
+
+TEST(OfflineControl, RejectsMismatchedPredicate) {
+  Deposet d = grid(2, 3);
+  EXPECT_THROW(control_disjunctive_offline(d, PredicateTable{{true, true, true}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      control_disjunctive_offline(d, PredicateTable{{true, true}, {true, true, true}}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace predctrl

@@ -1,0 +1,192 @@
+#include "predicates/global_predicate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "predicates/intervals.hpp"
+#include "trace/random_trace.hpp"
+
+namespace predctrl {
+namespace {
+
+TEST(GlobalPredicate, ConstAndLocalEval) {
+  Cut cut(std::vector<int32_t>{1, 2});
+  EXPECT_TRUE(GlobalPredicate::constant(true)->eval(cut));
+  EXPECT_FALSE(GlobalPredicate::constant(false)->eval(cut));
+  auto l0 = GlobalPredicate::local(0, [](int32_t k) { return k >= 1; });
+  auto l1 = GlobalPredicate::local(1, [](int32_t k) { return k >= 3; });
+  EXPECT_TRUE(l0->eval(cut));
+  EXPECT_FALSE(l1->eval(cut));
+}
+
+TEST(GlobalPredicate, BooleanConnectives) {
+  Cut cut(std::vector<int32_t>{0, 0});
+  auto t = GlobalPredicate::constant(true);
+  auto f = GlobalPredicate::constant(false);
+  EXPECT_FALSE(GlobalPredicate::negation(t)->eval(cut));
+  EXPECT_TRUE(GlobalPredicate::conjunction({t, t})->eval(cut));
+  EXPECT_FALSE(GlobalPredicate::conjunction({t, f})->eval(cut));
+  EXPECT_TRUE(GlobalPredicate::disjunction({f, t})->eval(cut));
+  EXPECT_FALSE(GlobalPredicate::disjunction({f, f})->eval(cut));
+}
+
+TEST(GlobalPredicate, LocalRowBoundsChecked) {
+  auto l = GlobalPredicate::local_row(0, {true, false});
+  EXPECT_TRUE(l->eval(Cut(std::vector<int32_t>{0})));
+  EXPECT_FALSE(l->eval(Cut(std::vector<int32_t>{1})));
+  EXPECT_THROW(l->eval(Cut(std::vector<int32_t>{5})), std::invalid_argument);
+}
+
+TEST(GlobalPredicate, ToStringReadable) {
+  auto e = GlobalPredicate::disjunction(
+      {GlobalPredicate::local(0, [](int32_t) { return true; }, "avail"),
+       GlobalPredicate::negation(GlobalPredicate::local(1, [](int32_t) { return true; }, "cs"))});
+  EXPECT_EQ(e->to_string(), "(avail_0 || !cs_1)");
+}
+
+TEST(GlobalPredicate, DisjunctiveTableExtraction) {
+  DeposetBuilder b(2);
+  b.set_length(0, 3);
+  b.set_length(1, 2);
+  Deposet d = b.build();
+
+  auto disj = GlobalPredicate::disjunction(
+      {GlobalPredicate::local_row(0, {true, false, true}),
+       GlobalPredicate::local_row(1, {false, true})});
+  auto table = disj->to_disjunctive_table(d);
+  ASSERT_TRUE(table.has_value());
+  EXPECT_EQ((*table)[0], (std::vector<bool>{true, false, true}));
+  EXPECT_EQ((*table)[1], (std::vector<bool>{false, true}));
+
+  // A single local predicate is the 1-disjunct case; missing processes get
+  // all-false rows.
+  auto single = GlobalPredicate::local_row(1, {false, true});
+  auto t2 = single->to_disjunctive_table(d);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_EQ((*t2)[0], (std::vector<bool>{false, false, false}));
+
+  // Non-disjunctive shapes are rejected.
+  auto conj = GlobalPredicate::conjunction({GlobalPredicate::local_row(0, {true, true, true}),
+                                            GlobalPredicate::local_row(1, {true, true})});
+  EXPECT_FALSE(conj->to_disjunctive_table(d).has_value());
+  auto repeated = GlobalPredicate::disjunction({GlobalPredicate::local_row(0, {true, true, true}),
+                                                GlobalPredicate::local_row(0, {true, true, true})});
+  EXPECT_FALSE(repeated->to_disjunctive_table(d).has_value());
+  auto nested = GlobalPredicate::disjunction(
+      {GlobalPredicate::local_row(0, {true, true, true}),
+       GlobalPredicate::negation(GlobalPredicate::local_row(1, {true, true}))});
+  EXPECT_FALSE(nested->to_disjunctive_table(d).has_value());
+}
+
+TEST(GlobalPredicate, EvalDisjunctiveMatchesExpression) {
+  DeposetBuilder b(2);
+  b.set_length(0, 3);
+  b.set_length(1, 3);
+  Deposet d = b.build();
+  PredicateTable table{{true, false, false}, {false, false, true}};
+  auto expr = GlobalPredicate::disjunction({GlobalPredicate::local_row(0, {true, false, false}),
+                                            GlobalPredicate::local_row(1, {false, false, true})});
+  for (int32_t i = 0; i < 3; ++i)
+    for (int32_t j = 0; j < 3; ++j) {
+      Cut c(std::vector<int32_t>{i, j});
+      EXPECT_EQ(eval_disjunctive(table, c), expr->eval(c)) << c;
+    }
+}
+
+TEST(Intervals, ExtractionFindsMaximalRuns) {
+  PredicateTable table{{true, false, false, true, false}, {false, false, false},
+                       {true, true}};
+  FalseIntervalSets sets = extract_false_intervals(table);
+  ASSERT_EQ(sets[0].size(), 2u);
+  EXPECT_EQ(sets[0][0], (FalseInterval{0, 1, 2}));
+  EXPECT_EQ(sets[0][1], (FalseInterval{0, 4, 4}));
+  ASSERT_EQ(sets[1].size(), 1u);
+  EXPECT_EQ(sets[1][0], (FalseInterval{1, 0, 2}));
+  EXPECT_TRUE(sets[2].empty());
+  EXPECT_EQ(max_intervals_per_process(sets), 2);
+}
+
+Deposet ping_pong() {
+  DeposetBuilder b(2);
+  b.set_length(0, 4);
+  b.set_length(1, 4);
+  b.add_message({0, 0}, {1, 1});
+  b.add_message({1, 1}, {0, 2});
+  return b.build();
+}
+
+TEST(Intervals, CrossableSemantics) {
+  // ping_pong: (0,0) ~> (1,1) and (1,1) ~> (0,2), lengths 4/4.
+  Deposet d = ping_pong();
+  FalseInterval a{0, 1, 1};
+  FalseInterval b{1, 0, 0};
+
+  // kRealTime: entering `a` (event leaving (0,0)) causally precedes exiting
+  // `b` (event entering (1,1)) via the message -- not crossable.
+  EXPECT_FALSE(crossable(d, a, b, StepSemantics::kRealTime));
+  // kSimultaneous: the knife edge is allowed -- (0,1) does not precede (1,1).
+  EXPECT_TRUE(crossable(d, a, b, StepSemantics::kSimultaneous));
+
+  // Boundary conjuncts apply under both semantics.
+  for (auto sem : {StepSemantics::kRealTime, StepSemantics::kSimultaneous}) {
+    EXPECT_FALSE(crossable(d, FalseInterval{0, 0, 1}, b, sem));  // a.lo at bottom
+    EXPECT_FALSE(crossable(d, a, FalseInterval{1, 2, 3}, sem));  // b.hi at top
+  }
+
+  // (0,0) -> (1,1) -> (1,2): P1 cannot even reach the inside of {1,2,2}
+  // without P0 entering a=[1,1] -- not crossable under either semantics
+  // (under kSimultaneous this is the mid-interval drag, conjunct 1).
+  EXPECT_FALSE(crossable(d, a, FalseInterval{1, 2, 2}, StepSemantics::kRealTime));
+  EXPECT_FALSE(crossable(d, a, FalseInterval{1, 2, 2}, StepSemantics::kSimultaneous));
+
+  // (1,1) ~> (0,2): entering {1,2,2} precedes exiting a=[1,1] on P0, so the
+  // reverse direction is not crossable in real time either...
+  EXPECT_FALSE(crossable(d, FalseInterval{1, 2, 2}, a, StepSemantics::kRealTime));
+  // ...but an interval pair with no boundary causality is.
+  EXPECT_TRUE(
+      crossable(d, FalseInterval{0, 2, 2}, FalseInterval{1, 2, 2}, StepSemantics::kRealTime));
+
+  EXPECT_THROW(crossable(d, a, FalseInterval{0, 2, 2}), std::invalid_argument);
+}
+
+TEST(Intervals, OverlapDetectsMutualBlocking) {
+  // Two processes, no messages: intervals in the middle never overlap (each
+  // can be crossed before the other is entered).
+  DeposetBuilder b(2);
+  b.set_length(0, 5);
+  b.set_length(1, 5);
+  Deposet d = b.build();
+  EXPECT_FALSE(
+      is_overlapping_set(d, {FalseInterval{0, 1, 2}, FalseInterval{1, 1, 2}}));
+  // Both intervals start at bottom: overlap (no sequence avoids the initial
+  // all-false state).
+  EXPECT_TRUE(is_overlapping_set(d, {FalseInterval{0, 0, 1}, FalseInterval{1, 0, 1}}));
+  // Both end at top: overlap.
+  EXPECT_TRUE(is_overlapping_set(d, {FalseInterval{0, 3, 4}, FalseInterval{1, 3, 4}}));
+  // One starts at bottom and the other ends at top: NOT overlapping -- P1 is
+  // still true while P0 crosses its initial interval, and P0 is true again
+  // by the time P1 enters its final one.
+  EXPECT_FALSE(is_overlapping_set(d, {FalseInterval{0, 0, 1}, FalseInterval{1, 3, 4}}));
+}
+
+TEST(Intervals, FindOverlappingSetSearches) {
+  DeposetBuilder b(2);
+  b.set_length(0, 5);
+  b.set_length(1, 5);
+  Deposet d = b.build();
+  PredicateTable table{{false, true, false, true, false},
+                       {false, true, true, true, false}};
+  FalseIntervalSets sets = extract_false_intervals(table);
+  auto found = find_overlapping_set(d, sets);
+  ASSERT_TRUE(found.has_value());
+  // The bottom-bottom pair overlaps.
+  EXPECT_EQ((*found)[0].lo, 0);
+  EXPECT_EQ((*found)[1].lo, 0);
+
+  // All-true process => no full selection.
+  PredicateTable table2{{true, true, true, true, true},
+                        {false, true, true, true, false}};
+  EXPECT_FALSE(find_overlapping_set(d, extract_false_intervals(table2)).has_value());
+}
+
+}  // namespace
+}  // namespace predctrl

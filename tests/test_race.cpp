@@ -1,0 +1,123 @@
+#include "trace/race.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/random_trace.hpp"
+
+namespace predctrl {
+namespace {
+
+TEST(EventOrder, SameProcessAndCrossProcess) {
+  DeposetBuilder b(2);
+  b.set_length(0, 4);
+  b.set_length(1, 4);
+  b.add_message({0, 0}, {1, 2});
+  Deposet d = b.build();
+  EXPECT_TRUE(event_before_eq(d, 0, 0, 0, 2));
+  EXPECT_TRUE(event_before_eq(d, 0, 1, 0, 1));
+  EXPECT_FALSE(event_before_eq(d, 0, 2, 0, 1));
+  // Send (P0 event 0) before receive (P1 event 1) and what follows.
+  EXPECT_TRUE(event_before_eq(d, 0, 0, 1, 1));
+  EXPECT_TRUE(event_before_eq(d, 0, 0, 1, 2));
+  EXPECT_FALSE(event_before_eq(d, 0, 0, 1, 0));
+  EXPECT_FALSE(event_before_eq(d, 1, 0, 0, 0));
+  EXPECT_THROW(event_before_eq(d, 0, 3, 1, 0), std::invalid_argument);
+}
+
+TEST(Races, ConcurrentSendersToOneReceiverRace) {
+  // P1 and P2 each send to P0; nothing orders the sends: both receives race.
+  DeposetBuilder b(3);
+  b.set_length(0, 3);
+  b.set_length(1, 2);
+  b.set_length(2, 2);
+  b.add_message({1, 0}, {0, 1});
+  b.add_message({2, 0}, {0, 2});
+  Deposet d = b.build();
+  RaceAnalysis r = analyze_races(d);
+  EXPECT_EQ(r.total_receives, 2);
+  ASSERT_EQ(r.racing_receives.size(), 1u);  // only the earlier receive races
+  EXPECT_EQ(r.racing_receives[0].to, (StateId{0, 1}));
+  ASSERT_EQ(r.races.size(), 1u);
+  EXPECT_EQ(r.races[0].could_have_received.from, (StateId{2, 0}));
+}
+
+TEST(Races, CausallyChainedSendsDoNotRace) {
+  // P1 sends to P0; P0's receipt triggers P0->P2; P2 then sends back to P0.
+  // P2's send causally follows P0's first receive: no race.
+  DeposetBuilder b(3);
+  b.set_length(0, 4);
+  b.set_length(1, 2);
+  b.set_length(2, 3);
+  b.add_message({1, 0}, {0, 1});  // r1 at P0 event 0
+  b.add_message({0, 1}, {2, 1});  // P0 tells P2 (send after the receive)
+  b.add_message({2, 1}, {0, 3});  // P2's reply: causally after r1
+  Deposet d = b.build();
+  RaceAnalysis r = analyze_races(d);
+  EXPECT_EQ(r.total_receives, 3);
+  EXPECT_TRUE(r.racing_receives.empty());
+}
+
+TEST(Races, FanInAllRace) {
+  // Four concurrent senders into one receiver: every receive except the
+  // last could have gotten any of the later-arriving messages.
+  DeposetBuilder b(5);
+  b.set_length(0, 5);
+  for (ProcessId p = 1; p <= 4; ++p) {
+    b.set_length(p, 2);
+    b.add_message({p, 0}, {0, p});
+  }
+  Deposet d = b.build();
+  RaceAnalysis r = analyze_races(d);
+  EXPECT_EQ(r.total_receives, 4);
+  EXPECT_EQ(r.racing_receives.size(), 3u);
+  // The first receive races all three later messages.
+  int first_races = 0;
+  for (const MessageRace& race : r.races)
+    if (race.received.to.index == 1) ++first_races;
+  EXPECT_EQ(first_races, 3);
+}
+
+TEST(Races, SerializedPipelineHasNoRaces) {
+  // A relay chain: each message's send is enabled by the previous receive.
+  DeposetBuilder b(3);
+  b.set_length(0, 3);
+  b.set_length(1, 3);
+  b.set_length(2, 3);
+  b.add_message({0, 0}, {1, 1});
+  b.add_message({1, 1}, {2, 1});
+  Deposet d = b.build();
+  RaceAnalysis r = analyze_races(d);
+  EXPECT_TRUE(r.racing_receives.empty());
+  EXPECT_EQ(r.racing_fraction(), 0.0);
+}
+
+class RaceRandom : public ::testing::TestWithParam<uint64_t> {};
+
+// Properties on random traces: racing receives are a subset of all
+// receives; every witness pair shares a destination with ordered receive
+// indices; and a trace with a single sender per destination channel ordered
+// by its own sequence still races when deliveries interleave from multiple
+// sources only.
+TEST_P(RaceRandom, WitnessesAreWellFormed) {
+  Rng rng(GetParam() + 31);
+  RandomTraceOptions topt;
+  topt.num_processes = static_cast<int32_t>(3 + rng.index(4));
+  topt.events_per_process = static_cast<int32_t>(8 + rng.index(20));
+  topt.send_probability = 0.4;
+  Deposet d = random_deposet(topt, rng);
+  RaceAnalysis r = analyze_races(d);
+  EXPECT_LE(r.racing_receives.size(), d.messages().size());
+  for (const MessageRace& race : r.races) {
+    EXPECT_EQ(race.received.to.process, race.could_have_received.to.process);
+    EXPECT_LT(race.received.to.index, race.could_have_received.to.index);
+    // The defining condition, restated.
+    EXPECT_FALSE(event_before_eq(d, race.received.to.process, race.received.to.index - 1,
+                                 race.could_have_received.from.process,
+                                 race.could_have_received.from.index));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaceRandom, ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace predctrl

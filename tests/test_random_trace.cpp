@@ -1,0 +1,103 @@
+#include "trace/random_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/serialize.hpp"
+
+namespace predctrl {
+namespace {
+
+class RandomTraceSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+// random_deposet must always produce a *valid* deposet (build() validates
+// D1-D3 and acyclicity and throws otherwise), reproducibly from its seed.
+TEST_P(RandomTraceSeeds, ProducesValidDeposetsReproducibly) {
+  RandomTraceOptions opt;
+  opt.num_processes = static_cast<int32_t>(2 + GetParam() % 5);
+  opt.events_per_process = static_cast<int32_t>(4 + GetParam() % 20);
+  opt.send_probability = 0.1 + 0.05 * static_cast<double>(GetParam() % 10);
+
+  Rng rng1(GetParam());
+  Deposet a = random_deposet(opt, rng1);
+  Rng rng2(GetParam());
+  Deposet b = random_deposet(opt, rng2);
+
+  EXPECT_EQ(deposet_to_string(a), deposet_to_string(b));
+  EXPECT_EQ(a.num_processes(), opt.num_processes);
+  for (ProcessId p = 0; p < a.num_processes(); ++p)
+    EXPECT_GE(a.length(p), opt.events_per_process + 1 - opt.events_per_process);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTraceSeeds, ::testing::Range<uint64_t>(0, 30));
+
+TEST(RandomTrace, HighTrafficStillValid) {
+  RandomTraceOptions opt;
+  opt.num_processes = 6;
+  opt.events_per_process = 50;
+  opt.send_probability = 0.8;
+  opt.receive_probability = 0.2;  // messages pile up, drain at the end
+  Rng rng(99);
+  Deposet d = random_deposet(opt, rng);
+  EXPECT_GT(d.messages().size(), 20u);
+}
+
+TEST(RandomTrace, NoMessagesWhenSendProbabilityZero) {
+  RandomTraceOptions opt;
+  opt.num_processes = 3;
+  opt.events_per_process = 10;
+  opt.send_probability = 0.0;
+  Rng rng(1);
+  Deposet d = random_deposet(opt, rng);
+  EXPECT_TRUE(d.messages().empty());
+  for (ProcessId p = 0; p < 3; ++p) EXPECT_EQ(d.length(p), 11);
+}
+
+TEST(RandomTrace, SingleProcess) {
+  RandomTraceOptions opt;
+  opt.num_processes = 1;
+  opt.events_per_process = 7;
+  Rng rng(5);
+  Deposet d = random_deposet(opt, rng);
+  EXPECT_EQ(d.length(0), 8);
+}
+
+TEST(RandomPredicate, MatchesDeposetShape) {
+  RandomTraceOptions opt;
+  opt.num_processes = 4;
+  opt.events_per_process = 12;
+  Rng rng(3);
+  Deposet d = random_deposet(opt, rng);
+  PredicateTable t = random_predicate_table(d, {}, rng);
+  ASSERT_EQ(t.size(), 4u);
+  for (ProcessId p = 0; p < 4; ++p)
+    EXPECT_EQ(t[static_cast<size_t>(p)].size(), static_cast<size_t>(d.length(p)));
+}
+
+TEST(RandomPredicate, AllTrueWhenFalseProbabilityZero) {
+  RandomTraceOptions opt;
+  Rng rng(3);
+  Deposet d = random_deposet(opt, rng);
+  RandomPredicateOptions popt;
+  popt.false_probability = 0.0;
+  PredicateTable t = random_predicate_table(d, popt, rng);
+  for (const auto& row : t)
+    for (bool v : row) EXPECT_TRUE(v);
+}
+
+TEST(RandomPredicate, RunModelProducesRuns) {
+  RandomTraceOptions opt;
+  opt.num_processes = 1;
+  opt.events_per_process = 400;
+  Rng rng(11);
+  Deposet d = random_deposet(opt, rng);
+  RandomPredicateOptions popt;
+  popt.false_probability = 0.5;
+  popt.flip_probability = 0.05;  // expected run length ~20
+  PredicateTable t = random_predicate_table(d, popt, rng);
+  int flips = 0;
+  for (size_t k = 1; k < t[0].size(); ++k) flips += (t[0][k] != t[0][k - 1]);
+  EXPECT_LT(flips, 80);  // far fewer than the ~200 of independent draws
+}
+
+}  // namespace
+}  // namespace predctrl

@@ -1,0 +1,114 @@
+#include "trace/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/lattice.hpp"
+#include "trace/random_trace.hpp"
+
+namespace predctrl {
+namespace {
+
+TEST(Recovery, ConsistentCheckpointsAreKept) {
+  DeposetBuilder b(2);
+  b.set_length(0, 5);
+  b.set_length(1, 5);
+  b.add_message({0, 1}, {1, 2});
+  Deposet d = b.build();
+  Cut checkpoints(std::vector<int32_t>{3, 3});  // consistent: sender past (0,1)
+  RecoveryLine r = compute_recovery_line(d, checkpoints);
+  EXPECT_EQ(r.line, checkpoints);
+  EXPECT_TRUE(r.rolled_back.empty());
+  EXPECT_EQ(r.states_lost, 0);
+}
+
+TEST(Recovery, OrphanMessageForcesRollback) {
+  DeposetBuilder b(2);
+  b.set_length(0, 5);
+  b.set_length(1, 5);
+  b.add_message({0, 2}, {1, 3});
+  Deposet d = b.build();
+  // P1's checkpoint (state 3) received a message P0's checkpoint (state 1)
+  // has not yet sent: orphan. P1 must roll back before the receive.
+  Cut checkpoints(std::vector<int32_t>{1, 3});
+  RecoveryLine r = compute_recovery_line(d, checkpoints);
+  EXPECT_EQ(r.line, Cut(std::vector<int32_t>{1, 2}));
+  ASSERT_EQ(r.rolled_back.size(), 1u);
+  EXPECT_EQ(r.rolled_back[0], 1);
+  EXPECT_EQ(r.states_lost, 1);
+}
+
+TEST(Recovery, DominoEffectCascades) {
+  // A chain of dependencies: rolling P2 back orphans P1, which orphans P0.
+  DeposetBuilder b(3);
+  b.set_length(0, 6);
+  b.set_length(1, 6);
+  b.set_length(2, 6);
+  b.add_message({2, 4}, {1, 4});  // P1's late state needs P2 past 4
+  b.add_message({1, 4}, {0, 4});  // P0's late state needs P1 past 4
+  Deposet d = b.build();
+  // P2's checkpoint is before its send; P1 and P0 checkpointed after their
+  // receives: both must cascade back.
+  Cut checkpoints(std::vector<int32_t>{5, 5, 3});
+  RecoveryLine r = compute_recovery_line(d, checkpoints);
+  EXPECT_EQ(r.line, Cut(std::vector<int32_t>{3, 3, 3}));
+  EXPECT_EQ(r.rolled_back.size(), 2u);
+  EXPECT_GE(r.rounds, 1);
+}
+
+TEST(Recovery, WorstCaseRollsToBottom) {
+  // Every checkpoint orphaned transitively: line collapses to the start.
+  DeposetBuilder b(2);
+  b.set_length(0, 3);
+  b.set_length(1, 3);
+  b.add_message({0, 0}, {1, 1});
+  b.add_message({1, 1}, {0, 2});
+  Deposet d = b.build();
+  Cut checkpoints(std::vector<int32_t>{2, 1});
+  RecoveryLine r = compute_recovery_line(d, checkpoints);
+  EXPECT_TRUE(is_consistent(d, r.line));
+  EXPECT_TRUE(r.line.leq(checkpoints));
+}
+
+class RecoveryRandom : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: the computed line is the GREATEST consistent cut dominated by
+// the checkpoints (cross-checked against full lattice enumeration).
+TEST_P(RecoveryRandom, IsTheGreatestDominatedConsistentCut) {
+  Rng rng(GetParam() * 23 + 11);
+  RandomTraceOptions topt;
+  topt.num_processes = static_cast<int32_t>(2 + rng.index(3));
+  topt.events_per_process = static_cast<int32_t>(3 + rng.index(5));
+  topt.send_probability = 0.35;
+  Deposet d = random_deposet(topt, rng);
+
+  Cut checkpoints(d.num_processes());
+  for (ProcessId p = 0; p < d.num_processes(); ++p)
+    checkpoints[p] = static_cast<int32_t>(rng.index(static_cast<size_t>(d.length(p))));
+
+  RecoveryLine r = compute_recovery_line(d, checkpoints);
+  EXPECT_TRUE(is_consistent(d, r.line));
+  EXPECT_TRUE(r.line.leq(checkpoints));
+
+  Cut best(d.num_processes());
+  for_each_consistent_cut(d, [&](const Cut& c) {
+    if (c.leq(checkpoints)) best = best.join(c);
+    return true;
+  });
+  EXPECT_EQ(r.line, best);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryRandom, ::testing::Range<uint64_t>(0, 30));
+
+TEST(Recovery, RejectsBadCheckpoints) {
+  DeposetBuilder b(2);
+  b.set_length(0, 3);
+  b.set_length(1, 3);
+  Deposet d = b.build();
+  EXPECT_THROW(compute_recovery_line(d, Cut(std::vector<int32_t>{5, 0})),
+               std::invalid_argument);
+  EXPECT_THROW(compute_recovery_line(d, Cut(std::vector<int32_t>{0})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace predctrl

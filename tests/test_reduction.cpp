@@ -1,0 +1,159 @@
+// Lemma 1 (paper, Section 4): SAT <-> SGSD, both directions, plus the
+// general-control serialization that makes the strategy <-> sequence
+// equivalence executable.
+#include "sat/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "control/offline_general.hpp"
+#include "control/strategy.hpp"
+#include "predicates/global_predicate.hpp"
+#include "trace/lattice.hpp"
+
+namespace predctrl::sat {
+namespace {
+
+Cnf make(int32_t vars, std::vector<Clause> clauses) {
+  Cnf f(vars);
+  for (auto& c : clauses) f.add_clause(std::move(c));
+  return f;
+}
+
+TEST(Reduction, GadgetShape) {
+  Cnf f = make(3, {{{0, true}}});
+  SgsdInstance inst = sat_to_sgsd(f);
+  EXPECT_EQ(inst.deposet.num_processes(), 4);
+  for (ProcessId p = 0; p < 3; ++p) EXPECT_EQ(inst.deposet.length(p), 2);
+  EXPECT_EQ(inst.deposet.length(3), 3);
+  EXPECT_TRUE(inst.deposet.messages().empty());
+  // Guard true at bottom and top, so B holds there regardless of b.
+  EXPECT_TRUE(inst.predicate(bottom_cut(inst.deposet)));
+  EXPECT_TRUE(inst.predicate(top_cut(inst.deposet)));
+}
+
+TEST(Reduction, PredicateReadsAssignmentAtGuardDip) {
+  // b = x0 && !x1  (as CNF: (x0) && (!x1))
+  Cnf f = make(2, {{{0, true}}, {{1, false}}});
+  SgsdInstance inst = sat_to_sgsd(f);
+  // Guard dipped; x0 still true (state 0), x1 false (state 1): b holds.
+  EXPECT_TRUE(inst.predicate(Cut(std::vector<int32_t>{0, 1, 1})));
+  // x0 advanced to false: b fails.
+  EXPECT_FALSE(inst.predicate(Cut(std::vector<int32_t>{1, 1, 1})));
+}
+
+class ReductionRandom : public ::testing::TestWithParam<uint64_t> {};
+
+// Property (Lemma 1): formula satisfiable (per DPLL) iff the gadget is SGSD-
+// feasible, under BOTH step semantics (the gadget has no messages, so the
+// knife-edge distinction is moot); extracted models check out.
+TEST_P(ReductionRandom, SatIffFeasible) {
+  Rng rng(GetParam());
+  RandomCnfOptions opt;
+  opt.num_vars = static_cast<int32_t>(2 + rng.index(6));
+  opt.num_clauses = static_cast<int32_t>(2 + rng.index(25));
+  Cnf f = random_cnf(opt, rng);
+
+  bool sat = solve_dpll(f).satisfiable;
+  for (auto sem : {StepSemantics::kRealTime, StepSemantics::kSimultaneous}) {
+    auto model = solve_sat_via_sgsd(f, sem);
+    EXPECT_EQ(model.has_value(), sat);
+    if (model) {
+      EXPECT_TRUE(f.eval(*model));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionRandom, ::testing::Range<uint64_t>(0, 30));
+
+TEST(Reduction, ModelFromSequenceRejectsBadSequences) {
+  Cnf f = make(1, {{{0, true}}});
+  SgsdInstance inst = sat_to_sgsd(f);
+  // Never dips the guard.
+  EXPECT_THROW(model_from_sequence(
+                   f, inst,
+                   {Cut(std::vector<int32_t>{0, 0}), Cut(std::vector<int32_t>{1, 0})}),
+               std::invalid_argument);
+  // Dips at a non-model (x0 advanced to false but b needs x0).
+  EXPECT_THROW(model_from_sequence(f, inst, {Cut(std::vector<int32_t>{1, 1})}),
+               std::invalid_argument);
+}
+
+TEST(GeneralControl, SerializesSatisfyingSequence) {
+  // 2x2 grid, B = "not both in the middle". General control must find an
+  // order and serialize it.
+  DeposetBuilder b(2);
+  b.set_length(0, 3);
+  b.set_length(1, 3);
+  Deposet d = b.build();
+  auto B = [](const Cut& c) { return !(c[0] == 1 && c[1] == 1); };
+
+  auto r = control_general_offline(d, B);
+  ASSERT_TRUE(r.controllable);
+  ASSERT_FALSE(r.control.empty());
+  auto cd = ControlledDeposet::create(d, r.control);
+  ASSERT_TRUE(cd.has_value());
+  EXPECT_TRUE(cd->realizable());
+  EXPECT_TRUE(satisfies_everywhere(*cd, B));
+  // The compiled strategy is executable.
+  EXPECT_NO_THROW(ControlStrategy::compile(d, r.control));
+}
+
+TEST(GeneralControl, InfeasiblePredicateReported) {
+  DeposetBuilder b(2);
+  b.set_length(0, 3);
+  b.set_length(1, 3);
+  Deposet d = b.build();
+  // Violated at bottom.
+  auto r = control_general_offline(d, [](const Cut& c) { return c[0] > 0; });
+  EXPECT_FALSE(r.controllable);
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(GeneralControl, TruncationSurfaced) {
+  DeposetBuilder b(4);
+  for (ProcessId p = 0; p < 4; ++p) b.set_length(p, 10);
+  Deposet d = b.build();
+  auto r = control_general_offline(
+      d, [](const Cut& c) { return c[0] != 9 || (c[1] == 9 && c[2] == 9); },
+      /*max_expansions=*/20);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_FALSE(r.controllable);
+}
+
+class GeneralControlRandom : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: whenever general control succeeds on a random computation with a
+// random (non-disjunctive) predicate, the controlled deposet is realizable
+// and satisfies the predicate everywhere.
+TEST_P(GeneralControlRandom, ControlledDeposetSatisfiesPredicate) {
+  Rng rng(GetParam() + 500);
+  RandomTraceOptions topt;
+  topt.num_processes = static_cast<int32_t>(2 + rng.index(2));
+  topt.events_per_process = static_cast<int32_t>(3 + rng.index(4));
+  Deposet d = random_deposet(topt, rng);
+
+  // A "sum of positions stays away from a random forbidden band" predicate:
+  // genuinely global, not expressible as a disjunction of locals.
+  const int32_t forbidden = static_cast<int32_t>(1 + rng.index(5));
+  auto B = [forbidden](const Cut& c) {
+    int32_t sum = 0;
+    for (ProcessId p = 0; p < c.num_processes(); ++p) sum += c[p];
+    return sum != forbidden;
+  };
+
+  auto r = control_general_offline(d, B);
+  ASSERT_FALSE(r.truncated);
+  auto oracle = find_satisfying_global_sequence(d, B, StepSemantics::kRealTime);
+  EXPECT_EQ(r.controllable, oracle.feasible);
+  if (r.controllable) {
+    auto cd = ControlledDeposet::create(d, r.control);
+    ASSERT_TRUE(cd.has_value());
+    EXPECT_TRUE(cd->realizable());
+    EXPECT_TRUE(satisfies_everywhere(*cd, B));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralControlRandom, ::testing::Range<uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace predctrl::sat

@@ -1,0 +1,105 @@
+#include "sat/cnf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace predctrl::sat {
+namespace {
+
+Cnf make(int32_t vars, std::vector<Clause> clauses) {
+  Cnf f(vars);
+  for (auto& c : clauses) f.add_clause(std::move(c));
+  return f;
+}
+
+TEST(Cnf, EvalBasics) {
+  // (x0 || !x1) && (x1 || x2)
+  Cnf f = make(3, {{{0, true}, {1, false}}, {{1, true}, {2, true}}});
+  EXPECT_TRUE(f.eval({true, true, false}));
+  EXPECT_FALSE(f.eval({false, true, false}));
+  EXPECT_TRUE(f.eval({false, false, true}));
+  EXPECT_FALSE(f.eval({false, false, false}));
+}
+
+TEST(Cnf, RejectsBadLiterals) {
+  Cnf f(2);
+  EXPECT_THROW(f.add_clause({{5, true}}), std::invalid_argument);
+  EXPECT_THROW(f.eval({true}), std::invalid_argument);
+}
+
+TEST(Dpll, SatisfiableFormula) {
+  Cnf f = make(3, {{{0, true}, {1, true}}, {{0, false}, {2, true}}, {{1, false}, {2, false}}});
+  auto r = solve_dpll(f);
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_TRUE(f.eval(r.assignment));
+}
+
+TEST(Dpll, UnsatisfiableFormula) {
+  // x && !x via clauses (x0) and (!x0)
+  Cnf f = make(1, {{{0, true}}, {{0, false}}});
+  EXPECT_FALSE(solve_dpll(f).satisfiable);
+}
+
+TEST(Dpll, EmptyClauseIsUnsat) {
+  Cnf f = make(2, {Clause{}});
+  EXPECT_FALSE(solve_dpll(f).satisfiable);
+}
+
+TEST(Dpll, EmptyFormulaIsSat) {
+  Cnf f(3);
+  EXPECT_TRUE(solve_dpll(f).satisfiable);
+}
+
+TEST(Dpll, PigeonholeStyleUnsat) {
+  // 2 pigeons, 1 hole -> both must take the hole, but at most one may.
+  // vars: p0 (pigeon0 in hole), p1 (pigeon1 in hole).
+  Cnf f = make(2, {{{0, true}}, {{1, true}}, {{0, false}, {1, false}}});
+  EXPECT_FALSE(solve_dpll(f).satisfiable);
+}
+
+class DpllRandom : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: DPLL agrees with brute-force enumeration on random small
+// formulas, and returned assignments are models.
+TEST_P(DpllRandom, AgreesWithBruteForce) {
+  Rng rng(GetParam());
+  RandomCnfOptions opt;
+  opt.num_vars = static_cast<int32_t>(3 + rng.index(8));
+  opt.num_clauses = static_cast<int32_t>(2 + rng.index(40));
+  opt.literals_per_clause = 3;
+  Cnf f = random_cnf(opt, rng);
+
+  bool brute_sat = false;
+  for (uint32_t bits = 0; bits < (1u << opt.num_vars) && !brute_sat; ++bits) {
+    Assignment a(static_cast<size_t>(opt.num_vars));
+    for (int32_t v = 0; v < opt.num_vars; ++v) a[static_cast<size_t>(v)] = (bits >> v) & 1;
+    brute_sat = f.eval(a);
+  }
+
+  auto r = solve_dpll(f);
+  EXPECT_EQ(r.satisfiable, brute_sat);
+  if (r.satisfiable) {
+    EXPECT_TRUE(f.eval(r.assignment));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpllRandom, ::testing::Range<uint64_t>(0, 40));
+
+TEST(RandomCnf, PlantedInstancesAreSatisfiable) {
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Rng rng(seed);
+    RandomCnfOptions opt;
+    opt.num_vars = 12;
+    opt.num_clauses = 60;  // above the unsat threshold if not planted
+    opt.plant_solution = true;
+    Cnf f = random_cnf(opt, rng);
+    EXPECT_TRUE(solve_dpll(f).satisfiable) << "seed " << seed;
+  }
+}
+
+TEST(Cnf, DimacsRendering) {
+  Cnf f = make(2, {{{0, true}, {1, false}}});
+  EXPECT_EQ(f.to_string(), "p cnf 2 1\n1 -2 0\n");
+}
+
+}  // namespace
+}  // namespace predctrl::sat

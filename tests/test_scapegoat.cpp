@@ -1,0 +1,207 @@
+// On-line scapegoat strategy (Figure 3) and the k-mutex baselines.
+#include "mutex/kmutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace predctrl::mutex {
+namespace {
+
+CsWorkloadOptions workload(int32_t n, int32_t entries, uint64_t seed) {
+  CsWorkloadOptions o;
+  o.num_processes = n;
+  o.cs_per_process = entries;
+  o.seed = seed;
+  return o;
+}
+
+class ScapegoatSweep
+    : public ::testing::TestWithParam<std::tuple<int32_t, uint64_t, bool>> {};
+
+// Safety (the predicate "at least one process available" never breaks),
+// liveness (every requested entry happens; no deadlock), and the paper's
+// message bound, across process counts, seeds, and both variants.
+TEST_P(ScapegoatSweep, SafeLiveAndFrugal) {
+  const int32_t n = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  const bool broadcast = std::get<2>(GetParam());
+
+  online::ScapegoatOptions strat;
+  strat.broadcast = broadcast;
+  MutexRunResult r = run_scapegoat_mutex(workload(n, 8, seed), strat);
+
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.cs_entries, static_cast<int64_t>(n) * 8);
+  // (n-1)-mutual exclusion: never all n inside.
+  EXPECT_LE(r.max_concurrent_cs, n - 1);
+  // Each handoff costs 2 messages (req + ack), or n-1 reqs + acks when
+  // broadcasting; handoffs happen only on the scapegoat's own entries, so
+  // total control messages stay well below 2 per entry (non-broadcast).
+  if (!broadcast) {
+    EXPECT_LE(r.stats.control_messages, 2 * r.cs_entries);
+    EXPECT_EQ(r.stats.control_messages % 2, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScapegoatSweep,
+    ::testing::Combine(::testing::Values(2, 3, 5, 9), ::testing::Range<uint64_t>(0, 8),
+                       ::testing::Bool()));
+
+TEST(Scapegoat, MessagesPerEntryApproaches2OverN) {
+  // The paper's "2 messages per n critical section entries": with many
+  // entries and uniform load, messages/entry converges to ~2/n.
+  const int32_t n = 8;
+  MutexRunResult r = run_scapegoat_mutex(workload(n, 60, 3));
+  ASSERT_FALSE(r.deadlocked);
+  double per_entry = r.messages_per_entry();
+  EXPECT_GT(per_entry, 0.0);          // some handoffs happened
+  EXPECT_LT(per_entry, 3.0 * 2 / n);  // within 3x of the 2/n ideal
+}
+
+TEST(Scapegoat, ResponseTimesMatchPaperBounds) {
+  // Fixed delay T: every response is either immediate (not the scapegoat)
+  // or a handoff within [2T, 2T + E_max] (modulo the zero-delay local hop).
+  CsWorkloadOptions o = workload(4, 20, 11);
+  o.delay_min = o.delay_max = 2'000;  // T
+  o.cs_min = 500;
+  o.cs_max = 4'000;  // E_max
+  MutexRunResult r = run_scapegoat_mutex(o);
+  ASSERT_FALSE(r.deadlocked);
+
+  const sim::SimTime T = 2'000;
+  const sim::SimTime E_max = 4'000;
+  int64_t handoffs = 0;
+  for (sim::SimTime d : r.response_delays) {
+    if (d == 0) continue;  // non-scapegoat entry
+    ++handoffs;
+    EXPECT_GE(d, 2 * T);
+    EXPECT_LE(d, 2 * T + E_max);
+  }
+  EXPECT_GT(handoffs, 0);
+  EXPECT_LT(handoffs, r.cs_entries);  // most entries are free
+}
+
+TEST(Scapegoat, BroadcastTradesMessagesForResponseTime) {
+  CsWorkloadOptions o = workload(6, 40, 5);
+  o.delay_min = 1'000;
+  o.delay_max = 4'000;
+  MutexRunResult unicast = run_scapegoat_mutex(o, {.broadcast = false});
+  MutexRunResult broadcast = run_scapegoat_mutex(o, {.broadcast = true});
+  ASSERT_FALSE(unicast.deadlocked);
+  ASSERT_FALSE(broadcast.deadlocked);
+  // More traffic...
+  EXPECT_GT(broadcast.stats.control_messages, unicast.stats.control_messages);
+  // ...but handoffs resolve no slower on average (first ack wins).
+  auto handoff_mean = [](const MutexRunResult& r) {
+    double sum = 0;
+    int64_t count = 0;
+    for (sim::SimTime d : r.response_delays)
+      if (d > 0) {
+        sum += static_cast<double>(d);
+        ++count;
+      }
+    return count ? sum / static_cast<double>(count) : 0.0;
+  };
+  EXPECT_LE(handoff_mean(broadcast), handoff_mean(unicast) * 1.1);
+}
+
+TEST(Coordinator, EnforcesK) {
+  for (int32_t k : {1, 2, 3}) {
+    CsWorkloadOptions o = workload(4, 12, 7);
+    o.think_min = 100;
+    o.think_max = 500;  // heavy contention
+    MutexRunResult r = run_coordinator_kmutex(o, k);
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_EQ(r.cs_entries, 48);
+    EXPECT_LE(r.max_concurrent_cs, k) << "k=" << k;
+  }
+}
+
+TEST(Coordinator, EveryEntryCostsRoundTrip) {
+  CsWorkloadOptions o = workload(3, 10, 2);
+  o.delay_min = o.delay_max = 1'500;
+  MutexRunResult r = run_coordinator_kmutex(o, 2);
+  ASSERT_FALSE(r.deadlocked);
+  // request + grant + release per entry = 3 control messages.
+  EXPECT_EQ(r.stats.control_messages, 3 * r.cs_entries);
+  for (sim::SimTime d : r.response_delays) EXPECT_GE(d, 2 * 1'500);
+}
+
+TEST(TokenRing, RegressionStrandedParkedRequests) {
+  // Found while benching: a busy guard used to park every request that
+  // passed, but a release serves exactly one -- leftovers stranded forever
+  // once that guard went quiet. Heavy contention on a single token across
+  // many processes exercises the multi-park path.
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    CsWorkloadOptions o = workload(12, 10, seed);
+    o.think_min = 500;
+    o.think_max = 4'000;
+    o.cs_min = 1'000;
+    o.cs_max = 4'000;
+    o.delay_min = 1'000;
+    o.delay_max = 3'000;
+    for (int32_t k : {1, 2}) {
+      MutexRunResult r = run_token_ring_kmutex(o, k);
+      EXPECT_FALSE(r.deadlocked) << "seed=" << seed << " k=" << k;
+      EXPECT_EQ(r.cs_entries, 120) << "seed=" << seed << " k=" << k;
+      EXPECT_LE(r.max_concurrent_cs, k);
+    }
+  }
+}
+
+TEST(TokenRing, EnforcesKAndCompletes) {
+  for (int32_t k : {1, 2, 4}) {
+    CsWorkloadOptions o = workload(5, 10, 13);
+    o.think_min = 200;
+    o.think_max = 1'000;
+    MutexRunResult r = run_token_ring_kmutex(o, k);
+    EXPECT_FALSE(r.deadlocked) << "k=" << k;
+    EXPECT_EQ(r.cs_entries, 50) << "k=" << k;
+    EXPECT_LE(r.max_concurrent_cs, k) << "k=" << k;
+  }
+}
+
+TEST(Comparison, ScapegoatBeatsBaselinesOnMessagesAtKEqualsNMinus1) {
+  // The paper's claim: for k = n-1 the anti-token is cheaper than token/
+  // coordinator algorithms.
+  const int32_t n = 6;
+  CsWorkloadOptions o = workload(n, 30, 21);
+  MutexRunResult scape = run_scapegoat_mutex(o);
+  MutexRunResult coord = run_coordinator_kmutex(o, n - 1);
+  MutexRunResult ring = run_token_ring_kmutex(o, n - 1);
+  ASSERT_FALSE(scape.deadlocked);
+  ASSERT_FALSE(coord.deadlocked);
+  ASSERT_FALSE(ring.deadlocked);
+  EXPECT_LT(scape.messages_per_entry(), coord.messages_per_entry());
+  EXPECT_LT(scape.messages_per_entry(), ring.messages_per_entry());
+}
+
+TEST(Workload, TransitionLogCountsConcurrency) {
+  TransitionLog log;
+  log.record(0, 0, true);
+  log.record(0, 1, true);
+  log.record(10, 0, false);
+  log.record(20, 1, false);
+  log.record(25, 0, true);
+  log.record(30, 1, true);
+  EXPECT_EQ(log.max_concurrent_unavailable(2), 2);
+
+  TransitionLog disjoint;
+  disjoint.record(10, 0, false);
+  disjoint.record(15, 0, true);
+  disjoint.record(20, 1, false);
+  EXPECT_EQ(disjoint.max_concurrent_unavailable(2), 1);
+
+  // Simultaneous swap: one exits exactly as the other enters -> both apply
+  // before evaluation, so concurrency stays 1.
+  TransitionLog swap;
+  swap.record(10, 0, false);
+  swap.record(20, 0, true);
+  swap.record(20, 1, false);
+  EXPECT_EQ(swap.max_concurrent_unavailable(2), 1);
+}
+
+}  // namespace
+}  // namespace predctrl::mutex

@@ -1,0 +1,194 @@
+#include "runtime/sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace predctrl::sim {
+namespace {
+
+// Ping-pong agents: A sends `rounds` pings; B echoes each.
+class Pinger : public Agent {
+ public:
+  Pinger(AgentId peer, int32_t rounds) : peer_(peer), rounds_(rounds) {}
+  void on_start(AgentContext& ctx) override {
+    if (rounds_ > 0) {
+      ctx.mark_waiting("awaiting pong");
+      ctx.send(peer_, Message{.type = 1});
+    }
+  }
+  void on_message(AgentContext& ctx, const Message& msg) override {
+    EXPECT_EQ(msg.type, 2);
+    last_rtt_ = ctx.now() - last_send_;
+    if (++received_ < rounds_) {
+      last_send_ = ctx.now();
+      ctx.send(peer_, Message{.type = 1});
+    } else {
+      ctx.mark_done();
+    }
+  }
+  int32_t received() const { return received_; }
+  SimTime last_rtt() const { return last_rtt_; }
+
+ private:
+  AgentId peer_;
+  int32_t rounds_;
+  int32_t received_ = 0;
+  SimTime last_send_ = 0;
+  SimTime last_rtt_ = 0;
+};
+
+class Echoer : public Agent {
+ public:
+  void on_message(AgentContext& ctx, const Message& msg) override {
+    ctx.send(msg.from, Message{.type = 2});
+  }
+};
+
+TEST(SimEngine, PingPongRunsToCompletion) {
+  SimOptions opt;
+  opt.seed = 42;
+  SimEngine engine(opt);
+  auto pinger = std::make_unique<Pinger>(1, 5);
+  Pinger* p = pinger.get();
+  engine.add_agent(std::move(pinger));
+  engine.add_agent(std::make_unique<Echoer>());
+  SimStats stats = engine.run();
+  EXPECT_EQ(p->received(), 5);
+  EXPECT_EQ(stats.messages_sent, 10);
+  EXPECT_TRUE(engine.blocked_agents().empty());
+  // Round trips take at least 2 * min_delay of virtual time.
+  EXPECT_GE(stats.end_time, 10 * opt.min_delay);
+  EXPECT_GE(p->last_rtt(), 2 * opt.min_delay);
+  EXPECT_LE(p->last_rtt(), 2 * opt.max_delay);
+}
+
+TEST(SimEngine, DeterministicGivenSeed) {
+  auto run_once = [] {
+    SimOptions opt;
+    opt.seed = 7;
+    SimEngine engine(opt);
+    engine.add_agent(std::make_unique<Pinger>(1, 20));
+    engine.add_agent(std::make_unique<Echoer>());
+    return engine.run().end_time;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimEngine, DifferentSeedsDifferentSchedules) {
+  auto run_once = [](uint64_t seed) {
+    SimOptions opt;
+    opt.seed = seed;
+    SimEngine engine(opt);
+    engine.add_agent(std::make_unique<Pinger>(1, 20));
+    engine.add_agent(std::make_unique<Echoer>());
+    return engine.run().end_time;
+  };
+  EXPECT_NE(run_once(1), run_once(2));
+}
+
+class NeverSatisfied : public Agent {
+ public:
+  void on_start(AgentContext& ctx) override { ctx.mark_waiting("a message that never comes"); }
+};
+
+TEST(SimEngine, ReportsBlockedAgents) {
+  SimEngine engine;
+  engine.add_agent(std::make_unique<NeverSatisfied>());
+  engine.run();
+  auto blocked = engine.blocked_agents();
+  ASSERT_EQ(blocked.size(), 1u);
+  EXPECT_EQ(blocked[0].first, 0);
+  EXPECT_NE(blocked[0].second.find("never comes"), std::string::npos);
+}
+
+class TimerChain : public Agent {
+ public:
+  void on_start(AgentContext& ctx) override { ctx.set_timer(100, 0); }
+  void on_timer(AgentContext& ctx, int64_t id) override {
+    fired_at_.push_back(ctx.now());
+    if (id < 3) ctx.set_timer(100, id + 1);
+  }
+  std::vector<SimTime> fired_at_;
+};
+
+TEST(SimEngine, TimersFireAtExactVirtualTimes) {
+  SimEngine engine;
+  auto chain = std::make_unique<TimerChain>();
+  TimerChain* t = chain.get();
+  engine.add_agent(std::move(chain));
+  engine.run();
+  EXPECT_EQ(t->fired_at_, (std::vector<SimTime>{100, 200, 300, 400}));
+}
+
+class SelfSpammer : public Agent {
+ public:
+  void on_start(AgentContext& ctx) override { ctx.set_timer(10, 0); }
+  void on_timer(AgentContext& ctx, int64_t) override { ctx.set_timer(10, 0); }
+};
+
+TEST(SimEngine, TimeLimitStopsRunawayRuns) {
+  SimOptions opt;
+  opt.time_limit = 1'000;
+  SimEngine engine(opt);
+  engine.add_agent(std::make_unique<SelfSpammer>());
+  SimStats stats = engine.run();
+  EXPECT_TRUE(engine.hit_time_limit());
+  EXPECT_LE(stats.end_time, 1'000);
+}
+
+TEST(SimEngine, LocalPlaneHasZeroDelay) {
+  class LocalSender : public Agent {
+   public:
+    void on_start(AgentContext& ctx) override {
+      Message m;
+      m.type = 9;
+      m.plane = Message::Plane::kLocal;
+      ctx.send(1, m);
+    }
+  };
+  class Receiver : public Agent {
+   public:
+    SimTime received_at = -1;
+    void on_message(AgentContext& ctx, const Message&) override { received_at = ctx.now(); }
+  };
+  SimEngine engine;
+  engine.add_agent(std::make_unique<LocalSender>());
+  auto recv = std::make_unique<Receiver>();
+  Receiver* r = recv.get();
+  engine.add_agent(std::move(recv));
+  engine.run();
+  EXPECT_EQ(r->received_at, 0);
+}
+
+TEST(SimEngine, PlaneCountersSeparateTraffic) {
+  class Mixed : public Agent {
+   public:
+    void on_start(AgentContext& ctx) override {
+      Message app;
+      app.plane = Message::Plane::kApplication;
+      ctx.send(1, app);
+      Message ctl;
+      ctl.plane = Message::Plane::kControl;
+      ctx.send(1, ctl);
+      ctx.send(1, ctl);
+    }
+  };
+  SimEngine engine;
+  engine.add_agent(std::make_unique<Mixed>());
+  engine.add_agent(std::make_unique<Agent>());
+  SimStats stats = engine.run();
+  EXPECT_EQ(stats.application_messages, 1);
+  EXPECT_EQ(stats.control_messages, 2);
+  EXPECT_EQ(stats.messages_sent, 3);
+}
+
+TEST(SimEngine, RejectsBadConfiguration) {
+  SimOptions opt;
+  opt.min_delay = 10;
+  opt.max_delay = 5;
+  EXPECT_THROW(SimEngine{opt}, std::invalid_argument);
+  SimEngine ok;
+  EXPECT_THROW(ok.add_agent(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace predctrl::sim

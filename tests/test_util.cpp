@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace predctrl {
+namespace {
+
+TEST(Check, ThrowsTheRightTypes) {
+  EXPECT_THROW(PREDCTRL_CHECK(false, "input"), std::invalid_argument);
+  EXPECT_THROW(PREDCTRL_REQUIRE(false, "invariant"), std::logic_error);
+  EXPECT_NO_THROW(PREDCTRL_CHECK(true, ""));
+}
+
+TEST(Check, MessageCarriesContext) {
+  try {
+    PREDCTRL_CHECK(1 == 2, "one is not two");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("one is not two"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicAndInRange) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    int64_t x = a.uniform(-5, 5);
+    EXPECT_EQ(x, b.uniform(-5, 5));
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+  EXPECT_THROW(a.uniform(3, 2), std::invalid_argument);
+  EXPECT_THROW(a.index(0), std::invalid_argument);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng r(7);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  r.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(Logging, LevelGatesEmission) {
+  LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  // Side-effect probe: the stream expression must not be evaluated when the
+  // level gates it off.
+  int evaluations = 0;
+  auto probe = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  PREDCTRL_DEBUG(probe());
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  PREDCTRL_DEBUG(probe());
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(err.find("DEBUG"), std::string::npos);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace predctrl

@@ -1,0 +1,90 @@
+#include "causality/vector_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "causality/clock_computation.hpp"
+
+namespace predctrl {
+namespace {
+
+TEST(VectorClock, DefaultIsNone) {
+  VectorClock vc(3);
+  EXPECT_EQ(vc.size(), 3);
+  for (ProcessId p = 0; p < 3; ++p) EXPECT_EQ(vc[p], VectorClock::kNone);
+}
+
+TEST(VectorClock, MergeTakesComponentwiseMax) {
+  VectorClock a(3), b(3);
+  a[0] = 5;
+  a[1] = 1;
+  b[1] = 4;
+  b[2] = 0;
+  a.merge(b);
+  EXPECT_EQ(a[0], 5);
+  EXPECT_EQ(a[1], 4);
+  EXPECT_EQ(a[2], 0);
+}
+
+TEST(VectorClock, LeqIsComponentwise) {
+  VectorClock a(2), b(2);
+  a[0] = 1;
+  b[0] = 2;
+  b[1] = 0;
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+  EXPECT_TRUE(a.leq(a));
+}
+
+TEST(VectorClock, MergeWidthMismatchThrows) {
+  VectorClock a(2), b(3);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW((void)a.leq(b), std::invalid_argument);
+}
+
+TEST(ClockComputation, ChainOnly) {
+  ClockComputation cc = compute_state_clocks({3, 2}, {});
+  ASSERT_TRUE(cc.acyclic);
+  EXPECT_EQ(cc.clocks[0][0][0], 0);
+  EXPECT_EQ(cc.clocks[0][2][0], 2);
+  EXPECT_EQ(cc.clocks[0][2][1], VectorClock::kNone);
+  EXPECT_EQ(cc.clocks[1][1][0], VectorClock::kNone);
+  EXPECT_EQ(cc.clocks[1][1][1], 1);
+}
+
+TEST(ClockComputation, SingleMessagePropagates) {
+  // (0,0) ~> (1,1): P1's state 1 knows P0's state 0.
+  ClockComputation cc = compute_state_clocks({2, 2}, {{{0, 0}, {1, 1}}});
+  ASSERT_TRUE(cc.acyclic);
+  EXPECT_EQ(cc.clocks[1][1][0], 0);
+  EXPECT_EQ(cc.clocks[1][0][0], VectorClock::kNone);
+  EXPECT_EQ(cc.clocks[0][1][1], VectorClock::kNone);
+}
+
+TEST(ClockComputation, TransitiveThroughMiddleProcess) {
+  // (0,0) ~> (1,1), (1,1) ~> (2,1): P2 state 1 transitively knows P0 state 0.
+  ClockComputation cc =
+      compute_state_clocks({2, 3, 2}, {{{0, 0}, {1, 1}}, {{1, 1}, {2, 1}}});
+  ASSERT_TRUE(cc.acyclic);
+  EXPECT_EQ(cc.clocks[2][1][0], 0);
+  EXPECT_EQ(cc.clocks[2][1][1], 1);
+}
+
+TEST(ClockComputation, DetectsCycle) {
+  // (0,1) ~> (1,1) and (1,1) ~> (0,1) is cyclic.
+  ClockComputation cc =
+      compute_state_clocks({3, 3}, {{{0, 1}, {1, 1}}, {{1, 1}, {0, 1}}});
+  EXPECT_FALSE(cc.acyclic);
+  EXPECT_TRUE(cc.clocks.empty());
+}
+
+TEST(ClockComputation, RejectsSelfProcessEdge) {
+  EXPECT_THROW(compute_state_clocks({3}, {{{0, 0}, {0, 2}}}), std::invalid_argument);
+}
+
+TEST(ClockComputation, RejectsOutOfRangeEdge) {
+  EXPECT_THROW(compute_state_clocks({2, 2}, {{{0, 5}, {1, 1}}}), std::invalid_argument);
+  EXPECT_THROW(compute_state_clocks({2, 2}, {{{0, 0}, {2, 1}}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace predctrl

@@ -1,0 +1,109 @@
+// On-line causality tracking and the Garg-Waldecker on-line detection
+// server (online/wcp_detector.hpp).
+#include "online/wcp_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "predicates/detection.hpp"
+#include "trace/random_trace.hpp"
+
+namespace predctrl::online {
+namespace {
+
+TEST(OnlineClocks, MatchPostHocDeposetClocks) {
+  // The clocks each process computed live (piggybacked on messages) must
+  // equal the clocks derived from the traced deposet after the fact.
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Rng rng(seed + 3);
+    RandomTraceOptions topt;
+    topt.num_processes = static_cast<int32_t>(2 + rng.index(4));
+    topt.events_per_process = static_cast<int32_t>(4 + rng.index(12));
+    topt.send_probability = 0.35;
+    Deposet d = random_deposet(topt, rng);
+    sim::ScriptedSystem system = sim::scripts_from_deposet(d, nullptr, rng);
+    sim::SimOptions opt;
+    opt.seed = seed * 7 + 1;
+    sim::RunResult run = sim::run_scripts(system, opt);
+    ASSERT_FALSE(run.deadlocked);
+    for (ProcessId p = 0; p < run.deposet.num_processes(); ++p)
+      for (int32_t k = 0; k < run.deposet.length(p); ++k)
+        EXPECT_EQ(run.clocks[static_cast<size_t>(p)][static_cast<size_t>(k)],
+                  run.deposet.clock({p, k}))
+            << "P" << p << ":" << k << " seed " << seed;
+  }
+}
+
+TEST(WcpDetector, DetectsSimpleOverlapOnline) {
+  // Two processes whose "in critical section" windows can overlap; watch
+  // c_p = in_cs and detect the first overlapping global state live.
+  using K = sim::Instr::Kind;
+  sim::ScriptedSystem system(2);
+  for (ProcessId p = 0; p < 2; ++p)
+    system[static_cast<size_t>(p)].instrs = {{K::kLocal, 1'000, -1, {}},
+                                             {K::kLocal, 5'000, -1, {}},
+                                             {K::kLocal, 1'000, -1, {}}};
+  PredicateTable in_cs{{false, true, true, false}, {false, true, true, false}};
+
+  DetectedRun r = run_scripts_detected(system, in_cs, {});
+  ASSERT_FALSE(r.run.deadlocked);
+  ASSERT_TRUE(r.detection.conclusive);
+  ASSERT_TRUE(r.detection.detected);
+  EXPECT_EQ(r.detection.cut, Cut(std::vector<int32_t>{1, 1}));
+  EXPECT_GT(r.detection.detected_at, 0);
+  // The offline detector agrees.
+  auto offline = detect_weak_conjunctive(r.run.deposet, in_cs);
+  ASSERT_TRUE(offline.detected);
+  EXPECT_EQ(offline.first_cut, r.detection.cut);
+}
+
+TEST(WcpDetector, ConclusiveNegativeWhenUndetectable) {
+  using K = sim::Instr::Kind;
+  // The message forces P1's window strictly after P0's: no overlap.
+  sim::ScriptedSystem system(2);
+  system[0].instrs = {{K::kLocal, 1'000, -1, {}},  // window: state 1
+                      {K::kSend, 1'000, 1, {}}};
+  system[1].instrs = {{K::kRecv, 1'000, 0, {}},  // window: state 2, after recv
+                      {K::kLocal, 1'000, -1, {}}};
+  PredicateTable cond{{false, true, false}, {false, false, true}};
+  DetectedRun r = run_scripts_detected(system, cond, {});
+  ASSERT_FALSE(r.run.deadlocked);
+  EXPECT_TRUE(r.detection.conclusive);
+  EXPECT_FALSE(r.detection.detected);
+  // Offline agrees: (0,1) -> (1,2) kills the only pairing.
+  EXPECT_FALSE(detect_weak_conjunctive(r.run.deposet, cond).detected);
+}
+
+class WcpDetectorRandom : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: on random workloads and random conditions, the on-line detector
+// reaches a conclusive verdict that matches the off-line detector run on
+// the traced deposet -- including the exact least cut.
+TEST_P(WcpDetectorRandom, AgreesWithOfflineDetector) {
+  Rng rng(GetParam() * 19 + 5);
+  RandomTraceOptions topt;
+  topt.num_processes = static_cast<int32_t>(2 + rng.index(4));
+  topt.events_per_process = static_cast<int32_t>(4 + rng.index(10));
+  topt.send_probability = 0.3;
+  Deposet d = random_deposet(topt, rng);
+  RandomPredicateOptions popt;
+  popt.false_probability = 0.55;  // conditions true ~45% of states
+  PredicateTable cond = random_predicate_table(d, popt, rng);
+
+  sim::ScriptedSystem system = sim::scripts_from_deposet(d, nullptr, rng);
+  sim::SimOptions opt;
+  opt.seed = GetParam() ^ 0x5555;
+  DetectedRun r = run_scripts_detected(system, cond, opt);
+  ASSERT_FALSE(r.run.deadlocked);
+  ASSERT_TRUE(r.detection.conclusive);
+
+  auto offline = detect_weak_conjunctive(r.run.deposet, cond);
+  EXPECT_EQ(r.detection.detected, offline.detected);
+  if (offline.detected) {
+    EXPECT_EQ(r.detection.cut, offline.first_cut);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WcpDetectorRandom, ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace predctrl::online
