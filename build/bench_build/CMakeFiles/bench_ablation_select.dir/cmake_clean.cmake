@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_select"
+  "../bench/bench_ablation_select.pdb"
+  "CMakeFiles/bench_ablation_select.dir/bench_ablation_select.cpp.o"
+  "CMakeFiles/bench_ablation_select.dir/bench_ablation_select.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

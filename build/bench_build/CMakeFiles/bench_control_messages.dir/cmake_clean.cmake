@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_control_messages"
+  "../bench/bench_control_messages.pdb"
+  "CMakeFiles/bench_control_messages.dir/bench_control_messages.cpp.o"
+  "CMakeFiles/bench_control_messages.dir/bench_control_messages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_control_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

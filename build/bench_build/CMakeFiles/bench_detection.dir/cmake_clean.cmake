@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_detection"
+  "../bench/bench_detection.pdb"
+  "CMakeFiles/bench_detection.dir/bench_detection.cpp.o"
+  "CMakeFiles/bench_detection.dir/bench_detection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

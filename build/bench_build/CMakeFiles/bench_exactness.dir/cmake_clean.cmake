@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_exactness"
+  "../bench/bench_exactness.pdb"
+  "CMakeFiles/bench_exactness.dir/bench_exactness.cpp.o"
+  "CMakeFiles/bench_exactness.dir/bench_exactness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exactness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

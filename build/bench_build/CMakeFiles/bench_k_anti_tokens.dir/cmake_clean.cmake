@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_k_anti_tokens"
+  "../bench/bench_k_anti_tokens.pdb"
+  "CMakeFiles/bench_k_anti_tokens.dir/bench_k_anti_tokens.cpp.o"
+  "CMakeFiles/bench_k_anti_tokens.dir/bench_k_anti_tokens.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_k_anti_tokens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_k_anti_tokens.
+# This may be replaced when dependencies are built.

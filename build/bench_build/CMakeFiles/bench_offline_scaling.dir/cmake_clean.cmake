@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_offline_scaling"
+  "../bench/bench_offline_scaling.pdb"
+  "CMakeFiles/bench_offline_scaling.dir/bench_offline_scaling.cpp.o"
+  "CMakeFiles/bench_offline_scaling.dir/bench_offline_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offline_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

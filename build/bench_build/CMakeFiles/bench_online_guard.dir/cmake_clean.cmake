@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_online_guard"
+  "../bench/bench_online_guard.pdb"
+  "CMakeFiles/bench_online_guard.dir/bench_online_guard.cpp.o"
+  "CMakeFiles/bench_online_guard.dir/bench_online_guard.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_online_mutex"
+  "../bench/bench_online_mutex.pdb"
+  "CMakeFiles/bench_online_mutex.dir/bench_online_mutex.cpp.o"
+  "CMakeFiles/bench_online_mutex.dir/bench_online_mutex.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

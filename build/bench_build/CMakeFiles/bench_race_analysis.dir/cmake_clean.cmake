@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_race_analysis"
+  "../bench/bench_race_analysis.pdb"
+  "CMakeFiles/bench_race_analysis.dir/bench_race_analysis.cpp.o"
+  "CMakeFiles/bench_race_analysis.dir/bench_race_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_race_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_replay"
+  "../bench/bench_replay.pdb"
+  "CMakeFiles/bench_replay.dir/bench_replay.cpp.o"
+  "CMakeFiles/bench_replay.dir/bench_replay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

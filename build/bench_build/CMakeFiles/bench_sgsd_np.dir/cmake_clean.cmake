@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sgsd_np"
+  "../bench/bench_sgsd_np.pdb"
+  "CMakeFiles/bench_sgsd_np.dir/bench_sgsd_np.cpp.o"
+  "CMakeFiles/bench_sgsd_np.dir/bench_sgsd_np.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sgsd_np.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

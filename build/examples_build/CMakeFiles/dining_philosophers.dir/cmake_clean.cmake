@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/dining_philosophers"
+  "../examples/dining_philosophers.pdb"
+  "CMakeFiles/dining_philosophers.dir/dining_philosophers.cpp.o"
+  "CMakeFiles/dining_philosophers.dir/dining_philosophers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dining_philosophers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/distributed_mutex"
+  "../examples/distributed_mutex.pdb"
+  "CMakeFiles/distributed_mutex.dir/distributed_mutex.cpp.o"
+  "CMakeFiles/distributed_mutex.dir/distributed_mutex.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/live_detection"
+  "../examples/live_detection.pdb"
+  "CMakeFiles/live_detection.dir/live_detection.cpp.o"
+  "CMakeFiles/live_detection.dir/live_detection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

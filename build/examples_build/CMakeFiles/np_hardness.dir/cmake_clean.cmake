@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/np_hardness"
+  "../examples/np_hardness.pdb"
+  "CMakeFiles/np_hardness.dir/np_hardness.cpp.o"
+  "CMakeFiles/np_hardness.dir/np_hardness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_hardness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for np_hardness.
+# This may be replaced when dependencies are built.

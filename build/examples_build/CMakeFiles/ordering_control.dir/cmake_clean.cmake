@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/ordering_control"
+  "../examples/ordering_control.pdb"
+  "CMakeFiles/ordering_control.dir/ordering_control.cpp.o"
+  "CMakeFiles/ordering_control.dir/ordering_control.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

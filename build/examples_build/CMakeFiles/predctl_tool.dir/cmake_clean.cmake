@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/predctl_tool"
+  "../examples/predctl_tool.pdb"
+  "CMakeFiles/predctl_tool.dir/predctl_tool.cpp.o"
+  "CMakeFiles/predctl_tool.dir/predctl_tool.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predctl_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

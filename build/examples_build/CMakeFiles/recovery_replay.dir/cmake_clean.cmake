@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/recovery_replay"
+  "../examples/recovery_replay.pdb"
+  "CMakeFiles/recovery_replay.dir/recovery_replay.cpp.o"
+  "CMakeFiles/recovery_replay.dir/recovery_replay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/replicated_servers"
+  "../examples/replicated_servers.pdb"
+  "CMakeFiles/replicated_servers.dir/replicated_servers.cpp.o"
+  "CMakeFiles/replicated_servers.dir/replicated_servers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/snapshot_bank"
+  "../examples/snapshot_bank.pdb"
+  "CMakeFiles/snapshot_bank.dir/snapshot_bank.cpp.o"
+  "CMakeFiles/snapshot_bank.dir/snapshot_bank.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/causality/clock_computation.cpp" "src/CMakeFiles/predctrl.dir/causality/clock_computation.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/causality/clock_computation.cpp.o.d"
+  "/root/repo/src/control/controlled_deposet.cpp" "src/CMakeFiles/predctrl.dir/control/controlled_deposet.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/control/controlled_deposet.cpp.o.d"
+  "/root/repo/src/control/offline_disjunctive.cpp" "src/CMakeFiles/predctrl.dir/control/offline_disjunctive.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/control/offline_disjunctive.cpp.o.d"
+  "/root/repo/src/control/offline_general.cpp" "src/CMakeFiles/predctrl.dir/control/offline_general.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/control/offline_general.cpp.o.d"
+  "/root/repo/src/control/strategy.cpp" "src/CMakeFiles/predctrl.dir/control/strategy.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/control/strategy.cpp.o.d"
+  "/root/repo/src/debug/scenario.cpp" "src/CMakeFiles/predctrl.dir/debug/scenario.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/debug/scenario.cpp.o.d"
+  "/root/repo/src/debug/session.cpp" "src/CMakeFiles/predctrl.dir/debug/session.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/debug/session.cpp.o.d"
+  "/root/repo/src/mutex/kmutex.cpp" "src/CMakeFiles/predctrl.dir/mutex/kmutex.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/mutex/kmutex.cpp.o.d"
+  "/root/repo/src/mutex/workload.cpp" "src/CMakeFiles/predctrl.dir/mutex/workload.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/mutex/workload.cpp.o.d"
+  "/root/repo/src/online/generalized_scapegoat.cpp" "src/CMakeFiles/predctrl.dir/online/generalized_scapegoat.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/online/generalized_scapegoat.cpp.o.d"
+  "/root/repo/src/online/guard.cpp" "src/CMakeFiles/predctrl.dir/online/guard.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/online/guard.cpp.o.d"
+  "/root/repo/src/online/scapegoat.cpp" "src/CMakeFiles/predctrl.dir/online/scapegoat.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/online/scapegoat.cpp.o.d"
+  "/root/repo/src/online/wcp_detector.cpp" "src/CMakeFiles/predctrl.dir/online/wcp_detector.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/online/wcp_detector.cpp.o.d"
+  "/root/repo/src/predicates/detection.cpp" "src/CMakeFiles/predctrl.dir/predicates/detection.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/predicates/detection.cpp.o.d"
+  "/root/repo/src/predicates/global_predicate.cpp" "src/CMakeFiles/predctrl.dir/predicates/global_predicate.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/predicates/global_predicate.cpp.o.d"
+  "/root/repo/src/predicates/intervals.cpp" "src/CMakeFiles/predctrl.dir/predicates/intervals.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/predicates/intervals.cpp.o.d"
+  "/root/repo/src/runtime/scripted.cpp" "src/CMakeFiles/predctrl.dir/runtime/scripted.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/runtime/scripted.cpp.o.d"
+  "/root/repo/src/runtime/sim.cpp" "src/CMakeFiles/predctrl.dir/runtime/sim.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/runtime/sim.cpp.o.d"
+  "/root/repo/src/sat/cnf.cpp" "src/CMakeFiles/predctrl.dir/sat/cnf.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/sat/cnf.cpp.o.d"
+  "/root/repo/src/sat/reduction.cpp" "src/CMakeFiles/predctrl.dir/sat/reduction.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/sat/reduction.cpp.o.d"
+  "/root/repo/src/snapshot/chandy_lamport.cpp" "src/CMakeFiles/predctrl.dir/snapshot/chandy_lamport.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/snapshot/chandy_lamport.cpp.o.d"
+  "/root/repo/src/trace/deposet.cpp" "src/CMakeFiles/predctrl.dir/trace/deposet.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/trace/deposet.cpp.o.d"
+  "/root/repo/src/trace/dot.cpp" "src/CMakeFiles/predctrl.dir/trace/dot.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/trace/dot.cpp.o.d"
+  "/root/repo/src/trace/race.cpp" "src/CMakeFiles/predctrl.dir/trace/race.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/trace/race.cpp.o.d"
+  "/root/repo/src/trace/random_trace.cpp" "src/CMakeFiles/predctrl.dir/trace/random_trace.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/trace/random_trace.cpp.o.d"
+  "/root/repo/src/trace/recovery.cpp" "src/CMakeFiles/predctrl.dir/trace/recovery.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/trace/recovery.cpp.o.d"
+  "/root/repo/src/trace/serialize.cpp" "src/CMakeFiles/predctrl.dir/trace/serialize.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/trace/serialize.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/predctrl.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/predctrl.dir/util/logging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controlled_deposet.dir/test_controlled_deposet.cpp.o"
+  "CMakeFiles/test_controlled_deposet.dir/test_controlled_deposet.cpp.o.d"
+  "test_controlled_deposet"
+  "test_controlled_deposet.pdb"
+  "test_controlled_deposet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controlled_deposet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

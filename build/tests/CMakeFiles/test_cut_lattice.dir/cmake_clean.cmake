@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cut_lattice.dir/test_cut_lattice.cpp.o"
+  "CMakeFiles/test_cut_lattice.dir/test_cut_lattice.cpp.o.d"
+  "test_cut_lattice"
+  "test_cut_lattice.pdb"
+  "test_cut_lattice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cut_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cut_lattice.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deposet.dir/test_deposet.cpp.o"
+  "CMakeFiles/test_deposet.dir/test_deposet.cpp.o.d"
+  "test_deposet"
+  "test_deposet.pdb"
+  "test_deposet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deposet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detection.dir/test_detection.cpp.o"
+  "CMakeFiles/test_detection.dir/test_detection.cpp.o.d"
+  "test_detection"
+  "test_detection.pdb"
+  "test_detection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2e_debugging.dir/test_e2e_debugging.cpp.o"
+  "CMakeFiles/test_e2e_debugging.dir/test_e2e_debugging.cpp.o.d"
+  "test_e2e_debugging"
+  "test_e2e_debugging.pdb"
+  "test_e2e_debugging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2e_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_e2e_debugging.
+# This may be replaced when dependencies are built.

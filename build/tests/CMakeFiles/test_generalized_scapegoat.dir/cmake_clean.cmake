@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generalized_scapegoat.dir/test_generalized_scapegoat.cpp.o"
+  "CMakeFiles/test_generalized_scapegoat.dir/test_generalized_scapegoat.cpp.o.d"
+  "test_generalized_scapegoat"
+  "test_generalized_scapegoat.pdb"
+  "test_generalized_scapegoat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generalized_scapegoat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

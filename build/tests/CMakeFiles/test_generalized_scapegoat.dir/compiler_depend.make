@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_generalized_scapegoat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modalities.dir/test_modalities.cpp.o"
+  "CMakeFiles/test_modalities.dir/test_modalities.cpp.o.d"
+  "test_modalities"
+  "test_modalities.pdb"
+  "test_modalities[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modalities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_offline_control.dir/test_offline_control.cpp.o"
+  "CMakeFiles/test_offline_control.dir/test_offline_control.cpp.o.d"
+  "test_offline_control"
+  "test_offline_control.pdb"
+  "test_offline_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_offline_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

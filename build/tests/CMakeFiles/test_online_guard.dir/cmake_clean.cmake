@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_guard.dir/test_online_guard.cpp.o"
+  "CMakeFiles/test_online_guard.dir/test_online_guard.cpp.o.d"
+  "test_online_guard"
+  "test_online_guard.pdb"
+  "test_online_guard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_race.dir/test_race.cpp.o"
+  "CMakeFiles/test_race.dir/test_race.cpp.o.d"
+  "test_race"
+  "test_race.pdb"
+  "test_race[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

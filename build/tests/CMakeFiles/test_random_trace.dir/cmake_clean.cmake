@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_trace.dir/test_random_trace.cpp.o"
+  "CMakeFiles/test_random_trace.dir/test_random_trace.cpp.o.d"
+  "test_random_trace"
+  "test_random_trace.pdb"
+  "test_random_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

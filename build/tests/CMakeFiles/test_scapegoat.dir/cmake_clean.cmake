@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scapegoat.dir/test_scapegoat.cpp.o"
+  "CMakeFiles/test_scapegoat.dir/test_scapegoat.cpp.o.d"
+  "test_scapegoat"
+  "test_scapegoat.pdb"
+  "test_scapegoat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scapegoat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scripted.dir/test_scripted.cpp.o"
+  "CMakeFiles/test_scripted.dir/test_scripted.cpp.o.d"
+  "test_scripted"
+  "test_scripted.pdb"
+  "test_scripted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scripted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

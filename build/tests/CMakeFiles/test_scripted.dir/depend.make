@@ -1,0 +1,2 @@
+# Empty dependencies file for test_scripted.
+# This may be replaced when dependencies are built.

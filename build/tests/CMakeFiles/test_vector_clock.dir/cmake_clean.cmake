@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vector_clock.dir/test_vector_clock.cpp.o"
+  "CMakeFiles/test_vector_clock.dir/test_vector_clock.cpp.o.d"
+  "test_vector_clock"
+  "test_vector_clock.pdb"
+  "test_vector_clock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vector_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

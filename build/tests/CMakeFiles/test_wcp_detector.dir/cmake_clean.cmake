@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wcp_detector.dir/test_wcp_detector.cpp.o"
+  "CMakeFiles/test_wcp_detector.dir/test_wcp_detector.cpp.o.d"
+  "test_wcp_detector"
+  "test_wcp_detector.pdb"
+  "test_wcp_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wcp_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

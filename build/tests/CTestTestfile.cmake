@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_controlled_deposet[1]_include.cmake")
+include("/root/repo/build/tests/test_cut_lattice[1]_include.cmake")
+include("/root/repo/build/tests/test_deposet[1]_include.cmake")
+include("/root/repo/build/tests/test_detection[1]_include.cmake")
+include("/root/repo/build/tests/test_e2e_debugging[1]_include.cmake")
+include("/root/repo/build/tests/test_generalized_scapegoat[1]_include.cmake")
+include("/root/repo/build/tests/test_impossibility[1]_include.cmake")
+include("/root/repo/build/tests/test_modalities[1]_include.cmake")
+include("/root/repo/build/tests/test_offline_control[1]_include.cmake")
+include("/root/repo/build/tests/test_online_guard[1]_include.cmake")
+include("/root/repo/build/tests/test_predicates[1]_include.cmake")
+include("/root/repo/build/tests/test_race[1]_include.cmake")
+include("/root/repo/build/tests/test_random_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_reduction[1]_include.cmake")
+include("/root/repo/build/tests/test_replay[1]_include.cmake")
+include("/root/repo/build/tests/test_sat[1]_include.cmake")
+include("/root/repo/build/tests/test_scapegoat[1]_include.cmake")
+include("/root/repo/build/tests/test_scripted[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_snapshot[1]_include.cmake")
+include("/root/repo/build/tests/test_strategy[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_vector_clock[1]_include.cmake")
+include("/root/repo/build/tests/test_wcp_detector[1]_include.cmake")
