@@ -80,4 +80,5 @@ BENCHMARK(BM_SelectRandom)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SelectFirst)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SelectGreedyFarthest)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+#include "bench_common.hpp"
+PREDCTRL_BENCH_MAIN();

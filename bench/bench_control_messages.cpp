@@ -87,4 +87,5 @@ BENCHMARK(BM_RelationSizeVsNP)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MutexMessagesPerCs)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+#include "bench_common.hpp"
+PREDCTRL_BENCH_MAIN();

@@ -63,4 +63,5 @@ BENCHMARK(BM_ExhaustiveLatticeFilter)
     ->ArgsProduct({{3, 4}, {8, 12}})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+#include "bench_common.hpp"
+PREDCTRL_BENCH_MAIN();

@@ -74,4 +74,5 @@ void BM_ExactnessSimultaneous(benchmark::State& state) {
 BENCHMARK(BM_ExactnessRealTime)->Arg(200)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ExactnessSimultaneous)->Arg(200)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+#include "bench_common.hpp"
+PREDCTRL_BENCH_MAIN();

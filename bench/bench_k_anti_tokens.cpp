@@ -75,4 +75,5 @@ BENCHMARK(BM_CoordinatorAtK)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(11)
 BENCHMARK(BM_TokenRingAtK)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(11)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+#include "bench_common.hpp"
+PREDCTRL_BENCH_MAIN();

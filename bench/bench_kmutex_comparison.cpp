@@ -70,4 +70,5 @@ BENCHMARK(BM_Scapegoat)->Arg(3)->Arg(6)->Arg(12)->Arg(24)->Unit(benchmark::kMill
 BENCHMARK(BM_Coordinator)->Arg(3)->Arg(6)->Arg(12)->Arg(24)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TokenRing)->Arg(3)->Arg(6)->Arg(12)->Arg(24)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+#include "bench_common.hpp"
+PREDCTRL_BENCH_MAIN();

@@ -81,4 +81,5 @@ BENCHMARK(BM_Offline_Naive)
     ->ArgsProduct({{16}, {4, 16, 64, 128}})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+#include "bench_common.hpp"
+PREDCTRL_BENCH_MAIN();

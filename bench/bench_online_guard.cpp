@@ -73,4 +73,5 @@ void BM_Guarded(benchmark::State& state) {
 BENCHMARK(BM_Unguarded)->ArgsProduct({{4, 16}, {50, 200}})->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Guarded)->ArgsProduct({{4, 16}, {50, 200}})->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+#include "bench_common.hpp"
+PREDCTRL_BENCH_MAIN();

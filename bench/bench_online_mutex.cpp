@@ -78,4 +78,5 @@ BENCHMARK(BM_ScapegoatUnicast)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64
 BENCHMARK(BM_ScapegoatBroadcast)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+#include "bench_common.hpp"
+PREDCTRL_BENCH_MAIN();

@@ -36,4 +36,5 @@ BENCHMARK(BM_RaceAnalysis)
     ->ArgsProduct({{4, 16}, {10, 40, 80}})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+#include "bench_common.hpp"
+PREDCTRL_BENCH_MAIN();

@@ -88,4 +88,5 @@ BENCHMARK(BM_ControlledReplay)
     ->ArgsProduct({{4, 16}, {50, 200}})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+#include "bench_common.hpp"
+PREDCTRL_BENCH_MAIN();

@@ -70,4 +70,5 @@ BENCHMARK(BM_SgsdViaReduction)->DenseRange(4, 14, 2)->Unit(benchmark::kMilliseco
 BENCHMARK(BM_DpllBaseline)->DenseRange(4, 14, 2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DisjunctiveContrast)->DenseRange(4, 14, 2)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+#include "bench_common.hpp"
+PREDCTRL_BENCH_MAIN();

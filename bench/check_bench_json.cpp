@@ -1,0 +1,80 @@
+// Validates a BENCH_*.json results file against the predctrl-bench-v1
+// schema (see bench_common.hpp). Used by the `bench-smoke` ctest label:
+// each bench binary runs in --smoke mode, then this tool checks what it
+// wrote. Exit 0 iff the file parses and conforms.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+using predctrl::obs::Json;
+
+namespace {
+
+[[noreturn]] void fail(const std::string& why) {
+  std::cerr << "check_bench_json: " << why << "\n";
+  std::exit(1);
+}
+
+const Json& require(const Json& obj, const std::string& key, Json::Kind kind,
+                    const std::string& where) {
+  const Json* v = obj.find(key);
+  if (!v) fail(where + ": missing key \"" + key + "\"");
+  if (v->kind() != kind) fail(where + ": key \"" + key + "\" has wrong type");
+  return *v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: check_bench_json <BENCH_x.json>\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) fail(std::string("cannot open ") + argv[1]);
+  std::ostringstream os;
+  os << in.rdbuf();
+
+  Json doc;
+  try {
+    doc = predctrl::obs::json_parse(os.str());
+  } catch (const std::exception& e) {
+    fail(std::string("invalid JSON: ") + e.what());
+  }
+  if (!doc.is_object()) fail("top level is not an object");
+
+  if (require(doc, "schema", Json::Kind::kString, "top level").as_string() !=
+      "predctrl-bench-v1")
+    fail("schema id is not \"predctrl-bench-v1\"");
+  if (require(doc, "bench", Json::Kind::kString, "top level").as_string().empty())
+    fail("\"bench\" is empty");
+  require(doc, "smoke", Json::Kind::kBool, "top level");
+
+  const Json& results = require(doc, "results", Json::Kind::kArray, "top level");
+  if (results.as_array().empty()) fail("\"results\" is empty (no benchmark ran)");
+
+  size_t i = 0;
+  for (const Json& run : results.as_array()) {
+    const std::string where = "results[" + std::to_string(i++) + "]";
+    if (!run.is_object()) fail(where + " is not an object");
+    if (require(run, "name", Json::Kind::kString, where).as_string().empty())
+      fail(where + ": empty \"name\"");
+    const std::string rt = require(run, "run_type", Json::Kind::kString, where).as_string();
+    if (rt != "iteration" && rt != "aggregate")
+      fail(where + ": run_type \"" + rt + "\" not iteration|aggregate");
+    if (require(run, "iterations", Json::Kind::kNumber, where).as_int() < 0)
+      fail(where + ": negative iterations");
+    if (require(run, "real_time_ns", Json::Kind::kNumber, where).as_double() < 0)
+      fail(where + ": negative real_time_ns");
+    if (require(run, "cpu_time_ns", Json::Kind::kNumber, where).as_double() < 0)
+      fail(where + ": negative cpu_time_ns");
+    if (require(run, "error", Json::Kind::kBool, where).as_bool())
+      fail(where + ": benchmark reported an error");
+    require(run, "counters", Json::Kind::kObject, where);
+  }
+  std::cout << "ok: " << argv[1] << " (" << results.as_array().size() << " runs)\n";
+  return 0;
+}

@@ -1,11 +1,27 @@
 // predctl_tool -- command-line front end for the library's file formats.
 //
 // Usage:
-//   predctl_tool feasible  <deposet-file> <predicate-file> [realtime|simultaneous]
-//   predctl_tool detect    <deposet-file> <predicate-file>
-//   predctl_tool control   <deposet-file> <predicate-file> [realtime|simultaneous]
-//   predctl_tool dot       <deposet-file> [predicate-file]
-//   predctl_tool races     <deposet-file>
+//   predctl_tool feasible   <deposet-file> <predicate-file> [realtime|simultaneous]
+//   predctl_tool detect     <deposet-file> <predicate-file>
+//   predctl_tool control    <deposet-file> <predicate-file> [realtime|simultaneous]
+//   predctl_tool dot        <deposet-file> [predicate-file]
+//   predctl_tool races      <deposet-file>
+//   predctl_tool quickstart
+//
+// Global flags (any command; may appear anywhere):
+//   --trace-out=FILE    write a Chrome trace_event JSON (chrome://tracing /
+//                       Perfetto-loadable) of the run
+//   --metrics-out=FILE  write a metrics-registry JSON snapshot
+// Either flag turns recording on (obs/obs.hpp).
+//
+// `quickstart` runs the built-in two-process mutual-exclusion scenario of
+// examples/quickstart.cpp through the full active-debugging cycle
+// (observe -> detect -> control -> replay) on the simulator, plus an
+// on-line guarded critical-section run (the Figure 3 scapegoat strategy),
+// so the exported metrics cover every instrumented subsystem: per-plane
+// message latency, Session phase durations, scapegoat blocked time, and
+// off-line synthesis counters. It is the default command when only
+// --trace-out/--metrics-out flags are given.
 //
 // File formats are the plain-text ones of trace/serialize.hpp (`deposet` /
 // `predicate` blocks); `-` reads from stdin. `control` prints the
@@ -16,14 +32,20 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "control/offline_disjunctive.hpp"
 #include "control/strategy.hpp"
+#include "debug/session.hpp"
+#include "mutex/kmutex.hpp"
+#include "obs/obs.hpp"
+#include "online/guard.hpp"
 #include "predicates/detection.hpp"
 #include "predicates/global_predicate.hpp"
 #include "trace/dot.hpp"
 #include "trace/race.hpp"
 #include "trace/serialize.hpp"
+#include "util/rng.hpp"
 
 using namespace predctrl;
 
@@ -47,109 +69,201 @@ PredicateTable load_predicate(const std::string& path) {
   return read_predicate_table(is);
 }
 
-StepSemantics semantics_arg(int argc, char** argv, int index) {
-  if (argc <= index) return StepSemantics::kRealTime;
-  if (std::strcmp(argv[index], "simultaneous") == 0) return StepSemantics::kSimultaneous;
-  if (std::strcmp(argv[index], "realtime") == 0) return StepSemantics::kRealTime;
+StepSemantics semantics_arg(const std::vector<std::string>& args, size_t index) {
+  if (args.size() <= index) return StepSemantics::kRealTime;
+  if (args[index] == "simultaneous") return StepSemantics::kSimultaneous;
+  if (args[index] == "realtime") return StepSemantics::kRealTime;
   throw std::runtime_error("unknown semantics (want realtime|simultaneous)");
 }
 
 int usage() {
-  std::cerr << "usage: predctl_tool feasible|detect|control|dot|races <deposet> "
-               "[predicate] [realtime|simultaneous]\n";
+  std::cerr << "usage: predctl_tool [--trace-out=FILE] [--metrics-out=FILE]\n"
+               "                    feasible|detect|control|dot|races <deposet> "
+               "[predicate] [realtime|simultaneous]\n"
+               "       predctl_tool [--trace-out=FILE] [--metrics-out=FILE] quickstart\n";
   return 2;
+}
+
+// The quickstart scenario of examples/quickstart.cpp, executed end to end on
+// the simulator so every instrumented layer records something.
+int run_quickstart() {
+  // Two processes, five states each, one message; B = "not both in the CS".
+  DeposetBuilder builder(2);
+  builder.set_length(0, 5);
+  builder.set_length(1, 5);
+  builder.add_message({0, 3}, {1, 4});
+  Deposet trace = builder.build();
+  PredicateTable not_in_cs{{true, false, false, true, true},
+                           {true, true, false, false, true}};
+
+  // Make it executable: scripts whose "ok" variable tracks the predicate.
+  Rng rng(7);
+  sim::ScriptedSystem system = sim::scripts_from_deposet(trace, &not_in_cs, rng);
+  debug::Session session(system, sim::ok_var);
+
+  // observe -> detect -> control -> replay.
+  debug::Observation obs = session.observe(/*seed=*/42);
+  auto violation = obs.first_violation();
+  std::cout << "violation possible: " << (violation.has_value() ? "yes" : "no");
+  if (violation) std::cout << " (first at global state " << *violation << ")";
+  std::cout << "\n";
+
+  debug::ControlOutcome control = session.synthesize_control(obs);
+  if (!control.controllable) {
+    std::cout << "No Controller Exists: B is infeasible for this trace\n";
+    return 1;
+  }
+  std::cout << "control relation: " << control.details.control.size()
+            << " forced-before edge(s), "
+            << control.strategy->message_count() << " control message(s)\n";
+
+  debug::Observation replayed = session.replay(control, /*seed=*/43);
+  // (run the detect phase on the replay too, so its span is recorded; the
+  // re-traced deposet omits control causality by design, so only the
+  // actually-taken schedule is meaningful here.)
+  replayed.first_violation();
+  std::cout << "replay passed a violating state: "
+            << (replayed.run_violated() ? "yes" : "no") << "\n";
+
+  // On-line half: the Figure 3 scapegoat strategy guarding a fresh
+  // critical-section workload ((n-1)-mutual exclusion).
+  mutex::CsWorkloadOptions workload;
+  workload.num_processes = 4;
+  workload.cs_per_process = 8;
+  workload.seed = 11;
+  mutex::MutexRunResult guarded = mutex::run_scapegoat_mutex(workload);
+  std::cout << "guarded CS run: " << guarded.cs_entries << " entries, "
+            << guarded.stats.control_messages << " control messages, safe: "
+            << (guarded.max_concurrent_cs < workload.num_processes && !guarded.deadlocked
+                    ? "yes"
+                    : "no")
+            << "\n";
+  return replayed.run_violated() ? 1 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
+  std::string trace_out;
+  std::string metrics_out;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0)
+      trace_out = arg.substr(std::strlen("--trace-out="));
+    else if (arg.rfind("--metrics-out=", 0) == 0)
+      metrics_out = arg.substr(std::strlen("--metrics-out="));
+    else
+      args.push_back(arg);
+  }
+  if (!trace_out.empty() || !metrics_out.empty()) obs::set_enabled(true);
+
+  // Bare flags mean "instrument something": default to the quickstart run.
+  if (args.empty() && obs::enabled()) args.emplace_back("quickstart");
+  if (args.empty()) return usage();
+
   try {
-    const std::string cmd = argv[1];
-    Deposet d = deposet_from_string(slurp(argv[2]));
+    const std::string cmd = args[0];
+    int status = 2;
 
-    if (cmd == "races") {
-      RaceAnalysis r = analyze_races(d);
-      std::cout << "receives: " << r.total_receives << "\nracing:   "
-                << r.racing_receives.size() << " (" << 100.0 * r.racing_fraction()
-                << "% must be traced for replay)\n";
-      for (const MessageRace& race : r.races)
-        std::cout << "  receive " << race.received.to << " could instead get the message "
-                  << race.could_have_received.from << "~>" << race.could_have_received.to
-                  << "\n";
-      return 0;
-    }
+    if (cmd == "quickstart") {
+      status = run_quickstart();
+    } else if (args.size() < 2) {
+      return usage();
+    } else {
+      Deposet d = deposet_from_string(slurp(args[1]));
 
-    if (cmd == "dot" && argc == 3) {
-      std::cout << to_dot(d);
-      return 0;
-    }
+      if (cmd == "races") {
+        RaceAnalysis r = analyze_races(d);
+        std::cout << "receives: " << r.total_receives << "\nracing:   "
+                  << r.racing_receives.size() << " (" << 100.0 * r.racing_fraction()
+                  << "% must be traced for replay)\n";
+        for (const MessageRace& race : r.races)
+          std::cout << "  receive " << race.received.to << " could instead get the message "
+                    << race.could_have_received.from << "~>" << race.could_have_received.to
+                    << "\n";
+        status = 0;
+      } else if (cmd == "dot" && args.size() == 2) {
+        std::cout << to_dot(d);
+        status = 0;
+      } else if (args.size() < 3) {
+        return usage();
+      } else {
+        PredicateTable pred = load_predicate(args[2]);
 
-    if (argc < 4) return usage();
-    PredicateTable pred = load_predicate(argv[3]);
-
-    if (cmd == "feasible") {
-      auto r = find_satisfying_global_sequence(
-          d, [&](const Cut& c) { return eval_disjunctive(pred, c); },
-          semantics_arg(argc, argv, 4));
-      std::cout << (r.feasible ? "feasible" : "infeasible") << "\n";
-      if (r.feasible)
-        for (const Cut& c : r.sequence) std::cout << "  " << c << "\n";
-      return r.feasible ? 0 : 1;
-    }
-
-    if (cmd == "detect") {
-      PredicateTable neg = pred;
-      for (auto& row : neg)
-        for (size_t k = 0; k < row.size(); ++k) row[k] = !row[k];
-      auto det = detect_weak_conjunctive(d, neg);
-      if (!det.detected) {
-        std::cout << "no violating global state\n";
-        return 0;
-      }
-      std::cout << "violation possible; least violating global state: " << det.first_cut
-                << "\n";
-      return 1;
-    }
-
-    if (cmd == "control") {
-      OfflineControlOptions opt;
-      opt.semantics = semantics_arg(argc, argv, 4);
-      auto r = control_disjunctive_offline(d, pred, opt);
-      if (!r.controllable) {
-        std::cout << "No Controller Exists (predicate infeasible for this trace)\n";
-        std::cout << "blocking intervals:\n";
-        for (const FalseInterval& iv : r.blocking_intervals) std::cout << "  " << iv << "\n";
-        return 1;
-      }
-      std::cout << "control relation (" << r.control.size() << " edges):\n";
-      for (const CausalEdge& e : r.control) std::cout << "  " << e << "\n";
-      if (opt.semantics == StepSemantics::kRealTime) {
-        ControlStrategy s = ControlStrategy::compile(d, r.control);
-        std::cout << "strategy (" << s.message_count() << " control messages):\n";
-        for (ProcessId p = 0; p < d.num_processes(); ++p)
-          for (const ControlAction& a : s.actions(p)) {
-            if (a.kind == ControlAction::Kind::kSendOnExit)
-              std::cout << "  P" << p << ": on leaving state " << a.state
-                        << ", send token " << a.token << " to P" << a.peer << "\n";
-            else
-              std::cout << "  P" << p << ": before entering state " << a.state
-                        << ", wait for token " << a.token << " from P" << a.peer << "\n";
+        if (cmd == "feasible") {
+          auto r = find_satisfying_global_sequence(
+              d, [&](const Cut& c) { return eval_disjunctive(pred, c); },
+              semantics_arg(args, 3));
+          std::cout << (r.feasible ? "feasible" : "infeasible") << "\n";
+          if (r.feasible)
+            for (const Cut& c : r.sequence) std::cout << "  " << c << "\n";
+          status = r.feasible ? 0 : 1;
+        } else if (cmd == "detect") {
+          PredicateTable neg = pred;
+          for (auto& row : neg)
+            for (size_t k = 0; k < row.size(); ++k) row[k] = !row[k];
+          auto det = detect_weak_conjunctive(d, neg);
+          if (!det.detected) {
+            std::cout << "no violating global state\n";
+            status = 0;
+          } else {
+            std::cout << "violation possible; least violating global state: " << det.first_cut
+                      << "\n";
+            status = 1;
           }
+        } else if (cmd == "control") {
+          OfflineControlOptions opt;
+          opt.semantics = semantics_arg(args, 3);
+          auto r = control_disjunctive_offline(d, pred, opt);
+          if (!r.controllable) {
+            std::cout << "No Controller Exists (predicate infeasible for this trace)\n";
+            std::cout << "blocking intervals:\n";
+            for (const FalseInterval& iv : r.blocking_intervals)
+              std::cout << "  " << iv << "\n";
+            status = 1;
+          } else {
+            std::cout << "control relation (" << r.control.size() << " edges):\n";
+            for (const CausalEdge& e : r.control) std::cout << "  " << e << "\n";
+            if (opt.semantics == StepSemantics::kRealTime) {
+              ControlStrategy s = ControlStrategy::compile(d, r.control);
+              std::cout << "strategy (" << s.message_count() << " control messages):\n";
+              for (ProcessId p = 0; p < d.num_processes(); ++p)
+                for (const ControlAction& a : s.actions(p)) {
+                  if (a.kind == ControlAction::Kind::kSendOnExit)
+                    std::cout << "  P" << p << ": on leaving state " << a.state
+                              << ", send token " << a.token << " to P" << a.peer << "\n";
+                  else
+                    std::cout << "  P" << p << ": before entering state " << a.state
+                              << ", wait for token " << a.token << " from P" << a.peer
+                              << "\n";
+                }
+            }
+            status = 0;
+          }
+        } else if (cmd == "dot") {
+          DotOptions opt;
+          opt.predicate = &pred;
+          auto r = control_disjunctive_offline(d, pred);
+          if (r.controllable) opt.control_edges = r.control;
+          std::cout << to_dot(d, opt);
+          status = 0;
+        } else {
+          return usage();
+        }
       }
-      return 0;
     }
 
-    if (cmd == "dot") {
-      DotOptions opt;
-      opt.predicate = &pred;
-      auto r = control_disjunctive_offline(d, pred);
-      if (r.controllable) opt.control_edges = r.control;
-      std::cout << to_dot(d, opt);
-      return 0;
+    if (!metrics_out.empty()) {
+      obs::write_metrics_json(metrics_out);
+      std::cerr << "metrics written to " << metrics_out << "\n";
     }
-
-    return usage();
+    if (!trace_out.empty()) {
+      obs::write_trace_json(trace_out);
+      std::cerr << "trace written to " << trace_out
+                << " (load in chrome://tracing or https://ui.perfetto.dev)\n";
+    }
+    return status;
   } catch (const std::exception& e) {
     std::cerr << "predctl_tool: " << e.what() << "\n";
     return 2;

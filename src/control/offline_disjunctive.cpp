@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace predctrl {
@@ -197,6 +198,7 @@ class Algorithm {
     int64_t total_intervals = 0;
     for (ProcessId p = 0; p < n; ++p)
       total_intervals += static_cast<int64_t>(walker_.intervals(p).size());
+    result.total_intervals = total_intervals;
 
     ProcessId k = -1;  // previous iteration's keeper
     while (all_have_next_interval()) {
@@ -372,7 +374,19 @@ OfflineControlResult control_disjunctive_offline(const Deposet& deposet,
     PREDCTRL_CHECK(static_cast<int32_t>(predicate[static_cast<size_t>(p)].size()) ==
                        deposet.length(p),
                    "predicate row does not match process length");
-  return Algorithm(deposet, predicate, options).run();
+  PREDCTRL_OBS_SPAN(span, "control.synthesize", "control");
+  OfflineControlResult result = Algorithm(deposet, predicate, options).run();
+  span.add_arg("processes", static_cast<int64_t>(deposet.num_processes()));
+  span.add_arg("controllable", static_cast<int64_t>(result.controllable ? 1 : 0));
+  span.add_arg("edges", static_cast<int64_t>(result.control.size()));
+  PREDCTRL_OBS_COUNT("control.offline.runs", 1);
+  PREDCTRL_OBS_COUNT("control.offline.iterations", result.iterations);
+  PREDCTRL_OBS_COUNT("control.offline.pair_checks", result.pair_checks);
+  PREDCTRL_OBS_COUNT("control.offline.intervals", result.total_intervals);
+  PREDCTRL_OBS_COUNT("control.offline.edges",
+                     static_cast<int64_t>(result.control.size()));
+  PREDCTRL_OBS_RECORD("control.offline.synthesis_us", span.elapsed_us());
+  return result;
 }
 
 std::optional<ControlledDeposet> controlled_deposet_for(

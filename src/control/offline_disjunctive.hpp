@@ -77,6 +77,7 @@ struct OfflineControlResult {
   // -- complexity accounting (benches E3/E4) --
   int64_t iterations = 0;   ///< outer-loop iterations (intervals crossed)
   int64_t pair_checks = 0;  ///< crossable() evaluations performed
+  int64_t total_intervals = 0;  ///< false intervals scanned across all processes
 };
 
 /// Runs the Figure 2 algorithm. `predicate[p][k]` is l_p at state (p, k).

@@ -1,5 +1,6 @@
 #include "debug/session.hpp"
 
+#include "obs/obs.hpp"
 #include "predicates/global_predicate.hpp"
 #include "trace/lattice.hpp"
 #include "util/check.hpp"
@@ -17,11 +18,18 @@ PredicateTable negate_table(const PredicateTable& table) {
 }  // namespace
 
 std::vector<Cut> Observation::violating_cuts() const {
-  return all_conjunctive_cuts(run.deposet, negate_table(predicate));
+  PREDCTRL_OBS_SPAN(span, "session.detect", "session");
+  auto cuts = all_conjunctive_cuts(run.deposet, negate_table(predicate));
+  span.add_arg("violations", static_cast<int64_t>(cuts.size()));
+  PREDCTRL_OBS_RECORD("session.phase.detect.wall_us", span.elapsed_us());
+  return cuts;
 }
 
 std::optional<Cut> Observation::first_violation() const {
+  PREDCTRL_OBS_SPAN(span, "session.detect", "session");
   ConjunctiveDetection d = detect_weak_conjunctive(run.deposet, negate_table(predicate));
+  span.add_arg("detected", static_cast<int64_t>(d.detected ? 1 : 0));
+  PREDCTRL_OBS_RECORD("session.phase.detect.wall_us", span.elapsed_us());
   if (!d.detected) return std::nullopt;
   return d.first_cut;
 }
@@ -43,21 +51,36 @@ Session::Session(sim::ScriptedSystem system, LocalPredicate predicate,
 Observation Session::observe(uint64_t seed) const { return observe_impl(seed, nullptr); }
 
 Observation Session::observe_impl(uint64_t seed, const ControlStrategy* strategy) const {
+  const char* phase = strategy == nullptr ? "observe" : "replay";
+  PREDCTRL_OBS_SPAN(span, strategy == nullptr ? "session.observe" : "session.replay",
+                    "session");
   sim::SimOptions opt = options_;
   opt.seed = seed;
   Observation obs;
   obs.run = sim::run_scripts(system_, opt, strategy);
   obs.predicate = obs.run.predicate_table(predicate_);
+  span.add_arg("seed", static_cast<int64_t>(seed));
+  span.add_arg("vt_us", obs.run.stats.end_time);
+  span.add_arg("events", obs.run.stats.events_processed);
+  if (obs::recording()) {
+    const std::string prefix = std::string("session.phase.") + phase;
+    obs::default_metrics().histogram(prefix + ".wall_us").record(span.elapsed_us());
+    obs::default_metrics().histogram(prefix + ".vtime_us").record(obs.run.stats.end_time);
+  }
   return obs;
 }
 
 ControlOutcome Session::synthesize_control(const Observation& obs,
                                            const OfflineControlOptions& options) const {
+  PREDCTRL_OBS_SPAN(span, "session.control", "session");
   ControlOutcome outcome;
   outcome.details = control_disjunctive_offline(obs.run.deposet, obs.predicate, options);
   outcome.controllable = outcome.details.controllable;
   if (outcome.controllable)
     outcome.strategy = ControlStrategy::compile(obs.run.deposet, outcome.details.control);
+  span.add_arg("controllable", static_cast<int64_t>(outcome.controllable ? 1 : 0));
+  span.add_arg("edges", static_cast<int64_t>(outcome.details.control.size()));
+  PREDCTRL_OBS_RECORD("session.phase.control.wall_us", span.elapsed_us());
   return outcome;
 }
 

@@ -1,0 +1,302 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace predctrl::obs {
+
+Json::Json(JsonArray a) : kind_(Kind::kArray), arr_(std::make_shared<JsonArray>(std::move(a))) {}
+Json::Json(JsonObject o)
+    : kind_(Kind::kObject), obj_(std::make_shared<JsonObject>(std::move(o))) {}
+
+namespace {
+[[noreturn]] void bad(const std::string& what) { throw std::invalid_argument("json: " + what); }
+}  // namespace
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::kBool) bad("not a bool");
+  return bool_;
+}
+
+double Json::as_double() const {
+  if (kind_ != Kind::kNumber) bad("not a number");
+  return num_;
+}
+
+int64_t Json::as_int() const {
+  if (kind_ != Kind::kNumber) bad("not a number");
+  return static_cast<int64_t>(num_);
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::kString) bad("not a string");
+  return str_;
+}
+
+const JsonArray& Json::as_array() const {
+  if (kind_ != Kind::kArray) bad("not an array");
+  return *arr_;
+}
+
+const JsonObject& Json::as_object() const {
+  if (kind_ != Kind::kObject) bad("not an object");
+  return *obj_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : *obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Json::dump() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kNumber: {
+      if (is_int_ || (std::isfinite(num_) && num_ == std::floor(num_) &&
+                      std::fabs(num_) < 9.0e15)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(num_));
+        return buf;
+      }
+      if (!std::isfinite(num_)) return "null";  // JSON has no inf/nan
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", num_);
+      return buf;
+    }
+    case Kind::kString:
+      return '"' + json_escape(str_) + '"';
+    case Kind::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < arr_->size(); ++i) {
+        if (i) out += ',';
+        out += (*arr_)[i].dump();
+      }
+      return out + ']';
+    }
+    case Kind::kObject: {
+      std::string out = "{";
+      for (size_t i = 0; i < obj_->size(); ++i) {
+        if (i) out += ',';
+        out += '"' + json_escape((*obj_)[i].first) + "\":" + (*obj_)[i].second.dump();
+      }
+      return out + '}';
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) bad("trailing characters at offset " + std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) bad("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) bad(std::string("expected '") + c + "' at offset " + std::to_string(pos_));
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Json(string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        bad("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        bad("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        bad("bad literal");
+      default:
+        return number();
+    }
+  }
+
+  Json object() {
+    expect('{');
+    JsonObject out;
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(out));
+    }
+    while (true) {
+      std::string key = string();
+      expect(':');
+      out.emplace_back(std::move(key), value());
+      char c = peek();
+      ++pos_;
+      if (c == '}') return Json(std::move(out));
+      if (c != ',') bad("expected ',' or '}' in object");
+    }
+  }
+
+  Json array() {
+    expect('[');
+    JsonArray out;
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(out));
+    }
+    while (true) {
+      out.push_back(value());
+      char c = peek();
+      ++pos_;
+      if (c == ']') return Json(std::move(out));
+      if (c != ',') bad("expected ',' or ']' in array");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) bad("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) bad("unterminated escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) bad("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else bad("bad \\u escape");
+          }
+          // UTF-8 encode (no surrogate-pair handling; our exports never emit
+          // them -- escapes above 0x7f only appear via \u00xx control chars).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          bad("unknown escape");
+      }
+    }
+  }
+
+  Json number() {
+    skip_ws();
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) bad("expected a value at offset " + std::to_string(pos_));
+    const std::string tok = s_.substr(start, pos_ - start);
+    try {
+      if (integral) return Json(static_cast<int64_t>(std::stoll(tok)));
+      return Json(std::stod(tok));
+    } catch (const std::exception&) {
+      bad("bad number '" + tok + "'");
+    }
+  }
+
+  [[noreturn]] void bad(const std::string& what) {
+    throw std::invalid_argument("json: " + what);
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json json_parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace predctrl::obs

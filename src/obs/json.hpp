@@ -1,0 +1,79 @@
+// Minimal JSON value, writer, and parser for the observability subsystem.
+//
+// Just enough JSON for the exports we produce (metrics snapshots, Chrome
+// trace_event files, bench result files) and for the tests/validators that
+// parse them back. Numbers are stored as double (plus an integer flag so
+// counters round-trip without a trailing ".0"); object keys keep insertion
+// order so exported files are stable and diffable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace predctrl::obs {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+/// Insertion-ordered object: exports stay byte-stable across runs.
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+class Json {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  Json(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT
+  Json(int32_t n) : Json(static_cast<int64_t>(n)) {}  // NOLINT
+  Json(int64_t n)  // NOLINT
+      : kind_(Kind::kNumber), num_(static_cast<double>(n)), is_int_(true) {}
+  Json(uint64_t n) : Json(static_cast<int64_t>(n)) {}  // NOLINT
+  Json(double d) : kind_(Kind::kNumber), num_(d) {}  // NOLINT
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}  // NOLINT
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+  Json(JsonArray a);  // NOLINT
+  Json(JsonObject o);  // NOLINT
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const;
+  double as_double() const;
+  int64_t as_int() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object lookup; nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const;
+
+  /// Compact serialization (no whitespace).
+  std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  bool is_int_ = false;
+  std::string str_;
+  std::shared_ptr<JsonArray> arr_;   // shared: Json stays cheap to copy
+  std::shared_ptr<JsonObject> obj_;
+};
+
+/// Parses a complete JSON document; throws std::invalid_argument on any
+/// syntax error or trailing garbage.
+Json json_parse(const std::string& text);
+
+/// Escapes a string for embedding in a JSON document (adds no quotes).
+std::string json_escape(const std::string& s);
+
+}  // namespace predctrl::obs

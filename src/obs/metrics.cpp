@@ -1,0 +1,132 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "obs/json.hpp"
+
+namespace predctrl::obs {
+
+// Bucket layout (kSubBuckets = 32, i.e. 5 index bits + 1):
+//   values 0..63 (the first two "octaves") map 1:1 to buckets 0..63;
+//   each further octave [2^k, 2^(k+1)) splits into 32 buckets of width
+//   2^(k-5). Index math mirrors HdrHistogram with one significant digit of
+//   ~3% resolution.
+size_t Histogram::bucket_index(int64_t value) {
+  const uint64_t v = static_cast<uint64_t>(value);
+  if (v < 2 * kSubBuckets) return static_cast<size_t>(v);
+  const int bits = 64 - std::countl_zero(v);   // highest set bit + 1
+  const int shift = bits - 6;                  // keep the top 6 bits
+  const uint64_t sub = v >> shift;             // in [2*kSubBuckets, 4*kSubBuckets)
+  return static_cast<size_t>((static_cast<uint64_t>(shift) + 1) * kSubBuckets + sub);
+}
+
+int64_t Histogram::bucket_upper_bound(size_t index) {
+  if (index < 2 * kSubBuckets) return static_cast<int64_t>(index);
+  // Inverse of bucket_index: index = (shift+1)*kSubBuckets + sub with
+  // sub in [kSubBuckets, 2*kSubBuckets), so index/kSubBuckets = shift + 2.
+  const uint64_t shift = index / kSubBuckets - 2;
+  const uint64_t sub = index - (shift + 1) * kSubBuckets;
+  // Upper edge: the largest value mapping to this bucket.
+  return static_cast<int64_t>(((sub + 1) << shift) - 1);
+}
+
+void Histogram::record(int64_t value) {
+  if (value < 0) value = 0;
+  const size_t idx = bucket_index(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+int64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count_))));
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return std::min(bucket_upper_bound(i), max_);
+  }
+  return max_;
+}
+
+void Histogram::reset() {
+  buckets_.clear();
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+Counter& Metrics::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Metrics::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Metrics::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+int64_t Metrics::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+const Histogram* Metrics::find_histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string Metrics::to_json() const {
+  JsonObject counters;
+  for (const auto& [name, c] : counters_) counters.emplace_back(name, Json(c->value()));
+  JsonObject gauges;
+  for (const auto& [name, g] : gauges_) gauges.emplace_back(name, Json(g->value()));
+  JsonObject histograms;
+  for (const auto& [name, h] : histograms_) {
+    JsonObject summary;
+    summary.emplace_back("count", Json(h->count()));
+    summary.emplace_back("sum", Json(h->sum()));
+    summary.emplace_back("min", Json(h->min()));
+    summary.emplace_back("max", Json(h->max()));
+    summary.emplace_back("mean", Json(h->mean()));
+    summary.emplace_back("p50", Json(h->percentile(0.50)));
+    summary.emplace_back("p90", Json(h->percentile(0.90)));
+    summary.emplace_back("p99", Json(h->percentile(0.99)));
+    histograms.emplace_back(name, Json(std::move(summary)));
+  }
+  JsonObject root;
+  root.emplace_back("counters", Json(std::move(counters)));
+  root.emplace_back("gauges", Json(std::move(gauges)));
+  root.emplace_back("histograms", Json(std::move(histograms)));
+  return Json(std::move(root)).dump();
+}
+
+void Metrics::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Metrics& default_metrics() {
+  static Metrics instance;
+  return instance;
+}
+
+}  // namespace predctrl::obs

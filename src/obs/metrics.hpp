@@ -1,0 +1,113 @@
+// Metrics registry: counters, gauges, and histograms with percentile
+// summaries, labeled by component (naming convention:
+// `component.thing.unit{label=value}` -- e.g. `sim.msg.latency_us{plane=control}`).
+//
+// Handles returned by the registry are stable for the registry's lifetime,
+// so instrumentation sites can look a metric up once and record through the
+// pointer thereafter. Histograms are HdrHistogram-style log-linear buckets:
+// bounded memory regardless of sample count, exact for small values
+// (< kSubBuckets), and within 1/kSubBuckets relative error above that --
+// plenty for latency distributions, and cheap enough for the simulator's
+// per-event hot path.
+//
+// The registry itself is a plain value object; the process-wide default
+// instance (default_metrics()) is what the PREDCTRL_OBS_* macros and the
+// built-in instrumentation hooks record into. See obs/obs.hpp for the
+// enable/disable contract.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace predctrl::obs {
+
+class Counter {
+ public:
+  void add(int64_t delta) { value_ += delta; }
+  void increment() { ++value_; }
+  int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Log-linear histogram of non-negative int64 samples (negatives clamp to 0).
+class Histogram {
+ public:
+  /// Sub-buckets per octave: values < kSubBuckets are recorded exactly;
+  /// larger values land in a bucket whose width is value/kSubBuckets.
+  static constexpr int32_t kSubBuckets = 32;
+
+  void record(int64_t value);
+
+  int64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t min() const { return count_ ? min_ : 0; }
+  int64_t max() const { return count_ ? max_ : 0; }
+  double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
+
+  /// Value at quantile q in [0, 1]: the upper edge of the bucket containing
+  /// the ceil(q * count)-th sample (so exact for values < kSubBuckets).
+  /// Returns 0 on an empty histogram.
+  int64_t percentile(double q) const;
+
+  void reset();
+
+ private:
+  static size_t bucket_index(int64_t value);
+  static int64_t bucket_upper_bound(size_t index);
+
+  std::vector<int64_t> buckets_;  // grown lazily to the highest index seen
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+/// Named metrics, created on first use. Lookup is an ordered-map search --
+/// callers on hot paths should cache the returned reference.
+class Metrics {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Counter value, or 0 if absent (does not create). For tests/tools.
+  int64_t counter_value(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  bool empty() const { return counters_.empty() && gauges_.empty() && histograms_.empty(); }
+
+  /// JSON snapshot:
+  /// {"counters":{name:value},"gauges":{name:value},
+  ///  "histograms":{name:{"count","sum","min","max","mean","p50","p90","p99"}}}
+  std::string to_json() const;
+
+  /// Drops every metric (names and values).
+  void clear();
+
+ private:
+  // Ordered maps: deterministic export order. unique_ptr: stable addresses.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry used by the built-in instrumentation hooks.
+Metrics& default_metrics();
+
+}  // namespace predctrl::obs

@@ -1,0 +1,38 @@
+#include "obs/obs.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace predctrl::obs {
+
+namespace {
+bool g_enabled = false;
+}  // namespace
+
+bool enabled() { return g_enabled; }
+void set_enabled(bool on) { g_enabled = on; }
+
+void reset() {
+  default_metrics().clear();
+  default_recorder().clear();
+}
+
+namespace {
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  return out;
+}
+}  // namespace
+
+void write_metrics_json(const std::string& path) {
+  open_or_throw(path) << default_metrics().to_json() << '\n';
+}
+
+void write_trace_json(const std::string& path) {
+  std::ofstream out = open_or_throw(path);
+  default_recorder().write(out);
+  out << '\n';
+}
+
+}  // namespace predctrl::obs

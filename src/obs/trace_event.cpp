@@ -1,0 +1,67 @@
+#include "obs/trace_event.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace predctrl::obs {
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t TraceRecorder::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::instant(std::string name, std::string cat,
+                            std::vector<std::pair<std::string, std::string>> args) {
+  events_.push_back({'i', std::move(name), std::move(cat), now_us(), 0, std::move(args)});
+}
+
+void TraceRecorder::complete(std::string name, std::string cat, int64_t start_us,
+                             int64_t dur_us,
+                             std::vector<std::pair<std::string, std::string>> args) {
+  events_.push_back(
+      {'X', std::move(name), std::move(cat), start_us, dur_us, std::move(args)});
+}
+
+std::string TraceRecorder::arg(int64_t v) { return std::to_string(v); }
+std::string TraceRecorder::arg(const std::string& v) { return '"' + json_escape(v) + '"'; }
+
+void TraceRecorder::write(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\"" << json_escape(ev.cat)
+       << "\",\"ph\":\"" << ev.ph << "\",\"ts\":" << ev.ts_us << ",\"pid\":1,\"tid\":1";
+    if (ev.ph == 'X') os << ",\"dur\":" << ev.dur_us;
+    if (ev.ph == 'i') os << ",\"s\":\"t\"";  // instant scope: thread
+    if (!ev.args.empty()) {
+      os << ",\"args\":{";
+      for (size_t i = 0; i < ev.args.size(); ++i) {
+        if (i) os << ',';
+        os << '"' << json_escape(ev.args[i].first) << "\":" << ev.args[i].second;
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+std::string TraceRecorder::to_json() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+TraceRecorder& default_recorder() {
+  static TraceRecorder instance;
+  return instance;
+}
+
+}  // namespace predctrl::obs

@@ -1,0 +1,111 @@
+// Chrome trace_event recorder: produces a JSON file loadable by
+// chrome://tracing and Perfetto (https://ui.perfetto.dev -- open the file
+// directly).
+//
+// Event model (the trace_event "JSON Array Format"):
+//   * complete events (ph "X"): a named span with start timestamp and
+//     duration -- used for Session phases (observe/detect/control/replay)
+//     and algorithm scopes; record via ScopedSpan (RAII) or complete().
+//   * instant events (ph "i"): a point in time -- used for simulator
+//     deliveries, scapegoat handoffs, and control-message sends.
+//
+// Timestamps are wall-clock microseconds since the recorder was created
+// (steady clock), which keeps one coherent timeline across phases; events
+// that happen in *virtual* simulator time attach it as an argument
+// ("vt_us") instead of distorting the timeline.
+//
+// The recorder buffers events in memory and serializes on demand; it is not
+// thread-safe (the simulator is single-threaded; see util/logging.hpp for
+// the same stance).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace predctrl::obs {
+
+struct TraceEvent {
+  char ph = 'i';        ///< 'X' complete, 'i' instant
+  std::string name;
+  std::string cat;
+  int64_t ts_us = 0;    ///< wall microseconds since recorder creation
+  int64_t dur_us = 0;   ///< 'X' only
+  /// Arguments; values are raw JSON fragments (pre-encoded numbers/strings)
+  /// so integral args stay integral in the output.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  /// Wall microseconds since creation (the recorder's timebase).
+  int64_t now_us() const;
+
+  void instant(std::string name, std::string cat,
+               std::vector<std::pair<std::string, std::string>> args = {});
+  void complete(std::string name, std::string cat, int64_t start_us, int64_t dur_us,
+                std::vector<std::pair<std::string, std::string>> args = {});
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Serializes {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  void write(std::ostream& os) const;
+  std::string to_json() const;
+
+  /// Helpers to pre-encode argument values.
+  static std::string arg(int64_t v);
+  static std::string arg(const std::string& v);
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: records a complete event over its lifetime into `recorder`
+/// (nullptr -> no-op, which is how disabled call sites stay cheap).
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, std::string name, std::string cat)
+      : recorder_(recorder), name_(std::move(name)), cat_(std::move(cat)),
+        start_us_(recorder ? recorder->now_us() : 0) {}
+  ~ScopedSpan() {
+    if (recorder_ != nullptr)
+      recorder_->complete(std::move(name_), std::move(cat_), start_us_,
+                          recorder_->now_us() - start_us_, std::move(args_));
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches an argument to the span (shown in the Perfetto detail pane).
+  void add_arg(std::string key, int64_t value) {
+    if (recorder_ != nullptr)
+      args_.emplace_back(std::move(key), TraceRecorder::arg(value));
+  }
+  void add_arg(std::string key, const std::string& value) {
+    if (recorder_ != nullptr)
+      args_.emplace_back(std::move(key), TraceRecorder::arg(value));
+  }
+
+  /// Wall microseconds elapsed since the span opened (0 when disabled).
+  int64_t elapsed_us() const {
+    return recorder_ != nullptr ? recorder_->now_us() - start_us_ : 0;
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  std::string name_;
+  std::string cat_;
+  int64_t start_us_;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// The process-wide recorder used by the built-in instrumentation hooks.
+TraceRecorder& default_recorder();
+
+}  // namespace predctrl::obs

@@ -1,5 +1,6 @@
 #include "online/guard.hpp"
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace predctrl::online {
@@ -23,6 +24,7 @@ sim::RunResult run_scripts_guarded(const sim::ScriptedSystem& system,
                    "B is false at the initial global state; no strategy can help");
   }
 
+  PREDCTRL_OBS_SPAN(span, "online.guarded_run", "online");
   sim::OnlineGating gating;
   gating.truth = truth;
   gating.make_guards = [&, initial](sim::SimEngine& engine) {
@@ -37,7 +39,11 @@ sim::RunResult run_scripts_guarded(const sim::ScriptedSystem& system,
           /*process_starts_true=*/truth[static_cast<size_t>(i)][0])));
     return guards;
   };
-  return sim::run_scripts(system, options, /*strategy=*/nullptr, &gating);
+  sim::RunResult result = sim::run_scripts(system, options, /*strategy=*/nullptr, &gating);
+  span.add_arg("processes", static_cast<int64_t>(n));
+  span.add_arg("vt_us", result.stats.end_time);
+  span.add_arg("control_messages", result.stats.control_messages);
+  return result;
 }
 
 PredicateTable enforce_online_assumptions(const sim::ScriptedSystem& system,

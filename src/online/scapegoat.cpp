@@ -1,5 +1,6 @@
 #include "online/scapegoat.hpp"
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace predctrl::online {
@@ -32,6 +33,11 @@ void ScapegoatController::on_message(AgentContext& ctx, const Message& msg) {
         // pending && l_i(s): take the role and release every deferred
         // requester (each of them stays true until this ack arrives).
         scapegoat_ = true;
+        PREDCTRL_OBS_COUNT("online.scapegoat.transfers", 1);
+        PREDCTRL_OBS_INSTANT("scapegoat.adopt", "online",
+                             {"controller", obs::TraceRecorder::arg(
+                                                static_cast<int64_t>(index_))},
+                             {"vt_us", obs::TraceRecorder::arg(ctx.now())});
         for (AgentId requester : pending_reqs_) {
           Message ack;
           ack.type = kAck;
@@ -99,6 +105,18 @@ void ScapegoatController::handle_ack(AgentContext& ctx) {
 void ScapegoatController::grant(AgentContext& ctx, bool handoff) {
   PREDCTRL_REQUIRE(want_since_.has_value(), "grant without a pending request");
   responses_.push_back({*want_since_, ctx.now(), handoff});
+  // Response time is virtual (simulator) time: the paper's [2T, 2T + E_max]
+  // window. Handoff grants additionally count as blocked intervals -- the
+  // process sat at kWantFalse while the anti-token moved.
+  PREDCTRL_OBS_RECORD("online.guard.response_us", ctx.now() - *want_since_);
+  if (handoff) {
+    PREDCTRL_OBS_RECORD("online.scapegoat.blocked_us", ctx.now() - *want_since_);
+    PREDCTRL_OBS_INSTANT("scapegoat.handoff", "online",
+                         {"controller", obs::TraceRecorder::arg(
+                                            static_cast<int64_t>(index_))},
+                         {"blocked_us", obs::TraceRecorder::arg(ctx.now() - *want_since_)},
+                         {"vt_us", obs::TraceRecorder::arg(ctx.now())});
+  }
   want_since_.reset();
   proc_true_ = false;  // committed to a false state until kNowTrue
   Message g;
@@ -109,6 +127,10 @@ void ScapegoatController::grant(AgentContext& ctx, bool handoff) {
 
 void ScapegoatController::become_scapegoat_and_ack(AgentContext& ctx, AgentId requester) {
   scapegoat_ = true;
+  PREDCTRL_OBS_COUNT("online.scapegoat.transfers", 1);
+  PREDCTRL_OBS_INSTANT("scapegoat.adopt", "online",
+                       {"controller", obs::TraceRecorder::arg(static_cast<int64_t>(index_))},
+                       {"vt_us", obs::TraceRecorder::arg(ctx.now())});
   Message ack;
   ack.type = kAck;
   ack.plane = Message::Plane::kControl;

@@ -1,5 +1,7 @@
 #include "runtime/sim.hpp"
 
+#include "obs/obs.hpp"
+
 namespace predctrl::sim {
 
 SimTime AgentContext::now() const { return engine_.now(); }
@@ -42,6 +44,14 @@ void SimEngine::send_from(AgentId from, AgentId to, Message msg) {
   ++stats_.messages_sent;
   if (msg.plane == Message::Plane::kApplication) ++stats_.application_messages;
   if (msg.plane == Message::Plane::kControl) ++stats_.control_messages;
+  if (msg.plane == Message::Plane::kLocal) ++stats_.local_messages;
+
+  if (msg.plane == Message::Plane::kControl)
+    PREDCTRL_OBS_INSTANT("sim.send.control", "sim",
+                         {"from", obs::TraceRecorder::arg(static_cast<int64_t>(from))},
+                         {"to", obs::TraceRecorder::arg(static_cast<int64_t>(to))},
+                         {"type", obs::TraceRecorder::arg(static_cast<int64_t>(msg.type))},
+                         {"vt_us", obs::TraceRecorder::arg(now_)});
 
   SimTime deliver_at = now_ + delay;
   if (options_.fifo_channels && msg.plane != Message::Plane::kLocal) {
@@ -49,17 +59,42 @@ void SimEngine::send_from(AgentId from, AgentId to, Message msg) {
     if (deliver_at <= front) deliver_at = front + 1;
     front = deliver_at;
   }
-  queue_.push({deliver_at, next_seq_++, to, false, 0, std::move(msg)});
+  queue_.push({deliver_at, next_seq_++, to, false, 0, now_, std::move(msg)});
+  note_queue_depth();
 }
 
 void SimEngine::timer_from(AgentId from, SimTime delay, int64_t timer_id) {
   PREDCTRL_CHECK(delay >= 0, "negative timer delay");
-  queue_.push({now_ + delay, next_seq_++, from, true, timer_id, {}});
+  queue_.push({now_ + delay, next_seq_++, from, true, timer_id, now_, {}});
+  note_queue_depth();
 }
 
 SimStats SimEngine::run() {
   PREDCTRL_CHECK(!running_, "run() is not reentrant");
   running_ = true;
+
+#if PREDCTRL_OBS_ENABLED
+  // Resolve every metric handle once, outside the loop: when recording, the
+  // per-event cost is the record itself, not registry lookups. The agent set
+  // is fixed during run() (add_agent checks !running_).
+  struct Hooks {
+    obs::Histogram* latency[3] = {nullptr, nullptr, nullptr};
+    obs::Histogram* queue_depth = nullptr;
+    std::vector<obs::Counter*> agent_events;
+  };
+  const bool recording = obs::recording();
+  Hooks hooks;
+  if (recording) {
+    obs::Metrics& m = obs::default_metrics();
+    hooks.latency[0] = &m.histogram("sim.msg.latency_us{plane=application}");
+    hooks.latency[1] = &m.histogram("sim.msg.latency_us{plane=control}");
+    hooks.latency[2] = &m.histogram("sim.msg.latency_us{plane=local}");
+    hooks.queue_depth = &m.histogram("sim.queue.depth");
+    for (AgentId id = 0; id < num_agents(); ++id)
+      hooks.agent_events.push_back(
+          &m.counter("sim.agent.events{agent=" + std::to_string(id) + "}"));
+  }
+#endif
 
   for (AgentId id = 0; id < num_agents(); ++id) {
     AgentContext ctx(*this, id);
@@ -75,6 +110,25 @@ SimStats SimEngine::run() {
     }
     now_ = ev.time;
     ++stats_.events_processed;
+    if (ev.is_timer) ++stats_.timers_fired;
+
+#if PREDCTRL_OBS_ENABLED
+    if (recording) {
+      hooks.queue_depth->record(static_cast<int64_t>(queue_.size()) + 1);
+      hooks.agent_events[static_cast<size_t>(ev.target)]->increment();
+      if (!ev.is_timer) {
+        hooks.latency[static_cast<size_t>(ev.msg.plane)]->record(ev.time - ev.sent_at);
+        obs::default_recorder().instant(
+            "sim.deliver", "sim",
+            {{"from", obs::TraceRecorder::arg(static_cast<int64_t>(ev.msg.from))},
+             {"to", obs::TraceRecorder::arg(static_cast<int64_t>(ev.msg.to))},
+             {"type", obs::TraceRecorder::arg(static_cast<int64_t>(ev.msg.type))},
+             {"plane", obs::TraceRecorder::arg(static_cast<int64_t>(ev.msg.plane))},
+             {"vt_us", obs::TraceRecorder::arg(ev.time)}});
+      }
+    }
+#endif
+
     AgentContext ctx(*this, ev.target);
     if (ev.is_timer)
       agents_[static_cast<size_t>(ev.target)]->on_timer(ctx, ev.timer_id);

@@ -125,6 +125,12 @@ struct SimStats {
   int64_t messages_sent = 0;
   int64_t application_messages = 0;
   int64_t control_messages = 0;
+  /// kLocal-plane messages (process <-> co-located controller traffic).
+  /// messages_sent = application + control + local.
+  int64_t local_messages = 0;
+  int64_t timers_fired = 0;
+  /// High-water mark of the pending-event queue during run().
+  int64_t max_queue_depth = 0;
   SimTime end_time = 0;
 };
 
@@ -162,6 +168,7 @@ class SimEngine {
     AgentId target;
     bool is_timer;
     int64_t timer_id;
+    SimTime sent_at;  // enqueue time; delivery latency = time - sent_at
     Message msg;
 
     bool operator>(const PendingEvent& o) const {
@@ -172,6 +179,12 @@ class SimEngine {
 
   void send_from(AgentId from, AgentId to, Message msg);
   void timer_from(AgentId from, SimTime delay, int64_t timer_id);
+
+  /// High-water mark tracking, called after every enqueue.
+  void note_queue_depth() {
+    const auto depth = static_cast<int64_t>(queue_.size());
+    if (depth > stats_.max_queue_depth) stats_.max_queue_depth = depth;
+  }
 
   SimOptions options_;
   Rng rng_;

@@ -1,9 +1,15 @@
 #include "util/logging.hpp"
 
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
 namespace predctrl {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mutex;
+LogSink g_sink;  // empty -> default stderr sink
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -14,14 +20,35 @@ const char* level_name(LogLevel level) {
     default: return "?????";
   }
 }
+
+void default_sink(LogLevel level, const std::string& component, const std::string& msg) {
+  // Logs go to stderr; data output goes to stdout. Flush stdout first so a
+  // redirected `example > out.txt 2>&1` (or a terminal) sees data and logs
+  // in their true order instead of buffer-boundary interleaving.
+  std::cout.flush();
+  std::cerr << "[predctrl " << level_name(level);
+  if (!component.empty()) std::cerr << ' ' << component;
+  std::cerr << "] " << msg << '\n';
+}
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
 
 namespace detail {
-void log_emit(LogLevel level, const std::string& msg) {
-  std::cerr << "[predctrl " << level_name(level) << "] " << msg << '\n';
+void log_emit(LogLevel level, const char* component, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink)
+    g_sink(level, component, msg);
+  else
+    default_sink(level, component, msg);
 }
 }  // namespace detail
 

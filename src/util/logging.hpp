@@ -1,12 +1,17 @@
-// Minimal leveled logger.
+// Minimal leveled logger with a pluggable sink.
 //
 // The library itself is silent by default; examples and benches raise the
-// level to narrate what is happening. Not thread-safe by design: the
-// simulator is single-threaded (discrete events), and tests set the level
-// once up front.
+// level to narrate what is happening. Emission routes through an injectable
+// sink (default: stderr -- never stdout, which examples reserve for data
+// output); the default sink flushes std::cout first so interleaved
+// data/log output keeps its real order when both reach a terminal or file.
+//
+// Safe for future multi-threaded use: the level is atomic and the sink is
+// swapped / invoked under a mutex, so concurrent emitters cannot interleave
+// half-written lines. (The simulator itself is still single-threaded.)
 #pragma once
 
-#include <iostream>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -18,22 +23,43 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
+/// Receives every emitted record. `component` is the optional tag given at
+/// the call site ("" when untagged).
+using LogSink =
+    std::function<void(LogLevel level, const std::string& component, const std::string& msg)>;
+
+/// Installs a sink; pass nullptr to restore the default stderr sink.
+void set_log_sink(LogSink sink);
+
 namespace detail {
-void log_emit(LogLevel level, const std::string& msg);
+void log_emit(LogLevel level, const char* component, const std::string& msg);
 }
 
 }  // namespace predctrl
 
-#define PREDCTRL_LOG(level, stream_expr)                                  \
-  do {                                                                    \
+#define PREDCTRL_LOG_TAGGED(component, level, stream_expr)                 \
+  do {                                                                     \
     if (static_cast<int>(level) >= static_cast<int>(::predctrl::log_level())) { \
-      std::ostringstream os_;                                             \
-      os_ << stream_expr;                                                 \
-      ::predctrl::detail::log_emit(level, os_.str());                     \
-    }                                                                     \
+      std::ostringstream os_;                                              \
+      os_ << stream_expr;                                                  \
+      ::predctrl::detail::log_emit(level, (component), os_.str());         \
+    }                                                                      \
   } while (false)
+
+#define PREDCTRL_LOG(level, stream_expr) PREDCTRL_LOG_TAGGED("", level, stream_expr)
 
 #define PREDCTRL_DEBUG(s) PREDCTRL_LOG(::predctrl::LogLevel::kDebug, s)
 #define PREDCTRL_INFO(s) PREDCTRL_LOG(::predctrl::LogLevel::kInfo, s)
 #define PREDCTRL_WARN(s) PREDCTRL_LOG(::predctrl::LogLevel::kWarn, s)
 #define PREDCTRL_ERROR(s) PREDCTRL_LOG(::predctrl::LogLevel::kError, s)
+
+// Component-tagged variants: the tag lands between the level and the
+// message ("[predctrl INFO  sim] ...") and reaches custom sinks verbatim.
+#define PREDCTRL_DEBUG_C(component, s) \
+  PREDCTRL_LOG_TAGGED(component, ::predctrl::LogLevel::kDebug, s)
+#define PREDCTRL_INFO_C(component, s) \
+  PREDCTRL_LOG_TAGGED(component, ::predctrl::LogLevel::kInfo, s)
+#define PREDCTRL_WARN_C(component, s) \
+  PREDCTRL_LOG_TAGGED(component, ::predctrl::LogLevel::kWarn, s)
+#define PREDCTRL_ERROR_C(component, s) \
+  PREDCTRL_LOG_TAGGED(component, ::predctrl::LogLevel::kError, s)

@@ -1,0 +1,309 @@
+// Observability subsystem: histogram percentile math, metrics JSON
+// round-trip, Chrome trace_event validity, and the Session phase spans
+// recorded through the whole observe -> detect -> control -> replay cycle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "debug/session.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_event.hpp"
+#include "runtime/scripted.hpp"
+#include "trace/deposet.hpp"
+#include "util/rng.hpp"
+
+namespace predctrl::obs {
+namespace {
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.0), 0);
+  EXPECT_EQ(h.percentile(0.5), 0);
+  EXPECT_EQ(h.percentile(1.0), 0);
+}
+
+TEST(Histogram, SingleSampleEveryPercentileIsTheSample) {
+  Histogram h;
+  h.record(42);  // < 2*kSubBuckets, so stored exactly
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) EXPECT_EQ(h.percentile(q), 42);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  // The first two octaves (values 0 .. 2*kSubBuckets-1) map 1:1 to buckets.
+  Histogram h;
+  for (int64_t v = 0; v < 2 * Histogram::kSubBuckets; ++v) h.record(v);
+  const int64_t n = 2 * Histogram::kSubBuckets;
+  EXPECT_EQ(h.count(), n);
+  // rank = ceil(q*n); sample values are 0..n-1 so the rank-th is rank-1.
+  EXPECT_EQ(h.percentile(0.5), n / 2 - 1);
+  EXPECT_EQ(h.percentile(1.0), n - 1);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), n - 1);
+}
+
+TEST(Histogram, LargeValuesWithinRelativeErrorBound) {
+  Histogram h;
+  for (int64_t v = 1; v <= 100000; ++v) h.record(v);
+  for (double q : {0.50, 0.90, 0.99}) {
+    const auto exact = static_cast<int64_t>(q * 100000);
+    const int64_t est = h.percentile(q);
+    EXPECT_GE(est, exact) << "q=" << q;  // upper bucket edge: never under
+    EXPECT_LE(static_cast<double>(est),
+              static_cast<double>(exact) * (1.0 + 1.0 / Histogram::kSubBuckets) + 1)
+        << "q=" << q;
+  }
+  // The top percentile is clamped to the true max, not the bucket edge.
+  EXPECT_EQ(h.percentile(1.0), 100000);
+}
+
+TEST(Histogram, NegativeSamplesClampToZero) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.sum(), 0);
+}
+
+TEST(Histogram, ResetRestoresEmptyState) {
+  Histogram h;
+  h.record(7);
+  h.record(1000);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.percentile(0.5), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(Metrics, HandlesAreStableAndCreateOnUse) {
+  Metrics m;
+  EXPECT_TRUE(m.empty());
+  Counter& c = m.counter("a.count");
+  c.increment();
+  c.add(4);
+  EXPECT_EQ(&c, &m.counter("a.count"));
+  EXPECT_EQ(m.counter_value("a.count"), 5);
+  EXPECT_EQ(m.counter_value("never.created"), 0);
+
+  m.gauge("a.gauge").set(2.5);
+  m.histogram("a.hist").record(3);
+  EXPECT_NE(m.find_histogram("a.hist"), nullptr);
+  EXPECT_EQ(m.find_histogram("other"), nullptr);
+  EXPECT_FALSE(m.empty());
+
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.counter_value("a.count"), 0);
+}
+
+TEST(Metrics, JsonRoundTrip) {
+  Metrics m;
+  m.counter("sim.msgs{plane=control}").add(17);
+  m.gauge("sim.depth").set(3.5);
+  Histogram& h = m.histogram("sim.latency_us");
+  for (int64_t v : {10, 20, 30, 40}) h.record(v);
+
+  const Json doc = json_parse(m.to_json());
+  ASSERT_TRUE(doc.is_object());
+
+  const Json* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const Json* c = counters->find("sim.msgs{plane=control}");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->as_int(), 17);
+
+  const Json* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("sim.depth")->as_double(), 3.5);
+
+  const Json* hist = doc.find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const Json* lat = hist->find("sim.latency_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->find("count")->as_int(), 4);
+  EXPECT_EQ(lat->find("sum")->as_int(), 100);
+  EXPECT_EQ(lat->find("min")->as_int(), 10);
+  EXPECT_EQ(lat->find("max")->as_int(), 40);
+  EXPECT_DOUBLE_EQ(lat->find("mean")->as_double(), 25.0);
+  EXPECT_EQ(lat->find("p50")->as_int(), 20);
+  EXPECT_EQ(lat->find("p99")->as_int(), 40);
+}
+
+// -------------------------------------------------------------- trace JSON
+
+TEST(TraceRecorder, ProducesValidChromeTraceJson) {
+  TraceRecorder rec;
+  rec.instant("sim.deliver", "sim",
+              {{"from", TraceRecorder::arg(static_cast<int64_t>(0))},
+               {"type", TraceRecorder::arg(std::string("app"))}});
+  {
+    ScopedSpan span(&rec, "session.observe", "session");
+    span.add_arg("seed", static_cast<int64_t>(42));
+  }
+  ASSERT_EQ(rec.events().size(), 2u);
+
+  const Json doc = json_parse(rec.to_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("displayTimeUnit")->as_string(), "ms");
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->as_array().size(), 2u);
+
+  const Json& instant = events->as_array()[0];
+  EXPECT_EQ(instant.find("ph")->as_string(), "i");
+  EXPECT_EQ(instant.find("name")->as_string(), "sim.deliver");
+  EXPECT_EQ(instant.find("cat")->as_string(), "sim");
+  EXPECT_GE(instant.find("ts")->as_int(), 0);
+  const Json* args = instant.find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->find("from")->as_int(), 0);
+  EXPECT_EQ(args->find("type")->as_string(), "app");
+
+  const Json& span = events->as_array()[1];
+  EXPECT_EQ(span.find("ph")->as_string(), "X");
+  EXPECT_EQ(span.find("name")->as_string(), "session.observe");
+  EXPECT_GE(span.find("dur")->as_int(), 0);
+  EXPECT_EQ(span.find("args")->find("seed")->as_int(), 42);
+}
+
+TEST(TraceRecorder, NullRecorderSpanIsANoop) {
+  ScopedSpan span(nullptr, "x", "y");
+  span.add_arg("k", static_cast<int64_t>(1));
+  EXPECT_EQ(span.elapsed_us(), 0);
+}
+
+// ---------------------------------------------------- session phase spans
+
+class ObsSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::reset();
+    obs::set_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+};
+
+TEST_F(ObsSessionTest, FullCycleRecordsAllFourPhases) {
+  if (!obs::recording()) GTEST_SKIP() << "built with PREDCTRL_OBS_DISABLE";
+
+  // The quickstart scenario: two processes, B = "not both in the CS".
+  DeposetBuilder builder(2);
+  builder.set_length(0, 5);
+  builder.set_length(1, 5);
+  builder.add_message({0, 3}, {1, 4});
+  Deposet trace = builder.build();
+  PredicateTable not_in_cs{{true, false, false, true, true},
+                           {true, true, false, false, true}};
+  Rng rng(7);
+  sim::ScriptedSystem system = sim::scripts_from_deposet(trace, &not_in_cs, rng);
+  debug::Session session(system, sim::ok_var);
+
+  debug::Observation observation = session.observe(/*seed=*/42);
+  observation.first_violation();
+  debug::ControlOutcome control = session.synthesize_control(observation);
+  ASSERT_TRUE(control.controllable);
+  debug::Observation replayed = session.replay(control, /*seed=*/43);
+  EXPECT_FALSE(replayed.run_violated());
+
+  // Every phase leaves a wall-time histogram with >= 1 non-negative sample.
+  Metrics& m = default_metrics();
+  for (const char* phase : {"observe", "detect", "control", "replay"}) {
+    const std::string name = std::string("session.phase.") + phase + ".wall_us";
+    const Histogram* h = m.find_histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GE(h->count(), 1) << name;
+    EXPECT_GE(h->min(), 0) << name;
+  }
+  // The simulated phases also report virtual time.
+  EXPECT_NE(m.find_histogram("session.phase.observe.vtime_us"), nullptr);
+  EXPECT_NE(m.find_histogram("session.phase.replay.vtime_us"), nullptr);
+
+  // ... and a matching complete-event span in the trace.
+  std::set<std::string> spans;
+  for (const TraceEvent& ev : default_recorder().events()) {
+    if (ev.ph == 'X') {
+      spans.insert(ev.name);
+      EXPECT_GE(ev.dur_us, 0) << ev.name;
+    }
+  }
+  for (const char* name :
+       {"session.observe", "session.detect", "session.control", "session.replay"})
+    EXPECT_TRUE(spans.count(name)) << "missing span " << name;
+
+  // Simulator hooks fired too: per-plane latency and delivery instants.
+  EXPECT_NE(m.find_histogram("sim.msg.latency_us{plane=application}"), nullptr);
+  const bool any_deliver =
+      std::any_of(default_recorder().events().begin(), default_recorder().events().end(),
+                  [](const TraceEvent& ev) { return ev.name == "sim.deliver"; });
+  EXPECT_TRUE(any_deliver);
+
+  // Off-line synthesis counters from the control phase.
+  EXPECT_GE(m.counter_value("control.offline.runs"), 1);
+  EXPECT_NE(m.find_histogram("control.offline.synthesis_us"), nullptr);
+
+  // The whole trace must serialize to parseable Chrome-trace JSON.
+  const Json doc = json_parse(default_recorder().to_json());
+  EXPECT_TRUE(doc.find("traceEvents")->is_array());
+}
+
+TEST_F(ObsSessionTest, DisabledRecordingLeavesRegistryEmpty) {
+  obs::set_enabled(false);
+  PREDCTRL_OBS_COUNT("should.not.appear", 1);
+  PREDCTRL_OBS_RECORD("should.not.appear.hist", 5);
+  PREDCTRL_OBS_INSTANT("should.not.appear.evt", "test");
+  { PREDCTRL_OBS_SPAN(span, "should.not.appear.span", "test"); }
+  EXPECT_TRUE(default_metrics().empty());
+  EXPECT_TRUE(default_recorder().events().empty());
+}
+
+// ------------------------------------------------------------------- json
+
+TEST(Json, ParseDumpRoundTrip) {
+  const std::string text =
+      R"({"a":1,"b":-2.5,"c":[true,false,null],"d":{"nested":"str\"esc"},"e":""})";
+  const Json doc = json_parse(text);
+  EXPECT_EQ(doc.dump(), text);
+  EXPECT_EQ(doc.find("a")->as_int(), 1);
+  EXPECT_DOUBLE_EQ(doc.find("b")->as_double(), -2.5);
+  EXPECT_TRUE(doc.find("c")->as_array()[2].is_null());
+  EXPECT_EQ(doc.find("d")->find("nested")->as_string(), "str\"esc");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(json_parse("{"), std::invalid_argument);
+  EXPECT_THROW(json_parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(json_parse("{} trailing"), std::invalid_argument);
+  EXPECT_THROW(json_parse("nul"), std::invalid_argument);
+  EXPECT_THROW(json_parse("\"unterminated"), std::invalid_argument);
+}
+
+TEST(Json, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  const Json doc = json_parse("\"\\u0041\\u00e9\"");
+  EXPECT_EQ(doc.as_string(), "A\xc3\xa9");
+}
+
+}  // namespace
+}  // namespace predctrl::obs
