@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "parallel/parallel.hpp"
 
 namespace predctrl::benchutil {
 
@@ -75,6 +76,13 @@ int bench_main(int argc, char** argv) {
       write_out = false;
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      try {
+        parallel::set_thread_count(std::stoi(arg.substr(std::strlen("--threads="))));
+      } catch (const std::exception&) {
+        std::cerr << bench << ": bad --threads value in '" << arg << "'\n";
+        return 1;
+      }
     } else {
       if (arg.rfind("--benchmark_min_time", 0) == 0) has_min_time = true;
       pass.push_back(argv[i]);
@@ -104,6 +112,7 @@ int bench_main(int argc, char** argv) {
   root.emplace_back("schema", obs::Json("predctrl-bench-v1"));
   root.emplace_back("bench", obs::Json(bench));
   root.emplace_back("smoke", obs::Json(smoke));
+  root.emplace_back("threads", obs::Json(static_cast<int64_t>(parallel::thread_count())));
   root.emplace_back("results", obs::Json(std::move(results)));
 
   std::ofstream out(out_path);

@@ -1,0 +1,158 @@
+// Scaling of the parallel engine (src/parallel/) across the parallelized
+// hot paths: vector-clock computation, false-interval extraction, WCP
+// detection, and offline disjunctive control synthesis.
+//
+// Each case sweeps the engine width over 1/2/4/8 threads (the same sweep
+// tests/test_parallel.cpp uses for its determinism suites). Two counters
+// are exported per run:
+//
+//   threads            the engine width of this run (also in the JSON root
+//                      when set globally via --threads)
+//   speedup_vs_serial  mean 1-thread iteration time of the same case,
+//                      measured in-process by the threads=1 run (which the
+//                      sweep order guarantees happens first), divided by
+//                      this run's mean iteration time
+//
+// On a single-core machine every ratio degrades toward 1 (the pool's
+// condvar workers timeshare instead of spinning, so oversubscription only
+// costs scheduling overhead); on real multicore hardware the 4-thread
+// large-workload cases are expected to clear 2x.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "causality/clock_computation.hpp"
+#include "control/offline_disjunctive.hpp"
+#include "parallel/parallel.hpp"
+#include "predicates/detection.hpp"
+#include "predicates/intervals.hpp"
+#include "trace/random_trace.hpp"
+
+using namespace predctrl;
+
+namespace {
+
+double now_ns() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Mean 1-thread iteration time per case family; the threads=1 run of each
+// family fills its slot before the wider runs read it.
+std::map<std::string, double>& baselines() {
+  static std::map<std::string, double> m;
+  return m;
+}
+
+template <typename Fn>
+void run_case(benchmark::State& state, const std::string& family, Fn&& op) {
+  const auto threads = static_cast<int32_t>(state.range(0));
+  parallel::set_thread_count(threads);
+  double elapsed_ns = 0;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    const double t0 = now_ns();
+    op();
+    elapsed_ns += now_ns() - t0;
+    ++iters;
+  }
+  parallel::set_thread_count(1);
+
+  const double avg = iters > 0 ? elapsed_ns / static_cast<double>(iters) : 0.0;
+  if (threads == 1) baselines()[family] = avg;
+  state.counters["threads"] = static_cast<double>(threads);
+  const auto it = baselines().find(family);
+  if (it != baselines().end() && avg > 0)
+    state.counters["speedup_vs_serial"] = it->second / avg;
+}
+
+// Large shared workload: 16 processes x ~8000 events (~128k states), well
+// above the default min_parallel_items() gate, so the production dispatch
+// (not a test-lowered threshold) selects the parallel engines.
+const Deposet& big_trace() {
+  static const Deposet d = [] {
+    Rng rng(42);
+    RandomTraceOptions opt;
+    opt.num_processes = 16;
+    opt.events_per_process = 8000;
+    opt.send_probability = 0.15;
+    return random_deposet(opt, rng);
+  }();
+  return d;
+}
+
+const PredicateTable& big_table() {
+  static const PredicateTable t = [] {
+    Rng rng(43);
+    RandomPredicateOptions opt;
+    opt.false_probability = 0.5;
+    opt.flip_probability = 0.25;
+    return random_predicate_table(big_trace(), opt, rng);
+  }();
+  return t;
+}
+
+void BM_Parallel_Clocks(benchmark::State& state) {
+  const Deposet& d = big_trace();
+  run_case(state, "clocks", [&] {
+    ClockComputation c = compute_state_clocks(d.lengths(), d.messages());
+    benchmark::DoNotOptimize(c);
+  });
+}
+
+void BM_Parallel_Intervals(benchmark::State& state) {
+  const PredicateTable& t = big_table();
+  run_case(state, "intervals", [&] {
+    FalseIntervalSets sets = extract_false_intervals(t);
+    benchmark::DoNotOptimize(sets);
+  });
+}
+
+void BM_Parallel_Detection(benchmark::State& state) {
+  const Deposet& d = big_trace();
+  const PredicateTable& t = big_table();
+  run_case(state, "detection", [&] {
+    ConjunctiveDetection det = detect_weak_conjunctive(d, t);
+    benchmark::DoNotOptimize(det);
+  });
+}
+
+// Synthesis workload: many processes so the O(n^2)-per-round crossable()
+// probe loops clear the sharding gate (n^2 >= min_parallel_items); naive
+// ValidPairs maximizes the probe volume, as in the E3 scaling bench.
+void BM_Parallel_Synthesis(benchmark::State& state) {
+  static const std::pair<Deposet, PredicateTable> inst = [] {
+    Rng rng(44);
+    RandomTraceOptions topt;
+    topt.num_processes = 64;
+    topt.events_per_process = 96;
+    topt.send_probability = 0.1;
+    Deposet d = random_deposet(topt, rng);
+    RandomPredicateOptions popt;
+    popt.false_probability = 0.5;
+    popt.flip_probability = 1.0 / 3.0;
+    PredicateTable p = random_predicate_table(d, popt, rng);
+    return std::pair<Deposet, PredicateTable>(std::move(d), std::move(p));
+  }();
+  OfflineControlOptions opt;
+  opt.impl = ValidPairsImpl::kNaive;
+  opt.select = SelectPolicy::kFirst;
+  run_case(state, "synthesis", [&] {
+    OfflineControlResult r = control_disjunctive_offline(inst.first, inst.second, opt);
+    benchmark::DoNotOptimize(r);
+  });
+}
+
+}  // namespace
+
+BENCHMARK(BM_Parallel_Clocks)->ArgsProduct({{1, 2, 4, 8}})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Parallel_Intervals)->ArgsProduct({{1, 2, 4, 8}})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Parallel_Detection)->ArgsProduct({{1, 2, 4, 8}})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Parallel_Synthesis)->ArgsProduct({{1, 2, 4, 8}})->Unit(benchmark::kMillisecond);
+
+#include "bench_common.hpp"
+PREDCTRL_BENCH_MAIN();

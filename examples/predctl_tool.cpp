@@ -12,7 +12,11 @@
 //   --trace-out=FILE    write a Chrome trace_event JSON (chrome://tracing /
 //                       Perfetto-loadable) of the run
 //   --metrics-out=FILE  write a metrics-registry JSON snapshot
-// Either flag turns recording on (obs/obs.hpp).
+//   --threads=N         width of the parallel engine (parallel/parallel.hpp);
+//                       default 1 (serial). Results are identical at any N --
+//                       the parallel hot paths are deterministic by
+//                       construction.
+// Either output flag turns recording on (obs/obs.hpp).
 //
 // `quickstart` runs the built-in two-process mutual-exclusion scenario of
 // examples/quickstart.cpp through the full active-debugging cycle
@@ -40,6 +44,7 @@
 #include "mutex/kmutex.hpp"
 #include "obs/obs.hpp"
 #include "online/guard.hpp"
+#include "parallel/parallel.hpp"
 #include "predicates/detection.hpp"
 #include "predicates/global_predicate.hpp"
 #include "trace/dot.hpp"
@@ -77,10 +82,11 @@ StepSemantics semantics_arg(const std::vector<std::string>& args, size_t index) 
 }
 
 int usage() {
-  std::cerr << "usage: predctl_tool [--trace-out=FILE] [--metrics-out=FILE]\n"
+  std::cerr << "usage: predctl_tool [--trace-out=FILE] [--metrics-out=FILE] [--threads=N]\n"
                "                    feasible|detect|control|dot|races <deposet> "
                "[predicate] [realtime|simultaneous]\n"
-               "       predctl_tool [--trace-out=FILE] [--metrics-out=FILE] quickstart\n";
+               "       predctl_tool [--trace-out=FILE] [--metrics-out=FILE] [--threads=N] "
+               "quickstart\n";
   return 2;
 }
 
@@ -153,6 +159,13 @@ int main(int argc, char** argv) {
       trace_out = arg.substr(std::strlen("--trace-out="));
     else if (arg.rfind("--metrics-out=", 0) == 0)
       metrics_out = arg.substr(std::strlen("--metrics-out="));
+    else if (arg.rfind("--threads=", 0) == 0)
+      try {
+        parallel::set_thread_count(std::stoi(arg.substr(std::strlen("--threads="))));
+      } catch (const std::exception&) {
+        std::cerr << "predctl_tool: bad --threads value in '" << arg << "'\n";
+        return 2;
+      }
     else
       args.push_back(arg);
   }

@@ -1,8 +1,11 @@
 #include "causality/clock_computation.hpp"
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
 #include <queue>
 
+#include "parallel/parallel.hpp"
 #include "util/check.hpp"
 
 namespace predctrl {
@@ -14,10 +17,9 @@ size_t flat(const std::vector<size_t>& offsets, StateId s) {
   return offsets[static_cast<size_t>(s.process)] + static_cast<size_t>(s.index);
 }
 
-}  // namespace
-
-ClockComputation compute_state_clocks(const std::vector<int32_t>& lengths,
-                                      const std::vector<CausalEdge>& edges) {
+// Serial engine: Kahn's algorithm, merges pushed to successors.
+ClockComputation compute_state_clocks_serial(const std::vector<int32_t>& lengths,
+                                             const std::vector<CausalEdge>& edges) {
   const int32_t n = static_cast<int32_t>(lengths.size());
 
   std::vector<size_t> offsets(lengths.size() + 1, 0);
@@ -88,6 +90,156 @@ ClockComputation compute_state_clocks(const std::vector<int32_t>& lengths,
   result.acyclic = (processed == total);
   if (!result.acyclic) result.clocks.clear();
   return result;
+}
+
+// Parallel engine: split every process chain into segments at cross-edge
+// targets, then schedule the segment DAG onto the pool. Each cross edge
+// targets a segment's *first* state, so "segment X depends on segment Y"
+// (Y holds a source state, or Y is X's chain predecessor) is exactly the
+// state-level precedence coarsened to segments -- acyclicity is preserved
+// in both directions, and each segment's states are written by exactly one
+// task while only reading states of completed segments.
+ClockComputation compute_state_clocks_parallel(const std::vector<int32_t>& lengths,
+                                               const std::vector<CausalEdge>& edges,
+                                               parallel::ThreadPool& pool) {
+  const int32_t n = static_cast<int32_t>(lengths.size());
+
+  std::vector<size_t> offsets(lengths.size() + 1, 0);
+  for (size_t p = 0; p < lengths.size(); ++p) {
+    PREDCTRL_CHECK(lengths[p] >= 1, "process with no states");
+    offsets[p + 1] = offsets[p] + static_cast<size_t>(lengths[p]);
+  }
+  const size_t total = offsets.back();
+
+  // Cross-process in-edges per target state (only segment-start states end
+  // up with a non-empty list), validated exactly as the serial engine does.
+  std::vector<std::vector<StateId>> in(total);
+  for (const CausalEdge& e : edges) {
+    PREDCTRL_CHECK(e.from.process >= 0 && e.from.process < n &&
+                       e.to.process >= 0 && e.to.process < n,
+                   "edge process out of range");
+    PREDCTRL_CHECK(e.from.index >= 0 && e.from.index < lengths[static_cast<size_t>(e.from.process)],
+                   "edge source index out of range");
+    PREDCTRL_CHECK(e.to.index >= 0 && e.to.index < lengths[static_cast<size_t>(e.to.process)],
+                   "edge target index out of range");
+    PREDCTRL_CHECK(e.from.process != e.to.process, "edge within a single process");
+    in[flat(offsets, e.to)].push_back(e.from);
+  }
+
+  // Segment construction: a new segment begins at index 0 and at every
+  // cross-edge target. seg_of maps a flat state index to its segment.
+  struct Segment {
+    ProcessId process;
+    int32_t begin;  // first state index (inclusive)
+    int32_t end;    // last state index (exclusive)
+  };
+  std::vector<Segment> segments;
+  std::vector<int32_t> seg_of(total);
+  for (ProcessId p = 0; p < n; ++p) {
+    const int32_t len = lengths[static_cast<size_t>(p)];
+    for (int32_t k = 0; k < len; ++k) {
+      if (k == 0 || !in[flat(offsets, {p, k})].empty())
+        segments.push_back({p, k, k + 1});
+      else
+        ++segments.back().end;
+      seg_of[flat(offsets, {p, k})] = static_cast<int32_t>(segments.size()) - 1;
+    }
+  }
+  const size_t num_segments = segments.size();
+
+  // Dependency edges over segments: chain successor + one per cross edge.
+  std::vector<std::vector<int32_t>> successors(num_segments);
+  std::unique_ptr<std::atomic<int32_t>[]> pending(new std::atomic<int32_t>[num_segments]);
+  for (size_t s = 0; s < num_segments; ++s) pending[s].store(0, std::memory_order_relaxed);
+  for (size_t s = 0; s + 1 < num_segments; ++s) {
+    if (segments[s].process != segments[s + 1].process) continue;
+    successors[s].push_back(static_cast<int32_t>(s) + 1);
+    pending[s + 1].fetch_add(1, std::memory_order_relaxed);
+  }
+  for (size_t state = 0; state < total; ++state) {
+    for (const StateId& src : in[state]) {
+      const int32_t target_seg = seg_of[state];
+      successors[static_cast<size_t>(seg_of[flat(offsets, src)])].push_back(target_seg);
+      pending[target_seg].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  ClockComputation result;
+  result.clocks.assign(lengths.size(), {});
+  for (size_t p = 0; p < lengths.size(); ++p)
+    result.clocks[p].assign(static_cast<size_t>(lengths[p]), VectorClock(n));
+  auto clock_of = [&](StateId s) -> VectorClock& {
+    return result.clocks[static_cast<size_t>(s.process)][static_cast<size_t>(s.index)];
+  };
+
+  // Segment task: pull-merge each state from its chain predecessor and its
+  // cross-edge sources (all in segments that completed before this one was
+  // released, so reads never race with writes).
+  std::atomic<size_t> completed{0};
+  parallel::WaitGroup wg;
+  auto process_segment = [&](int32_t s) {
+    const Segment& seg = segments[static_cast<size_t>(s)];
+    for (int32_t k = seg.begin; k < seg.end; ++k) {
+      VectorClock& vc = clock_of({seg.process, k});
+      if (k > 0) vc.merge(clock_of({seg.process, k - 1}));
+      for (const StateId& src : in[flat(offsets, {seg.process, k})]) vc.merge(clock_of(src));
+      vc[seg.process] = k;
+    }
+  };
+  // Chain-collapsing runner: after a segment completes, run one newly
+  // released successor inline (long dependency chains become one task) and
+  // spawn the rest.
+  std::function<void(int32_t)> run_chain = [&](int32_t s) {
+    while (s >= 0) {
+      process_segment(s);
+      completed.fetch_add(1, std::memory_order_relaxed);
+      int32_t next = -1;
+      for (int32_t succ : successors[static_cast<size_t>(s)]) {
+        if (pending[succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          if (next < 0)
+            next = succ;
+          else
+            wg.spawn(pool, [&run_chain, succ] { run_chain(succ); });
+        }
+      }
+      s = next;
+    }
+  };
+
+  // Snapshot the roots BEFORE spawning anything: once a root task runs it
+  // drains its successors' pending counts concurrently with this loop, and
+  // reading a freshly-drained zero here would double-run that segment.
+  std::vector<int32_t> roots;
+  for (size_t s = 0; s < num_segments; ++s)
+    if (pending[s].load(std::memory_order_relaxed) == 0)
+      roots.push_back(static_cast<int32_t>(s));
+  for (const int32_t seg : roots)
+    wg.spawn(pool, [&run_chain, seg] { run_chain(seg); });
+  wg.wait();
+
+  // A cycle leaves its segments with positive pending counts forever: they
+  // never ran, so the completion count falls short -- same verdict as the
+  // serial engine's Kahn check.
+  result.acyclic = (completed.load(std::memory_order_relaxed) == num_segments);
+  if (!result.acyclic) result.clocks.clear();
+  return result;
+}
+
+}  // namespace
+
+ClockComputation compute_state_clocks(const std::vector<int32_t>& lengths,
+                                      const std::vector<CausalEdge>& edges) {
+  return compute_state_clocks(lengths, edges, parallel::shared_pool());
+}
+
+ClockComputation compute_state_clocks(const std::vector<int32_t>& lengths,
+                                      const std::vector<CausalEdge>& edges,
+                                      parallel::ThreadPool* pool) {
+  int64_t total = 0;
+  for (int32_t len : lengths) total += len;
+  if (pool == nullptr || lengths.size() < 2 || total < parallel::min_parallel_items())
+    return compute_state_clocks_serial(lengths, edges);
+  return compute_state_clocks_parallel(lengths, edges, *pool);
 }
 
 bool event_order_acyclic(const std::vector<int32_t>& lengths,

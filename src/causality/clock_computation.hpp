@@ -4,6 +4,20 @@
 // edges). Doubles as the acyclicity check: a cyclic relation (one that
 // "interferes" with happened-before, in the paper's terms) is reported
 // rather than silently mis-clocked.
+//
+// Two engines produce the same clocks (vector clocks are the unique least
+// fixpoint of the merge equations, so any correct schedule yields identical
+// values -- tests/test_parallel.cpp cross-checks byte equality):
+//
+//   * serial: Kahn's algorithm over the state graph, pushing merges to
+//     successors as states complete;
+//   * parallel: the chains are split into *segments* at every cross-edge
+//     target, the segment DAG is scheduled onto the shared thread pool
+//     (parallel/), and each segment pulls merges from its completed
+//     predecessors. Segment-level acyclicity is equivalent to state-level
+//     acyclicity (every cross edge targets a segment's first state, and a
+//     segment's first state precedes all of its states), so the cyclicity
+//     verdict is identical too.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +27,10 @@
 #include "causality/vector_clock.hpp"
 
 namespace predctrl {
+
+namespace parallel {
+class ThreadPool;
+}
 
 /// A directed causal edge between states of different processes:
 /// from ~> to ("from finishes before to starts").
@@ -43,9 +61,17 @@ struct ClockComputation {
 ///
 /// `lengths[p]` is the number of local states of process p (>= 1). Edge
 /// endpoints must be in range and cross-process. Runs in O(n * S + n * E)
-/// for n processes, S total states, E edges.
+/// for n processes, S total states, E edges; work is sharded across the
+/// shared thread pool (parallel/parallel.hpp) when one is configured and
+/// the graph is large enough.
 ClockComputation compute_state_clocks(const std::vector<int32_t>& lengths,
                                       const std::vector<CausalEdge>& edges);
+
+/// As above with an explicit pool (nullptr forces the serial engine);
+/// the two-argument overload forwards parallel::shared_pool().
+ClockComputation compute_state_clocks(const std::vector<int32_t>& lengths,
+                                      const std::vector<CausalEdge>& edges,
+                                      parallel::ThreadPool* pool);
 
 /// Event-level acyclicity (executability) check.
 ///

@@ -28,8 +28,12 @@ namespace predctrl {
 /// the set).
 using ControlRelation = std::vector<CausalEdge>;
 
-/// True iff adding `control` to the deposet's happened-before keeps the
-/// extended relation acyclic (i.e. the control relation does NOT interfere).
+/// True iff adding `control` to the deposet's happened-before makes the
+/// extended relation cyclic -- the paper's *interference* condition
+/// (Section 3): a usable control relation must NOT interfere, otherwise no
+/// execution is consistent with both the program's causality and the
+/// controller's constraints. Fig. 2's algorithm only ever emits
+/// non-interfering relations; this check is the independent validator.
 bool control_interferes(const Deposet& base, const ControlRelation& control);
 
 /// True iff the control relation is *executable*: the order it imposes over
@@ -40,11 +44,16 @@ bool control_interferes(const Deposet& base, const ControlRelation& control);
 /// acyclicity check can pass on relations that deadlock every execution.
 bool control_realizable(const Deposet& base, const ControlRelation& control);
 
+/// A base deposet plus a non-interfering control relation, with extended
+/// clocks (Section 3's controlled deposet). Satisfies the CausalStructure
+/// interface, so detection/cut routines run on it unchanged -- which is how
+/// the tests verify that a relation produced by the Fig. 2 algorithm
+/// actually maintains the predicate on every controlled sequence.
 class ControlledDeposet {
  public:
   /// Builds the controlled deposet of `base` with `control`. Returns nullopt
-  /// iff the control relation interferes with happened-before. Edge
-  /// endpoints must be valid states of the base; edges must be
+  /// iff the control relation interferes with happened-before (Section 3).
+  /// Edge endpoints must be valid states of the base; edges must be
   /// cross-process.
   static std::optional<ControlledDeposet> create(Deposet base, ControlRelation control);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.hpp"
+#include "parallel/parallel.hpp"
 #include "util/check.hpp"
 
 namespace predctrl {
@@ -178,17 +179,35 @@ class Walker {
 
 // Shared algorithm driver; the ValidPairs strategy is factored out via a
 // callable returning the chosen pair <keeper, crossed> or nullopt.
+//
+// Parallelism: crossable() probes dominate the cost, and within one
+// iteration they are independent (the Walker is only mutated between
+// probe rounds, by the coordinating thread). With a shared pool and
+// enough processes the probe loops -- the initial matrix fill, each
+// refresh_row_and_column, and the naive ValidPairs sweep -- shard the
+// peer index across workers. Determinism: each matrix cell is a pure
+// function of the Walker state and is written by exactly one worker;
+// candidate lists are concatenated in chunk order (== the serial scan
+// order, so SelectPolicy::kRandom draws identically); pair_checks is
+// the exact number of crossable() probes, accumulated per chunk and
+// summed -- byte-identical results at any thread count.
 class Algorithm {
  public:
   Algorithm(const Deposet& deposet, const PredicateTable& predicate,
             const OfflineControlOptions& options)
       : deposet_(deposet), options_(options), rng_(options.seed),
-        walker_(deposet, extract_false_intervals(predicate)) {
+        walker_(deposet, extract_false_intervals(predicate)),
+        pool_(parallel::shared_pool()) {
     const int32_t n = walker_.num_processes();
+    // Each probe round is O(n) crossable() calls per touched process; only
+    // worth sharding when a full O(n^2) sweep clears the global threshold.
+    sharded_ = pool_ != nullptr && n >= 2 &&
+               static_cast<int64_t>(n) * static_cast<int64_t>(n) >=
+                   parallel::min_parallel_items();
     if (options_.impl == ValidPairsImpl::kIncremental) {
       cross_.assign(static_cast<size_t>(n) * static_cast<size_t>(n), false);
       row_count_.assign(static_cast<size_t>(n), 0);
-      for (ProcessId i = 0; i < n; ++i) refresh_row(i);
+      fill_initial_matrix();
     }
   }
 
@@ -262,7 +281,33 @@ class Algorithm {
                   static_cast<size_t>(j)];
   }
 
-  void refresh_row(ProcessId i) { refresh_row_and_column_impl(i, nullptr); }
+  // Initial crossable matrix: every cell is computed exactly once (the
+  // matrix is a pure function of the initial Walker positions, so the fill
+  // parallelizes trivially by row). No pair_checks accounting here -- the
+  // serial constructor refreshed with a null result too.
+  void fill_initial_matrix() {
+    const int32_t n = walker_.num_processes();
+    auto fill_row = [&](ProcessId i) {
+      const bool i_valid = walker_.next_interval(i) != kNullInterval;
+      int32_t count = 0;
+      for (ProcessId j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const bool j_valid = walker_.next_interval(j) != kNullInterval;
+        const bool rv = i_valid && j_valid && crossable_now(i, j, nullptr);
+        cross_cell(i, j) = rv;
+        if (rv) ++count;
+      }
+      row_count_[static_cast<size_t>(i)] = count;
+    };
+    if (!sharded_) {
+      for (ProcessId i = 0; i < n; ++i) fill_row(i);
+      return;
+    }
+    parallel::parallel_for(pool_, n, [&](int64_t begin, int64_t end, size_t) {
+      for (int64_t i = begin; i < end; ++i) fill_row(static_cast<ProcessId>(i));
+    });
+  }
+
   void refresh_row_and_column(ProcessId i, OfflineControlResult* result) {
     refresh_row_and_column_impl(i, result);
   }
@@ -270,22 +315,68 @@ class Algorithm {
   void refresh_row_and_column_impl(ProcessId i, OfflineControlResult* result) {
     const int32_t n = walker_.num_processes();
     const bool i_valid = walker_.next_interval(i) != kNullInterval;
-    int32_t count = 0;
-    for (ProcessId j = 0; j < n; ++j) {
-      if (j == i) continue;
-      const bool j_valid = walker_.next_interval(j) != kNullInterval;
-      // Row i: crossable(N(i), N(j)).
-      bool rv = i_valid && j_valid && crossable_now(i, j, result);
-      cross_cell(i, j) = rv;
-      if (rv) ++count;
-      // Column i: crossable(N(j), N(i)).
-      bool cv = i_valid && j_valid && crossable_now(j, i, result);
-      if (cross_cell(j, i) != cv) {
-        row_count_[static_cast<size_t>(j)] += cv ? 1 : -1;
-        cross_cell(j, i) = cv;
+    if (!sharded_) {
+      int32_t count = 0;
+      for (ProcessId j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const bool j_valid = walker_.next_interval(j) != kNullInterval;
+        // Row i: crossable(N(i), N(j)).
+        bool rv = i_valid && j_valid && crossable_now(i, j, result);
+        cross_cell(i, j) = rv;
+        if (rv) ++count;
+        // Column i: crossable(N(j), N(i)).
+        bool cv = i_valid && j_valid && crossable_now(j, i, result);
+        if (cross_cell(j, i) != cv) {
+          row_count_[static_cast<size_t>(j)] += cv ? 1 : -1;
+          cross_cell(j, i) = cv;
+        }
       }
+      row_count_[static_cast<size_t>(i)] = count;
+      return;
+    }
+
+    // Sharded: each chunk owns a disjoint range of peers j, so its writes
+    // (row cells (i, j), column cells (j, i), row_count_[j]) never collide.
+    // Chunk partials replicate the serial short-circuit accounting: a probe
+    // is counted iff both intervals exist, exactly when the serial path
+    // calls crossable_now.
+    struct Partial {
+      int32_t row_count = 0;
+      int64_t checks = 0;
+    };
+    std::vector<Partial> partials(parallel::parallel_chunk_count(pool_, n));
+    parallel::parallel_for(pool_, n, [&](int64_t begin, int64_t end, size_t chunk) {
+      Partial& part = partials[chunk];
+      for (int64_t jj = begin; jj < end; ++jj) {
+        const auto j = static_cast<ProcessId>(jj);
+        if (j == i) continue;
+        const bool j_valid = walker_.next_interval(j) != kNullInterval;
+        bool rv = i_valid && j_valid;
+        if (rv) {
+          ++part.checks;
+          rv = crossable_now(i, j, nullptr);
+        }
+        cross_cell(i, j) = rv;
+        if (rv) ++part.row_count;
+        bool cv = i_valid && j_valid;
+        if (cv) {
+          ++part.checks;
+          cv = crossable_now(j, i, nullptr);
+        }
+        if (cross_cell(j, i) != cv) {
+          row_count_[static_cast<size_t>(j)] += cv ? 1 : -1;
+          cross_cell(j, i) = cv;
+        }
+      }
+    });
+    int32_t count = 0;
+    int64_t checks = 0;
+    for (const Partial& part : partials) {
+      count += part.row_count;
+      checks += part.checks;
     }
     row_count_[static_cast<size_t>(i)] = count;
+    if (result != nullptr) result->pair_checks += checks;
   }
 
   /// Returns the selected <keeper, crossee> or nullopt if ValidPairs is
@@ -297,11 +388,38 @@ class Algorithm {
     if (options_.impl == ValidPairsImpl::kNaive) {
       // The paper's naive variant recomputes the full ValidPairs set every
       // iteration (O(n^2) checks each time -> O(n^3 p) total).
-      for (ProcessId i = 0; i < n; ++i) {
-        if (walker_.is_false(i)) continue;
-        for (ProcessId j = 0; j < n; ++j) {
-          if (i == j) continue;
-          if (crossable_now(i, j, &result)) candidates.emplace_back(i, j);
+      if (sharded_) {
+        // Shard the keeper index; concatenating chunk candidate lists in
+        // chunk order reproduces the serial (i, j) scan order exactly.
+        struct Partial {
+          std::vector<std::pair<ProcessId, ProcessId>> candidates;
+          int64_t checks = 0;
+        };
+        std::vector<Partial> partials(parallel::parallel_chunk_count(pool_, n));
+        parallel::parallel_for(pool_, n, [&](int64_t begin, int64_t end, size_t chunk) {
+          Partial& part = partials[chunk];
+          for (int64_t ii = begin; ii < end; ++ii) {
+            const auto i = static_cast<ProcessId>(ii);
+            if (walker_.is_false(i)) continue;
+            for (ProcessId j = 0; j < n; ++j) {
+              if (i == j) continue;
+              ++part.checks;
+              if (crossable_now(i, j, nullptr)) part.candidates.emplace_back(i, j);
+            }
+          }
+        });
+        for (const Partial& part : partials) {
+          result.pair_checks += part.checks;
+          candidates.insert(candidates.end(), part.candidates.begin(),
+                            part.candidates.end());
+        }
+      } else {
+        for (ProcessId i = 0; i < n; ++i) {
+          if (walker_.is_false(i)) continue;
+          for (ProcessId j = 0; j < n; ++j) {
+            if (i == j) continue;
+            if (crossable_now(i, j, &result)) candidates.emplace_back(i, j);
+          }
         }
       }
     } else {
@@ -357,6 +475,8 @@ class Algorithm {
   OfflineControlOptions options_;
   Rng rng_;
   Walker walker_;
+  parallel::ThreadPool* pool_ = nullptr;  // shared pool, or null for serial
+  bool sharded_ = false;                  // probe loops go to the pool
 
   // Incremental ValidPairs state.
   std::vector<char> cross_;  // row-major crossable matrix (char: avoid vector<bool> refs)

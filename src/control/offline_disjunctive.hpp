@@ -81,13 +81,17 @@ struct OfflineControlResult {
 };
 
 /// Runs the Figure 2 algorithm. `predicate[p][k]` is l_p at state (p, k).
+/// Reports controllable=false exactly when an overlapping set of false
+/// intervals exists (Lemma 2: B is controllable iff no set of false
+/// intervals, one per process, is pairwise overlapping).
 OfflineControlResult control_disjunctive_offline(const Deposet& deposet,
                                                  const PredicateTable& predicate,
                                                  const OfflineControlOptions& options = {});
 
-/// Convenience: runs the algorithm and materializes the controlled deposet
-/// (throws std::logic_error if the produced relation interferes -- which the
-/// algorithm guarantees never happens). Returns nullopt iff not controllable.
+/// Convenience: runs the Figure 2 algorithm and materializes the controlled
+/// deposet of Section 3 (throws std::logic_error if the produced relation
+/// interferes -- which the algorithm guarantees never happens). Returns
+/// nullopt iff not controllable (Lemma 2 witness in blocking_intervals).
 std::optional<ControlledDeposet> controlled_deposet_for(
     const Deposet& deposet, const PredicateTable& predicate,
     const OfflineControlOptions& options = {});

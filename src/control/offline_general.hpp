@@ -41,6 +41,8 @@ struct GeneralControlResult {
 /// Synthesizes a control relation that serializes `sequence` (a valid
 /// single-advance global sequence of `deposet`): consecutive events on
 /// different processes get a control edge unless already causally ordered.
+/// This is the constructive half of the paper's Section 4 equivalence
+/// (strategy exists iff satisfying sequence exists) behind Theorem 1.
 ControlRelation serialize_sequence(const Deposet& deposet, const std::vector<Cut>& sequence);
 
 /// Off-line control for an arbitrary predicate under real-time semantics.

@@ -39,10 +39,12 @@ struct ControlAction {
 /// A compiled, executable strategy: per-process actions sorted by state.
 class ControlStrategy {
  public:
-  /// Compiles `control` against `base`. Throws std::invalid_argument on
-  /// unenforceable edges; throws std::invalid_argument if the plan can
-  /// deadlock (unless check_deadlock is false, for experiments that want to
-  /// demonstrate the deadlock).
+  /// Compiles `control` against `base`: one control message per C~> edge,
+  /// which is what makes the paper's |C~>| = O(np) bound for the Fig. 2
+  /// algorithm a bound on *control-plane traffic* during replay. Throws
+  /// std::invalid_argument on unenforceable edges; throws
+  /// std::invalid_argument if the plan can deadlock (unless check_deadlock
+  /// is false, for experiments that want to demonstrate the deadlock).
   static ControlStrategy compile(const Deposet& base, const ControlRelation& control,
                                  bool check_deadlock = true);
 

@@ -1,16 +1,20 @@
 #include "obs/obs.hpp"
 
+#include <atomic>
 #include <fstream>
 #include <stdexcept>
 
 namespace predctrl::obs {
 
 namespace {
-bool g_enabled = false;
+// Atomic so pool workers (parallel/thread_pool.hpp) may *read* the flag
+// data-race-free while a coordinator owns all registry writes; relaxed is
+// enough, the flag carries no release payload.
+std::atomic<bool> g_enabled{false};
 }  // namespace
 
-bool enabled() { return g_enabled; }
-void set_enabled(bool on) { g_enabled = on; }
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 
 void reset() {
   default_metrics().clear();

@@ -36,8 +36,11 @@
 
 namespace predctrl::obs {
 
-/// Runtime recording switch (metrics + trace events). Plain bool: the
-/// library is single-threaded by design (see util/logging.hpp).
+/// Runtime recording switch (metrics + trace events). The flag itself is
+/// atomic so pool workers (parallel/thread_pool.hpp) may read it without a
+/// data race; the registries stay single-writer -- workers never record,
+/// coordinators record on their behalf after join points (see
+/// parallel/parallel.cpp's per-worker accounting).
 bool enabled();
 void set_enabled(bool on);
 

@@ -16,7 +16,8 @@
 
 namespace predctrl::online {
 
-/// Runs `system` with scapegoat gating. `truth[p][k]` is l_p at state
+/// Runs `system` with each process gated by a Figure 3 scapegoat
+/// controller. `truth[p][k]` is l_p at state
 /// (p, k) (shape-checked against the scripts). The initial scapegoat is
 /// `options.initial_scapegoat`, or -- when that index's initial state is not
 /// true -- the first process whose initial state is; B(initial global

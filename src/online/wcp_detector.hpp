@@ -71,9 +71,11 @@ class WcpDetector : public sim::Agent {
   std::vector<int64_t> done_after_;
 };
 
-/// Convenience harness: run the system with a detector watching
-/// `conditions` (shape-matched to the scripts); returns the run and the
-/// detection outcome.
+/// Convenience harness: run the system with a detector agent running the
+/// Garg-Waldecker candidate-advance algorithm (the paper's reference [4])
+/// live over `conditions` (shape-matched to the scripts); returns the run
+/// and the detection outcome -- the "detect" half of the paper's
+/// detect-then-control debugging cycle (Section 1).
 struct DetectedRun {
   sim::RunResult run;
   WcpDetectionOutcome detection;

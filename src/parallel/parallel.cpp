@@ -1,0 +1,86 @@
+#include "parallel/parallel.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace predctrl::parallel {
+
+namespace {
+
+int32_t g_thread_count = 1;
+int64_t g_min_parallel_items = 4096;
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+int32_t thread_count() { return g_thread_count; }
+
+void set_thread_count(int32_t n) {
+  PREDCTRL_CHECK(n >= 1, "thread count must be >= 1");
+  if (n == g_thread_count) return;
+  g_pool.reset();  // join the old pool before the count changes
+  g_thread_count = n;
+  if (n > 1) g_pool = std::make_unique<ThreadPool>(n);
+}
+
+ThreadPool* shared_pool() { return g_pool.get(); }
+
+int64_t min_parallel_items() { return g_min_parallel_items; }
+
+void set_min_parallel_items(int64_t items) {
+  PREDCTRL_CHECK(items >= 1, "parallel threshold must be >= 1");
+  g_min_parallel_items = items;
+}
+
+size_t parallel_chunk_count(ThreadPool* pool, int64_t n) {
+  if (pool == nullptr || n <= 1) return 1;
+  // A few chunks per worker smooths imbalanced chunks without shrinking
+  // tasks into scheduling noise; boundaries stay a pure function of (n,
+  // pool size).
+  const int64_t chunks = std::min<int64_t>(n, static_cast<int64_t>(pool->size()) * 4);
+  return static_cast<size_t>(chunks);
+}
+
+void parallel_for(ThreadPool* pool, int64_t n,
+                  const std::function<void(int64_t, int64_t, size_t)>& fn) {
+  if (n <= 0) return;
+  const size_t chunks = parallel_chunk_count(pool, n);
+  if (chunks <= 1) {
+    fn(0, n, 0);
+    return;
+  }
+
+  PREDCTRL_OBS_SPAN(span, "parallel.for", "parallel");
+  std::vector<ThreadPool::WorkerStats> before;
+  if (obs::recording()) before = pool->worker_stats();
+
+  WaitGroup wg;
+  const int64_t base = n / static_cast<int64_t>(chunks);
+  const int64_t extra = n % static_cast<int64_t>(chunks);
+  int64_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const int64_t len = base + (static_cast<int64_t>(c) < extra ? 1 : 0);
+    const int64_t end = begin + len;
+    wg.spawn(*pool, [&fn, begin, end, c] { fn(begin, end, c); });
+    begin = end;
+  }
+  wg.wait();
+
+  if (obs::recording()) {
+    // Per-worker accounting, recorded by the coordinator only: worker
+    // threads never touch the (single-writer) metrics registry.
+    const std::vector<ThreadPool::WorkerStats> after = pool->worker_stats();
+    for (size_t w = 0; w < after.size(); ++w) {
+      PREDCTRL_OBS_RECORD("parallel.worker.busy_us", after[w].busy_us - before[w].busy_us);
+      PREDCTRL_OBS_COUNT("parallel.tasks", after[w].tasks - before[w].tasks);
+    }
+    PREDCTRL_OBS_COUNT("parallel.for.regions", 1);
+    span.add_arg("items", n);
+    span.add_arg("chunks", static_cast<int64_t>(chunks));
+  }
+}
+
+}  // namespace predctrl::parallel

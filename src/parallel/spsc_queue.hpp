@@ -1,0 +1,61 @@
+// Lock-free single-producer / single-consumer ring buffer (the classic
+// Lamport queue with C++11 acquire/release fences).
+//
+// This is the token channel of the parallel WCP detector
+// (predicates/detection.cpp): each per-process scan worker owns one queue
+// as its producer and streams candidate tokens to the coordinating
+// consumer, which polls all queues. One queue has exactly one producer and
+// one consumer, so no CAS loops are needed -- a push is one store to the
+// buffer plus one release store of the tail, a pop the mirror image.
+//
+// Capacity is a power of two fixed at compile time; try_push/try_pop fail
+// (rather than block) on full/empty so callers choose their own waiting
+// discipline (the scan workers yield, checking a cancellation flag, so a
+// concluded detection can drain early without deadlocking the pool).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+
+namespace predctrl::parallel {
+
+template <typename T, size_t Capacity = 1024>
+class SpscQueue {
+  static_assert(Capacity >= 2 && (Capacity & (Capacity - 1)) == 0,
+                "capacity must be a power of two");
+
+ public:
+  /// Producer side. Returns false when the queue is full.
+  bool try_push(const T& value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == Capacity) return false;
+    buffer_[tail & kMask] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the queue is empty.
+  bool try_pop(T& out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = buffer_[head & kMask];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness probe (racy for the producer, exact for the
+  /// consumer: new elements only ever appear).
+  bool empty() const {
+    return head_.load(std::memory_order_relaxed) == tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static constexpr size_t kMask = Capacity - 1;
+
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+  std::array<T, Capacity> buffer_{};
+};
+
+}  // namespace predctrl::parallel

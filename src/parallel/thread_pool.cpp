@@ -1,0 +1,104 @@
+#include "parallel/thread_pool.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace predctrl::parallel {
+
+ThreadPool::ThreadPool(int32_t num_threads) : counters_(static_cast<size_t>(num_threads)) {
+  PREDCTRL_CHECK(num_threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int32_t i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(static_cast<size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) throw std::logic_error("submit() on a stopping ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> out(counters_.size());
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    out[i].tasks = counters_[i].tasks.load(std::memory_order_relaxed);
+    out[i].busy_us = counters_[i].busy_us.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void ThreadPool::worker_loop(size_t index) {
+  WorkerCounters& counters = counters_[index];
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Keep draining after stop: spawned-but-unrun tasks must not be
+      // abandoned (a WaitGroup could otherwise wait forever).
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // Count the task BEFORE running it: completion signals (a WaitGroup
+    // decrement) fire inside task(), and a coordinator reading stats right
+    // after its wait() must already see every completed task counted.
+    counters.tasks.fetch_add(1, std::memory_order_relaxed);
+    const auto start = std::chrono::steady_clock::now();
+    task();
+    const auto end = std::chrono::steady_clock::now();
+    counters.busy_us.fetch_add(
+        std::chrono::duration_cast<std::chrono::microseconds>(end - start).count(),
+        std::memory_order_relaxed);
+  }
+}
+
+void WaitGroup::spawn(ThreadPool& pool, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool.submit([this, fn = std::move(fn)] {
+    std::exception_ptr error;
+    try {
+      fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error && !error_) error_ = error;
+      // Notify while still holding the lock: WaitGroups are stack-allocated
+      // in callers (parallel_for), and a post-unlock notify could touch the
+      // condvar after the woken waiter has already destroyed it.
+      if (--pending_ == 0) cv_.notify_all();
+    }
+  });
+}
+
+void WaitGroup::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace predctrl::parallel

@@ -1,0 +1,106 @@
+// A small dependency-free thread pool (std::thread + mutex/condvar queue)
+// with a fork-join WaitGroup. This is the execution substrate of the
+// parallel detection & control-synthesis engine: every parallelized hot
+// path (causality/clock_computation, predicates/intervals,
+// predicates/detection, control/offline_disjunctive) shards its work into
+// tasks submitted here.
+//
+// Design constraints, in order:
+//
+//   1. Determinism of *results*. The pool itself makes no ordering promises,
+//      so every algorithm built on it shards work into fixed chunks whose
+//      outputs land in pre-assigned slots (or are reduced in chunk-index
+//      order). Given the same input and thread count, and for ANY thread
+//      count, the caller-visible output is byte-identical to the serial
+//      path -- tests/test_parallel.cpp enforces this at 1/2/4/8 threads.
+//   2. No dependencies. std::thread, std::mutex, std::atomic only.
+//   3. Graceful degradation. Workers sleep on a condition variable, so an
+//      oversubscribed pool (more threads than cores) timeshares instead of
+//      burning cycles spinning.
+//
+// Tasks may submit further tasks (the dependency-driven clock-computation
+// scheduler relies on this) but must never block on other tasks.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace predctrl::parallel {
+
+/// Fixed-size worker pool executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(int32_t num_threads);
+
+  /// Drains nothing: outstanding tasks are completed, then workers join.
+  /// Callers that need completion guarantees use a WaitGroup *before*
+  /// destruction; the destructor only guarantees no task is abandoned.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int32_t size() const { return static_cast<int32_t>(workers_.size()); }
+
+  /// Enqueues a task. Safe to call from worker threads (tasks spawning
+  /// tasks); throws std::logic_error if the pool is shutting down.
+  void submit(std::function<void()> task);
+
+  /// Per-worker execution counters, for the obs layer (recorded by the
+  /// coordinator after a join point -- workers never touch the registry).
+  struct WorkerStats {
+    int64_t tasks = 0;    ///< tasks executed by this worker
+    int64_t busy_us = 0;  ///< wall time spent inside tasks
+  };
+
+  /// Snapshot of each worker's counters. After a WaitGroup::wait() covering
+  /// all submitted work, `tasks` is exact (tasks are counted when claimed,
+  /// before any completion signal a task itself may raise); `busy_us` is
+  /// recorded after the task body and may lag the final task by a beat.
+  std::vector<WorkerStats> worker_stats() const;
+
+ private:
+  void worker_loop(size_t index);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+
+  struct alignas(64) WorkerCounters {
+    std::atomic<int64_t> tasks{0};
+    std::atomic<int64_t> busy_us{0};
+  };
+  std::vector<std::thread> workers_;
+  std::vector<WorkerCounters> counters_;
+};
+
+/// Fork-join synchronization with exception propagation: spawn() wraps a
+/// task so its completion (normal or throwing) is counted; wait() blocks
+/// until every spawned task finished and rethrows the first exception any
+/// of them raised. A WaitGroup may be reused after wait() returns.
+class WaitGroup {
+ public:
+  /// Submits `fn` to `pool`, tracked by this group.
+  void spawn(ThreadPool& pool, std::function<void()> fn);
+
+  /// Blocks until all spawned tasks completed; rethrows the first captured
+  /// exception (subsequent ones are dropped).
+  void wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t pending_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace predctrl::parallel

@@ -1,26 +1,57 @@
 #include "predicates/intervals.hpp"
 
+#include <algorithm>
+#include <atomic>
+
+#include "parallel/parallel.hpp"
 #include "util/check.hpp"
 
 namespace predctrl {
+
+namespace {
+
+// Scans one predicate row into its maximal false intervals. Both engines
+// (serial loop, per-process shards on the pool) run exactly this.
+void scan_row(const PredicateTable& table, size_t p, FalseIntervalSets& sets) {
+  const auto& row = table[p];
+  PREDCTRL_CHECK(!row.empty(), "empty predicate row");
+  for (size_t k = 0; k < row.size(); ++k) {
+    if (row[k]) continue;
+    size_t lo = k;
+    while (k + 1 < row.size() && !row[k + 1]) ++k;
+    sets[p].push_back({static_cast<ProcessId>(p), static_cast<int32_t>(lo),
+                       static_cast<int32_t>(k)});
+  }
+}
+
+}  // namespace
 
 std::ostream& operator<<(std::ostream& os, const FalseInterval& iv) {
   return os << 'P' << iv.process << "[" << iv.lo << ".." << iv.hi << "]";
 }
 
 FalseIntervalSets extract_false_intervals(const PredicateTable& table) {
+  return extract_false_intervals(table, parallel::shared_pool());
+}
+
+FalseIntervalSets extract_false_intervals(const PredicateTable& table,
+                                          parallel::ThreadPool* pool) {
   FalseIntervalSets sets(table.size());
-  for (size_t p = 0; p < table.size(); ++p) {
-    const auto& row = table[p];
-    PREDCTRL_CHECK(!row.empty(), "empty predicate row");
-    for (size_t k = 0; k < row.size(); ++k) {
-      if (row[k]) continue;
-      size_t lo = k;
-      while (k + 1 < row.size() && !row[k + 1]) ++k;
-      sets[p].push_back({static_cast<ProcessId>(p), static_cast<int32_t>(lo),
-                         static_cast<int32_t>(k)});
-    }
+  int64_t total_states = 0;
+  for (const auto& row : table) total_states += static_cast<int64_t>(row.size());
+
+  if (pool == nullptr || table.size() < 2 || total_states < parallel::min_parallel_items()) {
+    for (size_t p = 0; p < table.size(); ++p) scan_row(table, p, sets);
+    return sets;
   }
+
+  // Shard by process: each chunk owns a contiguous range of rows and writes
+  // only its own sets[p] slots, so the result is identical at any width.
+  parallel::parallel_for(pool, static_cast<int64_t>(table.size()),
+                         [&](int64_t begin, int64_t end, size_t) {
+                           for (int64_t p = begin; p < end; ++p)
+                             scan_row(table, static_cast<size_t>(p), sets);
+                         });
   return sets;
 }
 
@@ -72,6 +103,47 @@ bool is_overlapping_set(const Deposet& deposet, const std::vector<FalseInterval>
   return true;
 }
 
+namespace {
+
+// Decodes combination index v (the serial search's odometer order: process
+// 0 is the least-significant digit) into a per-process selection.
+void decode_combination(const FalseIntervalSets& sets, int64_t v,
+                        std::vector<FalseInterval>& selection) {
+  for (size_t p = 0; p < sets.size(); ++p) {
+    const auto size = static_cast<int64_t>(sets[p].size());
+    selection[p] = sets[p][static_cast<size_t>(v % size)];
+    v /= size;
+  }
+}
+
+std::optional<std::vector<FalseInterval>> find_overlapping_set_parallel(
+    const Deposet& deposet, const FalseIntervalSets& sets, StepSemantics semantics,
+    int64_t limit, parallel::ThreadPool& pool) {
+  const size_t n = sets.size();
+  // Shards race to lower the least satisfying combination index; the final
+  // minimum is unique, so the answer matches the serial first-hit exactly.
+  std::atomic<int64_t> best{limit};
+  parallel::parallel_for(&pool, limit, [&](int64_t begin, int64_t end, size_t) {
+    std::vector<FalseInterval> selection(n);
+    for (int64_t v = begin; v < end; ++v) {
+      if (v >= best.load(std::memory_order_relaxed)) break;  // already beaten
+      decode_combination(sets, v, selection);
+      if (!is_overlapping_set(deposet, selection, semantics)) continue;
+      int64_t cur = best.load(std::memory_order_relaxed);
+      while (v < cur && !best.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+      }
+      break;  // later v in this ascending chunk cannot beat v
+    }
+  });
+  const int64_t found = best.load(std::memory_order_relaxed);
+  if (found >= limit) return std::nullopt;
+  std::vector<FalseInterval> selection(n);
+  decode_combination(sets, found, selection);
+  return selection;
+}
+
+}  // namespace
+
 std::optional<std::vector<FalseInterval>> find_overlapping_set(
     const Deposet& deposet, const FalseIntervalSets& sets, StepSemantics semantics,
     int64_t max_combinations) {
@@ -80,6 +152,24 @@ std::optional<std::vector<FalseInterval>> find_overlapping_set(
                  "interval sets do not match deposet");
   for (const auto& s : sets)
     if (s.empty()) return std::nullopt;  // no full selection possible
+
+  // The serial search visits exactly min(total, max_combinations)
+  // combinations; the sharded search covers the same index range.
+  parallel::ThreadPool* pool = parallel::shared_pool();
+  if (pool != nullptr && max_combinations >= 1) {
+    int64_t limit = 1;  // min(prod |sets[p]|, max_combinations), overflow-safe
+    for (const auto& s : sets) {
+      if (limit > max_combinations / static_cast<int64_t>(s.size())) {
+        limit = max_combinations;
+        break;
+      }
+      limit *= static_cast<int64_t>(s.size());
+    }
+    limit = std::min(limit, max_combinations);
+    const int64_t per_combo = static_cast<int64_t>(n) * static_cast<int64_t>(n);
+    if (limit > 1 && limit >= (parallel::min_parallel_items() + per_combo - 1) / per_combo)
+      return find_overlapping_set_parallel(deposet, sets, semantics, limit, *pool);
+  }
 
   std::vector<size_t> pick(n, 0);
   std::vector<FalseInterval> selection(n);

@@ -1,0 +1,465 @@
+// The parallel engine (src/parallel/) and its determinism contract: every
+// sharded hot path -- vector clocks, false-interval extraction, WCP
+// detection, overlapping-set search, offline disjunctive synthesis --
+// produces byte-identical results at 1/2/4/8 threads. The suites force the
+// parallel code paths onto small instances by dropping min_parallel_items
+// to 1; production gating (stay serial below the threshold) is tested too.
+//
+// Labeled `tsan` in tests/CMakeLists.txt: run under the ThreadSanitizer
+// preset (cmake --preset tsan) with `ctest -L tsan`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "causality/clock_computation.hpp"
+#include "control/offline_disjunctive.hpp"
+#include "parallel/parallel.hpp"
+#include "parallel/spsc_queue.hpp"
+#include "parallel/thread_pool.hpp"
+#include "predicates/detection.hpp"
+#include "predicates/intervals.hpp"
+#include "trace/random_trace.hpp"
+#include "util/rng.hpp"
+
+using namespace predctrl;
+
+namespace {
+
+// Scoped engine configuration; restores the serial default on exit so test
+// order cannot leak a pool into unrelated suites.
+class ParallelConfig {
+ public:
+  ParallelConfig(int32_t threads, int64_t min_items) {
+    parallel::set_thread_count(threads);
+    parallel::set_min_parallel_items(min_items);
+  }
+  ~ParallelConfig() {
+    parallel::set_thread_count(1);
+    parallel::set_min_parallel_items(4096);
+  }
+};
+
+constexpr int32_t kWidths[] = {1, 2, 4, 8};
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, ExecutesAllSubmittedTasks) {
+  parallel::ThreadPool pool(4);
+  parallel::WaitGroup wg;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i)
+    wg.spawn(pool, [&] { count.fetch_add(1, std::memory_order_relaxed); });
+  wg.wait();
+  EXPECT_EQ(count.load(), 100);
+
+  int64_t tasks = 0;
+  for (const auto& w : pool.worker_stats()) tasks += w.tasks;
+  EXPECT_EQ(tasks, 100);
+}
+
+TEST(ThreadPool, TasksMaySubmitTasks) {
+  parallel::ThreadPool pool(2);
+  parallel::WaitGroup outer;
+  parallel::WaitGroup inner;
+  std::atomic<int> count{0};
+  outer.spawn(pool, [&] {
+    for (int i = 0; i < 10; ++i)
+      inner.spawn(pool, [&] { count.fetch_add(1, std::memory_order_relaxed); });
+  });
+  outer.wait();
+  inner.wait();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, WaitGroupPropagatesException) {
+  parallel::ThreadPool pool(2);
+  parallel::WaitGroup wg;
+  std::atomic<int> completed{0};
+  wg.spawn(pool, [] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 8; ++i)
+    wg.spawn(pool, [&] { completed.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_THROW(wg.wait(), std::runtime_error);
+  // wait() returns only after ALL tasks finished, throwing or not.
+  EXPECT_EQ(completed.load(), 8);
+  // The group is reusable after a failed wait.
+  wg.spawn(pool, [&] { completed.fetch_add(1, std::memory_order_relaxed); });
+  wg.wait();
+  EXPECT_EQ(completed.load(), 9);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> count{0};
+  {
+    parallel::ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  }  // ~ThreadPool completes the queue before joining
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SizeMatchesRequestedThreads) {
+  parallel::ThreadPool pool(5);
+  EXPECT_EQ(pool.size(), 5);
+  EXPECT_EQ(pool.worker_stats().size(), 5u);
+}
+
+// ----------------------------------------------------------------- SpscQueue
+
+TEST(SpscQueue, FifoOrderAndCapacity) {
+  parallel::SpscQueue<int, 8> q;
+  EXPECT_TRUE(q.empty());
+  int out = -1;
+  EXPECT_FALSE(q.try_pop(out));
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, TransfersStreamAcrossThreads) {
+  constexpr int kItems = 20000;
+  parallel::SpscQueue<int, 64> q;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i)
+      while (!q.try_push(i)) std::this_thread::yield();
+  });
+  int expected = 0;
+  while (expected < kItems) {
+    int v = -1;
+    if (q.try_pop(v)) {
+      ASSERT_EQ(v, expected);  // order and values preserved
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(q.empty());
+}
+
+// -------------------------------------------------- parallel_for / reduce
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  parallel::ThreadPool pool(4);
+  const int64_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel::parallel_for(&pool, n, [&](int64_t begin, int64_t end, size_t) {
+    for (int64_t i = begin; i < end; ++i) hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1);
+}
+
+TEST(ParallelFor, ChunksPartitionTheRangeInOrder) {
+  parallel::ThreadPool pool(3);
+  const int64_t n = 100;
+  const size_t chunks = parallel::parallel_chunk_count(&pool, n);
+  ASSERT_GE(chunks, 2u);
+  std::vector<std::pair<int64_t, int64_t>> bounds(chunks, {-1, -1});
+  parallel::parallel_for(&pool, n, [&](int64_t begin, int64_t end, size_t chunk) {
+    bounds[chunk] = {begin, end};
+  });
+  int64_t expect_begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    EXPECT_EQ(bounds[c].first, expect_begin) << "chunk " << c;
+    EXPECT_GT(bounds[c].second, bounds[c].first);
+    expect_begin = bounds[c].second;
+  }
+  EXPECT_EQ(expect_begin, n);
+}
+
+TEST(ParallelFor, NullPoolRunsInlineAsOneChunk) {
+  int calls = 0;
+  parallel::parallel_for(nullptr, 17, [&](int64_t begin, int64_t end, size_t chunk) {
+    ++calls;
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 17);
+    EXPECT_EQ(chunk, 0u);
+  });
+  EXPECT_EQ(calls, 1);
+  parallel::parallel_for(nullptr, 0, [&](int64_t, int64_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);  // empty range: no invocation
+}
+
+TEST(ParallelFor, PropagatesChunkException) {
+  parallel::ThreadPool pool(4);
+  EXPECT_THROW(parallel::parallel_for(&pool, 64,
+                                      [&](int64_t begin, int64_t, size_t) {
+                                        if (begin == 0) throw std::logic_error("chunk 0");
+                                      }),
+               std::logic_error);
+}
+
+TEST(ParallelReduce, CombinesInChunkIndexOrder) {
+  parallel::ThreadPool pool(4);
+  const int64_t n = 500;
+  // Non-commutative combine (string concatenation): equality with the
+  // serial left-to-right fold proves chunk-index ordering.
+  std::string serial;
+  for (int64_t i = 0; i < n; ++i) serial += std::to_string(i) + ",";
+  const std::string parallel_result = parallel::parallel_reduce<std::string>(
+      &pool, n, "",
+      [](int64_t begin, int64_t end, size_t) {
+        std::string s;
+        for (int64_t i = begin; i < end; ++i) s += std::to_string(i) + ",";
+        return s;
+      },
+      [](std::string a, std::string b) { return a + b; });
+  EXPECT_EQ(parallel_result, serial);
+
+  const int64_t sum = parallel::parallel_reduce<int64_t>(
+      &pool, n, 0,
+      [](int64_t begin, int64_t end, size_t) {
+        int64_t s = 0;
+        for (int64_t i = begin; i < end; ++i) s += i;
+        return s;
+      },
+      [](int64_t a, int64_t b) { return a + b; });
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+// ------------------------------------------------- engine configuration
+
+TEST(ParallelConfigTest, SerialDefaultHasNoPool) {
+  EXPECT_EQ(parallel::thread_count(), 1);
+  EXPECT_EQ(parallel::shared_pool(), nullptr);
+  {
+    ParallelConfig cfg(4, 1);
+    EXPECT_EQ(parallel::thread_count(), 4);
+    ASSERT_NE(parallel::shared_pool(), nullptr);
+    EXPECT_EQ(parallel::shared_pool()->size(), 4);
+    EXPECT_EQ(parallel::min_parallel_items(), 1);
+  }
+  EXPECT_EQ(parallel::shared_pool(), nullptr);
+  EXPECT_EQ(parallel::min_parallel_items(), 4096);
+}
+
+TEST(ParallelConfigTest, SmallWorkStaysSerialUnderDefaultThreshold) {
+  // With the production threshold, tiny inputs must not shard (the gate, not
+  // the pool, decides) -- results are identical either way; this pins the
+  // dispatch itself via the explicit-pool overloads.
+  ParallelConfig cfg(4, 4096);
+  PredicateTable table{{true, false, true}, {false, true, false}};
+  const FalseIntervalSets direct = extract_false_intervals(table, nullptr);
+  const FalseIntervalSets dispatched = extract_false_intervals(table);
+  EXPECT_EQ(direct, dispatched);
+}
+
+// ------------------------------------------------- determinism: clocks
+
+TEST(ParallelDeterminism, StateClocksMatchSerial) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    RandomTraceOptions opt;
+    opt.num_processes = 6;
+    opt.events_per_process = 25;
+    opt.send_probability = 0.3;
+    const Deposet d = random_deposet(opt, rng);
+
+    const ClockComputation serial = compute_state_clocks(d.lengths(), d.messages(), nullptr);
+    ASSERT_TRUE(serial.acyclic);
+    for (int32_t width : kWidths) {
+      ParallelConfig cfg(width, 1);
+      const ClockComputation par = compute_state_clocks(d.lengths(), d.messages());
+      EXPECT_EQ(par.acyclic, serial.acyclic) << "seed " << seed << " width " << width;
+      EXPECT_EQ(par.clocks, serial.clocks) << "seed " << seed << " width " << width;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, CyclicGraphRejectedAtEveryWidth) {
+  // (0,1)->(0,2) ~> (1,1)->(1,2) ~> (0,1): a cross-edge cycle.
+  const std::vector<int32_t> lengths{4, 4};
+  const std::vector<CausalEdge> edges{{{0, 2}, {1, 1}}, {{1, 2}, {0, 1}}};
+  const ClockComputation serial = compute_state_clocks(lengths, edges, nullptr);
+  EXPECT_FALSE(serial.acyclic);
+  for (int32_t width : kWidths) {
+    ParallelConfig cfg(width, 1);
+    const ClockComputation par = compute_state_clocks(lengths, edges);
+    EXPECT_FALSE(par.acyclic) << "width " << width;
+    EXPECT_EQ(par.clocks, serial.clocks);
+  }
+}
+
+// ---------------------------------------------- determinism: intervals
+
+TEST(ParallelDeterminism, FalseIntervalsMatchSerial) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    RandomTraceOptions topt;
+    topt.num_processes = 5;
+    topt.events_per_process = 40;
+    const Deposet d = random_deposet(topt, rng);
+    RandomPredicateOptions popt;
+    popt.false_probability = 0.4;
+    popt.flip_probability = 0.3;
+    const PredicateTable table = random_predicate_table(d, popt, rng);
+
+    const FalseIntervalSets serial = extract_false_intervals(table, nullptr);
+    for (int32_t width : kWidths) {
+      ParallelConfig cfg(width, 1);
+      EXPECT_EQ(extract_false_intervals(table), serial)
+          << "seed " << seed << " width " << width;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, OverlappingSetSearchMatchesSerial) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    RandomTraceOptions topt;
+    topt.num_processes = 4;
+    topt.events_per_process = 15;
+    topt.send_probability = 0.35;
+    const Deposet d = random_deposet(topt, rng);
+    RandomPredicateOptions popt;
+    popt.false_probability = 0.5;
+    popt.flip_probability = 0.4;
+    const PredicateTable table = random_predicate_table(d, popt, rng);
+    const FalseIntervalSets sets = extract_false_intervals(table, nullptr);
+
+    for (StepSemantics sem : {StepSemantics::kRealTime, StepSemantics::kSimultaneous}) {
+      const auto serial = find_overlapping_set(d, sets, sem);
+      for (int32_t width : kWidths) {
+        ParallelConfig cfg(width, 1);
+        EXPECT_EQ(find_overlapping_set(d, sets, sem), serial)
+            << "seed " << seed << " width " << width;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------- determinism: detection
+
+TEST(ParallelDeterminism, WeakConjunctiveDetectionMatchesSerial) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    RandomTraceOptions topt;
+    topt.num_processes = 5;
+    topt.events_per_process = 30;
+    topt.send_probability = 0.3;
+    const Deposet d = random_deposet(topt, rng);
+    RandomPredicateOptions popt;
+    // Mix of densities so the sweep covers detected and undetected runs.
+    popt.false_probability = (seed % 2 == 0) ? 0.85 : 0.4;
+    const PredicateTable conditions = random_predicate_table(d, popt, rng);
+
+    const ConjunctiveDetection serial = detect_weak_conjunctive(d, conditions, nullptr);
+    for (int32_t width : kWidths) {
+      ParallelConfig cfg(width, 1);
+      const ConjunctiveDetection par = detect_weak_conjunctive(d, conditions);
+      EXPECT_EQ(par.detected, serial.detected) << "seed " << seed << " width " << width;
+      if (serial.detected)
+        EXPECT_EQ(par.first_cut, serial.first_cut) << "seed " << seed << " width " << width;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, DetectionWithNoSatisfyingRowMatchesSerial) {
+  // A process whose condition never holds: workers close that stream with
+  // no tokens and the coordinator must conclude "undetected" cleanly.
+  DeposetBuilder builder(3);
+  for (ProcessId p = 0; p < 3; ++p) builder.set_length(p, 6);
+  builder.add_message({0, 2}, {1, 3});
+  const Deposet d = builder.build();
+  PredicateTable conditions{{true, true, true, true, true, true},
+                           {false, false, false, false, false, false},
+                           {true, true, true, true, true, true}};
+  for (int32_t width : kWidths) {
+    ParallelConfig cfg(width, 1);
+    EXPECT_FALSE(detect_weak_conjunctive(d, conditions).detected) << "width " << width;
+  }
+}
+
+// ---------------------------------------------- determinism: synthesis
+
+TEST(ParallelDeterminism, OfflineSynthesisMatchesSerialExactly) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    RandomTraceOptions topt;
+    topt.num_processes = 6;
+    topt.events_per_process = 30;
+    topt.send_probability = 0.25;
+    const Deposet d = random_deposet(topt, rng);
+    RandomPredicateOptions popt;
+    popt.false_probability = 0.5;
+    popt.flip_probability = 1.0 / 3.0;
+    const PredicateTable pred = random_predicate_table(d, popt, rng);
+
+    for (ValidPairsImpl impl : {ValidPairsImpl::kNaive, ValidPairsImpl::kIncremental}) {
+      for (SelectPolicy select :
+           {SelectPolicy::kFirst, SelectPolicy::kRandom, SelectPolicy::kGreedyFarthest}) {
+        OfflineControlOptions opt;
+        opt.impl = impl;
+        opt.select = select;
+        opt.seed = seed * 31;
+
+        OfflineControlResult serial;
+        {
+          ParallelConfig cfg(1, 1);
+          serial = control_disjunctive_offline(d, pred, opt);
+        }
+        for (int32_t width : kWidths) {
+          ParallelConfig cfg(width, 1);
+          const OfflineControlResult par = control_disjunctive_offline(d, pred, opt);
+          const std::string at = "seed " + std::to_string(seed) + " impl " +
+                                 std::to_string(static_cast<int>(impl)) + " select " +
+                                 std::to_string(static_cast<int>(select)) + " width " +
+                                 std::to_string(width);
+          EXPECT_EQ(par.controllable, serial.controllable) << at;
+          EXPECT_EQ(par.control, serial.control) << at;
+          EXPECT_EQ(par.blocking_intervals, serial.blocking_intervals) << at;
+          EXPECT_EQ(par.iterations, serial.iterations) << at;
+          EXPECT_EQ(par.pair_checks, serial.pair_checks) << at;
+          EXPECT_EQ(par.total_intervals, serial.total_intervals) << at;
+        }
+      }
+    }
+  }
+}
+
+// End-to-end: the full pipeline (trace build -> detection -> synthesis ->
+// controlled deposet) under a live pool equals the serial run.
+TEST(ParallelDeterminism, PipelineMatchesSerialEndToEnd) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    RandomTraceOptions topt;
+    topt.num_processes = 4;
+    topt.events_per_process = 20;
+    topt.send_probability = 0.3;
+    const Deposet d = random_deposet(topt, rng);
+    RandomPredicateOptions popt;
+    popt.false_probability = 0.45;
+    popt.flip_probability = 0.35;
+    const PredicateTable pred = random_predicate_table(d, popt, rng);
+
+    OfflineControlOptions opt;
+    opt.select = SelectPolicy::kFirst;
+    OfflineControlResult serial;
+    {
+      ParallelConfig cfg(1, 1);
+      serial = control_disjunctive_offline(d, pred, opt);
+    }
+    for (int32_t width : {2, 4, 8}) {
+      ParallelConfig cfg(width, 1);
+      const OfflineControlResult par = control_disjunctive_offline(d, pred, opt);
+      EXPECT_EQ(par.controllable, serial.controllable) << "seed " << seed;
+      EXPECT_EQ(par.control, serial.control) << "seed " << seed;
+      if (par.controllable) {
+        // Materializing the controlled deposet re-runs the (parallel) clock
+        // engine over trace + control edges; it must accept the relation.
+        const auto cd = controlled_deposet_for(d, pred, opt);
+        EXPECT_TRUE(cd.has_value()) << "seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
