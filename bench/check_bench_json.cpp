@@ -1,11 +1,30 @@
 // Validates a BENCH_*.json results file against the predctrl-bench-v1
-// schema (see bench_common.hpp). Used by the `bench-smoke` ctest label:
-// each bench binary runs in --smoke mode, then this tool checks what it
-// wrote. Exit 0 iff the file parses and conforms.
+// schema (see bench_common.hpp), and optionally compares it against a
+// committed baseline snapshot (bench/baselines/).
+//
+//   check_bench_json <BENCH_x.json>
+//   check_bench_json [--baseline=FILE] [--tolerance=F] [--hard] <BENCH_x.json>
+//
+// Schema violations always exit 1. With --baseline, every counter that
+// appears in both files under the same result name is compared:
+//
+//   * higher-is-better counters (names containing per_sec, speedup,
+//     throughput) regress when  fresh < baseline * (1 - tolerance);
+//   * lower-is-better counters (names containing bytes, _checks, _ns,
+//     _us, _ms) regress when    fresh > baseline * (1 + tolerance);
+//   * anything else is reported informationally, never as a regression.
+//
+// Regressions print WARNING lines and exit 0 -- the bench-smoke ctest
+// label runs tiny workloads whose timings are noisy, so the comparison is
+// a tripwire, not a gate. --hard turns regressions into exit 1 for use on
+// a quiet bench host with full workloads. A missing baseline file is
+// skipped silently (first run, or a brand-new bench).
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/json.hpp"
 
@@ -26,15 +45,10 @@ const Json& require(const Json& obj, const std::string& key, Json::Kind kind,
   return *v;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: check_bench_json <BENCH_x.json>\n";
-    return 2;
-  }
-  std::ifstream in(argv[1]);
-  if (!in) fail(std::string("cannot open ") + argv[1]);
+// Parses and schema-checks one results file; exits 1 on any violation.
+Json load_and_validate(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
   std::ostringstream os;
   os << in.rdbuf();
 
@@ -42,9 +56,9 @@ int main(int argc, char** argv) {
   try {
     doc = predctrl::obs::json_parse(os.str());
   } catch (const std::exception& e) {
-    fail(std::string("invalid JSON: ") + e.what());
+    fail(path + ": invalid JSON: " + e.what());
   }
-  if (!doc.is_object()) fail("top level is not an object");
+  if (!doc.is_object()) fail(path + ": top level is not an object");
 
   if (require(doc, "schema", Json::Kind::kString, "top level").as_string() !=
       "predctrl-bench-v1")
@@ -75,6 +89,108 @@ int main(int argc, char** argv) {
       fail(where + ": benchmark reported an error");
     require(run, "counters", Json::Kind::kObject, where);
   }
-  std::cout << "ok: " << argv[1] << " (" << results.as_array().size() << " runs)\n";
+  return doc;
+}
+
+bool contains_any(const std::string& name, std::initializer_list<const char*> needles) {
+  for (const char* n : needles)
+    if (name.find(n) != std::string::npos) return true;
+  return false;
+}
+
+enum class Direction { kHigherBetter, kLowerBetter, kInformational };
+
+Direction counter_direction(const std::string& name) {
+  if (contains_any(name, {"per_sec", "speedup", "throughput"}))
+    return Direction::kHigherBetter;
+  if (contains_any(name, {"bytes", "_checks", "_ns", "_us", "_ms"}))
+    return Direction::kLowerBetter;
+  return Direction::kInformational;
+}
+
+const Json* find_result(const Json& doc, const std::string& name) {
+  for (const Json& run : doc.find("results")->as_array()) {
+    const Json* n = run.find("name");
+    if (n && n->is_string() && n->as_string() == name) return &run;
+  }
+  return nullptr;
+}
+
+// Compares fresh counters against the baseline; returns the regression count.
+int compare_to_baseline(const Json& fresh, const Json& baseline, double tolerance) {
+  int regressions = 0;
+  int compared = 0;
+  for (const Json& run : fresh.find("results")->as_array()) {
+    const std::string name = run.find("name")->as_string();
+    const Json* base_run = find_result(baseline, name);
+    if (!base_run) continue;  // new case, nothing to compare against
+    const Json* base_counters = base_run->find("counters");
+    if (!base_counters || !base_counters->is_object()) continue;
+    for (const auto& [counter, value] : run.find("counters")->as_object()) {
+      const Json* base_value = base_counters->find(counter);
+      if (!base_value || !base_value->is_number() || !value.is_number()) continue;
+      const double fresh_v = value.as_double();
+      const double base_v = base_value->as_double();
+      ++compared;
+      const Direction dir = counter_direction(counter);
+      bool regressed = false;
+      if (dir == Direction::kHigherBetter)
+        regressed = fresh_v < base_v * (1.0 - tolerance);
+      else if (dir == Direction::kLowerBetter)
+        regressed = base_v >= 0 && fresh_v > base_v * (1.0 + tolerance);
+      if (regressed) {
+        ++regressions;
+        std::cout << "WARNING: regression in " << name << " counter \"" << counter
+                  << "\": baseline " << base_v << " -> fresh " << fresh_v
+                  << " (tolerance " << tolerance * 100 << "%)\n";
+      }
+    }
+  }
+  std::cout << "baseline comparison: " << compared << " counters compared, " << regressions
+            << " regressed\n";
+  return regressions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  double tolerance = 0.5;  // smoke workloads are noisy; generous by default
+  bool hard = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--baseline=", 0) == 0)
+      baseline_path = arg.substr(11);
+    else if (arg.rfind("--tolerance=", 0) == 0)
+      tolerance = std::stod(arg.substr(12));
+    else if (arg == "--hard")
+      hard = true;
+    else if (arg.rfind("--", 0) == 0)
+      fail("unknown flag " + arg);
+    else
+      files.push_back(arg);
+  }
+  if (files.size() != 1) {
+    std::cerr << "usage: check_bench_json [--baseline=FILE] [--tolerance=F] [--hard] "
+                 "<BENCH_x.json>\n";
+    return 2;
+  }
+
+  const Json doc = load_and_validate(files[0]);
+  std::cout << "ok: " << files[0] << " (" << doc.find("results")->as_array().size()
+            << " runs)\n";
+
+  if (!baseline_path.empty()) {
+    std::ifstream probe(baseline_path);
+    if (!probe) {
+      std::cout << "no baseline at " << baseline_path << ", comparison skipped\n";
+      return 0;
+    }
+    probe.close();
+    const Json baseline = load_and_validate(baseline_path);
+    const int regressions = compare_to_baseline(doc, baseline, tolerance);
+    if (hard && regressions > 0) return 1;
+  }
   return 0;
 }

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary with fixed seeds and a fixed thread count and
+# collects the emitted BENCH_*.json files into bench/baselines/. Commit the
+# result to refresh the regression baseline that check_bench_json compares
+# smoke runs against.
+#
+#   bench/run_all.sh [build-dir] [--smoke] [--threads=N]
+#
+# Workload seeds are compiled into each bench (every case constructs its
+# traces from fixed Rng seeds), so runs are reproducible up to machine
+# speed; --threads pins the pool width (default 4) so parallel cases are
+# comparable across hosts. --smoke forwards the harness's single-iteration
+# mode for a fast sanity pass -- do NOT commit a smoke baseline.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build
+SMOKE=""
+THREADS=4
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE="--smoke" ;;
+    --threads=*) THREADS="${arg#--threads=}" ;;
+    -*) echo "usage: bench/run_all.sh [build-dir] [--smoke] [--threads=N]" >&2; exit 2 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+BENCH_DIR="$BUILD_DIR/bench"
+OUT_DIR=bench/baselines
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "run_all.sh: no benchmark binaries in $BENCH_DIR -- build first:" >&2
+  echo "  cmake -B $BUILD_DIR && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+mkdir -p "$OUT_DIR"
+
+status=0
+for bin in "$BENCH_DIR"/bench_*; do
+  [ -x "$bin" ] || continue
+  name=$(basename "$bin")
+  json="$OUT_DIR/BENCH_$name.json"
+  echo "== $name (threads=$THREADS${SMOKE:+, smoke}) =="
+  if ! "$bin" $SMOKE "--threads=$THREADS" "--bench-out=$json"; then
+    echo "run_all.sh: $name FAILED" >&2
+    status=1
+    continue
+  fi
+  checker=$(find "$BUILD_DIR" -maxdepth 2 -name check_bench_json -type f | head -n1)
+  if [ -n "$checker" ]; then
+    "$checker" "$json" || status=1
+  fi
+done
+
+echo
+echo "baselines written to $OUT_DIR/:"
+ls -l "$OUT_DIR"/BENCH_*.json
+exit $status

@@ -5,6 +5,7 @@
 #include <memory>
 #include <queue>
 
+#include "causality/edge_index.hpp"
 #include "parallel/parallel.hpp"
 #include "util/check.hpp"
 
@@ -12,78 +13,54 @@ namespace predctrl {
 
 namespace {
 
-// Flat index of state (p, k) given per-process offsets.
-size_t flat(const std::vector<size_t>& offsets, StateId s) {
-  return offsets[static_cast<size_t>(s.process)] + static_cast<size_t>(s.index);
-}
-
-// Serial engine: Kahn's algorithm, merges pushed to successors.
+// Serial engine: Kahn's algorithm, merges pushed to successors. All clock
+// rows live in the result's ClockMatrix slab; the cross-edge adjacency is a
+// CSR index (causality/edge_index.hpp), so the whole computation performs
+// O(1) allocations instead of one per state.
 ClockComputation compute_state_clocks_serial(const std::vector<int32_t>& lengths,
                                              const std::vector<CausalEdge>& edges) {
   const int32_t n = static_cast<int32_t>(lengths.size());
+  for (int32_t len : lengths) PREDCTRL_CHECK(len >= 1, "process with no states");
 
-  std::vector<size_t> offsets(lengths.size() + 1, 0);
-  for (size_t p = 0; p < lengths.size(); ++p) {
-    PREDCTRL_CHECK(lengths[p] >= 1, "process with no states");
-    offsets[p + 1] = offsets[p] + static_cast<size_t>(lengths[p]);
-  }
-  const size_t total = offsets.back();
+  const CsrEdgeIndex csr(lengths, edges);  // validates every edge
 
-  // Cross-process adjacency (the chain edges are implicit).
-  std::vector<std::vector<StateId>> out(total);
-  std::vector<int32_t> indegree(total, 0);
-  for (const CausalEdge& e : edges) {
-    PREDCTRL_CHECK(e.from.process >= 0 && e.from.process < n &&
-                       e.to.process >= 0 && e.to.process < n,
-                   "edge process out of range");
-    PREDCTRL_CHECK(e.from.index >= 0 && e.from.index < lengths[static_cast<size_t>(e.from.process)],
-                   "edge source index out of range");
-    PREDCTRL_CHECK(e.to.index >= 0 && e.to.index < lengths[static_cast<size_t>(e.to.process)],
-                   "edge target index out of range");
-    PREDCTRL_CHECK(e.from.process != e.to.process, "edge within a single process");
-    out[flat(offsets, e.from)].push_back(e.to);
-    ++indegree[flat(offsets, e.to)];
-  }
+  ClockComputation result;
+  result.clocks = ClockMatrix(lengths);
+  ClockMatrix& clocks = result.clocks;
+  const size_t total = static_cast<size_t>(clocks.total_states());
 
   // Kahn's algorithm over the union of chain and cross edges. A state's
   // chain predecessor counts one extra unit of indegree (except index 0).
-  ClockComputation result;
-  result.clocks.assign(lengths.size(), {});
-  for (size_t p = 0; p < lengths.size(); ++p)
-    result.clocks[p].assign(static_cast<size_t>(lengths[p]), VectorClock(n));
-
   std::vector<int32_t> pending(total);
   std::queue<StateId> ready;
   for (ProcessId p = 0; p < n; ++p) {
     for (int32_t k = 0; k < lengths[static_cast<size_t>(p)]; ++k) {
-      StateId s{p, k};
-      pending[flat(offsets, s)] = indegree[flat(offsets, s)] + (k > 0 ? 1 : 0);
-      if (pending[flat(offsets, s)] == 0) ready.push(s);
+      const StateId s{p, k};
+      pending[clocks.flat_index(s)] =
+          static_cast<int32_t>(csr.in_of_state(s).size()) + (k > 0 ? 1 : 0);
+      if (pending[clocks.flat_index(s)] == 0) ready.push(s);
     }
   }
 
   size_t processed = 0;
-  auto clock_of = [&](StateId s) -> VectorClock& {
-    return result.clocks[static_cast<size_t>(s.process)][static_cast<size_t>(s.index)];
-  };
   auto release = [&](StateId s) {
-    if (--pending[flat(offsets, s)] == 0) ready.push(s);
+    if (--pending[clocks.flat_index(s)] == 0) ready.push(s);
   };
 
   while (!ready.empty()) {
-    StateId s = ready.front();
+    const StateId s = ready.front();
     ready.pop();
     ++processed;
 
-    VectorClock& vc = clock_of(s);
-    if (s.index > 0) vc.merge(clock_of({s.process, s.index - 1}));
-    vc[s.process] = s.index;
+    int32_t* row = clocks.mutable_row(s);
+    if (s.index > 0) clock_row_merge(row, clocks.row_data({s.process, s.index - 1}), n);
+    row[s.process] = s.index;
 
     if (s.index + 1 < lengths[static_cast<size_t>(s.process)])
       release({s.process, s.index + 1});
-    for (StateId t : out[flat(offsets, s)]) {
-      clock_of(t).merge(vc);
-      release(t);
+    for (const CausalEdge& e : csr.out_of_state(s)) {
+      clock_row_merge(clocks.mutable_row(e.to), row, n);
+      release(e.to);
     }
   }
 
@@ -97,34 +74,20 @@ ClockComputation compute_state_clocks_serial(const std::vector<int32_t>& lengths
 // targets a segment's *first* state, so "segment X depends on segment Y"
 // (Y holds a source state, or Y is X's chain predecessor) is exactly the
 // state-level precedence coarsened to segments -- acyclicity is preserved
-// in both directions, and each segment's states are written by exactly one
-// task while only reading states of completed segments.
+// in both directions, and each segment's slab rows are written by exactly
+// one task while only reading rows of completed segments.
 ClockComputation compute_state_clocks_parallel(const std::vector<int32_t>& lengths,
                                                const std::vector<CausalEdge>& edges,
                                                parallel::ThreadPool& pool) {
   const int32_t n = static_cast<int32_t>(lengths.size());
+  for (int32_t len : lengths) PREDCTRL_CHECK(len >= 1, "process with no states");
 
-  std::vector<size_t> offsets(lengths.size() + 1, 0);
-  for (size_t p = 0; p < lengths.size(); ++p) {
-    PREDCTRL_CHECK(lengths[p] >= 1, "process with no states");
-    offsets[p + 1] = offsets[p] + static_cast<size_t>(lengths[p]);
-  }
-  const size_t total = offsets.back();
+  const CsrEdgeIndex csr(lengths, edges);  // validates every edge
 
-  // Cross-process in-edges per target state (only segment-start states end
-  // up with a non-empty list), validated exactly as the serial engine does.
-  std::vector<std::vector<StateId>> in(total);
-  for (const CausalEdge& e : edges) {
-    PREDCTRL_CHECK(e.from.process >= 0 && e.from.process < n &&
-                       e.to.process >= 0 && e.to.process < n,
-                   "edge process out of range");
-    PREDCTRL_CHECK(e.from.index >= 0 && e.from.index < lengths[static_cast<size_t>(e.from.process)],
-                   "edge source index out of range");
-    PREDCTRL_CHECK(e.to.index >= 0 && e.to.index < lengths[static_cast<size_t>(e.to.process)],
-                   "edge target index out of range");
-    PREDCTRL_CHECK(e.from.process != e.to.process, "edge within a single process");
-    in[flat(offsets, e.to)].push_back(e.from);
-  }
+  ClockComputation result;
+  result.clocks = ClockMatrix(lengths);
+  ClockMatrix& clocks = result.clocks;
+  const size_t total = static_cast<size_t>(clocks.total_states());
 
   // Segment construction: a new segment begins at index 0 and at every
   // cross-edge target. seg_of maps a flat state index to its segment.
@@ -138,11 +101,11 @@ ClockComputation compute_state_clocks_parallel(const std::vector<int32_t>& lengt
   for (ProcessId p = 0; p < n; ++p) {
     const int32_t len = lengths[static_cast<size_t>(p)];
     for (int32_t k = 0; k < len; ++k) {
-      if (k == 0 || !in[flat(offsets, {p, k})].empty())
+      if (k == 0 || !csr.in_of_state({p, k}).empty())
         segments.push_back({p, k, k + 1});
       else
         ++segments.back().end;
-      seg_of[flat(offsets, {p, k})] = static_cast<int32_t>(segments.size()) - 1;
+      seg_of[clocks.flat_index({p, k})] = static_cast<int32_t>(segments.size()) - 1;
     }
   }
   const size_t num_segments = segments.size();
@@ -156,21 +119,17 @@ ClockComputation compute_state_clocks_parallel(const std::vector<int32_t>& lengt
     successors[s].push_back(static_cast<int32_t>(s) + 1);
     pending[s + 1].fetch_add(1, std::memory_order_relaxed);
   }
-  for (size_t state = 0; state < total; ++state) {
-    for (const StateId& src : in[state]) {
-      const int32_t target_seg = seg_of[state];
-      successors[static_cast<size_t>(seg_of[flat(offsets, src)])].push_back(target_seg);
-      pending[target_seg].fetch_add(1, std::memory_order_relaxed);
+  for (ProcessId p = 0; p < n; ++p) {
+    for (int32_t k = 0; k < lengths[static_cast<size_t>(p)]; ++k) {
+      const size_t state = clocks.flat_index({p, k});
+      for (const CausalEdge& e : csr.in_of_state({p, k})) {
+        const int32_t target_seg = seg_of[state];
+        successors[static_cast<size_t>(seg_of[clocks.flat_index(e.from)])].push_back(
+            target_seg);
+        pending[target_seg].fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
-
-  ClockComputation result;
-  result.clocks.assign(lengths.size(), {});
-  for (size_t p = 0; p < lengths.size(); ++p)
-    result.clocks[p].assign(static_cast<size_t>(lengths[p]), VectorClock(n));
-  auto clock_of = [&](StateId s) -> VectorClock& {
-    return result.clocks[static_cast<size_t>(s.process)][static_cast<size_t>(s.index)];
-  };
 
   // Segment task: pull-merge each state from its chain predecessor and its
   // cross-edge sources (all in segments that completed before this one was
@@ -180,10 +139,11 @@ ClockComputation compute_state_clocks_parallel(const std::vector<int32_t>& lengt
   auto process_segment = [&](int32_t s) {
     const Segment& seg = segments[static_cast<size_t>(s)];
     for (int32_t k = seg.begin; k < seg.end; ++k) {
-      VectorClock& vc = clock_of({seg.process, k});
-      if (k > 0) vc.merge(clock_of({seg.process, k - 1}));
-      for (const StateId& src : in[flat(offsets, {seg.process, k})]) vc.merge(clock_of(src));
-      vc[seg.process] = k;
+      int32_t* row = clocks.mutable_row({seg.process, k});
+      if (k > 0) clock_row_merge(row, clocks.row_data({seg.process, k - 1}), n);
+      for (const CausalEdge& e : csr.in_of_state({seg.process, k}))
+        clock_row_merge(row, clocks.row_data(e.from), n);
+      row[seg.process] = k;
     }
   };
   // Chain-collapsing runner: after a segment completes, run one newly

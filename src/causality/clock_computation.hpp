@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "causality/clock_matrix.hpp"
 #include "causality/ids.hpp"
 #include "causality/vector_clock.hpp"
 
@@ -51,8 +52,10 @@ struct ClockComputation {
   /// and left empty).
   bool acyclic = false;
 
-  /// clocks[p][k] is the vector clock of state (p, k). Present iff acyclic.
-  std::vector<std::vector<VectorClock>> clocks;
+  /// clocks[p][k] is the clock row of state (p, k) -- one contiguous slab,
+  /// see causality/clock_matrix.hpp. Present iff acyclic. Both engines
+  /// write rows of this matrix in place; no per-state allocation happens.
+  ClockMatrix clocks;
 };
 
 /// Computes the clock of every state under the transitive closure of

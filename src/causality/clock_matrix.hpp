@@ -1,0 +1,171 @@
+// Contiguous storage for all state vector clocks of one computation.
+//
+// The legacy layout was one heap-allocated std::vector<int32_t> per local
+// state (vector<vector<VectorClock>>): three pointer hops per clock lookup
+// and ~56 bytes of per-state overhead before the first component. Clock
+// computation, the O(n^2 p^2) interval pair tests and every precedence
+// query are memory-bound, so the clocks now live in a single int32_t slab
+// of shape total_states x num_processes, rows ordered by (process, index):
+//
+//   row(p, k) = data + (proc_offset[p] + k) * num_processes
+//
+// Rows are handed out as ClockRow, a non-owning view with the same
+// component accessors as VectorClock (and comparable against it), so
+// existing call sites -- deposet.clock(s)[i], cc.clocks[p][k][i] -- keep
+// compiling unchanged. A row view is invalidated by destroying or
+// reassigning the owning ClockMatrix; nothing else moves the slab.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "causality/ids.hpp"
+#include "causality/vector_clock.hpp"
+#include "util/check.hpp"
+
+namespace predctrl {
+
+/// Non-owning view of one state's clock row inside a ClockMatrix.
+/// Cheap to copy; valid while the owning matrix is alive and unmodified.
+class ClockRow {
+ public:
+  ClockRow() = default;
+  ClockRow(const int32_t* data, int32_t width) : data_(data), width_(width) {}
+
+  int32_t size() const { return width_; }
+  int32_t operator[](ProcessId p) const { return data_[static_cast<size_t>(p)]; }
+  const int32_t* data() const { return data_; }
+
+  /// True iff every component of *this is <= the matching component of other.
+  bool leq(const ClockRow& other) const {
+    PREDCTRL_CHECK(other.width_ == width_, "comparing clocks of different widths");
+    for (int32_t i = 0; i < width_; ++i)
+      if (data_[i] > other.data_[i]) return false;
+    return true;
+  }
+
+  /// Owning copy, for callers that must outlive the matrix.
+  VectorClock to_vector_clock() const {
+    VectorClock vc(width_);
+    for (ProcessId i = 0; i < width_; ++i) vc[i] = data_[static_cast<size_t>(i)];
+    return vc;
+  }
+
+  friend bool operator==(const ClockRow& a, const ClockRow& b) {
+    if (a.width_ != b.width_) return false;
+    for (int32_t i = 0; i < a.width_; ++i)
+      if (a.data_[i] != b.data_[i]) return false;
+    return true;
+  }
+
+  /// Mixed comparison so tests can EXPECT_EQ a recorded VectorClock against
+  /// a matrix row (C++20 synthesizes the reversed candidate).
+  friend bool operator==(const ClockRow& a, const VectorClock& b) {
+    if (a.width_ != b.size()) return false;
+    for (ProcessId i = 0; i < a.width_; ++i)
+      if (a.data_[static_cast<size_t>(i)] != b[i]) return false;
+    return true;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const ClockRow& r) {
+    os << '[';
+    for (int32_t i = 0; i < r.width_; ++i) {
+      if (i) os << ',';
+      os << r.data_[i];
+    }
+    return os << ']';
+  }
+
+ private:
+  const int32_t* data_ = nullptr;
+  int32_t width_ = 0;
+};
+
+/// The slab: every state's clock in one contiguous buffer, indexed O(1).
+class ClockMatrix {
+ public:
+  ClockMatrix() = default;
+
+  /// Allocates rows for `lengths[p]` states per process, every component
+  /// initialized to VectorClock::kNone.
+  explicit ClockMatrix(const std::vector<int32_t>& lengths)
+      : n_(static_cast<int32_t>(lengths.size())), offsets_(lengths.size() + 1, 0) {
+    for (size_t p = 0; p < lengths.size(); ++p) {
+      PREDCTRL_CHECK(lengths[p] >= 0, "negative process length");
+      offsets_[p + 1] = offsets_[p] + static_cast<size_t>(lengths[p]);
+    }
+    data_.assign(offsets_.back() * static_cast<size_t>(n_), VectorClock::kNone);
+  }
+
+  int32_t num_processes() const { return n_; }
+  int64_t total_states() const {
+    return offsets_.empty() ? 0 : static_cast<int64_t>(offsets_.back());
+  }
+  bool empty() const { return data_.empty(); }
+
+  /// Number of states of process p (derived from the row offsets).
+  int32_t length(ProcessId p) const {
+    return static_cast<int32_t>(offsets_[static_cast<size_t>(p) + 1] -
+                                offsets_[static_cast<size_t>(p)]);
+  }
+
+  /// Flat row index of state s in (process, index) lexicographic order.
+  size_t flat_index(StateId s) const {
+    return offsets_[static_cast<size_t>(s.process)] + static_cast<size_t>(s.index);
+  }
+
+  ClockRow row(StateId s) const { return {row_data(s), n_}; }
+  const int32_t* row_data(StateId s) const {
+    return data_.data() + flat_index(s) * static_cast<size_t>(n_);
+  }
+  int32_t* mutable_row(StateId s) {
+    return data_.data() + flat_index(s) * static_cast<size_t>(n_);
+  }
+
+  /// Single component load, no view construction: clock(s)[i].
+  int32_t component(StateId s, ProcessId i) const {
+    return data_[flat_index(s) * static_cast<size_t>(n_) + static_cast<size_t>(i)];
+  }
+
+  /// Releases the slab (the cyclic-relation result carries no clocks).
+  void clear() {
+    data_.clear();
+    offsets_.clear();
+    n_ = 0;
+  }
+
+  /// Indexing shim so legacy clocks[p][k][i] call sites keep compiling:
+  /// matrix[p] yields a proxy whose operator[](k) is the row view.
+  class ProcessRows {
+   public:
+    ProcessRows(const ClockMatrix* m, ProcessId p) : m_(m), p_(p) {}
+    ClockRow operator[](int32_t k) const { return m_->row({p_, k}); }
+
+   private:
+    const ClockMatrix* m_;
+    ProcessId p_;
+  };
+  ProcessRows operator[](ProcessId p) const { return {this, p}; }
+
+  friend bool operator==(const ClockMatrix&, const ClockMatrix&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const ClockMatrix& m) {
+    os << "ClockMatrix{" << m.total_states() << "x" << m.n_ << "}";
+    return os;
+  }
+
+ private:
+  int32_t n_ = 0;
+  std::vector<size_t> offsets_;  // per-process first flat row, size n+1
+  std::vector<int32_t> data_;    // total_states * n components, row-major
+};
+
+/// Component-wise max of `src` into `dst` (the clock-lattice join on raw
+/// rows); the merge kernel of clock computation.
+inline void clock_row_merge(int32_t* dst, const int32_t* src, int32_t width) {
+  for (int32_t i = 0; i < width; ++i)
+    if (src[i] > dst[i]) dst[i] = src[i];
+}
+
+}  // namespace predctrl

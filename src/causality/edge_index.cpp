@@ -1,0 +1,53 @@
+#include "causality/edge_index.hpp"
+
+#include "util/check.hpp"
+
+namespace predctrl {
+
+namespace {
+
+// Counting sort of `edges` into `sorted` keyed by flat(key(e)); `offsets`
+// ends up as the CSR offset array (size total_states+1). Stable: equal keys
+// keep input order.
+template <typename KeyFn>
+void group_by(const std::vector<CausalEdge>& edges, size_t total_states, KeyFn key,
+              std::vector<CausalEdge>& sorted, std::vector<size_t>& offsets) {
+  offsets.assign(total_states + 1, 0);
+  for (const CausalEdge& e : edges) ++offsets[key(e) + 1];
+  for (size_t i = 1; i <= total_states; ++i) offsets[i] += offsets[i - 1];
+  sorted.resize(edges.size());
+  std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const CausalEdge& e : edges) sorted[cursor[key(e)]++] = e;
+}
+
+}  // namespace
+
+CsrEdgeIndex::CsrEdgeIndex(const std::vector<int32_t>& lengths,
+                           const std::vector<CausalEdge>& edges) {
+  const int32_t n = static_cast<int32_t>(lengths.size());
+  proc_offsets_.assign(lengths.size() + 1, 0);
+  for (size_t p = 0; p < lengths.size(); ++p) {
+    PREDCTRL_CHECK(lengths[p] >= 0, "negative process length");
+    proc_offsets_[p + 1] = proc_offsets_[p] + static_cast<size_t>(lengths[p]);
+  }
+  const size_t total = proc_offsets_.back();
+
+  for (const CausalEdge& e : edges) {
+    PREDCTRL_CHECK(e.from.process >= 0 && e.from.process < n && e.to.process >= 0 &&
+                       e.to.process < n,
+                   "edge process out of range");
+    PREDCTRL_CHECK(e.from.index >= 0 &&
+                       e.from.index < lengths[static_cast<size_t>(e.from.process)],
+                   "edge source index out of range");
+    PREDCTRL_CHECK(e.to.index >= 0 && e.to.index < lengths[static_cast<size_t>(e.to.process)],
+                   "edge target index out of range");
+    PREDCTRL_CHECK(e.from.process != e.to.process, "edge within a single process");
+  }
+
+  group_by(edges, total, [this](const CausalEdge& e) { return flat(e.from); },
+           out_edges_, out_offsets_);
+  group_by(edges, total, [this](const CausalEdge& e) { return flat(e.to); },
+           in_edges_, in_offsets_);
+}
+
+}  // namespace predctrl

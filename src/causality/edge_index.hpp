@@ -1,0 +1,80 @@
+// Compressed-sparse-row index over the cross-process edges (~> and C~>) of
+// a decomposed state graph.
+//
+// The edge list arrives as an unordered std::vector<CausalEdge>; every
+// consumer used to rediscover structure by scanning it linearly (clock
+// computation built a vector<vector<StateId>> adjacency -- one heap
+// allocation per state -- and race analysis scanned the full message list
+// per receive). This index groups the edges twice, contiguously:
+//
+//   out edges: sorted by (from.process, from.index)  -- "what does state s
+//              enable elsewhere"
+//   in  edges: sorted by (to.process, to.index)      -- "what must finish
+//              before state s starts"
+//
+// Both orders are produced by a stable counting sort keyed on the flat
+// state index, so construction is O(S + E), deterministic, and performs
+// exactly four allocations regardless of trace size. Spans are views into
+// the index; they are invalidated by destroying or reassigning it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "causality/clock_computation.hpp"
+#include "causality/ids.hpp"
+
+namespace predctrl {
+
+class CsrEdgeIndex {
+ public:
+  CsrEdgeIndex() = default;
+
+  /// Builds both groupings. Edge endpoints must be in range for `lengths`
+  /// and cross-process (throws std::invalid_argument otherwise, matching
+  /// the checks compute_state_clocks performs).
+  CsrEdgeIndex(const std::vector<int32_t>& lengths, const std::vector<CausalEdge>& edges);
+
+  int32_t num_processes() const { return static_cast<int32_t>(proc_offsets_.size()) - 1; }
+  int64_t num_edges() const { return static_cast<int64_t>(in_edges_.size()); }
+
+  /// Edges whose source is state s, in stable input order.
+  std::span<const CausalEdge> out_of_state(StateId s) const {
+    const size_t f = flat(s);
+    return {out_edges_.data() + out_offsets_[f], out_offsets_[f + 1] - out_offsets_[f]};
+  }
+
+  /// Edges whose target is state s, in stable input order.
+  std::span<const CausalEdge> in_of_state(StateId s) const {
+    const size_t f = flat(s);
+    return {in_edges_.data() + in_offsets_[f], in_offsets_[f + 1] - in_offsets_[f]};
+  }
+
+  /// All edges sent by process p, sorted by source state index.
+  std::span<const CausalEdge> out_of_process(ProcessId p) const {
+    const size_t lo = out_offsets_[proc_offsets_[static_cast<size_t>(p)]];
+    const size_t hi = out_offsets_[proc_offsets_[static_cast<size_t>(p) + 1]];
+    return {out_edges_.data() + lo, hi - lo};
+  }
+
+  /// All edges received by process p, sorted by target state index.
+  std::span<const CausalEdge> in_of_process(ProcessId p) const {
+    const size_t lo = in_offsets_[proc_offsets_[static_cast<size_t>(p)]];
+    const size_t hi = in_offsets_[proc_offsets_[static_cast<size_t>(p) + 1]];
+    return {in_edges_.data() + lo, hi - lo};
+  }
+
+ private:
+  size_t flat(StateId s) const {
+    return proc_offsets_[static_cast<size_t>(s.process)] + static_cast<size_t>(s.index);
+  }
+
+  std::vector<size_t> proc_offsets_;     // first flat state per process, n+1
+  std::vector<CausalEdge> out_edges_;    // grouped by source flat index
+  std::vector<size_t> out_offsets_;      // total_states+1
+  std::vector<CausalEdge> in_edges_;     // grouped by target flat index
+  std::vector<size_t> in_offsets_;       // total_states+1
+};
+
+}  // namespace predctrl

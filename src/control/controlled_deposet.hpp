@@ -67,13 +67,16 @@ class ControlledDeposet {
   int32_t num_processes() const { return base_.num_processes(); }
   int32_t length(ProcessId p) const { return base_.length(p); }
   int64_t total_states() const { return base_.total_states(); }
-  const VectorClock& clock(StateId s) const {
-    return clocks_[static_cast<size_t>(s.process)][static_cast<size_t>(s.index)];
-  }
+  /// Extended-causality clock row: a view into the contiguous slab (see
+  /// causality/clock_matrix.hpp), valid while *this is alive.
+  ClockRow clock(StateId s) const { return clocks_.row(s); }
+
+  /// The whole extended-clock slab.
+  const ClockMatrix& clocks() const { return clocks_; }
 
   bool precedes_eq(StateId a, StateId b) const {
     if (a.process == b.process) return a.index <= b.index;
-    return clock(b)[a.process] >= a.index;
+    return clocks_.component(b, a.process) >= a.index;
   }
   bool precedes(StateId a, StateId b) const { return a != b && precedes_eq(a, b); }
   bool concurrent(StateId a, StateId b) const {
@@ -85,7 +88,7 @@ class ControlledDeposet {
 
   Deposet base_;
   ControlRelation control_;
-  std::vector<std::vector<VectorClock>> clocks_;
+  ClockMatrix clocks_;
   bool realizable_ = false;
 };
 

@@ -195,9 +195,9 @@ class Algorithm {
  public:
   Algorithm(const Deposet& deposet, const PredicateTable& predicate,
             const OfflineControlOptions& options)
-      : deposet_(deposet), options_(options), rng_(options.seed),
-        walker_(deposet, extract_false_intervals(predicate)),
-        pool_(parallel::shared_pool()) {
+      : options_(options), rng_(options.seed),
+        sets_(extract_false_intervals(predicate)), packed_(deposet, sets_),
+        walker_(deposet, sets_), pool_(parallel::shared_pool()) {
     const int32_t n = walker_.num_processes();
     // Each probe round is O(n) crossable() calls per touched process; only
     // worth sharding when a full O(n^2) sweep clears the global threshold.
@@ -266,14 +266,14 @@ class Algorithm {
     return true;
   }
 
-  // crossable(N(i), N(j)) -- both assumed to exist.
+  // crossable(N(i), N(j)) -- both assumed to exist. Runs on the packed
+  // interval index: the clock rows of every interval boundary were resolved
+  // to slab pointers once at construction, so each probe is two contiguous
+  // loads instead of a nested-vector walk (same verdict as crossable()).
   bool crossable_now(ProcessId i, ProcessId j, OfflineControlResult* result) {
     if (result != nullptr) ++result->pair_checks;
-    const FalseInterval& a =
-        walker_.intervals(i)[static_cast<size_t>(walker_.next_interval(i))];
-    const FalseInterval& b =
-        walker_.intervals(j)[static_cast<size_t>(walker_.next_interval(j))];
-    return crossable(deposet_, a, b, options_.semantics);
+    return packed_.crossable(i, walker_.next_interval(i), j, walker_.next_interval(j),
+                             options_.semantics);
   }
 
   char& cross_cell(ProcessId i, ProcessId j) {
@@ -471,9 +471,10 @@ class Algorithm {
       control.push_back({walker_.g(keeper), walker_.next_state(prev)});
   }
 
-  const Deposet& deposet_;
   OfflineControlOptions options_;
   Rng rng_;
+  FalseIntervalSets sets_;    // extraction output, shared by index and walker
+  PackedIntervals packed_;    // slab-pointer interval index for the probes
   Walker walker_;
   parallel::ThreadPool* pool_ = nullptr;  // shared pool, or null for serial
   bool sharded_ = false;                  // probe loops go to the pool

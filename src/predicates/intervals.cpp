@@ -84,6 +84,31 @@ bool crossable(const Deposet& deposet, const FalseInterval& a, const FalseInterv
          !deposet.precedes(a.lo_state(), after_b);
 }
 
+PackedIntervals::PackedIntervals(const Deposet& deposet, const FalseIntervalSets& sets) {
+  PREDCTRL_CHECK(static_cast<int32_t>(sets.size()) == deposet.num_processes(),
+                 "interval sets do not match deposet");
+  offsets_.assign(sets.size() + 1, 0);
+  for (size_t p = 0; p < sets.size(); ++p) offsets_[p + 1] = offsets_[p] + sets[p].size();
+  spans_.reserve(offsets_.back());
+
+  const ClockMatrix& clocks = deposet.clocks();
+  for (size_t p = 0; p < sets.size(); ++p) {
+    const int32_t len = deposet.length(static_cast<ProcessId>(p));
+    for (const FalseInterval& iv : sets[p]) {
+      PREDCTRL_CHECK(iv.process == static_cast<ProcessId>(p),
+                     "interval filed under the wrong process");
+      PREDCTRL_CHECK(iv.lo >= 0 && iv.lo <= iv.hi && iv.hi < len,
+                     "interval boundary out of range");
+      Span s;
+      s.lo = iv.lo;
+      s.hi = iv.hi;
+      s.hi_row = clocks.row_data({iv.process, iv.hi});
+      s.succ_hi_row = iv.hi + 1 < len ? clocks.row_data({iv.process, iv.hi + 1}) : nullptr;
+      spans_.push_back(s);
+    }
+  }
+}
+
 bool is_overlapping_set(const Deposet& deposet, const std::vector<FalseInterval>& selection,
                         StepSemantics semantics) {
   PREDCTRL_CHECK(static_cast<int32_t>(selection.size()) == deposet.num_processes(),
@@ -106,29 +131,53 @@ bool is_overlapping_set(const Deposet& deposet, const std::vector<FalseInterval>
 namespace {
 
 // Decodes combination index v (the serial search's odometer order: process
-// 0 is the least-significant digit) into a per-process selection.
-void decode_combination(const FalseIntervalSets& sets, int64_t v,
-                        std::vector<FalseInterval>& selection) {
-  for (size_t p = 0; p < sets.size(); ++p) {
-    const auto size = static_cast<int64_t>(sets[p].size());
-    selection[p] = sets[p][static_cast<size_t>(v % size)];
+// 0 is the least-significant digit) into per-process interval indices.
+void decode_combination(const PackedIntervals& packed, int64_t v, std::vector<int32_t>& pick) {
+  for (ProcessId p = 0; p < packed.num_processes(); ++p) {
+    const auto size = static_cast<int64_t>(packed.count(p));
+    pick[static_cast<size_t>(p)] = static_cast<int32_t>(v % size);
     v /= size;
   }
 }
 
+// overlap(pick) on the packed index: not crossable in any ordered
+// direction. Verdict-identical to is_overlapping_set on the unpacked
+// selection -- every probe is two contiguous row loads.
+bool overlapping_at(const PackedIntervals& packed, const std::vector<int32_t>& pick,
+                    StepSemantics semantics) {
+  const int32_t n = packed.num_processes();
+  for (ProcessId i = 0; i < n; ++i)
+    for (ProcessId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (packed.crossable(i, pick[static_cast<size_t>(i)], j, pick[static_cast<size_t>(j)],
+                           semantics))
+        return false;
+    }
+  return true;
+}
+
+std::vector<FalseInterval> unpack_selection(const PackedIntervals& packed,
+                                            const std::vector<int32_t>& pick) {
+  std::vector<FalseInterval> selection;
+  selection.reserve(static_cast<size_t>(packed.num_processes()));
+  for (ProcessId p = 0; p < packed.num_processes(); ++p)
+    selection.push_back(packed.interval(p, pick[static_cast<size_t>(p)]));
+  return selection;
+}
+
 std::optional<std::vector<FalseInterval>> find_overlapping_set_parallel(
-    const Deposet& deposet, const FalseIntervalSets& sets, StepSemantics semantics,
-    int64_t limit, parallel::ThreadPool& pool) {
-  const size_t n = sets.size();
+    const PackedIntervals& packed, StepSemantics semantics, int64_t limit,
+    parallel::ThreadPool& pool) {
+  const size_t n = static_cast<size_t>(packed.num_processes());
   // Shards race to lower the least satisfying combination index; the final
   // minimum is unique, so the answer matches the serial first-hit exactly.
   std::atomic<int64_t> best{limit};
   parallel::parallel_for(&pool, limit, [&](int64_t begin, int64_t end, size_t) {
-    std::vector<FalseInterval> selection(n);
+    std::vector<int32_t> pick(n);
     for (int64_t v = begin; v < end; ++v) {
       if (v >= best.load(std::memory_order_relaxed)) break;  // already beaten
-      decode_combination(sets, v, selection);
-      if (!is_overlapping_set(deposet, selection, semantics)) continue;
+      decode_combination(packed, v, pick);
+      if (!overlapping_at(packed, pick, semantics)) continue;
       int64_t cur = best.load(std::memory_order_relaxed);
       while (v < cur && !best.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
       }
@@ -137,9 +186,9 @@ std::optional<std::vector<FalseInterval>> find_overlapping_set_parallel(
   });
   const int64_t found = best.load(std::memory_order_relaxed);
   if (found >= limit) return std::nullopt;
-  std::vector<FalseInterval> selection(n);
-  decode_combination(sets, found, selection);
-  return selection;
+  std::vector<int32_t> pick(n);
+  decode_combination(packed, found, pick);
+  return unpack_selection(packed, pick);
 }
 
 }  // namespace
@@ -152,6 +201,8 @@ std::optional<std::vector<FalseInterval>> find_overlapping_set(
                  "interval sets do not match deposet");
   for (const auto& s : sets)
     if (s.empty()) return std::nullopt;  // no full selection possible
+
+  const PackedIntervals packed(deposet, sets);
 
   // The serial search visits exactly min(total, max_combinations)
   // combinations; the sharded search covers the same index range.
@@ -168,19 +219,17 @@ std::optional<std::vector<FalseInterval>> find_overlapping_set(
     limit = std::min(limit, max_combinations);
     const int64_t per_combo = static_cast<int64_t>(n) * static_cast<int64_t>(n);
     if (limit > 1 && limit >= (parallel::min_parallel_items() + per_combo - 1) / per_combo)
-      return find_overlapping_set_parallel(deposet, sets, semantics, limit, *pool);
+      return find_overlapping_set_parallel(packed, semantics, limit, *pool);
   }
 
-  std::vector<size_t> pick(n, 0);
-  std::vector<FalseInterval> selection(n);
+  std::vector<int32_t> pick(n, 0);
   int64_t visited = 0;
   while (true) {
-    for (size_t p = 0; p < n; ++p) selection[p] = sets[p][pick[p]];
-    if (is_overlapping_set(deposet, selection, semantics)) return selection;
+    if (overlapping_at(packed, pick, semantics)) return unpack_selection(packed, pick);
     if (++visited >= max_combinations) return std::nullopt;
     size_t p = 0;
     for (; p < n; ++p) {
-      if (++pick[p] < sets[p].size()) break;
+      if (++pick[p] < static_cast<int32_t>(sets[p].size())) break;
       pick[p] = 0;
     }
     if (p == n) return std::nullopt;

@@ -87,6 +87,72 @@ int32_t max_intervals_per_process(const FalseIntervalSets& sets);
 bool crossable(const Deposet& deposet, const FalseInterval& a, const FalseInterval& b,
                StepSemantics semantics = StepSemantics::kRealTime);
 
+/// Packed false-interval storage: all intervals in one flat span table (CSR
+/// by process) with the clock rows a pair test needs precomputed as direct
+/// pointers into the deposet's ClockMatrix slab.
+///
+/// crossable(a, b) expands to at most two component loads (b's hi /
+/// succ(hi) rows at a's process) plus two integer compares -- no StateId
+/// arithmetic, no nested-vector walks, no bounds re-derivation per pair.
+/// The O(n^2 p^2) overlap search and the synthesis loop's crossable-matrix
+/// refresh both run on this index.
+///
+/// Lifetime: holds pointers into `deposet`'s slab; the deposet must outlive
+/// the index, and the verdicts match predctrl::crossable exactly.
+class PackedIntervals {
+ public:
+  PackedIntervals() = default;
+
+  /// Packs `sets` (the extract_false_intervals output shape: one ascending
+  /// interval list per process). Throws if the sets do not match the
+  /// deposet, mirroring the per-pair checks of the unpacked test.
+  PackedIntervals(const Deposet& deposet, const FalseIntervalSets& sets);
+
+  int32_t num_processes() const { return static_cast<int32_t>(offsets_.size()) - 1; }
+  int32_t count(ProcessId p) const {
+    return static_cast<int32_t>(offsets_[static_cast<size_t>(p) + 1] -
+                                offsets_[static_cast<size_t>(p)]);
+  }
+  int64_t total() const { return static_cast<int64_t>(spans_.size()); }
+
+  /// One packed interval: boundary indices plus the precomputed clock rows
+  /// of hi and succ(hi). succ_hi_row is nullptr iff hi is the top state.
+  struct Span {
+    int32_t lo = -1;
+    int32_t hi = -1;
+    const int32_t* hi_row = nullptr;
+    const int32_t* succ_hi_row = nullptr;
+  };
+
+  const Span& span(ProcessId p, int32_t i) const {
+    return spans_[offsets_[static_cast<size_t>(p)] + static_cast<size_t>(i)];
+  }
+
+  /// The i-th interval of process p, unpacked (diagnostics, result export).
+  FalseInterval interval(ProcessId p, int32_t i) const {
+    const Span& s = span(p, i);
+    return {p, s.lo, s.hi};
+  }
+
+  /// Same verdict as predctrl::crossable(deposet, interval(ap, ai),
+  /// interval(bp, bi), semantics), via the precomputed rows.
+  bool crossable(ProcessId ap, int32_t ai, ProcessId bp, int32_t bi,
+                 StepSemantics semantics) const {
+    const Span& a = span(ap, ai);
+    const Span& b = span(bp, bi);
+    // lo == 0 is the bottom state; a missing succ(hi) row marks hi == top.
+    if (a.lo == 0 || b.succ_hi_row == nullptr) return false;
+    if (semantics == StepSemantics::kRealTime)
+      return b.succ_hi_row[ap] < a.lo - 1;  // !(pred(a.lo) -> succ(b.hi))
+    return b.hi_row[ap] < a.lo - 1 &&       // !(pred(a.lo) -> b.hi)
+           b.succ_hi_row[ap] < a.lo;        // !(a.lo -> succ(b.hi))
+  }
+
+ private:
+  std::vector<size_t> offsets_;  // n+1, CSR by process
+  std::vector<Span> spans_;
+};
+
 /// Checks overlap(selection) -- one interval per process required.
 bool is_overlapping_set(const Deposet& deposet, const std::vector<FalseInterval>& selection,
                         StepSemantics semantics = StepSemantics::kRealTime);

@@ -24,12 +24,14 @@
 namespace predctrl {
 
 /// Anything that exposes per-process state chains with precomputed state
-/// vector clocks: Deposet and ControlledDeposet both model this.
+/// vector clocks: Deposet and ControlledDeposet both model this. clock(s)
+/// may return any component-indexable clock representation (a ClockRow view
+/// into the slab, or a VectorClock); only operator[] is required.
 template <typename T>
 concept CausalStructure = requires(const T& t, StateId s, ProcessId p) {
   { t.num_processes() } -> std::convertible_to<int32_t>;
   { t.length(p) } -> std::convertible_to<int32_t>;
-  { t.clock(s) } -> std::same_as<const VectorClock&>;
+  { t.clock(s)[p] } -> std::convertible_to<int32_t>;
 };
 
 /// A global state: state index per process. Plain value type.
@@ -118,7 +120,7 @@ bool is_consistent(const CS& cs, const Cut& cut) {
   PREDCTRL_CHECK(cut.num_processes() == n, "cut width mismatch");
   for (ProcessId j = 0; j < n; ++j) {
     PREDCTRL_CHECK(cut[j] >= 0 && cut[j] < cs.length(j), "cut index out of range");
-    const VectorClock& vc = cs.clock(cut.state(j));
+    const auto vc = cs.clock(cut.state(j));
     for (ProcessId i = 0; i < n; ++i)
       if (i != j && vc[i] >= cut[i]) return false;
   }
@@ -131,7 +133,7 @@ bool is_consistent(const CS& cs, const Cut& cut) {
 template <CausalStructure CS>
 bool can_advance(const CS& cs, const Cut& cut, ProcessId p) {
   if (cut[p] + 1 >= cs.length(p)) return false;
-  const VectorClock& vc = cs.clock({p, cut[p] + 1});
+  const auto vc = cs.clock({p, cut[p] + 1});
   for (ProcessId i = 0; i < cs.num_processes(); ++i)
     if (i != p && vc[i] >= cut[i]) return false;
   return true;

@@ -81,6 +81,7 @@ Deposet DeposetBuilder::build() const {
   d.lengths_ = lengths_;
   d.messages_ = messages_;
   std::sort(d.messages_.begin(), d.messages_.end());
+  d.edge_index_ = CsrEdgeIndex(lengths_, d.messages_);
   d.clocks_ = std::move(cc.clocks);
   d.total_states_ = 0;
   for (int32_t len : lengths_) d.total_states_ += len;

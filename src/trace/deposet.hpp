@@ -20,10 +20,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "causality/clock_computation.hpp"
+#include "causality/clock_matrix.hpp"
+#include "causality/edge_index.hpp"
 #include "causality/ids.hpp"
 #include "causality/vector_clock.hpp"
 
@@ -78,6 +81,23 @@ class Deposet {
 
   const std::vector<MessageEdge>& messages() const { return messages_; }
 
+  /// CSR views over the same messages (causality/edge_index.hpp): grouped
+  /// contiguously by sending/receiving process and sorted by state index,
+  /// so per-process and per-state consumers (race analysis, replay) never
+  /// scan the full message list. Spans are valid while *this is alive.
+  std::span<const MessageEdge> messages_from(ProcessId p) const {
+    return edge_index_.out_of_process(p);
+  }
+  std::span<const MessageEdge> messages_to(ProcessId p) const {
+    return edge_index_.in_of_process(p);
+  }
+  std::span<const MessageEdge> messages_from(StateId s) const {
+    return edge_index_.out_of_state(s);
+  }
+  std::span<const MessageEdge> messages_to(StateId s) const {
+    return edge_index_.in_of_state(s);
+  }
+
   /// The special initial state of process p (bottom_p in the paper).
   StateId bottom(ProcessId p) const { return {p, 0}; }
   /// The special final state of process p (top_p in the paper).
@@ -86,15 +106,17 @@ class Deposet {
   bool is_bottom(StateId s) const { return s.index == 0; }
   bool is_top(StateId s) const { return s.index == length(s.process) - 1; }
 
-  /// Vector clock of a state (see causality/vector_clock.hpp).
-  const VectorClock& clock(StateId s) const {
-    return clocks_[static_cast<size_t>(s.process)][static_cast<size_t>(s.index)];
-  }
+  /// Clock row of a state: a view into the contiguous ClockMatrix slab
+  /// (see causality/clock_matrix.hpp), valid while *this is alive.
+  ClockRow clock(StateId s) const { return clocks_.row(s); }
+
+  /// The whole slab, for bulk consumers (packed interval indexes, benches).
+  const ClockMatrix& clocks() const { return clocks_; }
 
   /// a ->= b: a causally precedes b, or a == b.
   bool precedes_eq(StateId a, StateId b) const {
     if (a.process == b.process) return a.index <= b.index;
-    return clock(b)[a.process] >= a.index;
+    return clocks_.component(b, a.process) >= a.index;
   }
 
   /// a -> b: a causally precedes b (strict; the paper's "happened before").
@@ -116,7 +138,8 @@ class Deposet {
 
   std::vector<int32_t> lengths_;
   std::vector<MessageEdge> messages_;
-  std::vector<std::vector<VectorClock>> clocks_;
+  CsrEdgeIndex edge_index_;
+  ClockMatrix clocks_;
   int64_t total_states_ = 0;
 };
 

@@ -26,11 +26,15 @@ RaceAnalysis analyze_races(const Deposet& deposet) {
     const MessageEdge& m1 = messages[i];
     const ProcessId dst = m1.to.process;
     const int32_t recv1 = m1.to.index - 1;  // the receive event of m1
-    for (size_t j = 0; j < messages.size(); ++j) {
-      if (i == j) continue;
-      const MessageEdge& m2 = messages[j];
-      if (m2.to.process != dst) continue;
-      if (m2.to.index <= m1.to.index) continue;  // only later receives race earlier ones
+    // Only messages into the same destination can race m1's receive, and
+    // the deposet's CSR index holds exactly those, sorted by receive state
+    // index (one receive per event, so indices are strictly increasing):
+    // binary-search past m1's own receive and scan only the later ones.
+    const auto inbound = deposet.messages_to(dst);
+    auto it = std::upper_bound(inbound.begin(), inbound.end(), m1.to.index,
+                               [](int32_t idx, const MessageEdge& m) { return idx < m.to.index; });
+    for (; it != inbound.end(); ++it) {
+      const MessageEdge& m2 = *it;
       // m2 races r(m1) iff its send is not causally after r(m1).
       if (event_before_eq(deposet, dst, recv1, m2.from.process, m2.from.index)) continue;
       racing[i] = true;

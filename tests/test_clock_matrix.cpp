@@ -1,0 +1,223 @@
+// ClockMatrix slab and CsrEdgeIndex: the flat layouts must be observationally
+// identical to the per-state structures they replaced -- every slab row equals
+// the VectorClock the legacy engine would have produced, and the CSR views are
+// exactly Deposet::messages() regrouped.
+#include "causality/clock_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "causality/clock_computation.hpp"
+#include "causality/edge_index.hpp"
+#include "trace/deposet.hpp"
+#include "trace/random_trace.hpp"
+#include "util/rng.hpp"
+
+namespace predctrl {
+namespace {
+
+// Fixpoint reference: clock(t) = max over predecessors, self component set to
+// the state's own index. Deliberately naive (repeated relaxation) so it shares
+// no code with either production engine.
+std::vector<std::vector<VectorClock>> reference_clocks(
+    const std::vector<int32_t>& lengths, const std::vector<MessageEdge>& messages) {
+  const int32_t n = static_cast<int32_t>(lengths.size());
+  std::vector<std::vector<VectorClock>> clocks(static_cast<size_t>(n));
+  for (ProcessId p = 0; p < n; ++p)
+    clocks[static_cast<size_t>(p)].assign(static_cast<size_t>(lengths[static_cast<size_t>(p)]),
+                                          VectorClock(n));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ProcessId p = 0; p < n; ++p) {
+      for (int32_t k = 0; k < lengths[static_cast<size_t>(p)]; ++k) {
+        VectorClock next(n);
+        next[p] = k;
+        if (k > 0) next.merge(clocks[static_cast<size_t>(p)][static_cast<size_t>(k - 1)]);
+        for (const MessageEdge& m : messages)
+          if (m.to == StateId{p, k})
+            next.merge(clocks[static_cast<size_t>(m.from.process)]
+                             [static_cast<size_t>(m.from.index)]);
+        if (!(next == clocks[static_cast<size_t>(p)][static_cast<size_t>(k)])) {
+          clocks[static_cast<size_t>(p)][static_cast<size_t>(k)] = next;
+          changed = true;
+        }
+      }
+    }
+  }
+  return clocks;
+}
+
+void expect_matches_reference(const ClockMatrix& matrix, const std::vector<int32_t>& lengths,
+                              const std::vector<MessageEdge>& messages) {
+  const auto ref = reference_clocks(lengths, messages);
+  ASSERT_EQ(matrix.num_processes(), static_cast<int32_t>(lengths.size()));
+  for (ProcessId p = 0; p < matrix.num_processes(); ++p) {
+    ASSERT_EQ(matrix.length(p), lengths[static_cast<size_t>(p)]);
+    for (int32_t k = 0; k < matrix.length(p); ++k) {
+      const ClockRow row = matrix.row({p, k});
+      EXPECT_EQ(row, ref[static_cast<size_t>(p)][static_cast<size_t>(k)])
+          << "clock mismatch at (" << p << ", " << k << ")";
+    }
+  }
+}
+
+TEST(ClockMatrix, ConstructionFillsNone) {
+  ClockMatrix m(std::vector<int32_t>{2, 3});
+  EXPECT_EQ(m.num_processes(), 2);
+  EXPECT_EQ(m.total_states(), 5);
+  EXPECT_FALSE(m.empty());
+  for (ProcessId p = 0; p < 2; ++p)
+    for (int32_t k = 0; k < m.length(p); ++k)
+      for (ProcessId i = 0; i < 2; ++i)
+        EXPECT_EQ(m.row({p, k})[i], VectorClock::kNone);
+}
+
+TEST(ClockMatrix, RowsAreContiguousInFlatOrder) {
+  ClockMatrix m(std::vector<int32_t>{2, 2});
+  // Rows follow (p, k) flat order, each exactly num_processes wide.
+  EXPECT_EQ(m.row_data({0, 1}) - m.row_data({0, 0}), 2);
+  EXPECT_EQ(m.row_data({1, 0}) - m.row_data({0, 0}), 4);
+  EXPECT_EQ(m.row_data({1, 1}) - m.row_data({1, 0}), 2);
+}
+
+TEST(ClockMatrix, LegacyIndexingCompiles) {
+  ClockComputation cc = compute_state_clocks({3, 2}, {{{0, 0}, {1, 1}}});
+  ASSERT_TRUE(cc.acyclic);
+  // The pre-slab API shape clocks[p][k][i] must keep working.
+  EXPECT_EQ(cc.clocks[1][1][0], 0);
+  EXPECT_EQ(cc.clocks[1][1][1], 1);
+  EXPECT_EQ(cc.clocks[0][2][1], VectorClock::kNone);
+}
+
+TEST(ClockMatrix, EmptyComputation) {
+  ClockComputation cc = compute_state_clocks({}, {});
+  ASSERT_TRUE(cc.acyclic);
+  EXPECT_TRUE(cc.clocks.empty());
+  EXPECT_EQ(cc.clocks.num_processes(), 0);
+  EXPECT_EQ(cc.clocks.total_states(), 0);
+}
+
+TEST(ClockMatrix, OneProcessChain) {
+  const std::vector<int32_t> lengths{6};
+  ClockComputation cc = compute_state_clocks(lengths, {});
+  ASSERT_TRUE(cc.acyclic);
+  expect_matches_reference(cc.clocks, lengths, {});
+  for (int32_t k = 0; k < 6; ++k) EXPECT_EQ(cc.clocks.row({0, k})[0], k);
+}
+
+TEST(ClockMatrix, NoMessagesStaysLocal) {
+  const std::vector<int32_t> lengths{3, 4, 2};
+  ClockComputation cc = compute_state_clocks(lengths, {});
+  ASSERT_TRUE(cc.acyclic);
+  expect_matches_reference(cc.clocks, lengths, {});
+  for (ProcessId p = 0; p < 3; ++p)
+    for (int32_t k = 0; k < lengths[static_cast<size_t>(p)]; ++k)
+      for (ProcessId i = 0; i < 3; ++i)
+        EXPECT_EQ(cc.clocks.row({p, k})[i], i == p ? k : VectorClock::kNone);
+}
+
+TEST(ClockMatrix, MatchesReferenceOnRandomTraces) {
+  Rng rng(20240807);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomTraceOptions options;
+    options.num_processes = 2 + trial % 5;
+    options.events_per_process = 4 + trial % 13;
+    options.send_probability = 0.1 + 0.05 * (trial % 7);
+    const Deposet d = random_deposet(options, rng);
+    expect_matches_reference(d.clocks(), d.lengths(), d.messages());
+  }
+}
+
+TEST(ClockMatrix, ParallelEngineFillsSameSlab) {
+  Rng rng(77);
+  RandomTraceOptions options;
+  options.num_processes = 6;
+  options.events_per_process = 40;
+  const Deposet d = random_deposet(options, rng);
+  ClockComputation serial = compute_state_clocks(d.lengths(), d.messages(), nullptr);
+  ASSERT_TRUE(serial.acyclic);
+  expect_matches_reference(serial.clocks, d.lengths(), d.messages());
+  // Deposet::build uses the default (possibly parallel) path; same slab.
+  EXPECT_EQ(d.clocks(), serial.clocks);
+}
+
+// --- CsrEdgeIndex round-trips ------------------------------------------------
+
+std::vector<MessageEdge> sorted(std::vector<MessageEdge> edges) {
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+void expect_csr_roundtrip(const Deposet& d) {
+  std::vector<MessageEdge> from_out;
+  std::vector<MessageEdge> from_in;
+  for (ProcessId p = 0; p < d.num_processes(); ++p) {
+    const auto by_proc_out = d.messages_from(p);
+    const auto by_proc_in = d.messages_to(p);
+    from_out.insert(from_out.end(), by_proc_out.begin(), by_proc_out.end());
+    from_in.insert(from_in.end(), by_proc_in.begin(), by_proc_in.end());
+
+    // Per-state spans partition the per-process span, in index order.
+    size_t out_seen = 0;
+    size_t in_seen = 0;
+    int32_t last_out = -1;
+    int32_t last_in = -1;
+    for (int32_t k = 0; k < d.length(p); ++k) {
+      for (const MessageEdge& m : d.messages_from(StateId{p, k})) {
+        EXPECT_EQ(m.from, (StateId{p, k}));
+        EXPECT_LE(last_out, m.from.index);
+        last_out = m.from.index;
+        ++out_seen;
+      }
+      for (const MessageEdge& m : d.messages_to(StateId{p, k})) {
+        EXPECT_EQ(m.to, (StateId{p, k}));
+        EXPECT_LE(last_in, m.to.index);
+        last_in = m.to.index;
+        ++in_seen;
+      }
+    }
+    EXPECT_EQ(out_seen, by_proc_out.size());
+    EXPECT_EQ(in_seen, by_proc_in.size());
+  }
+  // Both groupings carry exactly the deposet's message multiset.
+  EXPECT_EQ(sorted(from_out), sorted(d.messages()));
+  EXPECT_EQ(sorted(from_in), sorted(d.messages()));
+}
+
+TEST(CsrEdgeIndex, RoundTripsRandomTraces) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 25; ++trial) {
+    RandomTraceOptions options;
+    options.num_processes = 2 + trial % 6;
+    options.events_per_process = 5 + trial % 20;
+    options.send_probability = 0.3;
+    expect_csr_roundtrip(random_deposet(options, rng));
+  }
+}
+
+TEST(CsrEdgeIndex, NoMessages) {
+  DeposetBuilder b(3);
+  for (ProcessId p = 0; p < 3; ++p) b.set_length(p, 4);
+  const Deposet d = b.build();
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_TRUE(d.messages_from(p).empty());
+    EXPECT_TRUE(d.messages_to(p).empty());
+    for (int32_t k = 0; k < 4; ++k) {
+      EXPECT_TRUE(d.messages_from(StateId{p, k}).empty());
+      EXPECT_TRUE(d.messages_to(StateId{p, k}).empty());
+    }
+  }
+}
+
+TEST(CsrEdgeIndex, RejectsInvalidEdges) {
+  const std::vector<int32_t> lengths{2, 2};
+  EXPECT_THROW(CsrEdgeIndex(lengths, {{{0, 0}, {0, 1}}}), std::invalid_argument);
+  EXPECT_THROW(CsrEdgeIndex(lengths, {{{0, 5}, {1, 1}}}), std::invalid_argument);
+  EXPECT_THROW(CsrEdgeIndex(lengths, {{{0, 0}, {3, 1}}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace predctrl
