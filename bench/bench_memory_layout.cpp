@@ -20,6 +20,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <iterator>
 #include <queue>
 #include <vector>
 
@@ -41,11 +42,16 @@ struct SizeSpec {
   int64_t overlap_combinations;  // odometer prefix visited by the sweep
 };
 
+// xl: ~1.05M states x 16 processes = a 67 MB clock slab, well past any L3,
+// so the counters expose the slab's streaming behavior where the legacy
+// pointer-chasing layout thrashes (ROADMAP "larger-than-L3 stress sizes").
 constexpr SizeSpec kSizes[] = {
     {"small", 4, 400, 20000},
     {"medium", 8, 1500, 30000},
     {"large", 16, 5000, 40000},
+    {"xl", 16, 65536, 40000},
 };
+constexpr int kNumSizes = static_cast<int>(std::size(kSizes));
 
 struct Instance {
   Deposet deposet;
@@ -54,8 +60,8 @@ struct Instance {
 };
 
 const Instance& instance(int64_t size_idx) {
-  static Instance cache[3];
-  static bool built[3] = {false, false, false};
+  static Instance cache[kNumSizes];
+  static bool built[kNumSizes] = {};
   Instance& inst = cache[size_idx];
   if (!built[size_idx]) {
     const SizeSpec& spec = kSizes[size_idx];
@@ -257,6 +263,15 @@ void BM_ClockBuild_Flat(benchmark::State& state) {
   state.counters["speedup_vs_legacy"] = t_legacy / t_flat;
   state.counters["bytes_per_state"] = bytes_per_state_flat(spec.processes);
   state.counters["bytes_per_state_legacy"] = bytes_per_state_legacy(spec.processes);
+  // Slab traffic of one build: every row is written once and read once as
+  // its successor's predecessor, plus one extra row read per cross edge.
+  // Dividing by wall time gives the achieved streaming bandwidth -- the
+  // number to watch at xl, where the slab no longer fits in L3.
+  const double bytes_moved =
+      4.0 * spec.processes *
+      (2.0 * states + static_cast<double>(inst.deposet.messages().size()));
+  state.counters["bytes_moved"] = bytes_moved;
+  state.counters["bytes_moved_per_sec"] = bytes_moved / t_flat;
 }
 
 void BM_ClockBuild_Legacy(benchmark::State& state) {
@@ -333,11 +348,11 @@ void BM_OfflineSynthesis(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK(BM_ClockBuild_Flat)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ClockBuild_Legacy)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_OverlapSearch_Flat)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_OverlapSearch_Legacy)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_OfflineSynthesis)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ClockBuild_Flat)->DenseRange(0, kNumSizes - 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ClockBuild_Legacy)->DenseRange(0, kNumSizes - 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OverlapSearch_Flat)->DenseRange(0, kNumSizes - 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OverlapSearch_Legacy)->DenseRange(0, kNumSizes - 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OfflineSynthesis)->DenseRange(0, kNumSizes - 1)->Unit(benchmark::kMillisecond);
 
 #include "bench_common.hpp"
 PREDCTRL_BENCH_MAIN();

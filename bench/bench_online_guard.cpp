@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "online/guard.hpp"
+#include "online_clock_kernel.hpp"
 #include "trace/random_trace.hpp"
 
 using namespace predctrl;
@@ -50,7 +51,8 @@ void BM_Unguarded(benchmark::State& state) {
 void BM_Guarded(benchmark::State& state) {
   Workload w = make_workload(static_cast<int32_t>(state.range(0)),
                              static_cast<int32_t>(state.range(1)));
-  sim::SimTime base_end = sim::run_scripts(w.system, {}).stats.end_time;
+  auto base = sim::run_scripts(w.system, {});
+  sim::SimTime base_end = base.stats.end_time;
   sim::SimTime end = 0;
   int64_t ctl = 0;
   bool safe = true;
@@ -66,6 +68,13 @@ void BM_Guarded(benchmark::State& state) {
       base_end > 0 ? static_cast<double>(end) / static_cast<double>(base_end) : 0;
   state.counters["control_msgs"] = static_cast<double>(ctl);
   state.counters["ok"] = safe ? 1 : 0;
+  // Online causal-knowledge cost on this workload's traced computation:
+  // the appendable-slab path vs the seed-era per-state VectorClock copies,
+  // replayed over the identical causal schedule (online_clock_kernel.hpp).
+  auto kernel = bench::run_online_clock_kernel(base.deposet);
+  state.counters["clock_appends"] = static_cast<double>(kernel.appends);
+  state.counters["clock_appends_per_sec"] = kernel.appends_per_sec();
+  state.counters["clock_append_speedup_vs_seed"] = kernel.speedup_vs_seed();
 }
 
 }  // namespace

@@ -10,6 +10,8 @@
 #include <benchmark/benchmark.h>
 
 #include "mutex/kmutex.hpp"
+#include "online_clock_kernel.hpp"
+#include "trace/random_trace.hpp"
 
 using namespace predctrl;
 using namespace predctrl::mutex;
@@ -49,6 +51,21 @@ void annotate(benchmark::State& state, const MutexRunResult& r) {
       (r.max_concurrent_cs <= static_cast<int32_t>(state.range(0)) - 1 && !r.deadlocked)
           ? 1
           : 0;
+
+  // The mutex controllers exchange no clocks, so the "equivalent" online
+  // causality counter here is the shared clock-append kernel run at the
+  // same process count: appendable-slab tracking vs the seed-era layout on
+  // a message-heavy trace of matching scale (online_clock_kernel.hpp).
+  const int32_t n = static_cast<int32_t>(state.range(0));
+  Rng rng(501 + static_cast<uint64_t>(n));
+  RandomTraceOptions topt;
+  topt.num_processes = n;
+  topt.events_per_process = 200;
+  topt.send_probability = 0.3;
+  auto kernel = bench::run_online_clock_kernel(random_deposet(topt, rng));
+  state.counters["clock_appends"] = static_cast<double>(kernel.appends);
+  state.counters["clock_appends_per_sec"] = kernel.appends_per_sec();
+  state.counters["clock_append_speedup_vs_seed"] = kernel.speedup_vs_seed();
 }
 
 void BM_ScapegoatUnicast(benchmark::State& state) {

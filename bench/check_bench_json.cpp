@@ -3,10 +3,19 @@
 // committed baseline snapshot (bench/baselines/).
 //
 //   check_bench_json <BENCH_x.json>
-//   check_bench_json [--baseline=FILE] [--tolerance=F] [--hard] <BENCH_x.json>
+//   check_bench_json [--baseline=FILE] [--baseline-dir=DIR] [--tolerance=F]
+//                    [--hard] <BENCH_x.json>
 //
-// Schema violations always exit 1. With --baseline, every counter that
-// appears in both files under the same result name is compared:
+// --baseline names one snapshot file directly; --baseline-dir points at a
+// rolling-history directory (bench/baselines/): DIR/LATEST names the most
+// recent committed snapshot <snap>, and the baseline resolves to
+// DIR/<snap>/BENCH_<bench>.json for the fresh file's "bench" field, so
+// regressions show as trends against the previous snapshot without anyone
+// updating per-bench paths. A missing LATEST or snapshot file skips the
+// comparison (exit 0), like a missing --baseline file.
+//
+// Schema violations always exit 1. With a resolved baseline, every counter
+// that appears in both files under the same result name is compared:
 //
 //   * higher-is-better counters (names containing per_sec, speedup,
 //     throughput) regress when  fresh < baseline * (1 - tolerance);
@@ -153,8 +162,28 @@ int compare_to_baseline(const Json& fresh, const Json& baseline, double toleranc
 
 }  // namespace
 
+// Resolves DIR/LATEST -> DIR/<snap>/BENCH_<bench>.json; empty string when
+// the directory has no usable snapshot (first run, fresh checkout).
+std::string resolve_baseline_dir(const std::string& dir, const std::string& bench) {
+  std::ifstream latest(dir + "/LATEST");
+  if (!latest) {
+    std::cout << "no " << dir << "/LATEST, comparison skipped\n";
+    return {};
+  }
+  std::string snap;
+  std::getline(latest, snap);
+  while (!snap.empty() && (snap.back() == '\n' || snap.back() == '\r' || snap.back() == ' '))
+    snap.pop_back();
+  if (snap.empty()) {
+    std::cout << dir << "/LATEST is empty, comparison skipped\n";
+    return {};
+  }
+  return dir + "/" + snap + "/BENCH_" + bench + ".json";
+}
+
 int main(int argc, char** argv) {
   std::string baseline_path;
+  std::string baseline_dir;
   double tolerance = 0.5;  // smoke workloads are noisy; generous by default
   bool hard = false;
   std::vector<std::string> files;
@@ -162,6 +191,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--baseline=", 0) == 0)
       baseline_path = arg.substr(11);
+    else if (arg.rfind("--baseline-dir=", 0) == 0)
+      baseline_dir = arg.substr(15);
     else if (arg.rfind("--tolerance=", 0) == 0)
       tolerance = std::stod(arg.substr(12));
     else if (arg == "--hard")
@@ -172,14 +203,17 @@ int main(int argc, char** argv) {
       files.push_back(arg);
   }
   if (files.size() != 1) {
-    std::cerr << "usage: check_bench_json [--baseline=FILE] [--tolerance=F] [--hard] "
-                 "<BENCH_x.json>\n";
+    std::cerr << "usage: check_bench_json [--baseline=FILE] [--baseline-dir=DIR] "
+                 "[--tolerance=F] [--hard] <BENCH_x.json>\n";
     return 2;
   }
 
   const Json doc = load_and_validate(files[0]);
   std::cout << "ok: " << files[0] << " (" << doc.find("results")->as_array().size()
             << " runs)\n";
+
+  if (baseline_path.empty() && !baseline_dir.empty())
+    baseline_path = resolve_baseline_dir(baseline_dir, doc.find("bench")->as_string());
 
   if (!baseline_path.empty()) {
     std::ifstream probe(baseline_path);

@@ -1,0 +1,167 @@
+// Shared micro-kernel for the online causality benches: replays a traced
+// computation's state sequence through both online clock layouts --
+//
+//   * appendable -- the library path (causality/AppendableClockMatrix):
+//                   one in-place append_row per state, received rows read
+//                   as stable slab views;
+//   * seed       -- a faithful copy of the pre-refactor online tracking:
+//                   one heap VectorClock per process mutated in place, a
+//                   detached vector<int32_t> wire copy per send, and a
+//                   push_back copy into vector<vector<VectorClock>> per
+//                   state entered --
+//
+// on the identical, deterministic replay order, so `seed_seconds /
+// appendable_seconds` is a pure layout comparison. The replay order is the
+// causal schedule itself (a state is appended once its receive source has
+// been), matching what the scripted runtime does between sim events.
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "causality/clock_matrix.hpp"
+#include "causality/vector_clock.hpp"
+#include "trace/deposet.hpp"
+#include "util/check.hpp"
+
+namespace predctrl::bench {
+
+struct OnlineClockKernelResult {
+  int64_t appends = 0;           ///< states replayed (== rows appended)
+  double appendable_seconds = 0;  ///< best-of-reps, appendable slab path
+  double seed_seconds = 0;        ///< best-of-reps, seed-era layout
+  double appends_per_sec() const {
+    return appendable_seconds > 0 ? static_cast<double>(appends) / appendable_seconds : 0;
+  }
+  double speedup_vs_seed() const {
+    return appendable_seconds > 0 ? seed_seconds / appendable_seconds : 0;
+  }
+};
+
+namespace detail {
+
+/// One replay step: process p enters its next state; src names the state
+/// whose clock rides the received message, or {-1, -1} for none.
+struct ReplayStep {
+  ProcessId p;
+  StateId src;
+};
+
+/// Deterministic causal schedule: round-robin over processes, each advancing
+/// while its next state's receive dependency (if any) is already replayed.
+inline std::vector<ReplayStep> replay_schedule(const Deposet& d) {
+  const int32_t n = d.num_processes();
+  std::vector<int32_t> next(static_cast<size_t>(n), 0);
+  std::vector<ReplayStep> steps;
+  steps.reserve(static_cast<size_t>(d.total_states()));
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (ProcessId p = 0; p < n; ++p) {
+      while (next[static_cast<size_t>(p)] < d.length(p)) {
+        const StateId s{p, next[static_cast<size_t>(p)]};
+        StateId src{-1, -1};
+        const auto inbound = d.messages_to(s);
+        if (!inbound.empty()) {
+          src = inbound.front().from;
+          // Ready iff the source state was already replayed.
+          if (src.index >= next[static_cast<size_t>(src.process)]) break;
+        }
+        steps.push_back({p, src});
+        ++next[static_cast<size_t>(p)];
+        progressed = true;
+      }
+    }
+  }
+  PREDCTRL_CHECK(static_cast<int64_t>(steps.size()) == d.total_states(),
+                 "replay schedule did not cover every state");
+  return steps;
+}
+
+template <typename Fn>
+inline double best_seconds(int reps, Fn&& fn) {
+  // Best-of-reps, but keep repeating (up to a cap) until ~10ms of total
+  // measurement has accumulated: single replays are sub-millisecond at
+  // small scales, and best-of-3 alone is fragile against scheduler noise
+  // on a shared host.
+  constexpr double kMinTotalSeconds = 0.010;
+  constexpr int kMaxReps = 64;
+  double best = 1e100;
+  double total = 0;
+  for (int r = 0; r < kMaxReps && (r < reps || total < kMinTotalSeconds); ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    total += dt.count();
+    if (dt.count() < best) best = dt.count();
+  }
+  return best;
+}
+
+}  // namespace detail
+
+/// Runs both layouts over `deposet`'s replay schedule `reps` times each and
+/// reports best-of-reps seconds per side. Cross-checks the appendable rows
+/// against the seed-layout clocks once (both must equal the deposet slab).
+inline OnlineClockKernelResult run_online_clock_kernel(const Deposet& deposet,
+                                                       int reps = 3) {
+  const int32_t n = deposet.num_processes();
+  const std::vector<detail::ReplayStep> steps = detail::replay_schedule(deposet);
+
+  OnlineClockKernelResult result;
+  result.appends = static_cast<int64_t>(steps.size());
+
+  AppendableClockMatrix last_appendable;
+  result.appendable_seconds = detail::best_seconds(reps, [&] {
+    AppendableClockMatrix m(n);
+    for (const detail::ReplayStep& step : steps) {
+      if (step.src.process >= 0) {
+        const ClockRow received[] = {m.row(step.src)};
+        m.append_row(step.p, received);
+      } else {
+        m.append_row(step.p);
+      }
+    }
+    last_appendable = std::move(m);
+  });
+
+  std::vector<std::vector<VectorClock>> last_seed;
+  result.seed_seconds = detail::best_seconds(reps, [&] {
+    // The seed-era path, verbatim: mutate a per-process heap clock, copy it
+    // onto the wire per send, push a detached copy per state entered.
+    std::vector<std::vector<VectorClock>> clocks(static_cast<size_t>(n));
+    std::vector<VectorClock> current;
+    current.reserve(static_cast<size_t>(n));
+    for (ProcessId p = 0; p < n; ++p) current.emplace_back(n);
+    for (const detail::ReplayStep& step : steps) {
+      VectorClock& clock = current[static_cast<size_t>(step.p)];
+      const int32_t k = static_cast<int32_t>(clocks[static_cast<size_t>(step.p)].size());
+      if (step.src.process >= 0) {
+        // The wire copy the seed runtime made on every send...
+        const VectorClock& src_clock =
+            clocks[static_cast<size_t>(step.src.process)][static_cast<size_t>(step.src.index)];
+        std::vector<int32_t> wire(static_cast<size_t>(n));
+        for (ProcessId q = 0; q < n; ++q) wire[static_cast<size_t>(q)] = src_clock[q];
+        // ...and the component-wise merge on receive.
+        for (ProcessId q = 0; q < n; ++q)
+          if (wire[static_cast<size_t>(q)] > clock[q]) clock[q] = wire[static_cast<size_t>(q)];
+      }
+      clock[step.p] = k;
+      clocks[static_cast<size_t>(step.p)].push_back(clock);
+    }
+    last_seed = std::move(clocks);
+  });
+
+  // Both layouts must reproduce the deposet's adopted slab exactly.
+  for (ProcessId p = 0; p < n; ++p)
+    for (int32_t k = 0; k < deposet.length(p); ++k) {
+      PREDCTRL_CHECK(last_appendable.row({p, k}) == deposet.clock({p, k}),
+                     "appendable kernel diverged from the deposet clocks");
+      PREDCTRL_CHECK(deposet.clock({p, k}) ==
+                         last_seed[static_cast<size_t>(p)][static_cast<size_t>(k)],
+                     "seed kernel diverged from the deposet clocks");
+    }
+  return result;
+}
+
+}  // namespace predctrl::bench

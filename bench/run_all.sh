@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
 # Runs every benchmark binary with fixed seeds and a fixed thread count and
-# collects the emitted BENCH_*.json files into bench/baselines/. Commit the
-# result to refresh the regression baseline that check_bench_json compares
-# smoke runs against.
+# collects the emitted BENCH_*.json files into a per-commit snapshot under
+# bench/baselines/<git-short-sha>/. A rolling history is kept:
+#
+#   bench/baselines/HISTORY   one snapshot name per line, oldest first;
+#                             pruned to the newest $KEEP entries (pruned
+#                             snapshot dirs are deleted)
+#   bench/baselines/LATEST    the most recent snapshot name -- what
+#                             check_bench_json --baseline-dir resolves
+#
+# Each fresh JSON is compared against the PREVIOUS snapshot (the LATEST at
+# the start of the run) before HISTORY/LATEST are advanced, so regressions
+# show as trends between consecutive committed snapshots. Commit the new
+# snapshot dir plus HISTORY/LATEST to refresh the baseline.
 #
 #   bench/run_all.sh [build-dir] [--smoke] [--threads=N]
 #
@@ -10,13 +20,15 @@
 # traces from fixed Rng seeds), so runs are reproducible up to machine
 # speed; --threads pins the pool width (default 4) so parallel cases are
 # comparable across hosts. --smoke forwards the harness's single-iteration
-# mode for a fast sanity pass -- do NOT commit a smoke baseline.
+# mode for a fast sanity pass; smoke results go to a scratch dir and never
+# touch HISTORY/LATEST -- do NOT commit a smoke baseline.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=build
 SMOKE=""
 THREADS=4
+KEEP=5
 for arg in "$@"; do
   case "$arg" in
     --smoke) SMOKE="--smoke" ;;
@@ -27,15 +39,24 @@ for arg in "$@"; do
 done
 
 BENCH_DIR="$BUILD_DIR/bench"
-OUT_DIR=bench/baselines
+BASE_DIR=bench/baselines
 if [ ! -d "$BENCH_DIR" ]; then
   echo "run_all.sh: no benchmark binaries in $BENCH_DIR -- build first:" >&2
   echo "  cmake -B $BUILD_DIR && cmake --build $BUILD_DIR -j" >&2
   exit 1
 fi
+
+SNAP=$(git rev-parse --short HEAD 2>/dev/null || echo "nogit")
+if [ -n "$SMOKE" ]; then
+  OUT_DIR="$BASE_DIR/smoke-scratch"
+  rm -rf "$OUT_DIR"
+else
+  OUT_DIR="$BASE_DIR/$SNAP"
+fi
 mkdir -p "$OUT_DIR"
 
 status=0
+checker=$(find "$BUILD_DIR" -maxdepth 2 -name check_bench_json -type f | head -n1)
 for bin in "$BENCH_DIR"/bench_*; do
   [ -x "$bin" ] || continue
   name=$(basename "$bin")
@@ -46,13 +67,35 @@ for bin in "$BENCH_DIR"/bench_*; do
     status=1
     continue
   fi
-  checker=$(find "$BUILD_DIR" -maxdepth 2 -name check_bench_json -type f | head -n1)
+  # Compare against the previous snapshot (LATEST is not advanced yet).
   if [ -n "$checker" ]; then
-    "$checker" "$json" || status=1
+    "$checker" "--baseline-dir=$BASE_DIR" "$json" || status=1
   fi
 done
 
 echo
-echo "baselines written to $OUT_DIR/:"
+if [ -n "$SMOKE" ]; then
+  echo "smoke results written to $OUT_DIR/ (scratch; HISTORY/LATEST untouched)"
+  ls -l "$OUT_DIR"/BENCH_*.json
+  exit $status
+fi
+
+# Advance the rolling history: append this snapshot, prune to $KEEP.
+HISTORY="$BASE_DIR/HISTORY"
+touch "$HISTORY"
+grep -vFx "$SNAP" "$HISTORY" > "$HISTORY.tmp" || true
+echo "$SNAP" >> "$HISTORY.tmp"
+mv "$HISTORY.tmp" "$HISTORY"
+while [ "$(wc -l < "$HISTORY")" -gt "$KEEP" ]; do
+  oldest=$(head -n1 "$HISTORY")
+  tail -n +2 "$HISTORY" > "$HISTORY.tmp" && mv "$HISTORY.tmp" "$HISTORY"
+  if [ -n "$oldest" ] && [ -d "$BASE_DIR/$oldest" ]; then
+    echo "pruning old snapshot $BASE_DIR/$oldest"
+    rm -rf "${BASE_DIR:?}/$oldest"
+  fi
+done
+echo "$SNAP" > "$BASE_DIR/LATEST"
+
+echo "baseline snapshot written to $OUT_DIR/ (LATEST -> $SNAP):"
 ls -l "$OUT_DIR"/BENCH_*.json
 exit $status

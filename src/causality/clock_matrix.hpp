@@ -16,8 +16,11 @@
 // reassigning the owning ClockMatrix; nothing else moves the slab.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <ostream>
+#include <span>
 #include <vector>
 
 #include "causality/ids.hpp"
@@ -162,10 +165,188 @@ class ClockMatrix {
 };
 
 /// Component-wise max of `src` into `dst` (the clock-lattice join on raw
-/// rows); the merge kernel of clock computation.
+/// rows); the merge kernel of clock computation, shared by the offline
+/// engines (serial Kahn, segment-DAG parallel) and the online append path.
 inline void clock_row_merge(int32_t* dst, const int32_t* src, int32_t width) {
   for (int32_t i = 0; i < width; ++i)
     if (src[i] > dst[i]) dst[i] = src[i];
 }
+
+/// Appendable causal-knowledge slab for computations that grow state by
+/// state: the online half of the memory-layout migration.
+///
+/// ClockMatrix needs every process length up front; the online path (the
+/// scripted runtime, the live WCP detector) learns states one at a time.
+/// AppendableClockMatrix stores each process's rows in fixed-size chunks
+/// (rows_per_chunk rows of num_processes components each); appending never
+/// moves an existing row, so the ClockRow views it hands out are STABLE for
+/// the life of the matrix -- unlike ClockMatrix, whose slab is fixed but
+/// whose owner may be reassigned, nothing here invalidates short of
+/// destroying (or move-assigning over) the matrix itself.
+///
+/// append_row is the online clock step made explicit: the new row is the
+/// merge of the process's previous row (all kNone for the initial state)
+/// and any received rows, with the own component set to the new index --
+/// exactly the value the offline engines compute for that state, one
+/// in-place row write per state, no per-state heap allocation.
+class AppendableClockMatrix {
+ public:
+  static constexpr int32_t kDefaultRowsPerChunk = 256;
+
+  AppendableClockMatrix() = default;
+  explicit AppendableClockMatrix(int32_t num_processes,
+                                 int32_t rows_per_chunk = kDefaultRowsPerChunk)
+      : n_(num_processes), rows_per_chunk_(rows_per_chunk),
+        chunks_(static_cast<size_t>(num_processes)),
+        lengths_(static_cast<size_t>(num_processes), 0) {
+    PREDCTRL_CHECK(num_processes >= 0, "negative process count");
+    PREDCTRL_CHECK(rows_per_chunk >= 1, "a chunk must hold at least one row");
+  }
+
+  AppendableClockMatrix(AppendableClockMatrix&&) = default;
+  AppendableClockMatrix& operator=(AppendableClockMatrix&&) = default;
+
+  /// Deep copy (tests and result aggregates copy freely; the copied rows
+  /// are a fresh arena, so views into the source stay bound to the source).
+  AppendableClockMatrix(const AppendableClockMatrix& other)
+      : n_(other.n_), rows_per_chunk_(other.rows_per_chunk_),
+        chunks_(other.chunks_.size()), lengths_(other.lengths_) {
+    const size_t chunk_ints =
+        static_cast<size_t>(rows_per_chunk_) * static_cast<size_t>(n_);
+    for (size_t p = 0; p < other.chunks_.size(); ++p) {
+      chunks_[p].reserve(other.chunks_[p].size());
+      for (const auto& chunk : other.chunks_[p]) {
+        chunks_[p].push_back(std::make_unique<int32_t[]>(chunk_ints));
+        std::copy(chunk.get(), chunk.get() + chunk_ints, chunks_[p].back().get());
+      }
+    }
+  }
+  AppendableClockMatrix& operator=(const AppendableClockMatrix& other) {
+    if (this != &other) *this = AppendableClockMatrix(other);
+    return *this;
+  }
+
+  int32_t num_processes() const { return n_; }
+  int32_t rows_per_chunk() const { return rows_per_chunk_; }
+  int32_t length(ProcessId p) const { return lengths_[static_cast<size_t>(p)]; }
+  int64_t total_states() const {
+    int64_t total = 0;
+    for (int32_t len : lengths_) total += len;
+    return total;
+  }
+  bool empty() const { return total_states() == 0; }
+
+  ClockRow row(StateId s) const { return {row_data(s), n_}; }
+  const int32_t* row_data(StateId s) const {
+    PREDCTRL_CHECK(s.index >= 0 && s.index < length(s.process),
+                   "appendable clock row out of range");
+    return chunk_row(s.process, s.index);
+  }
+
+  /// Single component load, no view construction: clock(s)[i].
+  int32_t component(StateId s, ProcessId i) const {
+    return row_data(s)[static_cast<size_t>(i)];
+  }
+
+  /// Appends the clock row of process p's next state (index = length(p)):
+  /// the merge of p's previous row (all kNone for the initial state) and
+  /// every row in `received`, with the own component set to the new index.
+  /// Returns a stable view of the new row.
+  ClockRow append_row(ProcessId p, std::span<const ClockRow> received = {}) {
+    int32_t* dst = allocate_row(p);
+    const int32_t k = lengths_[static_cast<size_t>(p)];
+    if (k > 0) {
+      const int32_t* pred = chunk_row(p, k - 1);
+      std::copy(pred, pred + n_, dst);
+    } else {
+      std::fill(dst, dst + n_, VectorClock::kNone);
+    }
+    for (const ClockRow& r : received) {
+      PREDCTRL_CHECK(r.size() == n_, "received clock of wrong width");
+      clock_row_merge(dst, r.data(), n_);
+    }
+    dst[static_cast<size_t>(p)] = k;
+    lengths_[static_cast<size_t>(p)] = k + 1;
+    return {dst, n_};
+  }
+
+  /// Appends a verbatim copy of `src` (width num_processes) as process p's
+  /// next row -- for rows captured off the wire (piggybacked clocks) whose
+  /// value is already final. Returns a stable view of the new row.
+  ClockRow append_row_copy(ProcessId p, const int32_t* src) {
+    int32_t* dst = allocate_row(p);
+    std::copy(src, src + n_, dst);
+    ++lengths_[static_cast<size_t>(p)];
+    return {dst, n_};
+  }
+
+  /// Compacts into a batch ClockMatrix (rows in (process, index) flat
+  /// order) -- the one copy at the online -> offline boundary, where a
+  /// finished run hands its causal knowledge to Deposet/PackedIntervals.
+  ClockMatrix to_matrix() const {
+    ClockMatrix m(lengths_);
+    for (ProcessId p = 0; p < n_; ++p)
+      for (int32_t k = 0; k < length(p); ++k) {
+        const int32_t* src = chunk_row(p, k);
+        std::copy(src, src + n_, m.mutable_row({p, k}));
+      }
+    return m;
+  }
+
+  /// Indexing shim mirroring ClockMatrix: clocks[p][k] is the row view.
+  class ProcessRows {
+   public:
+    ProcessRows(const AppendableClockMatrix* m, ProcessId p) : m_(m), p_(p) {}
+    ClockRow operator[](int32_t k) const { return m_->row({p_, k}); }
+
+   private:
+    const AppendableClockMatrix* m_;
+    ProcessId p_;
+  };
+  ProcessRows operator[](ProcessId p) const { return {this, p}; }
+
+  /// Row-for-row equality against a batch matrix (parity oracles).
+  friend bool operator==(const AppendableClockMatrix& a, const ClockMatrix& b) {
+    if (a.n_ != b.num_processes()) return false;
+    for (ProcessId p = 0; p < a.n_; ++p) {
+      if (a.length(p) != b.length(p)) return false;
+      for (int32_t k = 0; k < a.length(p); ++k)
+        if (!(a.row({p, k}) == b.row({p, k}))) return false;
+    }
+    return true;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const AppendableClockMatrix& m) {
+    os << "AppendableClockMatrix{" << m.total_states() << "x" << m.n_ << "}";
+    return os;
+  }
+
+ private:
+  int32_t* allocate_row(ProcessId p) {
+    PREDCTRL_CHECK(p >= 0 && p < n_, "process id out of range");
+    auto& chunks = chunks_[static_cast<size_t>(p)];
+    const int32_t k = lengths_[static_cast<size_t>(p)];
+    if (k == static_cast<int32_t>(chunks.size()) * rows_per_chunk_)
+      chunks.push_back(std::make_unique<int32_t[]>(
+          static_cast<size_t>(rows_per_chunk_) * static_cast<size_t>(n_)));
+    return chunk_row_mutable(p, k);
+  }
+
+  int32_t* chunk_row_mutable(ProcessId p, int32_t k) const {
+    return chunks_[static_cast<size_t>(p)][static_cast<size_t>(k / rows_per_chunk_)]
+               .get() +
+           static_cast<size_t>(k % rows_per_chunk_) * static_cast<size_t>(n_);
+  }
+  const int32_t* chunk_row(ProcessId p, int32_t k) const {
+    return chunk_row_mutable(p, k);
+  }
+
+  int32_t n_ = 0;
+  int32_t rows_per_chunk_ = kDefaultRowsPerChunk;
+  /// chunks_[p] is process p's arena: fixed-capacity chunks of
+  /// rows_per_chunk_ rows, addresses stable across appends.
+  std::vector<std::vector<std::unique_ptr<int32_t[]>>> chunks_;
+  std::vector<int32_t> lengths_;
+};
 
 }  // namespace predctrl

@@ -1,6 +1,7 @@
 #include "control/offline_disjunctive.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "obs/obs.hpp"
 #include "parallel/parallel.hpp"
@@ -205,7 +206,8 @@ class Algorithm {
                static_cast<int64_t>(n) * static_cast<int64_t>(n) >=
                    parallel::min_parallel_items();
     if (options_.impl == ValidPairsImpl::kIncremental) {
-      cross_.assign(static_cast<size_t>(n) * static_cast<size_t>(n), false);
+      words_per_row_ = (static_cast<size_t>(n) + 63) / 64;
+      cross_.assign(static_cast<size_t>(n) * words_per_row_, 0);
       row_count_.assign(static_cast<size_t>(n), 0);
       fill_initial_matrix();
     }
@@ -276,9 +278,24 @@ class Algorithm {
                              options_.semantics);
   }
 
-  char& cross_cell(ProcessId i, ProcessId j) {
-    return cross_[static_cast<size_t>(i) * static_cast<size_t>(walker_.num_processes()) +
-                  static_cast<size_t>(j)];
+  // Bitset matrix cell accessors. Row i occupies words
+  // cross_[i * words_per_row_ .. +words_per_row_), so distinct rows never
+  // share a word -- sharded column updates (each worker owns a disjoint
+  // range of rows j) are race-free without atomics.
+  bool cross_get(ProcessId i, ProcessId j) const {
+    return (cross_[static_cast<size_t>(i) * words_per_row_ +
+                   static_cast<size_t>(j) / 64] >>
+            (static_cast<size_t>(j) % 64)) &
+           1;
+  }
+  void cross_assign(ProcessId i, ProcessId j, bool v) {
+    uint64_t& w = cross_[static_cast<size_t>(i) * words_per_row_ +
+                         static_cast<size_t>(j) / 64];
+    const uint64_t bit = uint64_t{1} << (static_cast<size_t>(j) % 64);
+    if (v)
+      w |= bit;
+    else
+      w &= ~bit;
   }
 
   // Initial crossable matrix: every cell is computed exactly once (the
@@ -294,7 +311,7 @@ class Algorithm {
         if (j == i) continue;
         const bool j_valid = walker_.next_interval(j) != kNullInterval;
         const bool rv = i_valid && j_valid && crossable_now(i, j, nullptr);
-        cross_cell(i, j) = rv;
+        cross_assign(i, j, rv);
         if (rv) ++count;
       }
       row_count_[static_cast<size_t>(i)] = count;
@@ -322,29 +339,34 @@ class Algorithm {
         const bool j_valid = walker_.next_interval(j) != kNullInterval;
         // Row i: crossable(N(i), N(j)).
         bool rv = i_valid && j_valid && crossable_now(i, j, result);
-        cross_cell(i, j) = rv;
+        cross_assign(i, j, rv);
         if (rv) ++count;
         // Column i: crossable(N(j), N(i)).
         bool cv = i_valid && j_valid && crossable_now(j, i, result);
-        if (cross_cell(j, i) != cv) {
+        if (cross_get(j, i) != cv) {
           row_count_[static_cast<size_t>(j)] += cv ? 1 : -1;
-          cross_cell(j, i) = cv;
+          cross_assign(j, i, cv);
         }
       }
       row_count_[static_cast<size_t>(i)] = count;
       return;
     }
 
-    // Sharded: each chunk owns a disjoint range of peers j, so its writes
-    // (row cells (i, j), column cells (j, i), row_count_[j]) never collide.
-    // Chunk partials replicate the serial short-circuit accounting: a probe
-    // is counted iff both intervals exist, exactly when the serial path
-    // calls crossable_now.
+    // Sharded: each chunk owns a disjoint range of peers j. Column cells
+    // (j, i) and row_count_[j] live in per-row storage, so those writes
+    // never collide; ROW i's bits, however, share words across chunks, so
+    // each chunk collects its row bits in a private mask and the
+    // coordinator ORs the masks into row i afterwards. Chunk partials
+    // replicate the serial short-circuit accounting: a probe is counted
+    // iff both intervals exist, exactly when the serial path calls
+    // crossable_now.
     struct Partial {
+      std::vector<uint64_t> row_mask;
       int32_t row_count = 0;
       int64_t checks = 0;
     };
     std::vector<Partial> partials(parallel::parallel_chunk_count(pool_, n));
+    for (Partial& part : partials) part.row_mask.assign(words_per_row_, 0);
     parallel::parallel_for(pool_, n, [&](int64_t begin, int64_t end, size_t chunk) {
       Partial& part = partials[chunk];
       for (int64_t jj = begin; jj < end; ++jj) {
@@ -356,22 +378,28 @@ class Algorithm {
           ++part.checks;
           rv = crossable_now(i, j, nullptr);
         }
-        cross_cell(i, j) = rv;
-        if (rv) ++part.row_count;
+        if (rv) {
+          part.row_mask[static_cast<size_t>(j) / 64] |=
+              uint64_t{1} << (static_cast<size_t>(j) % 64);
+          ++part.row_count;
+        }
         bool cv = i_valid && j_valid;
         if (cv) {
           ++part.checks;
           cv = crossable_now(j, i, nullptr);
         }
-        if (cross_cell(j, i) != cv) {
+        if (cross_get(j, i) != cv) {
           row_count_[static_cast<size_t>(j)] += cv ? 1 : -1;
-          cross_cell(j, i) = cv;
+          cross_assign(j, i, cv);
         }
       }
     });
     int32_t count = 0;
     int64_t checks = 0;
+    uint64_t* row = &cross_[static_cast<size_t>(i) * words_per_row_];
+    std::fill(row, row + words_per_row_, 0);
     for (const Partial& part : partials) {
+      for (size_t w = 0; w < words_per_row_; ++w) row[w] |= part.row_mask[w];
       count += part.row_count;
       checks += part.checks;
     }
@@ -424,12 +452,20 @@ class Algorithm {
       }
     } else {
       // Incremental: rows are current; scan keepers, then their rows.
+      // Set-bit iteration (lowest first) visits j in ascending order --
+      // the exact serial scan order, so kRandom draws identically -- and
+      // skips 64 absent pairs per zero word. The diagonal bit is never
+      // set, so no i == j guard is needed.
       for (ProcessId i = 0; i < n; ++i) {
         if (walker_.is_false(i) || row_count_[static_cast<size_t>(i)] == 0) continue;
-        for (ProcessId j = 0; j < n; ++j) {
-          if (i == j || !cross_cell(i, j)) continue;
-          if (options_.select == SelectPolicy::kFirst) return {{i, j}};
-          candidates.emplace_back(i, j);
+        const uint64_t* row = &cross_[static_cast<size_t>(i) * words_per_row_];
+        for (size_t w = 0; w < words_per_row_; ++w) {
+          for (uint64_t bits = row[w]; bits != 0; bits &= bits - 1) {
+            const auto j =
+                static_cast<ProcessId>(w * 64 + static_cast<size_t>(std::countr_zero(bits)));
+            if (options_.select == SelectPolicy::kFirst) return {{i, j}};
+            candidates.emplace_back(i, j);
+          }
         }
         // kRandom needs only one keeper's row for an O(n) iteration cost;
         // kGreedyFarthest wants the global argmax, so keep scanning.
@@ -479,8 +515,11 @@ class Algorithm {
   parallel::ThreadPool* pool_ = nullptr;  // shared pool, or null for serial
   bool sharded_ = false;                  // probe loops go to the pool
 
-  // Incremental ValidPairs state.
-  std::vector<char> cross_;  // row-major crossable matrix (char: avoid vector<bool> refs)
+  // Incremental ValidPairs state: the n x n crossable matrix packed into
+  // 64-bit words, each row padded to whole words (words_per_row_), refreshed
+  // only for the processes whose next-interval pointer moved.
+  size_t words_per_row_ = 0;
+  std::vector<uint64_t> cross_;
   std::vector<int32_t> row_count_;
 };
 

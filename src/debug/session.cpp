@@ -62,6 +62,9 @@ Observation Session::observe_impl(uint64_t seed, const ControlStrategy* strategy
   span.add_arg("seed", static_cast<int64_t>(seed));
   span.add_arg("vt_us", obs.run.stats.end_time);
   span.add_arg("events", obs.run.stats.events_processed);
+  // Causal knowledge built online, one append per state, and adopted by
+  // the deposet -- detect/control below never recompute clocks.
+  span.add_arg("clock_appends", obs.run.clocks.total_states());
   if (obs::recording()) {
     const std::string prefix = std::string("session.phase.") + phase;
     obs::default_metrics().histogram(prefix + ".wall_us").record(span.elapsed_us());

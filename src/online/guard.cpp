@@ -43,6 +43,8 @@ sim::RunResult run_scripts_guarded(const sim::ScriptedSystem& system,
   span.add_arg("processes", static_cast<int64_t>(n));
   span.add_arg("vt_us", result.stats.end_time);
   span.add_arg("control_messages", result.stats.control_messages);
+  // One appendable-slab row write per state entered, across all processes.
+  span.add_arg("clock_appends", result.clocks.total_states());
   return result;
 }
 

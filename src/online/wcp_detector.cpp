@@ -11,7 +11,7 @@ using sim::Message;
 
 WcpDetector::WcpDetector(int32_t num_processes,
                          std::shared_ptr<WcpDetectionOutcome> sink)
-    : n_(num_processes), sink_(std::move(sink)),
+    : n_(num_processes), sink_(std::move(sink)), clock_store_(num_processes),
       pending_(static_cast<size_t>(num_processes)),
       next_seq_(static_cast<size_t>(num_processes), 0),
       front_(static_cast<size_t>(num_processes)),
@@ -32,13 +32,14 @@ void WcpDetector::on_message(AgentContext& ctx, const Message& msg) {
   } else {
     PREDCTRL_CHECK(msg.type == sim::kDetectCandidate, "unexpected detector message");
     ++outcome().candidates_received;
-    Candidate c;
-    c.state = static_cast<int32_t>(msg.a);
-    c.clock = VectorClock(n_);
     PREDCTRL_CHECK(msg.clock.size() == static_cast<size_t>(n_),
                    "candidate without a full vector clock");
-    for (ProcessId q = 0; q < n_; ++q) c.clock[q] = msg.clock[static_cast<size_t>(q)];
-    pending_[p].emplace(msg.b, std::move(c));
+    Candidate c;
+    c.state = static_cast<int32_t>(msg.a);
+    // One slab append per candidate; the row view stays valid however the
+    // candidate migrates between pending_ and front_.
+    c.clock = clock_store_.append_row_copy(msg.from, msg.clock.data());
+    pending_[p].emplace(msg.b, c);
   }
   advance(ctx);
 }

@@ -57,13 +57,19 @@ class WcpDetector : public sim::Agent {
   void advance(sim::AgentContext& ctx);
   WcpDetectionOutcome& outcome() { return *sink_; }
 
+  /// A candidate's clock is a stable row view into `clock_store_` (rows
+  /// never move on append), so a candidate is two words and a precedence
+  /// test is one direct component load -- no per-candidate heap clock.
   struct Candidate {
     int32_t state = 0;
-    VectorClock clock;
+    ClockRow clock;
   };
 
   int32_t n_;
   std::shared_ptr<WcpDetectionOutcome> sink_;
+  /// Arena for candidate clock rows: one append_row_copy per candidate
+  /// received off the wire, grouped by sending process.
+  AppendableClockMatrix clock_store_;
   std::vector<std::map<int64_t, Candidate>> pending_;  // by sequence number
   std::vector<int64_t> next_seq_;
   std::vector<std::optional<Candidate>> front_;

@@ -18,11 +18,13 @@ constexpr int32_t kCtlToken = 2;  // a: token id
 struct Recorder {
   explicit Recorder(int32_t n)
       : vars(static_cast<size_t>(n)), entry_times(static_cast<size_t>(n)),
-        clocks(static_cast<size_t>(n)), builder(n) {}
+        clocks(n), builder(n) {}
 
   std::vector<std::vector<VarMap>> vars;
   std::vector<std::vector<SimTime>> entry_times;
-  std::vector<std::vector<VectorClock>> clocks;
+  /// One append_row per state entry; each process holds a stable view of
+  /// its newest row, so tracking costs no per-state allocation.
+  AppendableClockMatrix clocks;
   DeposetBuilder builder;
 };
 
@@ -32,9 +34,9 @@ class ScriptedProcess : public Agent {
                   Recorder& recorder, const ControlStrategy* strategy,
                   const std::vector<bool>* truth, AgentId guard,
                   const std::vector<bool>* detect_condition, AgentId detector)
-      : p_(p), script_(script), recorder_(recorder), strategy_(strategy),
-        truth_(truth), guard_(guard), detect_condition_(detect_condition),
-        detector_(detector), clock_(num_processes) {
+      : p_(p), n_(num_processes), script_(script), recorder_(recorder),
+        strategy_(strategy), truth_(truth), guard_(guard),
+        detect_condition_(detect_condition), detector_(detector) {
     if (truth_ != nullptr)
       PREDCTRL_CHECK(truth_->size() == script_.instrs.size() + 1,
                      "gating truth row does not match script length");
@@ -47,8 +49,7 @@ class ScriptedProcess : public Agent {
     recorder_.vars[static_cast<size_t>(p_)].push_back(script_.initial_vars);
     recorder_.entry_times[static_cast<size_t>(p_)].push_back(0);
     cur_vars_ = script_.initial_vars;
-    clock_[p_] = 0;
-    recorder_.clocks[static_cast<size_t>(p_)].push_back(clock_);
+    clock_ = recorder_.clocks.append_row(p_);  // initial state: own comp = 0
     maybe_send_candidate(ctx, 0);
     try_start(ctx);
   }
@@ -149,10 +150,9 @@ class ScriptedProcess : public Agent {
       m.a = leaving;  // the paper's ~> relates the state before the send...
       m.b = next_send_seq_[instr.peer]++;
       m.plane = Message::Plane::kApplication;
-      // Piggyback the pre-send state's clock (the ~> source).
-      m.clock.resize(static_cast<size_t>(clock_.size()));
-      for (ProcessId q = 0; q < clock_.size(); ++q)
-        m.clock[static_cast<size_t>(q)] = clock_[q];
+      // Piggyback the pre-send state's clock (the ~> source) -- the one
+      // copy off the slab, at the sim boundary.
+      m.clock.assign(clock_.data(), clock_.data() + n_);
       ctx.send(agent_of(instr.peer), m);
     } else if (instr.kind == Instr::Kind::kRecv) {
       // ...to the state after the receive.
@@ -160,21 +160,23 @@ class ScriptedProcess : public Agent {
           {static_cast<ProcessId>(process_of(staged_recv_->from)),
            static_cast<int32_t>(staged_recv_->a)},
           {p_, leaving + 1});
-      PREDCTRL_REQUIRE(staged_recv_->clock.size() ==
-                           static_cast<size_t>(clock_.size()),
+      PREDCTRL_REQUIRE(staged_recv_->clock.size() == static_cast<size_t>(n_),
                        "application message without a piggybacked clock");
-      for (ProcessId q = 0; q < clock_.size(); ++q)
-        if (staged_recv_->clock[static_cast<size_t>(q)] > clock_[q])
-          clock_[q] = staged_recv_->clock[static_cast<size_t>(q)];
-      staged_recv_.reset();
     }
 
-    // Enter the new state.
+    // Enter the new state: one in-place row append -- merge of the previous
+    // row and (for receives) the piggybacked row, own component = new index.
+    const ClockRow received[] = {
+        instr.kind == Instr::Kind::kRecv
+            ? ClockRow(staged_recv_->clock.data(), n_)
+            : ClockRow()};
+    clock_ = recorder_.clocks.append_row(
+        p_, std::span<const ClockRow>(received,
+                                      instr.kind == Instr::Kind::kRecv ? 1 : 0));
+    if (instr.kind == Instr::Kind::kRecv) staged_recv_.reset();
     for (const auto& [k, v] : instr.updates) cur_vars_[k] = v;
-    clock_[p_] = leaving + 1;
     recorder_.vars[static_cast<size_t>(p_)].push_back(cur_vars_);
     recorder_.entry_times[static_cast<size_t>(p_)].push_back(ctx.now());
-    recorder_.clocks[static_cast<size_t>(p_)].push_back(clock_);
     maybe_send_candidate(ctx, leaving + 1);
 
     // Control sends anchored at the exited state.
@@ -217,9 +219,7 @@ class ScriptedProcess : public Agent {
     m.a = state;
     m.b = next_candidate_seq_++;
     m.plane = Message::Plane::kControl;
-    m.clock.resize(static_cast<size_t>(clock_.size()));
-    for (ProcessId q = 0; q < clock_.size(); ++q)
-      m.clock[static_cast<size_t>(q)] = clock_[q];
+    m.clock.assign(clock_.data(), clock_.data() + n_);
     ctx.send(detector_, m);
   }
 
@@ -237,6 +237,7 @@ class ScriptedProcess : public Agent {
   static ProcessId process_of(AgentId a) { return a; }
 
   ProcessId p_;
+  int32_t n_;
   const Script& script_;
   Recorder& recorder_;
   const ControlStrategy* strategy_;
@@ -261,8 +262,10 @@ class ScriptedProcess : public Agent {
   AgentId detector_;
   int64_t next_candidate_seq_ = 0;
 
-  // On-line causality tracking (state-based; own component = state index).
-  VectorClock clock_;
+  // On-line causality tracking (state-based; own component = state index):
+  // a stable view of this process's newest row in the shared appendable
+  // slab -- reading it is a direct component load, never a heap hop.
+  ClockRow clock_;
 };
 
 }  // namespace
@@ -362,7 +365,9 @@ RunResult run_scripts(const ScriptedSystem& system, const SimOptions& options,
   for (ProcessId p = 0; p < n; ++p)
     recorder.builder.set_length(
         p, static_cast<int32_t>(recorder.vars[static_cast<size_t>(p)].size()));
-  result.deposet = recorder.builder.build();
+  // The deposet adopts the online-built clocks (compacted once, at this
+  // boundary) instead of recomputing them from the message edges.
+  result.deposet = recorder.builder.build_with_clocks(recorder.clocks.to_matrix());
   result.vars = std::move(recorder.vars);
   result.entry_times = std::move(recorder.entry_times);
   result.clocks = std::move(recorder.clocks);

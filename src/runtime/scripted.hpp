@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "causality/clock_matrix.hpp"
 #include "causality/vector_clock.hpp"
 #include "control/strategy.hpp"
 #include "runtime/sim.hpp"
@@ -111,10 +112,13 @@ struct RunResult {
   Deposet deposet;
   /// vars[p][k] = variable values of state (p, k).
   std::vector<std::vector<VarMap>> vars;
-  /// clocks[p][k] = the vector clock process p computed ON-LINE when it
-  /// entered state k (piggybacked on application messages); must equal the
-  /// deposet's post-hoc clocks -- a cross-check the tests enforce.
-  std::vector<std::vector<VectorClock>> clocks;
+  /// clocks[p][k] = the clock row process p computed ON-LINE when it
+  /// entered state k (one append_row per state; piggybacked on application
+  /// messages). This very matrix is adopted as the deposet's causal
+  /// knowledge (DeposetBuilder::build_with_clocks) -- nothing is
+  /// recomputed post hoc -- so the tests cross-check it against an
+  /// independently batch-computed slab instead.
+  AppendableClockMatrix clocks;
   /// (time, state) entry log per process; state k was entered at
   /// entry_times[p][k] (state 0 at time 0).
   std::vector<std::vector<SimTime>> entry_times;

@@ -46,7 +46,9 @@ struct Message {
   /// Optional piggybacked vector clock (state-based, one component per
   /// process); empty when the sender does not track causality. Scripted
   /// processes attach the clock of the pre-send state, matching the
-  /// deposet's ~> relation.
+  /// deposet's ~> relation: the row is copied out of the sender's
+  /// appendable slab here, at the sim boundary -- the only place the
+  /// online path copies clock data per message.
   std::vector<int32_t> clock;
 
   /// Channel plane: application traffic and control traffic are separated so

@@ -27,7 +27,7 @@ void DeposetBuilder::add_message(StateId from, StateId to) {
   messages_.push_back({from, to});
 }
 
-Deposet DeposetBuilder::build() const {
+void DeposetBuilder::validate_messages() const {
   // Per-process event roles for the D3 check. Event k of process p takes
   // state (p, k) to (p, k+1); a sequential process performs one action per
   // event, so an event may send at most one message, receive at most one,
@@ -72,6 +72,10 @@ Deposet DeposetBuilder::build() const {
                    ctx.str() + ": event receives two messages");
     recv_role = Role::kRecv;
   }
+}
+
+Deposet DeposetBuilder::build() const {
+  validate_messages();
 
   ClockComputation cc = compute_state_clocks(lengths_, messages_);
   PREDCTRL_CHECK(cc.acyclic,
@@ -83,6 +87,26 @@ Deposet DeposetBuilder::build() const {
   std::sort(d.messages_.begin(), d.messages_.end());
   d.edge_index_ = CsrEdgeIndex(lengths_, d.messages_);
   d.clocks_ = std::move(cc.clocks);
+  d.total_states_ = 0;
+  for (int32_t len : lengths_) d.total_states_ += len;
+  return d;
+}
+
+Deposet DeposetBuilder::build_with_clocks(ClockMatrix clocks) const {
+  validate_messages();
+
+  PREDCTRL_CHECK(clocks.num_processes() == num_processes(),
+                 "adopted clock matrix has the wrong process count");
+  for (ProcessId p = 0; p < num_processes(); ++p)
+    PREDCTRL_CHECK(clocks.length(p) == length(p),
+                   "adopted clock matrix has the wrong shape");
+
+  Deposet d;
+  d.lengths_ = lengths_;
+  d.messages_ = messages_;
+  std::sort(d.messages_.begin(), d.messages_.end());
+  d.edge_index_ = CsrEdgeIndex(lengths_, d.messages_);
+  d.clocks_ = std::move(clocks);
   d.total_states_ = 0;
   for (int32_t len : lengths_) d.total_states_ += len;
   return d;

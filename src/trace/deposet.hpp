@@ -61,7 +61,21 @@ class DeposetBuilder {
   /// Throws std::invalid_argument describing the first violation found.
   Deposet build() const;
 
+  /// Like build(), but adopts `clocks` as the deposet's causal knowledge
+  /// instead of recomputing it -- the online -> offline handoff. The matrix
+  /// must have this builder's shape (one row per state) and hold exactly
+  /// the clocks compute_state_clocks would produce; the scripted runtime's
+  /// append-per-state matrix satisfies this by construction (the online
+  /// cross-check tests are the oracle). D1-D3 are still validated; the
+  /// acyclicity check is skipped, which is sound only for clocks recorded
+  /// from an actual execution (a real run cannot receive a message before
+  /// it is sent).
+  Deposet build_with_clocks(ClockMatrix clocks) const;
+
  private:
+  /// The D1-D3 role validation shared by build() and build_with_clocks().
+  void validate_messages() const;
+
   std::vector<int32_t> lengths_;
   std::vector<MessageEdge> messages_;
 };

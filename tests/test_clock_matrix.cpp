@@ -1,7 +1,9 @@
-// ClockMatrix slab and CsrEdgeIndex: the flat layouts must be observationally
-// identical to the per-state structures they replaced -- every slab row equals
-// the VectorClock the legacy engine would have produced, and the CSR views are
-// exactly Deposet::messages() regrouped.
+// ClockMatrix slab, AppendableClockMatrix, and CsrEdgeIndex: the flat layouts
+// must be observationally identical to the per-state structures they replaced
+// -- every slab row equals the VectorClock the legacy engine would have
+// produced, the appendable arena grown one state at a time equals the batch
+// slab byte-for-byte, and the CSR views are exactly Deposet::messages()
+// regrouped.
 #include "causality/clock_matrix.hpp"
 
 #include <gtest/gtest.h>
@@ -142,6 +144,173 @@ TEST(ClockMatrix, ParallelEngineFillsSameSlab) {
   expect_matches_reference(serial.clocks, d.lengths(), d.messages());
   // Deposet::build uses the default (possibly parallel) path; same slab.
   EXPECT_EQ(d.clocks(), serial.clocks);
+}
+
+// --- AppendableClockMatrix ---------------------------------------------------
+
+// Replays a deposet state-by-state in a causally valid round-robin order,
+// growing an appendable matrix exactly as the online runtime does: received
+// rows are views into the matrix itself (a receive is ready only once the
+// sender's row has been appended), the predecessor merge is implicit in
+// append_row.
+AppendableClockMatrix replay_appendable(const Deposet& d, int32_t rows_per_chunk) {
+  AppendableClockMatrix m(d.num_processes(), rows_per_chunk);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (ProcessId p = 0; p < d.num_processes(); ++p) {
+      while (m.length(p) < d.length(p)) {
+        const StateId s{p, m.length(p)};
+        std::vector<ClockRow> received;
+        bool ready = true;
+        for (const MessageEdge& e : d.messages_to(s)) {
+          if (e.from.index >= m.length(e.from.process)) {
+            ready = false;
+            break;
+          }
+          received.push_back(m.row(e.from));
+        }
+        if (!ready) break;
+        m.append_row(p, received);
+        progress = true;
+      }
+    }
+  }
+  return m;
+}
+
+TEST(AppendableClockMatrix, InitialRowIsOwnZeroRestNone) {
+  AppendableClockMatrix m(3);
+  const ClockRow r = m.append_row(1);
+  EXPECT_EQ(m.length(1), 1);
+  EXPECT_EQ(r[0], VectorClock::kNone);
+  EXPECT_EQ(r[1], 0);
+  EXPECT_EQ(r[2], VectorClock::kNone);
+}
+
+TEST(AppendableClockMatrix, AppendMergesPredecessorAndReceived) {
+  AppendableClockMatrix m(2);
+  const ClockRow a0 = m.append_row(0);  // (-1 -> 0, kNone)
+  m.append_row(0);                      // (1, kNone)
+  const ClockRow b0 = m.append_row(1, std::vector<ClockRow>{a0});
+  EXPECT_EQ(b0[0], 0);
+  EXPECT_EQ(b0[1], 0);
+  // Second state of p1 receives p0's newest row: pred merge keeps [0]=0,
+  // received lifts it to 1, own component advances to 1.
+  const ClockRow b1 = m.append_row(1, std::vector<ClockRow>{m.row({0, 1})});
+  EXPECT_EQ(b1[0], 1);
+  EXPECT_EQ(b1[1], 1);
+  EXPECT_EQ(m.total_states(), 4);
+}
+
+TEST(AppendableClockMatrix, AppendMatchesBatchOnRandomTraces) {
+  Rng rng(424207);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomTraceOptions options;
+    options.num_processes = 2 + trial % 6;
+    options.events_per_process = 3 + trial % 17;
+    options.send_probability = 0.1 + 0.05 * (trial % 8);
+    const Deposet d = random_deposet(options, rng);
+    // Vary the chunk size so appends cross chunk boundaries at different
+    // offsets; parity with the batch slab must hold regardless.
+    const int32_t rows_per_chunk = 1 + trial % 7;
+    const AppendableClockMatrix m = replay_appendable(d, rows_per_chunk);
+    ASSERT_EQ(m.total_states(), d.clocks().total_states()) << "trial " << trial;
+    EXPECT_EQ(m, d.clocks()) << "trial " << trial
+                             << " rows_per_chunk " << rows_per_chunk;
+  }
+}
+
+TEST(AppendableClockMatrix, ChunkBoundaryRowsAreExact) {
+  Rng rng(99);
+  RandomTraceOptions options;
+  options.num_processes = 4;
+  options.events_per_process = 25;
+  options.send_probability = 0.35;
+  const Deposet d = random_deposet(options, rng);
+  // rows_per_chunk = 1 allocates a chunk per append (every row is both the
+  // first and last of its chunk); 2 and 3 alternate boundary phases.
+  for (int32_t rows_per_chunk : {1, 2, 3}) {
+    const AppendableClockMatrix m = replay_appendable(d, rows_per_chunk);
+    EXPECT_EQ(m, d.clocks()) << "rows_per_chunk " << rows_per_chunk;
+  }
+}
+
+TEST(AppendableClockMatrix, HandlesStayStableAcrossGrowth) {
+  // Appending must never move an existing row: views (and raw pointers)
+  // handed out early stay valid and unchanged across many chunk
+  // allocations -- this is what lets the runtime and the WCP detector keep
+  // ClockRow handles instead of copies.
+  AppendableClockMatrix m(2, /*rows_per_chunk=*/2);
+  std::vector<const int32_t*> data_ptrs;
+  std::vector<std::vector<int32_t>> snapshots;
+  for (int32_t k = 0; k < 64; ++k) {
+    const ClockRow r = m.append_row(0);
+    data_ptrs.push_back(r.data());
+    snapshots.emplace_back(r.data(), r.data() + r.size());
+  }
+  for (int32_t k = 0; k < 64; ++k) {
+    EXPECT_EQ(m.row_data({0, k}), data_ptrs[static_cast<size_t>(k)])
+        << "row " << k << " moved";
+    const auto& snap = snapshots[static_cast<size_t>(k)];
+    EXPECT_EQ(m.row({0, k}), ClockRow(snap.data(), static_cast<int32_t>(snap.size())))
+        << "row " << k << " changed";
+  }
+}
+
+TEST(AppendableClockMatrix, AppendRowCopyIsVerbatim) {
+  AppendableClockMatrix m(3, /*rows_per_chunk=*/1);
+  const std::vector<int32_t> wire{4, VectorClock::kNone, 7};
+  const ClockRow r = m.append_row_copy(2, wire.data());
+  EXPECT_EQ(m.length(2), 1);
+  EXPECT_EQ(r[0], 4);
+  EXPECT_EQ(r[1], VectorClock::kNone);
+  EXPECT_EQ(r[2], 7);
+  // A second verbatim row lands in a fresh chunk; the first is untouched.
+  const std::vector<int32_t> wire2{5, 1, 8};
+  m.append_row_copy(2, wire2.data());
+  EXPECT_EQ(m.component({2, 0}, 0), 4);
+  EXPECT_EQ(m.component({2, 1}, 0), 5);
+}
+
+TEST(AppendableClockMatrix, ToMatrixRoundTrip) {
+  Rng rng(55);
+  RandomTraceOptions options;
+  options.num_processes = 5;
+  options.events_per_process = 12;
+  options.send_probability = 0.3;
+  const Deposet d = random_deposet(options, rng);
+  const AppendableClockMatrix m = replay_appendable(d, 3);
+  const ClockMatrix compact = m.to_matrix();
+  EXPECT_EQ(compact, d.clocks());
+  EXPECT_EQ(m, compact);
+  expect_matches_reference(compact, d.lengths(), d.messages());
+}
+
+TEST(AppendableClockMatrix, DeepCopyIsIndependent) {
+  AppendableClockMatrix m(2, /*rows_per_chunk=*/2);
+  m.append_row(0);
+  m.append_row(0);
+  const AppendableClockMatrix copy = m;
+  // Fresh arena: same values, different storage.
+  EXPECT_EQ(copy.total_states(), 2);
+  EXPECT_NE(copy.row_data({0, 0}), m.row_data({0, 0}));
+  EXPECT_EQ(copy.row({0, 1}), m.row({0, 1}));
+  // Growing the original leaves the copy untouched.
+  m.append_row(0);
+  m.append_row(1);
+  EXPECT_EQ(copy.length(0), 2);
+  EXPECT_EQ(copy.length(1), 0);
+}
+
+TEST(AppendableClockMatrix, EmptyAndShape) {
+  AppendableClockMatrix m(4, 8);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.num_processes(), 4);
+  EXPECT_EQ(m.rows_per_chunk(), 8);
+  EXPECT_EQ(m.total_states(), 0);
+  m.append_row(3);
+  EXPECT_FALSE(m.empty());
 }
 
 // --- CsrEdgeIndex round-trips ------------------------------------------------

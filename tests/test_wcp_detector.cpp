@@ -4,15 +4,20 @@
 
 #include <gtest/gtest.h>
 
+#include "causality/clock_computation.hpp"
 #include "predicates/detection.hpp"
 #include "trace/random_trace.hpp"
 
 namespace predctrl::online {
 namespace {
 
-TEST(OnlineClocks, MatchPostHocDeposetClocks) {
-  // The clocks each process computed live (piggybacked on messages) must
-  // equal the clocks derived from the traced deposet after the fact.
+TEST(OnlineClocks, MatchIndependentBatchClocks) {
+  // The clocks each process computed live (one append_row per state,
+  // piggybacked on messages) must equal the clocks an independent batch
+  // computation derives from the traced message edges. The deposet now
+  // ADOPTS the online matrix (build_with_clocks), so the oracle here is
+  // compute_state_clocks run separately -- comparing against
+  // run.deposet.clock alone would be circular.
   for (uint64_t seed = 0; seed < 15; ++seed) {
     Rng rng(seed + 3);
     RandomTraceOptions topt;
@@ -25,11 +30,17 @@ TEST(OnlineClocks, MatchPostHocDeposetClocks) {
     opt.seed = seed * 7 + 1;
     sim::RunResult run = sim::run_scripts(system, opt);
     ASSERT_FALSE(run.deadlocked);
+    ClockComputation batch =
+        compute_state_clocks(run.deposet.lengths(), run.deposet.messages());
+    ASSERT_TRUE(batch.acyclic);
     for (ProcessId p = 0; p < run.deposet.num_processes(); ++p)
-      for (int32_t k = 0; k < run.deposet.length(p); ++k)
-        EXPECT_EQ(run.clocks[static_cast<size_t>(p)][static_cast<size_t>(k)],
-                  run.deposet.clock({p, k}))
+      for (int32_t k = 0; k < run.deposet.length(p); ++k) {
+        EXPECT_EQ(run.clocks[p][k], batch.clocks.row({p, k}))
             << "P" << p << ":" << k << " seed " << seed;
+        // And the adopted deposet slab is that same matrix, row for row.
+        EXPECT_EQ(run.deposet.clock({p, k}), batch.clocks.row({p, k}))
+            << "P" << p << ":" << k << " seed " << seed;
+      }
   }
 }
 
