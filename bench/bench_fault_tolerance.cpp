@@ -1,0 +1,121 @@
+// Fault tolerance of the on-line control plane (src/fault/).
+//
+// Measures what self-healing costs as the network degrades: the scapegoat
+// critical-section workload runs under control-plane drop rates of 0 / 1 /
+// 5 / 10%, with the ack+retransmission layer armed. Reported per rate:
+//
+//   * handoff_mean_us / handoff_max_us -- anti-token handoff latency (the
+//     paper's [2T, 2T + E_max] window stretches as reqs/acks need resends);
+//   * ctl_msgs_per_entry -- control-plane overhead per CS entry (acks and
+//     retransmits included: the price of reliability);
+//   * retransmits / messages_dropped / link_give_ups -- the reliability
+//     layer's work, direction-neutral counters (more retransmits under a
+//     harsher plan is correct behavior, not a regression);
+//   * completed / control_failures -- a 10% drop rate must still complete
+//     via retransmission (zero give-ups at these timeout settings).
+//
+// BM_HolderCrash injects a controller crash mid-run: the run must terminate
+// (never hang) and report the failure through the telemetry -- the watchdog
+// story end-to-end, measured rather than unit-tested.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "fault/fault_plan.hpp"
+#include "mutex/kmutex.hpp"
+
+using namespace predctrl;
+using namespace predctrl::mutex;
+
+namespace {
+
+CsWorkloadOptions workload(int32_t n, uint64_t seed) {
+  CsWorkloadOptions o;
+  o.num_processes = n;
+  o.cs_per_process = 25;
+  o.delay_min = o.delay_max = 2'000;  // fixed T
+  o.cs_min = 500;
+  o.cs_max = 4'000;  // E_max
+  o.seed = seed;
+  return o;
+}
+
+fault::FaultPlan drop_plan(double drop_pct, uint64_t seed) {
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.plane(sim::Message::Plane::kControl).drop = drop_pct / 100.0;
+  return plan;
+}
+
+void annotate(benchmark::State& state, const MutexRunResult& r, int32_t n) {
+  double handoff_sum = 0;
+  double handoff_max = 0;
+  int64_t handoffs = 0;
+  for (sim::SimTime d : r.response_delays) {
+    if (d == 0) continue;
+    handoff_sum += static_cast<double>(d);
+    handoff_max = std::max(handoff_max, static_cast<double>(d));
+    ++handoffs;
+  }
+  state.counters["handoffs"] = static_cast<double>(handoffs);
+  state.counters["handoff_mean_us"] =
+      handoffs ? handoff_sum / static_cast<double>(handoffs) : 0;
+  state.counters["handoff_max_us"] = handoff_max;
+  state.counters["ctl_msgs_per_entry"] = r.messages_per_entry();
+  state.counters["retransmits"] = static_cast<double>(r.telemetry.retransmits);
+  state.counters["messages_dropped"] = static_cast<double>(r.stats.messages_dropped);
+  state.counters["link_give_ups"] = static_cast<double>(r.telemetry.link_give_ups);
+  state.counters["released"] = static_cast<double>(r.telemetry.released.size());
+  state.counters["completed"] = r.deadlocked ? 0 : 1;
+  state.counters["safe"] =
+      (r.max_concurrent_cs <= n - 1 && !r.deadlocked) ? 1 : 0;
+}
+
+// Control-plane drop-rate sweep; Arg = drop percentage.
+void BM_ScapegoatDropRate(benchmark::State& state) {
+  const int32_t n = 8;
+  const auto drop_pct = static_cast<double>(state.range(0));
+  const fault::FaultPlan plan = drop_plan(drop_pct, /*seed=*/29);
+  MutexRunResult r;
+  for (auto _ : state) {
+    r = run_scapegoat_mutex(workload(n, 7), {}, plan.active() ? &plan : nullptr);
+    benchmark::DoNotOptimize(r);
+  }
+  annotate(state, r, n);
+  // At these timeouts a 10% drop rate must heal entirely by retransmission.
+  state.counters["control_failures"] =
+      (r.deadlocked || !r.telemetry.released.empty()) ? 1 : 0;
+}
+
+// A controller crash mid-run: the engine quiesces and reports, never hangs.
+void BM_HolderCrash(benchmark::State& state) {
+  const int32_t n = 4;
+  fault::FaultPlan plan;
+  plan.seed = 31;
+  // Controllers occupy agent ids [n, 2n); crash the initial scapegoat's.
+  plan.crashes.push_back({/*agent=*/n + 0, /*at=*/40'000, /*restart_at=*/-1});
+  MutexRunResult r;
+  for (auto _ : state) {
+    r = run_scapegoat_mutex(workload(n, 7), {}, &plan);
+    benchmark::DoNotOptimize(r);
+  }
+  annotate(state, r, n);
+  state.counters["crashes"] = static_cast<double>(r.stats.crashes);
+  state.counters["deliveries_discarded"] =
+      static_cast<double>(r.stats.deliveries_discarded);
+  // The run terminated (this iteration finished) and the failure is visible:
+  // either some agent is reported blocked or control was released.
+  state.counters["control_failures"] =
+      (!r.quiescence.blocked.empty() || !r.telemetry.released.empty() || r.deadlocked)
+          ? 1
+          : 0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_ScapegoatDropRate)->Arg(0)->Arg(1)->Arg(5)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HolderCrash)->Unit(benchmark::kMillisecond);
+
+#include "bench_common.hpp"
+PREDCTRL_BENCH_MAIN();

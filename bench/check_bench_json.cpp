@@ -110,6 +110,13 @@ bool contains_any(const std::string& name, std::initializer_list<const char*> ne
 enum class Direction { kHigherBetter, kLowerBetter, kInformational };
 
 Direction counter_direction(const std::string& name) {
+  // Fault-plane accounting is direction-neutral and must be classified
+  // FIRST: "retransmit_backoff_us" or "dropped_bytes" would otherwise match
+  // a lower-better suffix, yet more retransmits under a harsher fault plan
+  // is correct behavior, not a regression.
+  if (contains_any(name,
+                   {"retransmit", "dropped", "duplicate", "give_up", "fault", "crash"}))
+    return Direction::kInformational;
   if (contains_any(name, {"per_sec", "speedup", "throughput"}))
     return Direction::kHigherBetter;
   if (contains_any(name, {"bytes", "_checks", "_ns", "_us", "_ms"}))

@@ -96,6 +96,19 @@ while [ "$(wc -l < "$HISTORY")" -gt "$KEEP" ]; do
 done
 echo "$SNAP" > "$BASE_DIR/LATEST"
 
+# Sweep snapshot dirs that are no longer reachable from HISTORY: interrupted
+# runs and entries that fell off the tail before this pruning existed would
+# otherwise accumulate forever. smoke-scratch is transient by design; keep it.
+for dir in "$BASE_DIR"/*/; do
+  [ -d "$dir" ] || continue
+  snap=$(basename "$dir")
+  [ "$snap" = "smoke-scratch" ] && continue
+  if ! grep -qFx "$snap" "$HISTORY"; then
+    echo "pruning orphaned snapshot $BASE_DIR/$snap"
+    rm -rf "${BASE_DIR:?}/$snap"
+  fi
+done
+
 echo "baseline snapshot written to $OUT_DIR/ (LATEST -> $SNAP):"
 ls -l "$OUT_DIR"/BENCH_*.json
 exit $status

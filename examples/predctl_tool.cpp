@@ -16,7 +16,16 @@
 //                       default 1 (serial). Results are identical at any N --
 //                       the parallel hot paths are deterministic by
 //                       construction.
-// Either output flag turns recording on (obs/obs.hpp).
+//   --fault-seed=N      seed of the fault plan's own Rng (fault/, default 1)
+//   --fault-drop=P      drop each control-plane message with probability P
+//   --fault-crash=A@T   crash agent A at virtual time T (quickstart's guarded
+//                       run: processes are agents 0..n-1, their guards
+//                       n..2n-1)
+// Either output flag turns recording on (obs/obs.hpp). The fault flags apply
+// to quickstart's on-line guarded runs: the control plane self-heals via
+// ack+retransmission, and unrecoverable failures are reported as a
+// structured ControlFailure (watchdog verdict, blocked cut, scapegoat
+// chain, recovery line) instead of hanging.
 //
 // `quickstart` runs the built-in two-process mutual-exclusion scenario of
 // examples/quickstart.cpp through the full active-debugging cycle
@@ -41,6 +50,7 @@
 #include "control/offline_disjunctive.hpp"
 #include "control/strategy.hpp"
 #include "debug/session.hpp"
+#include "fault/fault_plan.hpp"
 #include "mutex/kmutex.hpp"
 #include "obs/obs.hpp"
 #include "online/guard.hpp"
@@ -85,14 +95,33 @@ int usage() {
   std::cerr << "usage: predctl_tool [--trace-out=FILE] [--metrics-out=FILE] [--threads=N]\n"
                "                    feasible|detect|control|dot|races <deposet> "
                "[predicate] [realtime|simultaneous]\n"
-               "       predctl_tool [--trace-out=FILE] [--metrics-out=FILE] [--threads=N] "
+               "       predctl_tool [--trace-out=FILE] [--metrics-out=FILE] [--threads=N]\n"
+               "                    [--fault-seed=N] [--fault-drop=P] [--fault-crash=A@T] "
                "quickstart\n";
   return 2;
 }
 
+// Renders a watchdog verdict the way docs/TUTORIAL.md walks through it.
+void print_control_failure(const debug::GuardedObservation& g) {
+  std::cout << "  watchdog verdict: " << debug::to_string(g.failure.kind) << "\n"
+            << "    detail:          " << g.failure.detail << "\n"
+            << "    blocked cut:     " << g.failure.blocked_cut << "\n";
+  std::cout << "    scapegoat chain:";
+  for (int32_t c : g.failure.scapegoat_chain) std::cout << " C" << c;
+  std::cout << "\n    recovery line:   " << g.failure.recovery.line << " ("
+            << g.failure.recovery.states_lost << " state(s) lost to rollback)\n";
+  for (const sim::AgentQuiescence& aq : g.failure.blocked) {
+    std::cout << "    blocked agent " << aq.agent << ": " << aq.waiting_reason;
+    if (aq.last_delivered.has_value())
+      std::cout << " (last delivery: type " << aq.last_delivered->type << " from agent "
+                << aq.last_delivered->from << " at t=" << aq.last_delivery_time << ")";
+    std::cout << "\n";
+  }
+}
+
 // The quickstart scenario of examples/quickstart.cpp, executed end to end on
 // the simulator so every instrumented layer records something.
-int run_quickstart() {
+int run_quickstart(const fault::FaultPlan* faults) {
   // Two processes, five states each, one message; B = "not both in the CS".
   DeposetBuilder builder(2);
   builder.set_length(0, 5);
@@ -131,19 +160,48 @@ int run_quickstart() {
   std::cout << "replay passed a violating state: "
             << (replayed.run_violated() ? "yes" : "no") << "\n";
 
+  // The fault plane, when requested: the same system guarded on-line by
+  // scapegoat controllers, under the injected plan. The control plane
+  // self-heals by retransmission; an unrecoverable failure comes back as a
+  // structured ControlFailure, never a hang.
+  const bool faulty = faults != nullptr && faults->active();
+  if (faulty) {
+    debug::GuardedObservation g = session.observe_guarded(/*seed=*/44, {}, faults);
+    std::cout << "guarded run under faults: "
+              << (g.failure.failed() ? "FAILED" : (g.degraded ? "degraded" : "ok")) << "\n"
+              << "  dropped " << g.obs.run.stats.messages_dropped << ", duplicated "
+              << g.obs.run.stats.messages_duplicated << ", crashes "
+              << g.obs.run.stats.crashes << "; retransmits " << g.telemetry.retransmits
+              << ", link give-ups " << g.telemetry.link_give_ups << "\n";
+    if (g.failure.failed()) print_control_failure(g);
+  }
+
   // On-line half: the Figure 3 scapegoat strategy guarding a fresh
-  // critical-section workload ((n-1)-mutual exclusion).
+  // critical-section workload ((n-1)-mutual exclusion). Crash events from
+  // the plan are NOT carried over -- their agent ids target the quickstart's
+  // guarded run above, not this workload's layout.
   mutex::CsWorkloadOptions workload;
   workload.num_processes = 4;
   workload.cs_per_process = 8;
   workload.seed = 11;
-  mutex::MutexRunResult guarded = mutex::run_scapegoat_mutex(workload);
+  fault::FaultPlan mutex_plan;
+  if (faulty) {
+    mutex_plan = *faults;
+    mutex_plan.crashes.clear();
+  }
+  mutex::MutexRunResult guarded =
+      mutex::run_scapegoat_mutex(workload, {}, faulty ? &mutex_plan : nullptr);
   std::cout << "guarded CS run: " << guarded.cs_entries << " entries, "
             << guarded.stats.control_messages << " control messages, safe: "
             << (guarded.max_concurrent_cs < workload.num_processes && !guarded.deadlocked
                     ? "yes"
                     : "no")
             << "\n";
+  if (faulty)
+    std::cout << "  CS run fault plane: dropped " << guarded.stats.messages_dropped
+              << ", retransmits " << guarded.telemetry.retransmits << ", give-ups "
+              << guarded.telemetry.link_give_ups << ", released "
+              << guarded.telemetry.released.size() << "\n";
   return replayed.run_violated() ? 1 : 0;
 }
 
@@ -152,6 +210,7 @@ int run_quickstart() {
 int main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
+  fault::FaultPlan fault_plan;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -166,7 +225,36 @@ int main(int argc, char** argv) {
         std::cerr << "predctl_tool: bad --threads value in '" << arg << "'\n";
         return 2;
       }
-    else
+    else if (arg.rfind("--fault-seed=", 0) == 0)
+      try {
+        fault_plan.seed = std::stoull(arg.substr(std::strlen("--fault-seed=")));
+      } catch (const std::exception&) {
+        std::cerr << "predctl_tool: bad --fault-seed value in '" << arg << "'\n";
+        return 2;
+      }
+    else if (arg.rfind("--fault-drop=", 0) == 0)
+      try {
+        fault_plan.plane(sim::Message::Plane::kControl).drop =
+            std::stod(arg.substr(std::strlen("--fault-drop=")));
+      } catch (const std::exception&) {
+        std::cerr << "predctl_tool: bad --fault-drop value in '" << arg << "'\n";
+        return 2;
+      }
+    else if (arg.rfind("--fault-crash=", 0) == 0) {
+      const std::string spec = arg.substr(std::strlen("--fault-crash="));
+      const size_t at = spec.find('@');
+      try {
+        if (at == std::string::npos) throw std::invalid_argument(spec);
+        fault::CrashEvent crash;
+        crash.agent = std::stoi(spec.substr(0, at));
+        crash.at = std::stoll(spec.substr(at + 1));
+        fault_plan.crashes.push_back(crash);
+      } catch (const std::exception&) {
+        std::cerr << "predctl_tool: bad --fault-crash value (want AGENT@TIME) in '" << arg
+                  << "'\n";
+        return 2;
+      }
+    } else
       args.push_back(arg);
   }
   if (!trace_out.empty() || !metrics_out.empty()) obs::set_enabled(true);
@@ -180,7 +268,8 @@ int main(int argc, char** argv) {
     int status = 2;
 
     if (cmd == "quickstart") {
-      status = run_quickstart();
+      fault_plan.validate();
+      status = run_quickstart(&fault_plan);
     } else if (args.size() < 2) {
       return usage();
     } else {

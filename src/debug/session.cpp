@@ -1,8 +1,12 @@
 #include "debug/session.hpp"
 
+#include <algorithm>
+
 #include "obs/obs.hpp"
+#include "online/guard.hpp"
 #include "predicates/global_predicate.hpp"
 #include "trace/lattice.hpp"
+#include "trace/recovery.hpp"
 #include "util/check.hpp"
 
 namespace predctrl::debug {
@@ -49,6 +53,123 @@ Session::Session(sim::ScriptedSystem system, LocalPredicate predicate,
 }
 
 Observation Session::observe(uint64_t seed) const { return observe_impl(seed, nullptr); }
+
+const char* to_string(ControlFailure::Kind kind) {
+  switch (kind) {
+    case ControlFailure::Kind::kNone: return "none";
+    case ControlFailure::Kind::kAssumptionViolated: return "assumption-violated";
+    case ControlFailure::Kind::kLostControlMessage: return "lost-control-message";
+    case ControlFailure::Kind::kCrashedHolder: return "crashed-holder";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// The liveness watchdog's classifier. Runs over the quiescence report and
+// controller telemetry of a guarded run that either stalled (deadlocked) or
+// degraded; precedence: crashed holder > lost control messages > A1.
+ControlFailure classify_control_failure(const GuardedObservation& g, int32_t n) {
+  ControlFailure f;
+  const sim::RunResult& run = g.obs.run;
+
+  // The frontier of the partial trace: the last state each process entered.
+  f.blocked_cut = Cut(n);
+  for (ProcessId p = 0; p < n; ++p)
+    f.blocked_cut[p] = static_cast<int32_t>(run.vars[static_cast<size_t>(p)].size()) - 1;
+
+  f.scapegoat_chain.reserve(g.telemetry.chain.size());
+  for (const auto& [at, controller] : g.telemetry.chain)
+    f.scapegoat_chain.push_back(controller);
+  f.blocked = run.quiescence.blocked;
+  f.recovery = compute_recovery_line(run.deposet, latest_checkpoints(run.deposet));
+
+  // Guards occupy agent ids [n, 2n) -- a crashed guard whose controller
+  // still reports is_scapegoat() (state frozen at the crash) is a crashed
+  // anti-token holder.
+  for (sim::AgentId a : run.quiescence.crashed) {
+    const int32_t guard_index = a - n;
+    if (guard_index < 0 || guard_index >= n) continue;
+    if (std::find(g.telemetry.holders_at_end.begin(), g.telemetry.holders_at_end.end(),
+                  guard_index) == g.telemetry.holders_at_end.end())
+      continue;
+    f.kind = ControlFailure::Kind::kCrashedHolder;
+    f.detail = "controller " + std::to_string(guard_index) +
+               " crashed while holding the anti-token; handoffs aimed at it can "
+               "never complete";
+    return f;
+  }
+
+  if (g.telemetry.link_give_ups > 0) {
+    f.kind = ControlFailure::Kind::kLostControlMessage;
+    f.detail = "control messages lost beyond retransmission (" +
+               std::to_string(g.telemetry.link_give_ups) + " give-ups after " +
+               std::to_string(g.telemetry.retransmits) + " retransmits)";
+    if (g.telemetry.control_released())
+      f.detail += "; control released by controller " +
+                  std::to_string(g.telemetry.released.front()) +
+                  " -- run completed degraded";
+    return f;
+  }
+
+  f.kind = ControlFailure::Kind::kAssumptionViolated;
+  f.detail = run.quiescence.crashed.empty()
+                 ? std::string(
+                       "guarded run blocked with control intact: the system "
+                       "violates assumption A1 (a process blocks while its local "
+                       "predicate is false)")
+                 : std::string("agent outage stalled the run: a crashed agent "
+                               "blocks forever, violating the progress assumption A1");
+  return f;
+}
+
+}  // namespace
+
+GuardedObservation Session::observe_guarded(uint64_t seed,
+                                            const online::ScapegoatOptions& strategy,
+                                            const fault::FaultPlan* faults) const {
+  PREDCTRL_OBS_SPAN(span, "session.observe_guarded", "session");
+  const int32_t n = static_cast<int32_t>(system_.size());
+
+  // Static truth table: a script's variables at state (p, k) are
+  // initial_vars overlaid with updates[0..k-1], independent of scheduling,
+  // so l_p over every reachable state is known before any run.
+  PredicateTable truth(system_.size());
+  for (size_t p = 0; p < system_.size(); ++p) {
+    sim::VarMap vars = system_[p].initial_vars;
+    truth[p].push_back(predicate_(static_cast<ProcessId>(p), vars));
+    for (const sim::Instr& instr : system_[p].instrs) {
+      for (const auto& [k, v] : instr.updates) vars[k] = v;
+      truth[p].push_back(predicate_(static_cast<ProcessId>(p), vars));
+    }
+  }
+  truth = online::enforce_online_assumptions(system_, truth);
+
+  sim::SimOptions opt = options_;
+  opt.seed = seed;
+
+  GuardedObservation g;
+  g.obs.run = online::run_scripts_guarded(system_, truth, opt, strategy, faults,
+                                          &g.telemetry);
+  g.obs.predicate = g.obs.run.predicate_table(predicate_);
+  g.degraded = g.telemetry.control_released();
+
+  // Liveness watchdog: a stalled or degraded run gets a structured verdict,
+  // never a bare deadlock flag.
+  if (g.obs.run.deadlocked || g.degraded) {
+    PREDCTRL_OBS_SPAN(wspan, "session.watchdog", "session");
+    g.failure = classify_control_failure(g, n);
+    wspan.add_arg("kind", std::string(to_string(g.failure.kind)));
+    PREDCTRL_OBS_COUNT("session.watchdog.firings", 1);
+  }
+
+  span.add_arg("seed", static_cast<int64_t>(seed));
+  span.add_arg("vt_us", g.obs.run.stats.end_time);
+  span.add_arg("control_messages", g.obs.run.stats.control_messages);
+  span.add_arg("retransmits", g.telemetry.retransmits);
+  span.add_arg("failure", std::string(to_string(g.failure.kind)));
+  return g;
+}
 
 Observation Session::observe_impl(uint64_t seed, const ControlStrategy* strategy) const {
   const char* phase = strategy == nullptr ? "observe" : "replay";

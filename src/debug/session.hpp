@@ -13,17 +13,26 @@
 //
 // The on-line half of the cycle (guarding fresh runs) lives in
 // online/scapegoat.hpp; examples/replicated_servers.cpp strings the whole
-// Section 7 story together.
+// Section 7 story together. Session::observe_guarded runs that on-line half
+// under this roof -- optionally under an injected FaultPlan -- and wraps it
+// in a liveness watchdog: a guarded run that quiesces with outstanding work
+// (or completes only by releasing control) comes back as a structured
+// ControlFailure naming the blocked cut, the scapegoat chain, and a
+// recovery line, never as a hang.
 #pragma once
 
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "control/offline_disjunctive.hpp"
 #include "control/strategy.hpp"
+#include "fault/fault_plan.hpp"
+#include "online/guard.hpp"
 #include "predicates/detection.hpp"
 #include "runtime/scripted.hpp"
+#include "trace/recovery.hpp"
 
 namespace predctrl::debug {
 
@@ -54,6 +63,52 @@ struct ControlOutcome {
   std::optional<ControlStrategy> strategy;
 };
 
+/// The watchdog's verdict on a guarded run that did not complete cleanly.
+/// Classification precedence: a crashed anti-token holder explains
+/// everything downstream of it; otherwise exhausted retransmissions point at
+/// lost control messages; otherwise the system itself broke assumption A1
+/// (blocked while false -- the paper's impossibility territory).
+struct ControlFailure {
+  enum class Kind : uint8_t {
+    kNone,                 ///< the run completed normally
+    kAssumptionViolated,   ///< A1 broken: a process blocked while false
+    kLostControlMessage,   ///< handoff traffic lost beyond recovery
+    kCrashedHolder,        ///< the scapegoat's controller crashed mid-hold
+  };
+  Kind kind = Kind::kNone;
+  /// Human-readable one-line diagnosis.
+  std::string detail;
+  /// The global state (one state index per process) the run was stuck at --
+  /// the frontier of the partial trace.
+  Cut blocked_cut;
+  /// Anti-token custody in adoption order (controller indices; the initial
+  /// scapegoat first). The last entry is the holder at failure time.
+  std::vector<int32_t> scapegoat_chain;
+  /// Engine-level evidence: each blocked agent with its waiting reason, last
+  /// delivered message, and pending timers.
+  std::vector<sim::AgentQuiescence> blocked;
+  /// Where a re-execution could safely resume: the greatest consistent cut
+  /// under the partial trace's final states (trace/recovery.hpp).
+  RecoveryLine recovery;
+
+  bool failed() const { return kind != Kind::kNone; }
+};
+
+/// Name of a ControlFailure kind, for logs and tools.
+const char* to_string(ControlFailure::Kind kind);
+
+/// Everything learned from one guarded (on-line controlled) observation.
+struct GuardedObservation {
+  Observation obs;
+  online::ScapegoatTelemetry telemetry;
+  /// kNone when the run completed with control intact.
+  ControlFailure failure;
+  /// True iff the run only completed because some controller released
+  /// control (graceful degradation): the trace is complete but the safety
+  /// guarantee lapsed from the release onward.
+  bool degraded = false;
+};
+
 class Session {
  public:
   /// `system` is the program under debug; `predicate` the safety property to
@@ -63,6 +118,18 @@ class Session {
 
   /// Runs the system once (seed selects the schedule) and returns the trace.
   Observation observe(uint64_t seed) const;
+
+  /// Runs the system once with every process gated by an on-line scapegoat
+  /// controller maintaining B (the predicate installed in this session),
+  /// optionally under an injected fault plan. The local truth table is
+  /// computed statically from the scripts (their variables evolve
+  /// schedule-independently) and adjusted by enforce_online_assumptions.
+  /// Never hangs: if the run quiesces with outstanding work, or completes
+  /// only by releasing control, the watchdog classifies the failure and the
+  /// partial trace is still returned in `obs`.
+  GuardedObservation observe_guarded(uint64_t seed,
+                                     const online::ScapegoatOptions& strategy = {},
+                                     const fault::FaultPlan* faults = nullptr) const;
 
   /// Off-line control (Figure 2) for the predicate over an observation.
   ControlOutcome synthesize_control(const Observation& obs,

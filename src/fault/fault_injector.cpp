@@ -1,0 +1,73 @@
+#include "fault/fault_injector.hpp"
+
+#include "util/check.hpp"
+
+namespace predctrl::fault {
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan), rng_(plan.seed) {
+  plan_.validate();
+}
+
+void FaultInjector::install(sim::SimEngine& engine) {
+  plan_.validate(engine.num_agents());
+  engine.set_fault_hook(this);
+  for (const CrashEvent& c : plan_.crashes) {
+    engine.schedule_crash(c.agent, c.at);
+    if (c.restart_at >= 0) engine.schedule_restart(c.agent, c.restart_at);
+  }
+}
+
+sim::FaultVerdict FaultInjector::on_send(const sim::Message& msg, sim::SimTime) {
+  const size_t plane = static_cast<size_t>(msg.plane);
+  const int64_t index = send_index_[plane]++;
+  ++stats_.considered[plane];
+  const PlaneRates& rates = plan_.rates[plane];
+
+  sim::FaultVerdict verdict;
+  // Scripted faults override the dice for their one send.
+  for (const ScriptedFault& s : plan_.script) {
+    if (s.plane != msg.plane || s.send_index != index) continue;
+    ++stats_.scripted_applied;
+    switch (s.action) {
+      case ScriptedFault::Action::kDrop:
+        verdict.drop = true;
+        return verdict;
+      case ScriptedFault::Action::kDuplicate:
+        verdict.duplicates = 1;
+        verdict.duplicate_delay = plan_.spike_min;
+        return verdict;
+      case ScriptedFault::Action::kDelaySpike:
+        verdict.spiked = true;
+        verdict.extra_delay = plan_.spike_max;
+        return verdict;
+      case ScriptedFault::Action::kReorder:
+        verdict.reordered = true;
+        verdict.extra_delay = plan_.reorder_max;
+        return verdict;
+    }
+  }
+
+  // Random faults: fixed draw order (drop, duplicate, spike, reorder) with
+  // a short-circuit after drop -- the sequence is a function of the
+  // deterministic send order alone. Rates of zero draw nothing, keeping a
+  // rate-free plan bit-identical to no plan at all.
+  if (rates.drop > 0 && rng_.chance(rates.drop)) {
+    verdict.drop = true;
+    return verdict;
+  }
+  if (rates.duplicate > 0 && rng_.chance(rates.duplicate)) {
+    verdict.duplicates = 1;
+    verdict.duplicate_delay = rng_.uniform(plan_.spike_min, plan_.spike_max);
+  }
+  if (rates.delay_spike > 0 && rng_.chance(rates.delay_spike)) {
+    verdict.spiked = true;
+    verdict.extra_delay += rng_.uniform(plan_.spike_min, plan_.spike_max);
+  }
+  if (rates.reorder > 0 && rng_.chance(rates.reorder)) {
+    verdict.reordered = true;
+    verdict.extra_delay += rng_.uniform(plan_.reorder_min, plan_.reorder_max);
+  }
+  return verdict;
+}
+
+}  // namespace predctrl::fault

@@ -1,0 +1,49 @@
+// The runtime half of the fault plane: turns a FaultPlan into per-send
+// verdicts (sim::FaultHook) and wires the plan's crash/restart schedule
+// into a SimEngine.
+//
+// Layering: runtime/sim.hpp knows only the abstract FaultHook -- the engine
+// applies verdicts mechanically and keeps counters; every policy decision
+// and every random draw lives here, on the injector's own Rng (seeded from
+// the plan), so the engine's Rng sequence is untouched by fault injection.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_plan.hpp"
+#include "runtime/sim.hpp"
+#include "util/rng.hpp"
+
+namespace predctrl::fault {
+
+/// Per-plane injector accounting, beyond the engine's SimStats counters:
+/// how many sends were even considered (the denominators for rates).
+struct InjectorStats {
+  int64_t considered[3] = {0, 0, 0};  ///< sends seen, by plane
+  int64_t scripted_applied = 0;       ///< scripted faults that matched
+};
+
+class FaultInjector : public sim::FaultHook {
+ public:
+  /// The plan is copied; it is validated (agent ids deferred to install).
+  explicit FaultInjector(const FaultPlan& plan);
+
+  /// Installs this injector on the engine: sets the fault hook and
+  /// schedules every crash/restart event. The injector must outlive the
+  /// engine's run(). Validates the plan's agent ids against the engine.
+  void install(sim::SimEngine& engine);
+
+  sim::FaultVerdict on_send(const sim::Message& msg, sim::SimTime now) override;
+
+  const FaultPlan& plan() const { return plan_; }
+  const InjectorStats& stats() const { return stats_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  InjectorStats stats_;
+  /// Per-plane send counters for scripted-fault matching.
+  int64_t send_index_[3] = {0, 0, 0};
+};
+
+}  // namespace predctrl::fault

@@ -1,0 +1,39 @@
+#include "fault/fault_plan.hpp"
+
+#include "util/check.hpp"
+
+namespace predctrl::fault {
+
+bool FaultPlan::active() const {
+  for (const PlaneRates& r : rates)
+    if (r.any()) return true;
+  return !crashes.empty() || !script.empty();
+}
+
+void FaultPlan::validate(int32_t num_agents) const {
+  auto check_rate = [](double p, const char* what) {
+    PREDCTRL_CHECK(p >= 0.0 && p <= 1.0, std::string(what) + " rate must be in [0, 1]");
+  };
+  for (const PlaneRates& r : rates) {
+    check_rate(r.drop, "drop");
+    check_rate(r.duplicate, "duplicate");
+    check_rate(r.delay_spike, "delay_spike");
+    check_rate(r.reorder, "reorder");
+  }
+  PREDCTRL_CHECK(spike_min >= 0 && spike_min <= spike_max, "bad spike delay range");
+  PREDCTRL_CHECK(reorder_min >= 0 && reorder_min <= reorder_max, "bad reorder delay range");
+  for (const CrashEvent& c : crashes) {
+    PREDCTRL_CHECK(c.agent >= 0, "crash event names a negative agent id");
+    if (num_agents >= 0)
+      PREDCTRL_CHECK(c.agent < num_agents, "crash event names an unknown agent");
+    PREDCTRL_CHECK(c.at > 0,
+                   "crash at time <= 0 would precede on_start -- agents must start "
+                   "before they can crash");
+    PREDCTRL_CHECK(c.restart_at < 0 || c.restart_at > c.at,
+                   "restart must come strictly after the crash");
+  }
+  for (const ScriptedFault& s : script)
+    PREDCTRL_CHECK(s.send_index >= 0, "scripted fault send_index must be >= 0");
+}
+
+}  // namespace predctrl::fault

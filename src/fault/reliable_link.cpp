@@ -1,0 +1,85 @@
+#include "fault/reliable_link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace predctrl::fault {
+
+void ReliableLink::send(sim::AgentContext& ctx, sim::AgentId to, sim::Message msg) {
+  if (!options_.enabled) {
+    ctx.send(to, std::move(msg));
+    return;
+  }
+  const int64_t seq = next_seq_++;
+  msg.b = seq;
+  msg.from = ctx.self();
+  msg.to = to;
+  Outstanding out;
+  out.msg = msg;
+  out.attempts = 0;
+  out.next_timeout = options_.timeout;
+  outstanding_.emplace(seq, std::move(out));
+  ctx.send(to, std::move(msg));
+  ctx.set_timer(options_.timeout, kLinkTimerBase + seq);
+}
+
+bool ReliableLink::on_message(sim::AgentContext& ctx, const sim::Message& msg) {
+  if (msg.type == kLinkAck) {
+    outstanding_.erase(msg.a);
+    return true;
+  }
+  if (!options_.enabled) return false;
+  // Only control-plane traffic travels reliably; gate messages and
+  // application traffic pass straight through.
+  if (msg.plane != sim::Message::Plane::kControl) return false;
+
+  // Ack EVERY delivery, original and duplicate alike -- the previous ack may
+  // itself have been dropped. The ack is a plain (unreliable) send: loss is
+  // covered by the sender's retransmission.
+  sim::Message ack;
+  ack.type = kLinkAck;
+  ack.a = msg.b;
+  ack.plane = sim::Message::Plane::kControl;
+  ctx.send(msg.from, std::move(ack));
+  ++stats_.acks_sent;
+
+  auto [it, fresh] = seen_[msg.from].emplace(msg.b);
+  (void)it;
+  if (!fresh) {
+    ++stats_.duplicates_suppressed;
+    PREDCTRL_OBS_COUNT("fault.link.duplicates_suppressed", 1);
+    return true;  // protocol already saw this one
+  }
+  return false;  // fresh: hand it up to the protocol
+}
+
+bool ReliableLink::on_timer(sim::AgentContext& ctx, int64_t timer_id) {
+  if (timer_id < kLinkTimerBase) return false;
+  const int64_t seq = timer_id - kLinkTimerBase;
+  auto it = outstanding_.find(seq);
+  if (it == outstanding_.end()) return true;  // acked; stale timer
+  Outstanding& out = it->second;
+  if (out.attempts >= options_.max_retries) {
+    ++stats_.give_ups;
+    PREDCTRL_OBS_COUNT("fault.link.give_ups", 1);
+    const sim::Message lost = out.msg;
+    outstanding_.erase(it);
+    if (give_up_) give_up_(ctx, lost);
+    return true;
+  }
+  ++out.attempts;
+  ++stats_.retransmits;
+  PREDCTRL_OBS_COUNT("fault.link.retransmits", 1);
+  ctx.send(out.msg.to, out.msg);
+  out.next_timeout = std::min<sim::SimTime>(
+      static_cast<sim::SimTime>(static_cast<double>(out.next_timeout) * options_.backoff),
+      options_.max_timeout);
+  PREDCTRL_OBS_RECORD("fault.link.backoff_us", out.next_timeout);
+  ctx.set_timer(out.next_timeout, timer_id);
+  return true;
+}
+
+}  // namespace predctrl::fault

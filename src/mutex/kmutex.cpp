@@ -1,8 +1,11 @@
 #include "mutex/kmutex.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <memory>
+#include <optional>
 
+#include "fault/fault_injector.hpp"
 #include "online/generalized_scapegoat.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -37,6 +40,7 @@ MutexRunResult collect(SimEngine& engine, const std::vector<CsProcess*>& procs,
   MutexRunResult result;
   result.stats = engine.run();
   result.deadlocked = !engine.blocked_agents().empty();
+  result.quiescence = engine.quiescence_report();
   for (CsProcess* p : procs) {
     result.cs_entries += p->entries();
     result.response_delays.insert(result.response_delays.end(), p->response_delays().begin(),
@@ -205,7 +209,8 @@ class RingGuard : public sim::Agent {
 }  // namespace
 
 MutexRunResult run_scapegoat_mutex(const CsWorkloadOptions& options,
-                                   const ScapegoatOptions& strategy) {
+                                   const ScapegoatOptions& strategy,
+                                   const fault::FaultPlan* faults) {
   const int32_t n = options.num_processes;
   PREDCTRL_CHECK(n >= 2, "scapegoat mutex needs at least two processes");
 
@@ -220,13 +225,37 @@ MutexRunResult run_scapegoat_mutex(const CsWorkloadOptions& options,
     procs.push_back(p.get());
     engine.add_agent(std::move(p));
   }
+  const bool faulty = faults != nullptr && faults->active();
+  ScapegoatOptions opts = strategy;
+  if (faulty) opts.link.enabled = true;  // self-healing only when needed
   std::vector<AgentId> controller_ids;
   for (int32_t i = 0; i < n; ++i) controller_ids.push_back(n + i);
-  for (int32_t i = 0; i < n; ++i)
-    engine.add_agent(
-        std::make_unique<ScapegoatController>(controller_ids, i, /*process=*/i, strategy));
+  std::vector<ScapegoatController*> controllers;
+  for (int32_t i = 0; i < n; ++i) {
+    auto c = std::make_unique<ScapegoatController>(controller_ids, i, /*process=*/i, opts);
+    controllers.push_back(c.get());
+    engine.add_agent(std::move(c));
+  }
+  std::optional<fault::FaultInjector> injector;
+  if (faulty) {
+    injector.emplace(*faults);
+    injector->install(engine);
+  }
 
-  return collect(engine, procs, log, n);
+  MutexRunResult result = collect(engine, procs, log, n);
+  for (size_t i = 0; i < controllers.size(); ++i) {
+    const ScapegoatController* c = controllers[i];
+    for (sim::SimTime at : c->adoptions())
+      result.telemetry.chain.emplace_back(at, static_cast<int32_t>(i));
+    result.telemetry.retransmits += c->link_stats().retransmits;
+    result.telemetry.link_give_ups += c->link_stats().give_ups;
+    result.telemetry.duplicates_suppressed += c->link_stats().duplicates_suppressed;
+    if (c->released_control()) result.telemetry.released.push_back(static_cast<int32_t>(i));
+    if (c->is_scapegoat())
+      result.telemetry.holders_at_end.push_back(static_cast<int32_t>(i));
+  }
+  std::sort(result.telemetry.chain.begin(), result.telemetry.chain.end());
+  return result;
 }
 
 MutexRunResult run_generalized_kmutex(const CsWorkloadOptions& options, int32_t k) {

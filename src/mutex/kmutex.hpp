@@ -19,14 +19,19 @@
 // which is what benches E6-E8 tabulate.
 #pragma once
 
+#include "fault/fault_plan.hpp"
 #include "mutex/workload.hpp"
 #include "online/scapegoat.hpp"
 
 namespace predctrl::mutex {
 
-/// The paper's strategy as (n-1)-mutual exclusion.
+/// The paper's strategy as (n-1)-mutual exclusion. An active `faults` plan
+/// injects its message faults and crashes into the run and arms the
+/// controllers' ack+retransmit layer (MutexRunResult::telemetry reports the
+/// scapegoat chain and link statistics).
 MutexRunResult run_scapegoat_mutex(const CsWorkloadOptions& options,
-                                   const online::ScapegoatOptions& strategy = {});
+                                   const online::ScapegoatOptions& strategy = {},
+                                   const fault::FaultPlan* faults = nullptr);
 
 /// k-mutual exclusion for arbitrary k via n-k anti-tokens (the paper's
 /// closing generalization, online/generalized_scapegoat.hpp). Requires

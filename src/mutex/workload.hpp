@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "online/scapegoat.hpp"
 #include "runtime/sim.hpp"
 
 namespace predctrl::mutex {
@@ -96,6 +97,10 @@ struct MutexRunResult {
   int64_t cs_entries = 0;
   int32_t max_concurrent_cs = 0;
   bool deadlocked = false;
+  /// Engine quiescence context (who was blocked / crashed and why).
+  sim::QuiescenceReport quiescence;
+  /// Control-plane health (filled by run_scapegoat_mutex; empty elsewhere).
+  online::ScapegoatTelemetry telemetry;
 
   double mean_response() const;
   sim::SimTime max_response() const;

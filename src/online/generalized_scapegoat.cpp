@@ -1,5 +1,6 @@
 #include "online/generalized_scapegoat.hpp"
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace predctrl::online {
@@ -11,16 +12,21 @@ using sim::Message;
 GeneralizedScapegoatController::GeneralizedScapegoatController(
     std::vector<AgentId> peers, int32_t index, AgentId process_agent,
     const GeneralizedScapegoatOptions& options)
-    : peers_(std::move(peers)), index_(index), process_agent_(process_agent) {
+    : peers_(std::move(peers)), index_(index), process_agent_(process_agent),
+      link_(options.link) {
   PREDCTRL_CHECK(index_ >= 0 && index_ < static_cast<int32_t>(peers_.size()),
                  "controller index out of range");
   PREDCTRL_CHECK(options.anti_tokens >= 1 &&
                      options.anti_tokens < static_cast<int32_t>(peers_.size()),
                  "anti-token count must be in [1, n-1]");
   holder_ = (index_ < options.anti_tokens);
+  if (holder_) adoptions_.push_back(0);
+  link_.set_give_up(
+      [this](AgentContext& ctx, const Message& lost) { handle_give_up(ctx, lost); });
 }
 
 void GeneralizedScapegoatController::on_message(AgentContext& ctx, const Message& msg) {
+  if (link_.on_message(ctx, msg)) return;
   switch (msg.type) {
     case kWantFalse:
       handle_want_false(ctx);
@@ -32,6 +38,7 @@ void GeneralizedScapegoatController::on_message(AgentContext& ctx, const Message
         // the rest retry elsewhere.
         PREDCTRL_REQUIRE(!holder_, "holder accumulated deferred requests");
         holder_ = true;
+        adoptions_.push_back(ctx.now());
         reply(ctx, pending_reqs_.front(), kAck);
         for (size_t i = 1; i < pending_reqs_.size(); ++i)
           reply(ctx, pending_reqs_[i], kNak);
@@ -42,14 +49,22 @@ void GeneralizedScapegoatController::on_message(AgentContext& ctx, const Message
       handle_req(ctx, msg.from);
       break;
     case kAck:
-      PREDCTRL_REQUIRE(awaiting_reply_, "unsolicited ack");
+      if (!awaiting_reply_) {
+        PREDCTRL_CHECK(link_.enabled(), "unsolicited ack");
+        break;  // raced with a give-up/failover: harmless extra holder
+      }
       awaiting_reply_ = false;
+      handoff_failures_ = 0;
+      current_target_ = -1;
       ctx.mark_done();
       holder_ = false;
       grant(ctx);
       break;
     case kNak:
-      PREDCTRL_REQUIRE(awaiting_reply_, "unsolicited nak");
+      if (!awaiting_reply_) {
+        PREDCTRL_CHECK(link_.enabled(), "unsolicited nak");
+        break;
+      }
       ++naks_received_;
       try_next_target(ctx);  // retry another random controller
       break;
@@ -58,14 +73,23 @@ void GeneralizedScapegoatController::on_message(AgentContext& ctx, const Message
   }
 }
 
+void GeneralizedScapegoatController::on_timer(AgentContext& ctx, int64_t timer_id) {
+  if (link_.on_timer(ctx, timer_id)) return;
+  PREDCTRL_REQUIRE(false, "unknown timer in generalized scapegoat");
+}
+
 void GeneralizedScapegoatController::handle_want_false(AgentContext& ctx) {
-  PREDCTRL_CHECK(!want_since_.has_value(), "process issued overlapping kWantFalse");
+  if (want_since_.has_value()) {
+    PREDCTRL_CHECK(link_.enabled(), "process issued overlapping kWantFalse");
+    return;
+  }
   want_since_ = ctx.now();
   if (!holder_) {
     grant(ctx);
     return;
   }
   awaiting_reply_ = true;
+  handoff_failures_ = 0;
   ctx.mark_waiting("anti-token handoff");
   try_next_target(ctx);
 }
@@ -73,10 +97,44 @@ void GeneralizedScapegoatController::handle_want_false(AgentContext& ctx) {
 void GeneralizedScapegoatController::try_next_target(AgentContext& ctx) {
   size_t pick = ctx.rng().index(peers_.size() - 1);
   if (pick >= static_cast<size_t>(index_)) ++pick;
+  try_target(ctx, pick);
+}
+
+void GeneralizedScapegoatController::try_target(AgentContext& ctx, size_t peer_index) {
+  current_target_ = static_cast<int32_t>(peer_index);
   Message req;
   req.type = kReq;
   req.plane = Message::Plane::kControl;
-  ctx.send(peers_[pick], req);
+  link_.send(ctx, peers_[peer_index], req);
+}
+
+void GeneralizedScapegoatController::handle_give_up(AgentContext& ctx,
+                                                    const Message& lost) {
+  if (lost.type != kReq) return;  // a lost kAck/kNak: nothing we can redo here
+  if (!awaiting_reply_) return;
+  ++handoff_failures_;
+  if (handoff_failures_ >= static_cast<int32_t>(peers_.size()) - 1) {
+    release_anti_token(ctx);
+    return;
+  }
+  // Deterministic round-robin failover past the unreachable peer.
+  size_t next = (static_cast<size_t>(current_target_) + 1) % peers_.size();
+  if (next == static_cast<size_t>(index_)) next = (next + 1) % peers_.size();
+  PREDCTRL_OBS_COUNT("online.scapegoat.failovers", 1);
+  try_target(ctx, next);
+}
+
+void GeneralizedScapegoatController::release_anti_token(AgentContext& ctx) {
+  // Graceful degradation: all peers unreachable -- drop the anti-token and
+  // let the process proceed. The k-exclusion guarantee weakens by one token;
+  // the run completes and the session reports the failure.
+  awaiting_reply_ = false;
+  current_target_ = -1;
+  ctx.mark_done();
+  holder_ = false;
+  released_ = true;
+  PREDCTRL_OBS_COUNT("online.scapegoat.releases", 1);
+  grant(ctx);
 }
 
 void GeneralizedScapegoatController::handle_req(AgentContext& ctx, AgentId from) {
@@ -90,6 +148,7 @@ void GeneralizedScapegoatController::handle_req(AgentContext& ctx, AgentId from)
     return;
   }
   holder_ = true;
+  adoptions_.push_back(ctx.now());
   reply(ctx, from, kAck);
 }
 
@@ -107,7 +166,7 @@ void GeneralizedScapegoatController::reply(AgentContext& ctx, AgentId to, int32_
   Message m;
   m.type = type;
   m.plane = Message::Plane::kControl;
-  ctx.send(to, m);
+  link_.send(ctx, to, m);
 }
 
 }  // namespace predctrl::online

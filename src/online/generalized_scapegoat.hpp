@@ -22,12 +22,19 @@
 // retry loop terminates. Expected handoff cost rises as k shrinks (more
 // holders -> more Naks) -- the crossover against classic k-token algorithms
 // is measured by bench_k_anti_tokens.
+//
+// Under an active FaultPlan the kReq/kAck/kNak traffic runs over a
+// fault::ReliableLink; a req whose every retransmission is lost fails over
+// to the next peer (deterministic round-robin), and n-1 consecutive
+// give-ups release the anti-token outright (graceful degradation, mirroring
+// ScapegoatController).
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "fault/reliable_link.hpp"
 #include "online/scapegoat.hpp"
 #include "runtime/sim.hpp"
 
@@ -42,6 +49,8 @@ struct GeneralizedScapegoatOptions {
   /// Number of anti-tokens m = n - k; controllers 0..m-1 start as holders
   /// (their processes must start true).
   int32_t anti_tokens = 1;
+  /// Control-plane reliability; enabled iff an active FaultPlan is in play.
+  fault::ReliableLinkOptions link;
 };
 
 /// Controller for one process in the generalized protocol. Uses the same
@@ -54,27 +63,43 @@ class GeneralizedScapegoatController : public sim::Agent {
                                  const GeneralizedScapegoatOptions& options);
 
   void on_message(sim::AgentContext& ctx, const sim::Message& msg) override;
+  void on_timer(sim::AgentContext& ctx, int64_t timer_id) override;
 
   bool holds_anti_token() const { return holder_; }
   int64_t naks_received() const { return naks_received_; }
 
+  /// Times at which this controller adopted an anti-token (initial holders
+  /// record t = 0).
+  const std::vector<sim::SimTime>& adoptions() const { return adoptions_; }
+  const fault::LinkStats& link_stats() const { return link_.stats(); }
+  bool released_control() const { return released_; }
+
  private:
   void handle_want_false(sim::AgentContext& ctx);
   void handle_req(sim::AgentContext& ctx, sim::AgentId from);
+  void handle_give_up(sim::AgentContext& ctx, const sim::Message& lost);
   void try_next_target(sim::AgentContext& ctx);
+  void try_target(sim::AgentContext& ctx, size_t peer_index);
+  void release_anti_token(sim::AgentContext& ctx);
   void grant(sim::AgentContext& ctx);
   void reply(sim::AgentContext& ctx, sim::AgentId to, int32_t type);
 
   std::vector<sim::AgentId> peers_;
   int32_t index_;
   sim::AgentId process_agent_;
+  fault::ReliableLink link_;
 
   bool holder_ = false;
   bool proc_true_ = true;
   bool awaiting_reply_ = false;
+  bool released_ = false;
   std::optional<sim::SimTime> want_since_;
   std::vector<sim::AgentId> pending_reqs_;
   int64_t naks_received_ = 0;
+  /// Failover state (mirrors ScapegoatController).
+  int32_t current_target_ = -1;
+  int32_t handoff_failures_ = 0;
+  std::vector<sim::SimTime> adoptions_;
 };
 
 }  // namespace predctrl::online

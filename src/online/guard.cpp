@@ -1,5 +1,7 @@
 #include "online/guard.hpp"
 
+#include <algorithm>
+
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 
@@ -8,7 +10,9 @@ namespace predctrl::online {
 sim::RunResult run_scripts_guarded(const sim::ScriptedSystem& system,
                                    const PredicateTable& truth,
                                    const sim::SimOptions& options,
-                                   const ScapegoatOptions& strategy) {
+                                   const ScapegoatOptions& strategy,
+                                   const fault::FaultPlan* faults,
+                                   ScapegoatTelemetry* telemetry) {
   const int32_t n = static_cast<int32_t>(system.size());
   PREDCTRL_CHECK(static_cast<int32_t>(truth.size()) == n,
                  "truth table does not match the system");
@@ -25,21 +29,49 @@ sim::RunResult run_scripts_guarded(const sim::ScriptedSystem& system,
   }
 
   PREDCTRL_OBS_SPAN(span, "online.guarded_run", "online");
+  const bool faulty = faults != nullptr && faults->active();
   sim::OnlineGating gating;
   gating.truth = truth;
+  // Raw controller pointers for post-run telemetry harvesting; the engine
+  // owns the agents and outlives the on_quiesce callback.
+  std::vector<ScapegoatController*> controllers(static_cast<size_t>(n), nullptr);
   gating.make_guards = [&, initial](sim::SimEngine& engine) {
     std::vector<sim::AgentId> guards;
     std::vector<sim::AgentId> controller_ids;
     for (int32_t i = 0; i < n; ++i) controller_ids.push_back(n + i);
     ScapegoatOptions opts = strategy;
     opts.initial_scapegoat = initial;
-    for (int32_t i = 0; i < n; ++i)
-      guards.push_back(engine.add_agent(std::make_unique<ScapegoatController>(
+    // The reliability layer rides along only when faults can actually occur:
+    // a fault-free guarded run carries zero extra control traffic.
+    if (faulty) opts.link.enabled = true;
+    for (int32_t i = 0; i < n; ++i) {
+      auto controller = std::make_unique<ScapegoatController>(
           controller_ids, i, /*process=*/i, opts,
-          /*process_starts_true=*/truth[static_cast<size_t>(i)][0])));
+          /*process_starts_true=*/truth[static_cast<size_t>(i)][0]);
+      controllers[static_cast<size_t>(i)] = controller.get();
+      guards.push_back(engine.add_agent(std::move(controller)));
+    }
     return guards;
   };
-  sim::RunResult result = sim::run_scripts(system, options, /*strategy=*/nullptr, &gating);
+  if (telemetry != nullptr) {
+    gating.on_quiesce = [&controllers, telemetry](sim::SimEngine&) {
+      *telemetry = {};
+      for (size_t i = 0; i < controllers.size(); ++i) {
+        const ScapegoatController* c = controllers[i];
+        if (c == nullptr) continue;
+        for (sim::SimTime at : c->adoptions())
+          telemetry->chain.emplace_back(at, static_cast<int32_t>(i));
+        telemetry->retransmits += c->link_stats().retransmits;
+        telemetry->link_give_ups += c->link_stats().give_ups;
+        telemetry->duplicates_suppressed += c->link_stats().duplicates_suppressed;
+        if (c->released_control()) telemetry->released.push_back(static_cast<int32_t>(i));
+        if (c->is_scapegoat()) telemetry->holders_at_end.push_back(static_cast<int32_t>(i));
+      }
+      std::sort(telemetry->chain.begin(), telemetry->chain.end());
+    };
+  }
+  sim::RunResult result = sim::run_scripts(system, options, /*strategy=*/nullptr, &gating,
+                                           /*detection=*/nullptr, faults);
   span.add_arg("processes", static_cast<int64_t>(n));
   span.add_arg("vt_us", result.stats.end_time);
   span.add_arg("control_messages", result.stats.control_messages);

@@ -10,6 +10,7 @@
 // while its local predicate is false) and A2 (l_i holds at final states).
 #pragma once
 
+#include "fault/fault_plan.hpp"
 #include "online/scapegoat.hpp"
 #include "runtime/scripted.hpp"
 #include "trace/random_trace.hpp"
@@ -22,10 +23,18 @@ namespace predctrl::online {
 /// `options.initial_scapegoat`, or -- when that index's initial state is not
 /// true -- the first process whose initial state is; B(initial global
 /// state) must hold (some row starts true).
+///
+/// `faults`, when active, injects the plan's message faults and crashes into
+/// the run AND arms the controllers' ack+retransmit layer (strategy.link is
+/// force-enabled), so lost handoff messages self-heal; `telemetry`, when
+/// non-null, receives the anti-token adoption chain and link statistics
+/// harvested from every controller at quiescence.
 sim::RunResult run_scripts_guarded(const sim::ScriptedSystem& system,
                                    const PredicateTable& truth,
                                    const sim::SimOptions& options,
-                                   const ScapegoatOptions& strategy = {});
+                                   const ScapegoatOptions& strategy = {},
+                                   const fault::FaultPlan* faults = nullptr,
+                                   ScapegoatTelemetry* telemetry = nullptr);
 
 /// Rewrites a predicate table so the paper's on-line assumptions hold for
 /// the given system: states where a process waits on a receive are forced

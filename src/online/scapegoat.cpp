@@ -14,15 +14,22 @@ ScapegoatController::ScapegoatController(std::vector<AgentId> peers, int32_t ind
                                          const ScapegoatOptions& options,
                                          bool process_starts_true)
     : peers_(std::move(peers)), index_(index), process_agent_(process_agent),
-      options_(options), proc_true_(process_starts_true) {
+      options_(options), link_(options.link), proc_true_(process_starts_true) {
   PREDCTRL_CHECK(index_ >= 0 && index_ < static_cast<int32_t>(peers_.size()),
                  "controller index out of range");
   scapegoat_ = (options_.initial_scapegoat == index_);
   PREDCTRL_CHECK(!scapegoat_ || proc_true_,
                  "the initial scapegoat's local predicate must hold initially");
+  if (scapegoat_) adoptions_.push_back(0);
+  link_.set_give_up(
+      [this](AgentContext& ctx, const Message& lost) { handle_give_up(ctx, lost); });
 }
 
 void ScapegoatController::on_message(AgentContext& ctx, const Message& msg) {
+  // The reliability layer sees everything first: it consumes transport acks
+  // and duplicate deliveries (a retransmitted req must not create a second
+  // scapegoat transfer).
+  if (link_.on_message(ctx, msg)) return;
   switch (msg.type) {
     case kWantFalse:
       handle_want_false(ctx);
@@ -33,6 +40,7 @@ void ScapegoatController::on_message(AgentContext& ctx, const Message& msg) {
         // pending && l_i(s): take the role and release every deferred
         // requester (each of them stays true until this ack arrives).
         scapegoat_ = true;
+        record_adoption(ctx.now());
         PREDCTRL_OBS_COUNT("online.scapegoat.transfers", 1);
         PREDCTRL_OBS_INSTANT("scapegoat.adopt", "online",
                              {"controller", obs::TraceRecorder::arg(
@@ -42,7 +50,7 @@ void ScapegoatController::on_message(AgentContext& ctx, const Message& msg) {
           Message ack;
           ack.type = kAck;
           ack.plane = Message::Plane::kControl;
-          ctx.send(requester, ack);
+          link_.send(ctx, requester, ack);
         }
         pending_reqs_.clear();
       }
@@ -58,8 +66,19 @@ void ScapegoatController::on_message(AgentContext& ctx, const Message& msg) {
   }
 }
 
+void ScapegoatController::on_timer(AgentContext& ctx, int64_t timer_id) {
+  if (link_.on_timer(ctx, timer_id)) return;
+  PREDCTRL_REQUIRE(false, "unknown timer in scapegoat controller");
+}
+
 void ScapegoatController::handle_want_false(AgentContext& ctx) {
-  PREDCTRL_CHECK(!want_since_.has_value(), "process issued overlapping kWantFalse");
+  if (want_since_.has_value()) {
+    // A restarted process may re-issue its gate request; with the
+    // reliability layer armed that is survivable noise, without it it is a
+    // protocol bug.
+    PREDCTRL_CHECK(link_.enabled(), "process issued overlapping kWantFalse");
+    return;
+  }
   want_since_ = ctx.now();
   if (!scapegoat_) {
     grant(ctx, /*handoff=*/false);
@@ -67,18 +86,27 @@ void ScapegoatController::handle_want_false(AgentContext& ctx) {
   }
   // scapegoat && !l_i(s'): hand the role off before going false.
   awaiting_ack_ = true;
+  handoff_failures_ = 0;
   ctx.mark_waiting("scapegoat handoff ack");
-  Message req;
-  req.type = kReq;
-  req.plane = Message::Plane::kControl;
   if (options_.broadcast) {
+    Message req;
+    req.type = kReq;
+    req.plane = Message::Plane::kControl;
     for (size_t j = 0; j < peers_.size(); ++j)
-      if (static_cast<int32_t>(j) != index_) ctx.send(peers_[j], req);
+      if (static_cast<int32_t>(j) != index_) link_.send(ctx, peers_[j], req);
   } else {
     size_t pick = ctx.rng().index(peers_.size() - 1);
     if (pick >= static_cast<size_t>(index_)) ++pick;
-    ctx.send(peers_[pick], req);
+    send_req(ctx, pick);
   }
+}
+
+void ScapegoatController::send_req(AgentContext& ctx, size_t peer_index) {
+  current_target_ = static_cast<int32_t>(peer_index);
+  Message req;
+  req.type = kReq;
+  req.plane = Message::Plane::kControl;
+  link_.send(ctx, peers_[peer_index], req);
 }
 
 void ScapegoatController::handle_req(AgentContext& ctx, AgentId from) {
@@ -95,11 +123,63 @@ void ScapegoatController::handle_req(AgentContext& ctx, AgentId from) {
 void ScapegoatController::handle_ack(AgentContext& ctx) {
   if (!awaiting_ack_) return;  // late ack from a broadcast: harmless extra scapegoat
   awaiting_ack_ = false;
+  handoff_failures_ = 0;
+  current_target_ = -1;
   ctx.mark_done();
   scapegoat_ = false;
   grant(ctx, /*handoff=*/true);
   // Requests deferred during the handoff now wait for kNowTrue (our process
   // is about to be false); nothing to do here.
+}
+
+void ScapegoatController::handle_give_up(AgentContext& ctx, const Message& lost) {
+  if (lost.type != kReq) {
+    // A lost kAck: the requester never unblocks on our account. We already
+    // hold (or kept) the scapegoat role, so safety is intact; the session
+    // watchdog reports the requester via the link give-up count.
+    return;
+  }
+  if (!awaiting_ack_) return;  // an ack arrived from another peer meanwhile
+  ++handoff_failures_;
+  if (options_.broadcast) {
+    // Broadcast already tried everyone at once; when every peer's req gave
+    // up, there is no one left to ask.
+    if (handoff_failures_ >= static_cast<int32_t>(peers_.size()) - 1)
+      release_control(ctx);
+    return;
+  }
+  if (handoff_failures_ >= static_cast<int32_t>(peers_.size()) - 1) {
+    release_control(ctx);
+    return;
+  }
+  // Deterministic round-robin failover: next peer after the one that failed,
+  // skipping self.
+  size_t next = (static_cast<size_t>(current_target_) + 1) % peers_.size();
+  if (next == static_cast<size_t>(index_)) next = (next + 1) % peers_.size();
+  PREDCTRL_OBS_COUNT("online.scapegoat.failovers", 1);
+  PREDCTRL_OBS_INSTANT("scapegoat.failover", "online",
+                       {"controller", obs::TraceRecorder::arg(static_cast<int64_t>(index_))},
+                       {"next_peer", obs::TraceRecorder::arg(static_cast<int64_t>(next))},
+                       {"vt_us", obs::TraceRecorder::arg(ctx.now())});
+  send_req(ctx, next);
+}
+
+void ScapegoatController::release_control(AgentContext& ctx) {
+  // Graceful degradation: every peer is unreachable, so blocking the process
+  // any longer can never succeed (Theorem 3 territory -- with lost control
+  // messages the guarantee is unattainable). Release the anti-token, grant
+  // the transition, and record the release; the guard surfaces it as a
+  // ControlFailure with the partial trace instead of deadlocking.
+  awaiting_ack_ = false;
+  current_target_ = -1;
+  ctx.mark_done();
+  scapegoat_ = false;
+  released_ = true;
+  PREDCTRL_OBS_COUNT("online.scapegoat.releases", 1);
+  PREDCTRL_OBS_INSTANT("scapegoat.release", "online",
+                       {"controller", obs::TraceRecorder::arg(static_cast<int64_t>(index_))},
+                       {"vt_us", obs::TraceRecorder::arg(ctx.now())});
+  grant(ctx, /*handoff=*/true);
 }
 
 void ScapegoatController::grant(AgentContext& ctx, bool handoff) {
@@ -127,6 +207,7 @@ void ScapegoatController::grant(AgentContext& ctx, bool handoff) {
 
 void ScapegoatController::become_scapegoat_and_ack(AgentContext& ctx, AgentId requester) {
   scapegoat_ = true;
+  record_adoption(ctx.now());
   PREDCTRL_OBS_COUNT("online.scapegoat.transfers", 1);
   PREDCTRL_OBS_INSTANT("scapegoat.adopt", "online",
                        {"controller", obs::TraceRecorder::arg(static_cast<int64_t>(index_))},
@@ -134,7 +215,9 @@ void ScapegoatController::become_scapegoat_and_ack(AgentContext& ctx, AgentId re
   Message ack;
   ack.type = kAck;
   ack.plane = Message::Plane::kControl;
-  ctx.send(requester, ack);
+  link_.send(ctx, requester, ack);
 }
+
+void ScapegoatController::record_adoption(sim::SimTime at) { adoptions_.push_back(at); }
 
 }  // namespace predctrl::online

@@ -28,12 +28,24 @@
 // other controller and proceeds on the first ack: response time approaches
 // 2T, at the price of n-1 messages per handoff (late acks simply add extra
 // scapegoats, which is safe -- more true processes, never fewer).
+//
+// Self-healing (this layer's extension beyond the paper): when a FaultPlan
+// is active the kReq/kAck handoff travels over a fault::ReliableLink
+// (ack + retransmission with deterministic backoff). If every retransmission
+// of a req to one peer fails, the controller fails over to the next peer in
+// deterministic round-robin order; once all n-1 peers have been tried and
+// lost, it *releases control* -- grants its process anyway and records the
+// release -- trading the safety guarantee for progress (graceful
+// degradation; the debug session surfaces the partial trace plus a
+// structured ControlFailure instead of hanging).
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "fault/reliable_link.hpp"
 #include "runtime/scripted.hpp"
 #include "runtime/sim.hpp"
 
@@ -56,6 +68,10 @@ struct ScapegoatOptions {
   bool broadcast = false;
   /// Which controller starts as scapegoat (the paper's init(i)).
   int32_t initial_scapegoat = 0;
+  /// Control-plane reliability (ack + retransmit). Disabled by default;
+  /// run_scripts_guarded / the mutex runners enable it iff an active
+  /// FaultPlan is installed, so fault-free runs carry zero extra traffic.
+  fault::ReliableLinkOptions link;
 };
 
 /// One per-request measurement: the delay between the process asking to go
@@ -66,6 +82,27 @@ struct ResponseSample {
   sim::SimTime granted_at = 0;
   bool was_scapegoat = false;  ///< the request needed a handoff
   sim::SimTime delay() const { return granted_at - requested_at; }
+};
+
+/// Control-plane health harvested from every controller after a guarded run
+/// -- who held the anti-token when, and what the reliability layer had to do
+/// to keep it moving.
+struct ScapegoatTelemetry {
+  /// Anti-token adoption history: (virtual time, controller index), sorted
+  /// by time. The initial scapegoat appears at t = 0; the last entry whose
+  /// controller still reports is_scapegoat() is the final holder.
+  std::vector<std::pair<sim::SimTime, int32_t>> chain;
+  int64_t retransmits = 0;
+  int64_t link_give_ups = 0;
+  int64_t duplicates_suppressed = 0;
+  /// Controllers that released control (graceful degradation): they granted
+  /// their process without a handoff after exhausting every peer.
+  std::vector<int32_t> released;
+  /// Controllers whose is_scapegoat() still held at quiescence -- for a
+  /// crashed controller, its state frozen at the crash, which is exactly how
+  /// the watchdog recognizes a crashed anti-token holder.
+  std::vector<int32_t> holders_at_end;
+  bool control_released() const { return !released.empty(); }
 };
 
 /// The Figure 3 controller. The paired process must send kWantFalse before
@@ -86,32 +123,52 @@ class ScapegoatController : public sim::Agent {
                       bool process_starts_true = true);
 
   void on_message(sim::AgentContext& ctx, const sim::Message& msg) override;
+  void on_timer(sim::AgentContext& ctx, int64_t timer_id) override;
 
   bool is_scapegoat() const { return scapegoat_; }
   const std::vector<ResponseSample>& responses() const { return responses_; }
+
+  /// Times at which this controller adopted the anti-token (the initial
+  /// scapegoat records t = 0).
+  const std::vector<sim::SimTime>& adoptions() const { return adoptions_; }
+  const fault::LinkStats& link_stats() const { return link_.stats(); }
+  /// True iff this controller gave up the handoff entirely and granted its
+  /// process without a successor scapegoat (graceful degradation).
+  bool released_control() const { return released_; }
 
  private:
   void handle_want_false(sim::AgentContext& ctx);
   void handle_req(sim::AgentContext& ctx, sim::AgentId from);
   void handle_ack(sim::AgentContext& ctx);
+  void handle_give_up(sim::AgentContext& ctx, const sim::Message& lost);
   void grant(sim::AgentContext& ctx, bool handoff);
   void become_scapegoat_and_ack(sim::AgentContext& ctx, sim::AgentId requester);
+  void send_req(sim::AgentContext& ctx, size_t peer_index);
+  void release_control(sim::AgentContext& ctx);
+  void record_adoption(sim::SimTime at);
 
   std::vector<sim::AgentId> peers_;
   int32_t index_;
   sim::AgentId process_agent_;
   ScapegoatOptions options_;
+  fault::ReliableLink link_;
 
   bool scapegoat_ = false;
   bool proc_true_ = true;  ///< conservative: false from grant until kNowTrue
   bool awaiting_ack_ = false;
+  bool released_ = false;
   std::optional<sim::SimTime> want_since_;
   /// Deferred scapegoat-transfer requests (either because our process is
   /// false, or because our own handoff is in flight -- the paper's blocking
   /// receive(ack) defers request processing the same way).
   std::vector<sim::AgentId> pending_reqs_;
+  /// Failover state: peer index of the in-flight req target, and how many
+  /// distinct peers this handoff has already given up on.
+  int32_t current_target_ = -1;
+  int32_t handoff_failures_ = 0;
 
   std::vector<ResponseSample> responses_;
+  std::vector<sim::SimTime> adoptions_;
 };
 
 }  // namespace predctrl::online

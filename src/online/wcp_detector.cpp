@@ -31,9 +31,18 @@ void WcpDetector::on_message(AgentContext& ctx, const Message& msg) {
     done_after_[p] = msg.b;
   } else {
     PREDCTRL_CHECK(msg.type == sim::kDetectCandidate, "unexpected detector message");
-    ++outcome().candidates_received;
     PREDCTRL_CHECK(msg.clock.size() == static_cast<size_t>(n_),
                    "candidate without a full vector clock");
+    // Duplicate deliveries (fault-plane duplication, or retransmission by a
+    // reliable sender) must not poison the drain check: a stale sequence
+    // number (< next_seq_) re-inserted into pending_ would sit there forever
+    // and defeat `pending_[p].empty()` below. Ignore anything already
+    // consumed or already queued.
+    if (msg.b < next_seq_[p] || pending_[p].contains(msg.b)) {
+      advance(ctx);
+      return;
+    }
+    ++outcome().candidates_received;
     Candidate c;
     c.state = static_cast<int32_t>(msg.a);
     // One slab append per candidate; the row view stays valid however the

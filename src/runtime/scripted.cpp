@@ -4,6 +4,8 @@
 #include <deque>
 #include <set>
 
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "util/check.hpp"
 
 namespace predctrl::sim {
@@ -70,6 +72,22 @@ class ScriptedProcess : public Agent {
     PREDCTRL_REQUIRE(phase_ == Phase::kWorking && timer_id == pc_,
                      "unexpected timer in scripted process");
     complete_event(ctx);
+  }
+
+  // Crash recovery: all recorded states survive (the Recorder is engine-
+  // external -- the moral equivalent of replaying the single-process
+  // recovery line of trace/recovery.hpp), but the in-flight instruction's
+  // timer and any undelivered messages are gone. Rejoin by re-attempting the
+  // current instruction from scratch; the gate latches are reset because a
+  // kGateGrant delivered during the outage was discarded with everything
+  // else (the guard tolerates the re-issued kWantFalse when the fault plane
+  // is armed).
+  void on_restart(AgentContext& ctx) override {
+    if (phase_ == Phase::kDone) return;
+    phase_ = Phase::kIdle;
+    grant_requested_ = false;
+    grant_received_ = false;
+    try_start(ctx);
   }
 
  private:
@@ -311,7 +329,7 @@ PredicateTable RunResult::predicate_table(
 
 RunResult run_scripts(const ScriptedSystem& system, const SimOptions& options,
                       const ControlStrategy* strategy, const OnlineGating* gating,
-                      const OnlineDetection* detection) {
+                      const OnlineDetection* detection, const fault::FaultPlan* faults) {
   PREDCTRL_CHECK(!system.empty(), "empty system");
   if (strategy != nullptr)
     PREDCTRL_CHECK(strategy->num_processes() == static_cast<int32_t>(system.size()),
@@ -357,10 +375,21 @@ RunResult run_scripts(const ScriptedSystem& system, const SimOptions& options,
     PREDCTRL_CHECK(got == detector_id, "detector must follow the processes/guards");
   }
 
+  // The injector lives on this frame (the engine holds only a raw hook
+  // pointer) and is armed only by an ACTIVE plan -- a null or inactive plan
+  // leaves the engine exactly as a pre-fault-plane build would run it.
+  std::optional<fault::FaultInjector> injector;
+  if (faults != nullptr && faults->active()) {
+    injector.emplace(*faults);
+    injector->install(engine);
+  }
+
   RunResult result;
   result.stats = engine.run();
   result.blocked = engine.blocked_agents();
   result.deadlocked = !result.blocked.empty() || engine.hit_time_limit();
+  result.quiescence = engine.quiescence_report();
+  if (gating != nullptr && gating->on_quiesce) gating->on_quiesce(engine);
 
   for (ProcessId p = 0; p < n; ++p)
     recorder.builder.set_length(

@@ -35,6 +35,10 @@
 #include "trace/deposet.hpp"
 #include "trace/random_trace.hpp"
 
+namespace predctrl::fault {
+struct FaultPlan;
+}
+
 namespace predctrl::sim {
 
 /// Local variable values of one state. Ordered map: deterministic rendering.
@@ -83,6 +87,10 @@ struct OnlineGating {
   /// Called after the n process agents (ids 0..n-1) are registered; must add
   /// one guard agent per process and return their ids in process order.
   std::function<std::vector<AgentId>(SimEngine&)> make_guards;
+  /// Called after the run, while the engine (and the guard agents) still
+  /// exist -- the hook through which callers harvest controller telemetry
+  /// (scapegoat chain, link stats) before run_scripts tears the engine down.
+  std::function<void(SimEngine&)> on_quiesce;
 };
 
 /// One instruction = one event = one new local state.
@@ -126,6 +134,9 @@ struct RunResult {
   /// Agents still waiting at quiescence: non-empty means deadlock.
   std::vector<std::pair<AgentId, std::string>> blocked;
   bool deadlocked = false;
+  /// Full per-agent quiescence context (last delivered message, pending
+  /// timers, crash state) -- the watchdog's evidence when `deadlocked`.
+  QuiescenceReport quiescence;
 
   /// The sequence of global states this run actually passed through
   /// (state entries ordered by time; simultaneous entries advance together).
@@ -142,11 +153,16 @@ struct RunResult {
 /// guarded by on-line controllers. The run can then deadlock only if the
 /// strategy was compiled with check_deadlock=false (experiments), the
 /// gated system violates assumption A1, or scripts themselves are
-/// mismatched.
+/// mismatched. With an ACTIVE fault plan (fault/fault_plan.hpp), a
+/// FaultInjector is installed for the run: messages may drop / duplicate /
+/// delay and agents may crash per the plan, all deterministically from the
+/// plan's own seed. An inactive (or null) plan leaves the run byte-identical
+/// to a build without the fault plane.
 RunResult run_scripts(const ScriptedSystem& system, const SimOptions& options,
                       const ControlStrategy* strategy = nullptr,
                       const OnlineGating* gating = nullptr,
-                      const OnlineDetection* detection = nullptr);
+                      const OnlineDetection* detection = nullptr,
+                      const fault::FaultPlan* faults = nullptr);
 
 /// Converts any deposet into an executable system: each event becomes an
 /// instruction (sends/receives derived from the message edges), with

@@ -1,8 +1,21 @@
 #include "runtime/sim.hpp"
 
+#include <algorithm>
+
 #include "obs/obs.hpp"
 
 namespace predctrl::sim {
+
+namespace {
+[[maybe_unused]] const char* plane_name(Message::Plane p) {
+  switch (p) {
+    case Message::Plane::kApplication: return "application";
+    case Message::Plane::kControl: return "control";
+    case Message::Plane::kLocal: return "local";
+  }
+  return "?";
+}
+}  // namespace
 
 SimTime AgentContext::now() const { return engine_.now(); }
 
@@ -30,7 +43,34 @@ AgentId SimEngine::add_agent(std::unique_ptr<Agent> agent) {
   PREDCTRL_CHECK(!running_, "cannot add agents while running");
   agents_.push_back(std::move(agent));
   waiting_.emplace_back();
+  crashed_.push_back(false);
+  crash_epoch_.push_back(0);
+  last_delivered_.emplace_back();
+  last_delivery_time_.push_back(-1);
+  pending_timers_.emplace_back();
   return static_cast<AgentId>(agents_.size() - 1);
+}
+
+void SimEngine::schedule_crash(AgentId id, SimTime at) {
+  PREDCTRL_CHECK(id >= 0 && id < num_agents(), "crash of unknown agent");
+  PREDCTRL_CHECK(at > 0,
+                 "crash at time <= 0 would precede on_start -- agents must start "
+                 "before they can crash");
+  queue_.push({PendingEvent::Kind::kCrash, at, next_seq_++, id, 0, 0, now_, {}});
+  note_queue_depth();
+}
+
+void SimEngine::schedule_restart(AgentId id, SimTime at) {
+  PREDCTRL_CHECK(id >= 0 && id < num_agents(), "restart of unknown agent");
+  PREDCTRL_CHECK(at > 0, "restart must happen at a positive virtual time");
+  queue_.push({PendingEvent::Kind::kRestart, at, next_seq_++, id, 0, 0, now_, {}});
+  note_queue_depth();
+}
+
+void SimEngine::enqueue_delivery(AgentId to, SimTime at, Message msg) {
+  queue_.push({PendingEvent::Kind::kMessage, at, next_seq_++, to, 0,
+               crash_epoch_[static_cast<size_t>(to)], now_, std::move(msg)});
+  note_queue_depth();
 }
 
 void SimEngine::send_from(AgentId from, AgentId to, Message msg) {
@@ -53,19 +93,40 @@ void SimEngine::send_from(AgentId from, AgentId to, Message msg) {
                          {"type", obs::TraceRecorder::arg(static_cast<int64_t>(msg.type))},
                          {"vt_us", obs::TraceRecorder::arg(now_)});
 
-  SimTime deliver_at = now_ + delay;
+  // Fault verdict AFTER the delay draw: installing a hook leaves the
+  // engine's Rng sequence untouched (the hook draws from its own Rng).
+  FaultVerdict verdict;
+  if (fault_hook_ != nullptr) verdict = fault_hook_->on_send(msg, now_);
+  if (verdict.drop) {
+    ++stats_.messages_dropped;
+    PREDCTRL_OBS_COUNT(std::string("fault.dropped{plane=") + plane_name(msg.plane) + "}", 1);
+    return;
+  }
+  if (verdict.spiked) ++stats_.delay_spikes;
+  if (verdict.reordered) ++stats_.messages_reordered;
+  if (verdict.spiked) PREDCTRL_OBS_COUNT("fault.delay_spikes", 1);
+  if (verdict.reordered) PREDCTRL_OBS_COUNT("fault.reordered", 1);
+
+  SimTime deliver_at = now_ + delay + verdict.extra_delay;
   if (options_.fifo_channels && msg.plane != Message::Plane::kLocal) {
     SimTime& front = channel_front_[{from, to}];
     if (deliver_at <= front) deliver_at = front + 1;
     front = deliver_at;
   }
-  queue_.push({deliver_at, next_seq_++, to, false, 0, now_, std::move(msg)});
-  note_queue_depth();
+  for (int32_t copy = 0; copy < verdict.duplicates; ++copy) {
+    ++stats_.messages_duplicated;
+    PREDCTRL_OBS_COUNT("fault.duplicated", 1);
+    enqueue_delivery(to, deliver_at + (copy + 1) * std::max<SimTime>(verdict.duplicate_delay, 1),
+                     msg);
+  }
+  enqueue_delivery(to, deliver_at, std::move(msg));
 }
 
 void SimEngine::timer_from(AgentId from, SimTime delay, int64_t timer_id) {
   PREDCTRL_CHECK(delay >= 0, "negative timer delay");
-  queue_.push({now_ + delay, next_seq_++, from, true, timer_id, now_, {}});
+  queue_.push({PendingEvent::Kind::kTimer, now_ + delay, next_seq_++, from, timer_id,
+               crash_epoch_[static_cast<size_t>(from)], now_, {}});
+  pending_timers_[static_cast<size_t>(from)].insert(timer_id);
   note_queue_depth();
 }
 
@@ -110,13 +171,54 @@ SimStats SimEngine::run() {
     }
     now_ = ev.time;
     ++stats_.events_processed;
-    if (ev.is_timer) ++stats_.timers_fired;
+    const size_t target = static_cast<size_t>(ev.target);
+
+    if (ev.kind == PendingEvent::Kind::kCrash) {
+      PREDCTRL_REQUIRE(!crashed_[target], "double crash of one agent");
+      crashed_[target] = true;
+      ++crash_epoch_[target];
+      waiting_[target].clear();  // dead, not blocked
+      ++stats_.crashes;
+      PREDCTRL_OBS_COUNT("fault.crashes", 1);
+      PREDCTRL_OBS_INSTANT("fault.crash", "fault",
+                           {"agent", obs::TraceRecorder::arg(static_cast<int64_t>(ev.target))},
+                           {"vt_us", obs::TraceRecorder::arg(now_)});
+      continue;
+    }
+    if (ev.kind == PendingEvent::Kind::kRestart) {
+      PREDCTRL_REQUIRE(crashed_[target], "restart of an agent that is not crashed");
+      crashed_[target] = false;
+      ++stats_.restarts;
+      PREDCTRL_OBS_COUNT("fault.restarts", 1);
+      PREDCTRL_OBS_INSTANT("fault.restart", "fault",
+                           {"agent", obs::TraceRecorder::arg(static_cast<int64_t>(ev.target))},
+                           {"vt_us", obs::TraceRecorder::arg(now_)});
+      AgentContext ctx(*this, ev.target);
+      agents_[target]->on_restart(ctx);
+      continue;
+    }
+
+    const bool is_timer = ev.kind == PendingEvent::Kind::kTimer;
+    if (is_timer) {
+      // Popped = no longer pending, whether it fires or was invalidated.
+      auto& pending = pending_timers_[target];
+      auto it = pending.find(ev.timer_id);
+      if (it != pending.end()) pending.erase(it);
+    }
+    // A crash discards every delivery enqueued before it (epoch mismatch),
+    // and a currently-crashed agent receives nothing.
+    if (crashed_[target] || ev.epoch != crash_epoch_[target]) {
+      ++stats_.deliveries_discarded;
+      PREDCTRL_OBS_COUNT("fault.discarded_deliveries", 1);
+      continue;
+    }
+    if (is_timer) ++stats_.timers_fired;
 
 #if PREDCTRL_OBS_ENABLED
     if (recording) {
       hooks.queue_depth->record(static_cast<int64_t>(queue_.size()) + 1);
-      hooks.agent_events[static_cast<size_t>(ev.target)]->increment();
-      if (!ev.is_timer) {
+      hooks.agent_events[target]->increment();
+      if (!is_timer) {
         hooks.latency[static_cast<size_t>(ev.msg.plane)]->record(ev.time - ev.sent_at);
         obs::default_recorder().instant(
             "sim.deliver", "sim",
@@ -130,10 +232,13 @@ SimStats SimEngine::run() {
 #endif
 
     AgentContext ctx(*this, ev.target);
-    if (ev.is_timer)
-      agents_[static_cast<size_t>(ev.target)]->on_timer(ctx, ev.timer_id);
-    else
-      agents_[static_cast<size_t>(ev.target)]->on_message(ctx, ev.msg);
+    if (is_timer) {
+      agents_[target]->on_timer(ctx, ev.timer_id);
+    } else {
+      last_delivered_[target] = ev.msg;
+      last_delivery_time_[target] = ev.time;
+      agents_[target]->on_message(ctx, ev.msg);
+    }
   }
 
   stats_.end_time = now_;
@@ -144,9 +249,34 @@ SimStats SimEngine::run() {
 std::vector<std::pair<AgentId, std::string>> SimEngine::blocked_agents() const {
   std::vector<std::pair<AgentId, std::string>> blocked;
   for (AgentId id = 0; id < num_agents(); ++id)
-    if (!waiting_[static_cast<size_t>(id)].empty())
+    if (!waiting_[static_cast<size_t>(id)].empty() && !crashed_[static_cast<size_t>(id)])
       blocked.emplace_back(id, waiting_[static_cast<size_t>(id)]);
   return blocked;
+}
+
+QuiescenceReport SimEngine::quiescence_report() const {
+  QuiescenceReport report;
+  for (AgentId id = 0; id < num_agents(); ++id) {
+    const size_t i = static_cast<size_t>(id);
+    if (crashed_[i]) report.crashed.push_back(id);
+    if (waiting_[i].empty() || crashed_[i]) continue;
+    AgentQuiescence q;
+    q.agent = id;
+    q.waiting_reason = waiting_[i];
+    q.crashed = false;
+    q.last_delivered = last_delivered_[i];
+    q.last_delivery_time = last_delivery_time_[i];
+    q.pending_timers.assign(pending_timers_[i].begin(), pending_timers_[i].end());
+    report.blocked.push_back(std::move(q));
+  }
+  return report;
+}
+
+std::vector<AgentId> SimEngine::crashed_agents() const {
+  std::vector<AgentId> crashed;
+  for (AgentId id = 0; id < num_agents(); ++id)
+    if (crashed_[static_cast<size_t>(id)]) crashed.push_back(id);
+  return crashed;
 }
 
 }  // namespace predctrl::sim

@@ -13,12 +13,22 @@
 // work until an awaited message arrives -- the engine's quiescence detector
 // reports agents that declared work outstanding, which is how tests observe
 // deadlocks (e.g. the Theorem 3 impossibility scenario).
+//
+// The reliable-channel assumption can be selectively broken: a FaultHook
+// (implemented by fault::FaultInjector, src/fault/) returns a verdict for
+// every send -- drop, duplicate, extra delay -- and crash/restart events can
+// be scheduled per agent. The engine applies verdicts mechanically; all
+// fault policy and randomness lives in the hook, drawn from the hook's own
+// seeded Rng so the engine's draws (and hence every fault-free run) are
+// byte-identical whether or not a hook is installed.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <queue>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -56,6 +66,28 @@ struct Message {
   /// only control messages).
   enum class Plane : uint8_t { kApplication, kControl, kLocal };
   Plane plane = Plane::kApplication;
+};
+
+/// Fault verdict for one send, returned by a FaultHook. The engine applies
+/// it mechanically on top of the normally drawn delivery delay; the flags
+/// exist only so the engine can keep per-kind counters.
+struct FaultVerdict {
+  bool drop = false;        ///< the message is never delivered
+  int32_t duplicates = 0;   ///< extra deliveries of the same message
+  SimTime extra_delay = 0;  ///< added to the drawn delay (spike / reorder)
+  SimTime duplicate_delay = 0;  ///< further delay of each duplicate copy
+  bool spiked = false;      ///< extra_delay stems from a delay spike
+  bool reordered = false;   ///< extra_delay stems from a reorder deferral
+};
+
+/// Injection point for message-plane faults. Implemented by
+/// fault::FaultInjector; the engine consults it once per send (after
+/// drawing the normal delay, so the engine's Rng sequence is unchanged by
+/// installing a hook).
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  virtual FaultVerdict on_send(const Message& msg, SimTime now) = 0;
 };
 
 class SimEngine;
@@ -102,6 +134,12 @@ class Agent {
     (void)ctx;
     (void)timer_id;
   }
+  /// Called when a scheduled restart revives a crashed agent. Deliveries
+  /// queued before the crash (messages and timers alike) are gone; the
+  /// default is to stay inert. Scripted processes override this to rejoin
+  /// from their last recorded state (the single-process recovery line of
+  /// trace/recovery.hpp).
+  virtual void on_restart(AgentContext& ctx) { (void)ctx; }
 };
 
 struct SimOptions {
@@ -134,6 +172,40 @@ struct SimStats {
   /// High-water mark of the pending-event queue during run().
   int64_t max_queue_depth = 0;
   SimTime end_time = 0;
+  // Fault-plane accounting (all zero without an installed FaultHook /
+  // crash schedule).
+  int64_t messages_dropped = 0;
+  int64_t messages_duplicated = 0;  ///< extra copies enqueued
+  int64_t delay_spikes = 0;
+  int64_t messages_reordered = 0;
+  int64_t crashes = 0;
+  int64_t restarts = 0;
+  /// Queued deliveries (messages and timers) discarded because the target
+  /// crashed after they were enqueued.
+  int64_t deliveries_discarded = 0;
+};
+
+/// Why one agent still has outstanding work at quiescence -- enough context
+/// for a watchdog to classify the failure, not just observe it.
+struct AgentQuiescence {
+  AgentId agent = -1;
+  std::string waiting_reason;  ///< the mark_waiting() string
+  bool crashed = false;
+  /// The last message delivered to this agent before it stalled (what it
+  /// acted on last), if any message was ever delivered.
+  std::optional<Message> last_delivered;
+  SimTime last_delivery_time = -1;
+  /// Timer ids scheduled for this agent but not yet fired (non-empty only
+  /// when the run stopped at the time limit; a naturally quiesced queue has
+  /// no pending timers by definition).
+  std::vector<int64_t> pending_timers;
+};
+
+/// Engine-level quiescence snapshot: the blocked agents with their context,
+/// plus every agent that is (still) crashed.
+struct QuiescenceReport {
+  std::vector<AgentQuiescence> blocked;
+  std::vector<AgentId> crashed;
 };
 
 /// The engine: a priority queue of (time, seq)-ordered deliveries.
@@ -147,6 +219,21 @@ class SimEngine {
   Agent& agent(AgentId id) { return *agents_[static_cast<size_t>(id)]; }
   int32_t num_agents() const { return static_cast<int32_t>(agents_.size()); }
 
+  /// Installs a fault hook (non-owning; must outlive run()). nullptr
+  /// uninstalls. Without a hook no fault machinery runs and the engine's
+  /// Rng draws are exactly those of a pre-fault-plane build.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+
+  /// Schedules agent `id` to crash at virtual time `at` (> 0: all agents
+  /// start via on_start at time 0, so an earlier crash would hit an agent
+  /// that never existed). A crashed agent receives no callbacks and every
+  /// delivery queued for it -- before or during the outage -- is discarded.
+  void schedule_crash(AgentId id, SimTime at);
+
+  /// Schedules a crashed agent to restart at `at` (must follow its crash):
+  /// the agent's on_restart hook fires and new deliveries reach it again.
+  void schedule_restart(AgentId id, SimTime at);
+
   /// Runs to quiescence (empty event queue) or until the time limit.
   /// Returns the collected statistics.
   SimStats run();
@@ -155,8 +242,18 @@ class SimEngine {
   const SimStats& stats() const { return stats_; }
 
   /// Agents that declared outstanding work that never completed -- non-empty
-  /// after run() means the system deadlocked (or stopped early).
+  /// after run() means the system deadlocked (or stopped early). Crashed
+  /// agents are excluded (they are dead, not blocked); see
+  /// quiescence_report() for the full picture.
   std::vector<std::pair<AgentId, std::string>> blocked_agents() const;
+
+  /// Full per-agent context at quiescence: waiting reason, last delivered
+  /// message, pending timers, crash state.
+  QuiescenceReport quiescence_report() const;
+
+  /// Agents currently crashed (no restart, or restart not reached).
+  std::vector<AgentId> crashed_agents() const;
+  bool is_crashed(AgentId id) const { return crashed_[static_cast<size_t>(id)]; }
 
   /// True iff run() stopped because the time limit was hit.
   bool hit_time_limit() const { return hit_time_limit_; }
@@ -165,11 +262,15 @@ class SimEngine {
   friend class AgentContext;
 
   struct PendingEvent {
+    enum class Kind : uint8_t { kMessage, kTimer, kCrash, kRestart };
+    Kind kind;
     SimTime time;
     int64_t seq;  // FIFO tiebreak for equal times
     AgentId target;
-    bool is_timer;
     int64_t timer_id;
+    /// Crash epoch of the target at enqueue time: a crash invalidates every
+    /// delivery enqueued before it, even ones timed after a restart.
+    int64_t epoch;
     SimTime sent_at;  // enqueue time; delivery latency = time - sent_at
     Message msg;
 
@@ -181,6 +282,7 @@ class SimEngine {
 
   void send_from(AgentId from, AgentId to, Message msg);
   void timer_from(AgentId from, SimTime delay, int64_t timer_id);
+  void enqueue_delivery(AgentId to, SimTime at, Message msg);
 
   /// High-water mark tracking, called after every enqueue.
   void note_queue_depth() {
@@ -190,10 +292,16 @@ class SimEngine {
 
   SimOptions options_;
   Rng rng_;
+  FaultHook* fault_hook_ = nullptr;
   /// Per directed channel: latest scheduled delivery (FIFO mode).
   std::map<std::pair<AgentId, AgentId>, SimTime> channel_front_;
   std::vector<std::unique_ptr<Agent>> agents_;
   std::vector<std::string> waiting_;  // per-agent reason, empty = not waiting
+  std::vector<bool> crashed_;
+  std::vector<int64_t> crash_epoch_;
+  std::vector<std::optional<Message>> last_delivered_;
+  std::vector<SimTime> last_delivery_time_;
+  std::vector<std::multiset<int64_t>> pending_timers_;
   std::priority_queue<PendingEvent, std::vector<PendingEvent>, std::greater<>> queue_;
   SimTime now_ = 0;
   int64_t next_seq_ = 0;

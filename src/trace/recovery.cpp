@@ -47,4 +47,11 @@ RecoveryLine compute_recovery_line(const Deposet& deposet, const Cut& checkpoint
   return result;
 }
 
+Cut latest_checkpoints(const Deposet& deposet) {
+  Cut cut(deposet.num_processes());
+  for (ProcessId p = 0; p < deposet.num_processes(); ++p)
+    cut[p] = deposet.length(p) - 1;
+  return cut;
+}
+
 }  // namespace predctrl

@@ -37,4 +37,10 @@ struct RecoveryLine {
 /// `checkpoints` (one state index per process, each in range).
 RecoveryLine compute_recovery_line(const Deposet& deposet, const Cut& checkpoints);
 
+/// The cut of each process's newest recorded state -- the natural checkpoint
+/// set over a (possibly partial) trace, e.g. one cut short by a crash. The
+/// debug session's watchdog feeds this to compute_recovery_line to tell the
+/// user where a re-execution could safely resume.
+Cut latest_checkpoints(const Deposet& deposet);
+
 }  // namespace predctrl

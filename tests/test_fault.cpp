@@ -1,0 +1,554 @@
+// The fault plane (src/fault/) end to end: plan validation, injector
+// determinism (an inactive plan is byte-identical to no plan), crash /
+// restart semantics in the engine and in scripted processes, the
+// ack+retransmit link healing dropped control traffic, round-robin
+// failover and graceful degradation, and the debug session's liveness
+// watchdog classifying every way a guarded run can die.
+#include "fault/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "debug/session.hpp"
+#include "fault/fault_plan.hpp"
+#include "mutex/kmutex.hpp"
+#include "online/guard.hpp"
+#include "online/wcp_detector.hpp"
+#include "parallel/parallel.hpp"
+#include "predicates/global_predicate.hpp"
+#include "runtime/scripted.hpp"
+#include "runtime/sim.hpp"
+
+namespace predctrl {
+namespace {
+
+using fault::FaultPlan;
+using sim::Instr;
+using sim::Message;
+using K = sim::Instr::Kind;
+
+// ----------------------------------------------------------- plan validation
+
+TEST(FaultPlan, RejectsOutOfRangeRates) {
+  FaultPlan plan;
+  plan.plane(Message::Plane::kControl).drop = 1.5;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.plane(Message::Plane::kControl).drop = -0.1;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.plane(Message::Plane::kControl).drop = 0.5;
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlan, RejectsCrashBeforeOnStart) {
+  // Agents come to life via on_start at time 0; a crash at t <= 0 would hit
+  // an agent that never existed and must be rejected with a clear message.
+  FaultPlan plan;
+  plan.crashes.push_back({/*agent=*/0, /*at=*/0, /*restart_at=*/-1});
+  try {
+    plan.validate();
+    FAIL() << "crash at t=0 accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("precede on_start"), std::string::npos)
+        << e.what();
+  }
+
+  sim::SimEngine engine;
+  engine.add_agent(std::make_unique<sim::Agent>());
+  try {
+    engine.schedule_crash(0, 0);
+    FAIL() << "engine accepted crash at t=0";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("precede on_start"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --------------------------------------------- inactive plan == no plan at all
+
+// Deterministic ping-pong pair for engine-level tests.
+class Pinger : public sim::Agent {
+ public:
+  Pinger(sim::AgentId peer, int32_t rounds) : peer_(peer), rounds_(rounds) {}
+  void on_start(sim::AgentContext& ctx) override {
+    ctx.mark_waiting("awaiting pong");
+    ctx.send(peer_, Message{.type = 1});
+  }
+  void on_message(sim::AgentContext& ctx, const Message& msg) override {
+    (void)msg;
+    if (++received_ < rounds_)
+      ctx.send(peer_, Message{.type = 1});
+    else
+      ctx.mark_done();
+  }
+  int32_t received() const { return received_; }
+
+ private:
+  sim::AgentId peer_;
+  int32_t rounds_;
+  int32_t received_ = 0;
+};
+
+class Echoer : public sim::Agent {
+ public:
+  void on_message(sim::AgentContext& ctx, const Message& msg) override {
+    ctx.send(msg.from, Message{.type = 2});
+  }
+};
+
+TEST(FaultInjector, ZeroRateHookLeavesEngineDrawsUntouched) {
+  // Even with the hook INSTALLED, a plan whose rates are all zero draws
+  // nothing from its own Rng and never perturbs the engine's: the two runs
+  // must agree on every statistic, not just the outcome.
+  auto run_once = [](bool with_hook) {
+    sim::SimOptions opt;
+    opt.seed = 99;
+    sim::SimEngine engine(opt);
+    engine.add_agent(std::make_unique<Pinger>(1, 20));
+    engine.add_agent(std::make_unique<Echoer>());
+    FaultPlan plan;  // all rates zero, no events
+    fault::FaultInjector injector(plan);
+    if (with_hook) injector.install(engine);
+    return engine.run();
+  };
+  const sim::SimStats a = run_once(false);
+  const sim::SimStats b = run_once(true);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(b.messages_dropped, 0);
+  EXPECT_EQ(b.messages_duplicated, 0);
+}
+
+TEST(FaultInjector, InactivePlanByteIdenticalScriptedRun) {
+  // run_scripts with an inactive plan must reproduce the no-plan run
+  // exactly: entry times, cut timeline, causal structure, stats.
+  sim::ScriptedSystem system(3);
+  system[0].instrs = {{K::kLocal, 2'000, -1, {}}, {K::kSend, 1'000, 1, {}},
+                      {K::kLocal, 3'000, -1, {}}};
+  system[1].instrs = {{K::kRecv, 1'000, 0, {}}, {K::kSend, 1'000, 2, {}},
+                      {K::kLocal, 2'000, -1, {}}};
+  system[2].instrs = {{K::kLocal, 1'000, -1, {}}, {K::kRecv, 1'000, 1, {}}};
+  sim::SimOptions opt;
+  opt.seed = 7;
+
+  FaultPlan inactive;  // zero rates, no crashes, no script
+  ASSERT_FALSE(inactive.active());
+  auto base = sim::run_scripts(system, opt);
+  auto faulted = sim::run_scripts(system, opt, nullptr, nullptr, nullptr, &inactive);
+  ASSERT_FALSE(base.deadlocked);
+  ASSERT_FALSE(faulted.deadlocked);
+  EXPECT_EQ(base.entry_times, faulted.entry_times);
+  EXPECT_EQ(base.cut_timeline(), faulted.cut_timeline());
+  EXPECT_EQ(base.deposet.messages().size(), faulted.deposet.messages().size());
+  EXPECT_EQ(base.stats.end_time, faulted.stats.end_time);
+  EXPECT_EQ(base.stats.messages_sent, faulted.stats.messages_sent);
+  EXPECT_EQ(faulted.stats.messages_dropped, 0);
+}
+
+// ------------------------------------------------------------ crash / restart
+
+// Sends `total` messages to a fixed peer, one every `gap` of virtual time.
+class PacedSender : public sim::Agent {
+ public:
+  PacedSender(sim::AgentId peer, int32_t total, sim::SimTime gap)
+      : peer_(peer), total_(total), gap_(gap) {}
+  void on_start(sim::AgentContext& ctx) override { ctx.set_timer(gap_, 0); }
+  void on_timer(sim::AgentContext& ctx, int64_t) override {
+    ctx.send(peer_, Message{.type = 5});
+    if (++sent_ < total_) ctx.set_timer(gap_, 0);
+  }
+
+ private:
+  sim::AgentId peer_;
+  int32_t total_;
+  sim::SimTime gap_;
+  int32_t sent_ = 0;
+};
+
+class CountingReceiver : public sim::Agent {
+ public:
+  // Default on_restart (no-op on sim::Agent): state survives the outage.
+  void on_message(sim::AgentContext&, const Message&) override { ++received_; }
+  int32_t received() const { return received_; }
+
+ private:
+  int32_t received_ = 0;
+};
+
+TEST(FaultInjector, CrashDiscardsDeliveriesRestartRejoins) {
+  sim::SimOptions opt;
+  opt.seed = 11;
+  sim::SimEngine engine(opt);
+  engine.add_agent(std::make_unique<PacedSender>(1, 10, 5'000));
+  auto receiver = std::make_unique<CountingReceiver>();
+  CountingReceiver* r = receiver.get();
+  engine.add_agent(std::move(receiver));
+
+  FaultPlan plan;
+  plan.crashes.push_back({/*agent=*/1, /*at=*/12'500, /*restart_at=*/27'500});
+  fault::FaultInjector injector(plan);
+  injector.install(engine);
+
+  sim::SimStats stats = engine.run();
+  EXPECT_EQ(stats.crashes, 1);
+  EXPECT_EQ(stats.restarts, 1);
+  EXPECT_FALSE(engine.is_crashed(1));
+  // Every message was either delivered or discarded by the outage; at this
+  // seed the crash window swallows at least one.
+  EXPECT_EQ(r->received() + stats.deliveries_discarded, 10);
+  EXPECT_GE(stats.deliveries_discarded, 1);
+  EXPECT_GE(r->received(), 1);
+}
+
+TEST(FaultInjector, ScriptedProcessResumesAfterRestart) {
+  // A crashed scripted process loses its in-flight instruction timer, but
+  // the default recovery (re-attempt the current instruction) completes the
+  // script after restart: all states entered, no deadlock.
+  sim::ScriptedSystem system(2);
+  system[0].instrs = {{K::kLocal, 10'000, -1, {}}, {K::kLocal, 10'000, -1, {}}};
+  system[1].instrs = {{K::kLocal, 10'000, -1, {}}, {K::kLocal, 10'000, -1, {}},
+                      {K::kLocal, 10'000, -1, {}}, {K::kLocal, 10'000, -1, {}},
+                      {K::kLocal, 10'000, -1, {}}};
+  sim::SimOptions opt;
+  opt.seed = 3;
+
+  FaultPlan plan;
+  plan.crashes.push_back({/*agent=*/1, /*at=*/25'000, /*restart_at=*/47'000});
+  auto run = sim::run_scripts(system, opt, nullptr, nullptr, nullptr, &plan);
+  ASSERT_FALSE(run.deadlocked);
+  EXPECT_EQ(run.stats.crashes, 1);
+  EXPECT_EQ(run.stats.restarts, 1);
+  EXPECT_GE(run.stats.deliveries_discarded, 1);  // the instruction timer
+  // All six states of P1 entered; the post-crash ones after the restart.
+  ASSERT_EQ(run.vars[1].size(), 6u);
+  EXPECT_GE(run.entry_times[1].back(), 47'000);
+}
+
+TEST(SimEngine, QuiescenceReportCarriesWatchdogEvidence) {
+  // A blocked agent's quiescence entry must carry enough evidence for the
+  // watchdog: waiting reason, the last delivered message, pending timers.
+  class Waiter : public sim::Agent {
+   public:
+    void on_start(sim::AgentContext& ctx) override {
+      ctx.mark_waiting("reply that never comes");
+      ctx.set_timer(50'000, 7);
+    }
+    void on_message(sim::AgentContext&, const Message&) override {}
+  };
+  class OneShot : public sim::Agent {
+   public:
+    void on_start(sim::AgentContext& ctx) override {
+      ctx.send(0, Message{.type = 9});
+    }
+  };
+  sim::SimOptions opt;
+  opt.seed = 4;
+  opt.time_limit = 20'000;  // stop before the 50ms timer fires
+  sim::SimEngine engine(opt);
+  engine.add_agent(std::make_unique<Waiter>());
+  engine.add_agent(std::make_unique<OneShot>());
+  engine.run();
+  ASSERT_TRUE(engine.hit_time_limit());
+
+  sim::QuiescenceReport report = engine.quiescence_report();
+  ASSERT_EQ(report.blocked.size(), 1u);
+  const sim::AgentQuiescence& q = report.blocked[0];
+  EXPECT_EQ(q.agent, 0);
+  EXPECT_NE(q.waiting_reason.find("never comes"), std::string::npos);
+  ASSERT_TRUE(q.last_delivered.has_value());
+  EXPECT_EQ(q.last_delivered->type, 9);
+  EXPECT_GT(q.last_delivery_time, 0);
+  ASSERT_EQ(q.pending_timers.size(), 1u);
+  EXPECT_EQ(q.pending_timers[0], 7);
+  EXPECT_TRUE(report.crashed.empty());
+}
+
+// ----------------------------------------------- retransmission convergence
+
+// Three processes, each with a false window needing a scapegoat handoff.
+sim::ScriptedSystem handoff_system() {
+  sim::ScriptedSystem system(3);
+  for (auto& script : system)
+    script.instrs = {{K::kLocal, 2'000, -1, {}}, {K::kLocal, 4'000, -1, {}},
+                     {K::kLocal, 2'000, -1, {}}, {K::kLocal, 2'000, -1, {}}};
+  return system;
+}
+
+PredicateTable handoff_truth() {
+  return PredicateTable{{true, false, false, true, true},
+                        {true, false, false, true, true},
+                        {true, false, false, true, true}};
+}
+
+TEST(ReliableLink, RetransmissionConvergesAcrossFiftySeeds) {
+  // A 10% control-plane drop rate must heal entirely by retransmission:
+  // every seed completes, zero give-ups, and every global state the run
+  // passes still satisfies B. The sweep must also actually exercise the
+  // link (some drops, some retransmits) or it proves nothing.
+  const sim::ScriptedSystem system = handoff_system();
+  const PredicateTable truth = handoff_truth();
+  int64_t total_retransmits = 0;
+  int64_t total_dropped = 0;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    FaultPlan plan;
+    plan.seed = 1'000 + seed;
+    plan.plane(Message::Plane::kControl).drop = 0.10;
+    sim::SimOptions opt;
+    opt.seed = seed;
+    online::ScapegoatTelemetry telemetry;
+    auto run = online::run_scripts_guarded(system, truth, opt, {}, &plan, &telemetry);
+    ASSERT_FALSE(run.deadlocked) << "seed " << seed;
+    EXPECT_EQ(telemetry.link_give_ups, 0) << "seed " << seed;
+    EXPECT_TRUE(telemetry.released.empty()) << "seed " << seed;
+    for (const Cut& c : run.cut_timeline())
+      ASSERT_TRUE(eval_disjunctive(truth, c)) << "seed " << seed << " at " << c;
+    total_retransmits += telemetry.retransmits;
+    total_dropped += run.stats.messages_dropped;
+  }
+  EXPECT_GT(total_dropped, 0);
+  EXPECT_GT(total_retransmits, 0);
+}
+
+TEST(ReliableLink, DuplicateStormSuppressedExactlyOnce) {
+  // Duplicating EVERY control-plane message must not confuse the protocol:
+  // the link dedups by (sender, seq), so controllers see each req/ack once.
+  const sim::ScriptedSystem system = handoff_system();
+  const PredicateTable truth = handoff_truth();
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.plane(Message::Plane::kControl).duplicate = 1.0;
+  sim::SimOptions opt;
+  opt.seed = 21;
+  online::ScapegoatTelemetry telemetry;
+  auto run = online::run_scripts_guarded(system, truth, opt, {}, &plan, &telemetry);
+  ASSERT_FALSE(run.deadlocked);
+  EXPECT_GT(run.stats.messages_duplicated, 0);
+  EXPECT_GT(telemetry.duplicates_suppressed, 0);
+  EXPECT_EQ(telemetry.link_give_ups, 0);
+  for (const Cut& c : run.cut_timeline()) EXPECT_TRUE(eval_disjunctive(truth, c));
+}
+
+// ------------------------------------------------------- watchdog verdicts
+
+// Guarded-session scripts over an "ok" variable; P`false_proc` opens a
+// false window at t = 20ms (safely after any scheduled t = 1ms crash, so
+// the gate request races nothing), everyone else stays true throughout.
+debug::Session make_session(int32_t n, int32_t false_proc) {
+  sim::ScriptedSystem system(static_cast<size_t>(n));
+  for (int32_t p = 0; p < n; ++p) {
+    auto& script = system[static_cast<size_t>(p)];
+    script.initial_vars = {{"ok", 1}};
+    if (p == false_proc)
+      script.instrs = {{K::kLocal, 20'000, -1, {}},
+                       {K::kLocal, 5'000, -1, {{"ok", 0}}},
+                       {K::kLocal, 5'000, -1, {{"ok", 1}}},
+                       {K::kLocal, 2'000, -1, {}}};
+    else
+      script.instrs = {{K::kLocal, 5'000, -1, {}}, {K::kLocal, 5'000, -1, {}},
+                       {K::kLocal, 5'000, -1, {}}};
+  }
+  auto ok = [](ProcessId, const sim::VarMap& vars) { return vars.at("ok") != 0; };
+  return debug::Session(std::move(system), ok);
+}
+
+TEST(Watchdog, CrashedHolderClassifiedWithChain) {
+  // Controller 1 starts as scapegoat and its agent crashes before P1 asks
+  // to go false: P1 wedges at its gate forever. The watchdog must return a
+  // structured verdict -- never a hang -- naming the crashed holder, the
+  // adoption chain, the blocked cut, and the engine-level evidence.
+  const int32_t n = 2;
+  debug::Session session = make_session(n, /*false_proc=*/1);
+  online::ScapegoatOptions strategy;
+  strategy.initial_scapegoat = 1;
+  FaultPlan plan;
+  plan.crashes.push_back({/*agent=*/n + 1, /*at=*/1'000, /*restart_at=*/-1});
+
+  debug::GuardedObservation g = session.observe_guarded(5, strategy, &plan);
+  EXPECT_TRUE(g.obs.run.deadlocked);
+  EXPECT_FALSE(g.degraded);
+  ASSERT_TRUE(g.failure.failed());
+  EXPECT_EQ(g.failure.kind, debug::ControlFailure::Kind::kCrashedHolder);
+  EXPECT_STREQ(debug::to_string(g.failure.kind), "crashed-holder");
+  EXPECT_NE(g.failure.detail.find("controller 1"), std::string::npos);
+  // The anti-token never moved: the initial scapegoat is the whole chain.
+  EXPECT_EQ(g.failure.scapegoat_chain, (std::vector<int32_t>{1}));
+  // The partial trace's frontier: P0 finished, P1 stuck before its window.
+  EXPECT_EQ(g.failure.blocked_cut[0], 3);
+  EXPECT_EQ(g.failure.blocked_cut[1], 1);
+  // Engine evidence: P1 blocked at its gate.
+  ASSERT_FALSE(g.failure.blocked.empty());
+  EXPECT_EQ(g.failure.blocked[0].agent, 1);
+  EXPECT_NE(g.failure.blocked[0].waiting_reason.find("gate grant"), std::string::npos);
+  // A recovery line over the partial trace exists and is consistent.
+  EXPECT_LE(g.failure.recovery.line[1], g.failure.blocked_cut[1]);
+}
+
+TEST(Watchdog, ExhaustedPeersReleaseControlDegraded) {
+  // n = 2: the holder's only peer is crashed, so after max_retries the
+  // link gives up, failover finds no other peer, and the controller
+  // releases control -- the run COMPLETES (graceful degradation) and the
+  // watchdog reports lost control traffic plus the release.
+  const int32_t n = 2;
+  debug::Session session = make_session(n, /*false_proc=*/0);
+  online::ScapegoatOptions strategy;
+  strategy.initial_scapegoat = 0;
+  FaultPlan plan;
+  plan.crashes.push_back({/*agent=*/n + 1, /*at=*/1'000, /*restart_at=*/-1});
+
+  debug::GuardedObservation g = session.observe_guarded(5, strategy, &plan);
+  EXPECT_FALSE(g.obs.run.deadlocked);  // degradation, not a hang
+  EXPECT_TRUE(g.degraded);
+  ASSERT_TRUE(g.failure.failed());
+  EXPECT_EQ(g.failure.kind, debug::ControlFailure::Kind::kLostControlMessage);
+  EXPECT_EQ(g.telemetry.released, (std::vector<int32_t>{0}));
+  EXPECT_EQ(g.telemetry.link_give_ups, 1);
+  EXPECT_GT(g.telemetry.retransmits, 0);
+  EXPECT_NE(g.failure.detail.find("degraded"), std::string::npos);
+  // The trace is complete: every process entered all its states.
+  for (size_t p = 0; p < 2; ++p)
+    EXPECT_EQ(g.obs.run.vars[p].size(), session.system()[p].instrs.size() + 1);
+}
+
+TEST(Watchdog, RoundRobinFailoverHealsCrashedTarget) {
+  // n = 3 with one non-holder controller crashed: when the holder's random
+  // pick lands on the dead peer, retransmissions exhaust and the handoff
+  // fails over round-robin to the live one -- the run completes with
+  // control INTACT (no release, no watchdog verdict). Across a small seed
+  // sweep both paths (direct pick and failover) must occur.
+  const int32_t n = 3;
+  bool failover_exercised = false;
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    debug::Session session = make_session(n, /*false_proc=*/0);
+    online::ScapegoatOptions strategy;
+    strategy.initial_scapegoat = 0;
+    FaultPlan plan;
+    plan.crashes.push_back({/*agent=*/n + 1, /*at=*/1'000, /*restart_at=*/-1});
+    debug::GuardedObservation g = session.observe_guarded(seed, strategy, &plan);
+    ASSERT_FALSE(g.obs.run.deadlocked) << "seed " << seed;
+    EXPECT_FALSE(g.degraded) << "seed " << seed;
+    EXPECT_EQ(g.failure.kind, debug::ControlFailure::Kind::kNone) << "seed " << seed;
+    EXPECT_TRUE(g.telemetry.released.empty()) << "seed " << seed;
+    if (g.telemetry.link_give_ups > 0) failover_exercised = true;
+  }
+  EXPECT_TRUE(failover_exercised);
+}
+
+// --------------------------------------------------- mutex workload under faults
+
+TEST(FaultyMutex, DropRateHealsAndStaysSafeAndDeterministic) {
+  mutex::CsWorkloadOptions wopt;
+  wopt.num_processes = 4;
+  wopt.cs_per_process = 10;
+  wopt.seed = 7;
+  FaultPlan plan;
+  plan.seed = 29;
+  plan.plane(Message::Plane::kControl).drop = 0.10;
+
+  mutex::MutexRunResult a = mutex::run_scapegoat_mutex(wopt, {}, &plan);
+  EXPECT_FALSE(a.deadlocked);
+  EXPECT_EQ(a.cs_entries, 4 * 10);
+  EXPECT_LE(a.max_concurrent_cs, 3);  // (n-1)-mutex safety under faults
+  EXPECT_GT(a.stats.messages_dropped, 0);
+  EXPECT_GT(a.telemetry.retransmits, 0);
+  EXPECT_EQ(a.telemetry.link_give_ups, 0);
+  EXPECT_FALSE(a.telemetry.chain.empty());
+
+  // Same seed + same plan => byte-identical run.
+  mutex::MutexRunResult b = mutex::run_scapegoat_mutex(wopt, {}, &plan);
+  EXPECT_EQ(a.stats.end_time, b.stats.end_time);
+  EXPECT_EQ(a.stats.messages_dropped, b.stats.messages_dropped);
+  EXPECT_EQ(a.telemetry.retransmits, b.telemetry.retransmits);
+  EXPECT_EQ(a.telemetry.chain, b.telemetry.chain);
+  EXPECT_EQ(a.response_delays, b.response_delays);
+}
+
+// ------------------------------------------------ detector under duplication
+
+TEST(WcpDetectorFaults, DuplicatedCandidatesStillConclusive) {
+  // Fault-plane duplication delivers every candidate (and done marker)
+  // twice; the detector must dedup by sequence or its drain check wedges.
+  auto detect_under = [](const sim::ScriptedSystem& system,
+                         const PredicateTable& cond, const FaultPlan& plan) {
+    sim::OnlineDetection detection;
+    detection.conditions = cond;
+    auto sink = std::make_shared<online::WcpDetectionOutcome>();
+    detection.make_detector = [&](sim::SimEngine& engine) {
+      return engine.add_agent(std::make_unique<online::WcpDetector>(
+          static_cast<int32_t>(system.size()), sink));
+    };
+    sim::SimOptions opt;
+    opt.seed = 13;
+    auto run = sim::run_scripts(system, opt, nullptr, nullptr, &detection, &plan);
+    EXPECT_FALSE(run.deadlocked);
+    EXPECT_GT(run.stats.messages_duplicated, 0);
+    return *sink;
+  };
+
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.plane(Message::Plane::kControl).duplicate = 1.0;
+
+  // Overlapping windows: detected, least cut {1, 1}.
+  sim::ScriptedSystem overlap(2);
+  for (auto& script : overlap)
+    script.instrs = {{K::kLocal, 1'000, -1, {}}, {K::kLocal, 5'000, -1, {}},
+                     {K::kLocal, 1'000, -1, {}}};
+  PredicateTable in_cs{{false, true, true, false}, {false, true, true, false}};
+  online::WcpDetectionOutcome hit = detect_under(overlap, in_cs, plan);
+  ASSERT_TRUE(hit.conclusive);
+  EXPECT_TRUE(hit.detected);
+  EXPECT_EQ(hit.cut, Cut(std::vector<int32_t>{1, 1}));
+  // Dedup by sequence: 8 deliveries (4 candidates, each duplicated) must
+  // not inflate the count past the 4 distinct candidates (the detector may
+  // legitimately stop counting once conclusive, so fewer is fine).
+  EXPECT_LE(hit.candidates_received, 4);
+  EXPECT_GE(hit.candidates_received, 2);
+
+  // Causally ordered windows: conclusively NOT detected, duplicates must
+  // not defeat the drain check.
+  sim::ScriptedSystem ordered(2);
+  ordered[0].instrs = {{K::kLocal, 1'000, -1, {}}, {K::kSend, 1'000, 1, {}}};
+  ordered[1].instrs = {{K::kRecv, 1'000, 0, {}}, {K::kLocal, 1'000, -1, {}}};
+  PredicateTable cond{{false, true, false}, {false, false, true}};
+  online::WcpDetectionOutcome miss = detect_under(ordered, cond, plan);
+  ASSERT_TRUE(miss.conclusive);
+  EXPECT_FALSE(miss.detected);
+}
+
+// ---------------------------------------------------- serial == parallel
+
+TEST(FaultDeterminism, SerialEqualsParallelAtAllWidths) {
+  // Same seed + same plan => byte-identical results at any --threads width
+  // (the simulator is single-threaded; --threads only parallelizes the
+  // offline analyses, so this pins the invariant end to end through
+  // observe_guarded's detection and recovery machinery).
+  const int32_t n = 3;
+  FaultPlan plan;
+  plan.seed = 41;
+  plan.plane(Message::Plane::kControl).drop = 0.08;
+  plan.plane(Message::Plane::kApplication).delay_spike = 0.05;
+
+  auto run_at = [&](int32_t width) {
+    parallel::set_thread_count(width);
+    debug::Session session = make_session(n, /*false_proc=*/0);
+    return session.observe_guarded(17, {}, &plan);
+  };
+  debug::GuardedObservation base = run_at(1);
+  for (int32_t width : {2, 4, 8}) {
+    debug::GuardedObservation g = run_at(width);
+    EXPECT_EQ(base.obs.run.entry_times, g.obs.run.entry_times) << width;
+    EXPECT_EQ(base.obs.run.cut_timeline(), g.obs.run.cut_timeline()) << width;
+    EXPECT_EQ(base.obs.run.stats.end_time, g.obs.run.stats.end_time) << width;
+    EXPECT_EQ(base.obs.run.stats.messages_dropped, g.obs.run.stats.messages_dropped)
+        << width;
+    EXPECT_EQ(base.telemetry.retransmits, g.telemetry.retransmits) << width;
+    EXPECT_EQ(base.telemetry.chain, g.telemetry.chain) << width;
+    EXPECT_EQ(base.failure.kind, g.failure.kind) << width;
+  }
+  parallel::set_thread_count(1);
+}
+
+}  // namespace
+}  // namespace predctrl
