@@ -1,0 +1,232 @@
+// Renders performance trends across the committed baseline snapshots
+// (bench/baselines/HISTORY, oldest first) into a markdown report -- the
+// artifact CI uploads next to the raw BENCH_*.json files, so a reviewer
+// sees at a glance whether the headline counters moved across PRs instead
+// of diffing JSON by hand.
+//
+//   bench_report [--baselines=DIR] [--fresh=DIR] [--out=FILE]
+//                [--counters=a,b,c]
+//
+// --baselines  snapshot directory (default bench/baselines): HISTORY lists
+//              snapshot names oldest first, one per line; each snapshot is
+//              DIR/<name>/BENCH_*.json in the predctrl-bench-v1 schema.
+// --fresh      a directory of just-produced BENCH_*.json (e.g. the
+//              bench-smoke output dir); appended as the final "fresh"
+//              column. Smoke numbers are noisy -- the column is context,
+//              not a verdict.
+// --counters   comma-separated counter names to track (default:
+//              speedup_vs_legacy,states_per_sec,clock_appends_per_sec,
+//              flight_overhead_pct).
+// --out        output file (default: stdout).
+//
+// One markdown table per tracked counter: rows are (bench, case) pairs,
+// columns are snapshots in HISTORY order, and the last column shows the
+// relative change from the first to the newest value. Missing cells (the
+// bench or counter did not exist in that snapshot) render as "--".
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+using predctrl::obs::Json;
+
+namespace {
+
+struct Snapshot {
+  std::string name;
+  /// bench -> parsed BENCH_<bench>.json
+  std::map<std::string, Json> files;
+};
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<std::string> read_history(const std::filesystem::path& dir) {
+  std::ifstream in(dir / "HISTORY");
+  std::vector<std::string> names;
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+    if (!line.empty()) names.push_back(line);
+  }
+  return names;
+}
+
+/// Loads every BENCH_*.json under `dir`; malformed files are skipped with a
+/// note (the report must not die because one old snapshot predates a schema
+/// fix).
+std::map<std::string, Json> load_snapshot_dir(const std::filesystem::path& dir) {
+  std::map<std::string, Json> files;
+  if (!std::filesystem::is_directory(dir)) return files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string fname = entry.path().filename().string();
+    if (fname.rfind("BENCH_", 0) != 0 || entry.path().extension() != ".json") continue;
+    try {
+      Json doc = predctrl::obs::json_parse(slurp(entry.path()));
+      const Json* bench = doc.find("bench");
+      if (bench != nullptr && bench->is_string()) {
+        std::string key = bench->as_string();
+        files.emplace(std::move(key), std::move(doc));
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "bench_report: skipping " << entry.path().string() << ": " << e.what()
+                << "\n";
+    }
+  }
+  return files;
+}
+
+/// Sentinel for "counter absent in this snapshot" -- far outside any real
+/// counter's range, rendered as "--".
+constexpr double kAbsent = -1e300;
+
+/// (bench, case) -> per-snapshot value row, parallel to the snapshot list.
+using Series = std::map<std::pair<std::string, std::string>, std::vector<double>>;
+
+void collect(const Snapshot& snap, size_t column, size_t columns,
+             const std::string& counter, Series& series) {
+  for (const auto& [bench, doc] : snap.files) {
+    const Json* results = doc.find("results");
+    if (results == nullptr || !results->is_array()) continue;
+    for (const Json& run : results->as_array()) {
+      const Json* name = run.find("name");
+      const Json* counters = run.find("counters");
+      if (name == nullptr || !name->is_string() || counters == nullptr ||
+          !counters->is_object())
+        continue;
+      const Json* value = counters->find(counter);
+      if (value == nullptr || !value->is_number()) continue;
+      auto it = series.try_emplace({bench, name->as_string()},
+                                   std::vector<double>(columns, kAbsent)).first;
+      it->second[column] = value->as_double();
+    }
+  }
+}
+
+std::string format_value(double v) {
+  if (v == kAbsent) return "--";
+  std::ostringstream os;
+  if (v != 0 && (std::abs(v) >= 1e6 || std::abs(v) < 1e-2))
+    os.precision(3), os << std::scientific << v;
+  else
+    os.precision(v == static_cast<int64_t>(v) ? 0 : 3), os << std::fixed << v;
+  return os.str();
+}
+
+std::string format_trend(const std::vector<double>& row) {
+  double first = kAbsent;
+  double last = kAbsent;
+  for (double v : row)
+    if (v != kAbsent) {
+      if (first == kAbsent) first = v;
+      last = v;
+    }
+  if (first == kAbsent || last == kAbsent || first == 0 || first == last) return "--";
+  const double pct = (last - first) / std::abs(first) * 100.0;
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << (pct >= 0 ? "+" : "") << pct << "%";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path baselines = "bench/baselines";
+  std::filesystem::path fresh_dir;
+  std::string out_path;
+  std::vector<std::string> counters = {"speedup_vs_legacy", "states_per_sec",
+                                       "clock_appends_per_sec", "flight_overhead_pct"};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--baselines=", 0) == 0)
+      baselines = arg.substr(12);
+    else if (arg.rfind("--fresh=", 0) == 0)
+      fresh_dir = arg.substr(8);
+    else if (arg.rfind("--out=", 0) == 0)
+      out_path = arg.substr(6);
+    else if (arg.rfind("--counters=", 0) == 0) {
+      counters.clear();
+      std::istringstream is(arg.substr(11));
+      std::string c;
+      while (std::getline(is, c, ','))
+        if (!c.empty()) counters.push_back(c);
+    } else {
+      std::cerr << "usage: bench_report [--baselines=DIR] [--fresh=DIR] [--out=FILE] "
+                   "[--counters=a,b,c]\n";
+      return 2;
+    }
+  }
+
+  std::vector<Snapshot> snapshots;
+  for (const std::string& name : read_history(baselines)) {
+    Snapshot snap;
+    snap.name = name;
+    snap.files = load_snapshot_dir(baselines / name);
+    if (snap.files.empty())
+      std::cerr << "bench_report: snapshot " << name << " has no readable BENCH_*.json\n";
+    snapshots.push_back(std::move(snap));
+  }
+  if (!fresh_dir.empty()) {
+    Snapshot snap;
+    snap.name = "fresh";
+    snap.files = load_snapshot_dir(fresh_dir);
+    snapshots.push_back(std::move(snap));
+  }
+  if (snapshots.empty()) {
+    std::cerr << "bench_report: no snapshots (empty or missing " << (baselines / "HISTORY")
+              << " and no --fresh)\n";
+    return 1;
+  }
+
+  std::ostringstream md;
+  md << "# Benchmark trends\n\n"
+     << "Counters tracked across committed baseline snapshots (oldest first";
+  if (!fresh_dir.empty()) md << "; `fresh` = this run, noisy smoke workload";
+  md << ").\n";
+
+  for (const std::string& counter : counters) {
+    Series series;
+    for (size_t s = 0; s < snapshots.size(); ++s)
+      collect(snapshots[s], s, snapshots.size(), counter, series);
+    md << "\n## `" << counter << "`\n\n";
+    if (series.empty()) {
+      md << "_not reported by any snapshot_\n";
+      continue;
+    }
+    md << "| bench | case |";
+    for (const Snapshot& s : snapshots) md << " " << s.name << " |";
+    md << " trend |\n|---|---|";
+    for (size_t s = 0; s < snapshots.size(); ++s) md << "---|";
+    md << "---|\n";
+    for (const auto& [key, row] : series) {
+      md << "| " << key.first << " | " << key.second << " |";
+      for (double v : row) md << " " << format_value(v) << " |";
+      md << " " << format_trend(row) << " |\n";
+    }
+  }
+
+  if (out_path.empty()) {
+    std::cout << md.str();
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "bench_report: cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << md.str();
+    std::cerr << "bench report written to " << out_path << "\n";
+  }
+  return 0;
+}

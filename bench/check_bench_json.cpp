@@ -110,6 +110,15 @@ bool contains_any(const std::string& name, std::initializer_list<const char*> ne
 enum class Direction { kHigherBetter, kLowerBetter, kInformational };
 
 Direction counter_direction(const std::string& name) {
+  // Flight-recorder cost counters (bench_flight_recorder): the recorder
+  // must stay cheap, so its percentage slowdown is lower-better. Classified
+  // before the fault-neutral rule -- flight_* counters measure recorder
+  // cost even when a fault plan drives the workload. Raw flight event
+  // counts stay informational (more recorded events is not a regression);
+  // flight_*_per_sec throughputs fall through to the generic per_sec rule.
+  if (contains_any(name, {"overhead_pct"})) return Direction::kLowerBetter;
+  if (contains_any(name, {"flight_events", "flight_dropped"}))
+    return Direction::kInformational;
   // Fault-plane accounting is direction-neutral and must be classified
   // FIRST: "retransmit_backoff_us" or "dropped_bytes" would otherwise match
   // a lower-better suffix, yet more retransmits under a harsher fault plan

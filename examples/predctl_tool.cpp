@@ -7,11 +7,17 @@
 //   predctl_tool dot        <deposet-file> [predicate-file]
 //   predctl_tool races      <deposet-file>
 //   predctl_tool quickstart
+//   predctl_tool flight
 //
 // Global flags (any command; may appear anywhere):
 //   --trace-out=FILE    write a Chrome trace_event JSON (chrome://tracing /
 //                       Perfetto-loadable) of the run
 //   --metrics-out=FILE  write a metrics-registry JSON snapshot
+//   --trace-points=SPEC runtime trace-point filter for the flight recorder
+//                       (obs/trace_point.hpp), e.g. "sim.*,guard.handoff,-fault.*".
+//                       Overrides the PREDCTRL_TRACE environment variable.
+//   --flight-out=FILE   where to write the predctrl-flight-v1 JSON dump when a
+//                       flight timeline is produced (default predctrl-flight.json)
 //   --threads=N         width of the parallel engine (parallel/parallel.hpp);
 //                       default 1 (serial). Results are identical at any N --
 //                       the parallel hot paths are deterministic by
@@ -25,7 +31,14 @@
 // to quickstart's on-line guarded runs: the control plane self-heals via
 // ack+retransmission, and unrecoverable failures are reported as a
 // structured ControlFailure (watchdog verdict, blocked cut, scapegoat
-// chain, recovery line) instead of hanging.
+// chain, recovery line) instead of hanging. A failing verdict additionally
+// carries the causal flight timeline (obs/flight_recorder.hpp): the merged,
+// happens-before-ordered event history of every agent, printed inside the
+// verdict block and dumped as predctrl-flight-v1 JSON.
+//
+// `flight` runs the quickstart's guarded scenario (honouring the fault
+// flags) and prints the merged flight timeline unconditionally -- the
+// on-demand forensic view, no failure required.
 //
 // `quickstart` runs the built-in two-process mutual-exclusion scenario of
 // examples/quickstart.cpp through the full active-debugging cycle
@@ -52,7 +65,9 @@
 #include "debug/session.hpp"
 #include "fault/fault_plan.hpp"
 #include "mutex/kmutex.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace_point.hpp"
 #include "online/guard.hpp"
 #include "parallel/parallel.hpp"
 #include "predicates/detection.hpp"
@@ -93,12 +108,21 @@ StepSemantics semantics_arg(const std::vector<std::string>& args, size_t index) 
 
 int usage() {
   std::cerr << "usage: predctl_tool [--trace-out=FILE] [--metrics-out=FILE] [--threads=N]\n"
+               "                    [--trace-points=SPEC] [--flight-out=FILE]\n"
                "                    feasible|detect|control|dot|races <deposet> "
                "[predicate] [realtime|simultaneous]\n"
                "       predctl_tool [--trace-out=FILE] [--metrics-out=FILE] [--threads=N]\n"
                "                    [--fault-seed=N] [--fault-drop=P] [--fault-crash=A@T] "
-               "quickstart\n";
+               "quickstart|flight\n";
   return 2;
+}
+
+// Writes the predctrl-flight-v1 dump next to the verdict (or the `flight`
+// command's timeline); a null recorder means observability is compiled out.
+void dump_flight_json(const debug::GuardedObservation& g, const std::string& flight_out) {
+  if (flight_out.empty() || g.flight == nullptr) return;
+  g.flight->write_json(flight_out);
+  std::cerr << "flight dump written to " << flight_out << " (predctrl-flight-v1)\n";
 }
 
 // Renders a watchdog verdict the way docs/TUTORIAL.md walks through it.
@@ -117,12 +141,18 @@ void print_control_failure(const debug::GuardedObservation& g) {
                 << aq.last_delivered->from << " at t=" << aq.last_delivery_time << ")";
     std::cout << "\n";
   }
+  // The forensic history behind the verdict: every recorded event of the
+  // run, merged across agents in happens-before order.
+  if (!g.failure.flight_timeline.empty()) {
+    std::istringstream lines(g.failure.flight_timeline);
+    std::string line;
+    while (std::getline(lines, line)) std::cout << "    " << line << "\n";
+  }
 }
 
-// The quickstart scenario of examples/quickstart.cpp, executed end to end on
-// the simulator so every instrumented layer records something.
-int run_quickstart(const fault::FaultPlan* faults) {
-  // Two processes, five states each, one message; B = "not both in the CS".
+// The two-process quickstart scenario as an executable guarded session --
+// shared by `quickstart`'s fault plane and the `flight` command.
+debug::Session make_quickstart_session() {
   DeposetBuilder builder(2);
   builder.set_length(0, 5);
   builder.set_length(1, 5);
@@ -130,11 +160,36 @@ int run_quickstart(const fault::FaultPlan* faults) {
   Deposet trace = builder.build();
   PredicateTable not_in_cs{{true, false, false, true, true},
                            {true, true, false, false, true}};
-
-  // Make it executable: scripts whose "ok" variable tracks the predicate.
   Rng rng(7);
   sim::ScriptedSystem system = sim::scripts_from_deposet(trace, &not_in_cs, rng);
-  debug::Session session(system, sim::ok_var);
+  return debug::Session(system, sim::ok_var);
+}
+
+// `flight`: run the guarded scenario (under the fault flags, if any) and
+// print the merged causal timeline on demand -- no failure required.
+int run_flight(const fault::FaultPlan* faults, const std::string& flight_out) {
+  debug::Session session = make_quickstart_session();
+  const bool faulty = faults != nullptr && faults->active();
+  debug::GuardedObservation g =
+      session.observe_guarded(/*seed=*/44, {}, faulty ? faults : nullptr);
+  std::cout << "guarded run: "
+            << (g.failure.failed() ? "FAILED" : (g.degraded ? "degraded" : "ok")) << "\n";
+  if (g.flight == nullptr) {
+    std::cout << "flight recorder unavailable (observability compiled out)\n";
+    return g.failure.failed() ? 1 : 0;
+  }
+  std::cout << g.flight->render_text();
+  dump_flight_json(g, flight_out);
+  if (g.failure.failed()) print_control_failure(g);
+  return g.failure.failed() ? 1 : 0;
+}
+
+// The quickstart scenario of examples/quickstart.cpp, executed end to end on
+// the simulator so every instrumented layer records something.
+int run_quickstart(const fault::FaultPlan* faults, const std::string& flight_out) {
+  // Two processes, five states each, one message; B = "not both in the CS".
+  // Scripts whose "ok" variable tracks the predicate make it executable.
+  debug::Session session = make_quickstart_session();
 
   // observe -> detect -> control -> replay.
   debug::Observation obs = session.observe(/*seed=*/42);
@@ -173,7 +228,10 @@ int run_quickstart(const fault::FaultPlan* faults) {
               << g.obs.run.stats.messages_duplicated << ", crashes "
               << g.obs.run.stats.crashes << "; retransmits " << g.telemetry.retransmits
               << ", link give-ups " << g.telemetry.link_give_ups << "\n";
-    if (g.failure.failed()) print_control_failure(g);
+    if (g.failure.failed()) {
+      print_control_failure(g);
+      dump_flight_json(g, flight_out);
+    }
   }
 
   // On-line half: the Figure 3 scapegoat strategy guarding a fresh
@@ -210,6 +268,7 @@ int run_quickstart(const fault::FaultPlan* faults) {
 int main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
+  std::string flight_out = "predctrl-flight.json";
   fault::FaultPlan fault_plan;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
@@ -218,6 +277,14 @@ int main(int argc, char** argv) {
       trace_out = arg.substr(std::strlen("--trace-out="));
     else if (arg.rfind("--metrics-out=", 0) == 0)
       metrics_out = arg.substr(std::strlen("--metrics-out="));
+    else if (arg.rfind("--flight-out=", 0) == 0)
+      flight_out = arg.substr(std::strlen("--flight-out="));
+    else if (arg.rfind("--trace-points=", 0) == 0) {
+      if (!obs::trace_points().set_filter(arg.substr(std::strlen("--trace-points=")))) {
+        std::cerr << "predctl_tool: bad --trace-points filter in '" << arg << "'\n";
+        return 2;
+      }
+    }
     else if (arg.rfind("--threads=", 0) == 0)
       try {
         parallel::set_thread_count(std::stoi(arg.substr(std::strlen("--threads="))));
@@ -269,7 +336,10 @@ int main(int argc, char** argv) {
 
     if (cmd == "quickstart") {
       fault_plan.validate();
-      status = run_quickstart(&fault_plan);
+      status = run_quickstart(&fault_plan, flight_out);
+    } else if (cmd == "flight") {
+      fault_plan.validate();
+      status = run_flight(&fault_plan, flight_out);
     } else if (args.size() < 2) {
       return usage();
     } else {

@@ -1,7 +1,9 @@
 #include "debug/session.hpp"
 
 #include <algorithm>
+#include <memory>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 #include "online/guard.hpp"
 #include "predicates/global_predicate.hpp"
@@ -149,6 +151,20 @@ GuardedObservation Session::observe_guarded(uint64_t seed,
   opt.seed = seed;
 
   GuardedObservation g;
+#if PREDCTRL_OBS_ENABLED
+  // Arm the causal flight recorder unless the caller installed their own.
+  // Recording is strictly passive: the run is byte-identical with or without
+  // it (tests/test_flight_recorder.cpp pins this down).
+  if (opt.flight_recorder == nullptr) {
+    g.flight = std::make_shared<obs::FlightRecorder>();
+    opt.flight_recorder = g.flight.get();
+    // Agent layout in guarded runs: processes [0, n), guards [n, 2n).
+    for (int32_t i = 0; i < n; ++i) {
+      g.flight->set_label(i, "P" + std::to_string(i));
+      g.flight->set_label(n + i, "G" + std::to_string(i));
+    }
+  }
+#endif
   g.obs.run = online::run_scripts_guarded(system_, truth, opt, strategy, faults,
                                           &g.telemetry);
   g.obs.predicate = g.obs.run.predicate_table(predicate_);
@@ -161,6 +177,18 @@ GuardedObservation Session::observe_guarded(uint64_t seed,
     g.failure = classify_control_failure(g, n);
     wspan.add_arg("kind", std::string(to_string(g.failure.kind)));
     PREDCTRL_OBS_COUNT("session.watchdog.firings", 1);
+#if PREDCTRL_OBS_ENABLED
+    // Forensics: stamp the verdict itself into the recorder (causally after
+    // everything it explains), then attach the merged timeline to the
+    // failure and cross-link the events into any live Chrome trace.
+    if (obs::FlightRecorder* fr = opt.flight_recorder; fr != nullptr) {
+      PREDCTRL_FLIGHT(fr, "session.verdict", kVerdict, -1, g.obs.run.stats.end_time,
+                      -1, static_cast<int64_t>(g.failure.kind), 0,
+                      std::string(to_string(g.failure.kind)) + ": " + g.failure.detail);
+      g.failure.flight_timeline = fr->render_text();
+      if (obs::recording()) fr->export_to(obs::default_recorder());
+    }
+#endif
   }
 
   span.add_arg("seed", static_cast<int64_t>(seed));

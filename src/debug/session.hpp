@@ -22,6 +22,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,6 +34,10 @@
 #include "predicates/detection.hpp"
 #include "runtime/scripted.hpp"
 #include "trace/recovery.hpp"
+
+namespace predctrl::obs {
+class FlightRecorder;
+}
 
 namespace predctrl::debug {
 
@@ -90,6 +95,10 @@ struct ControlFailure {
   /// Where a re-execution could safely resume: the greatest consistent cut
   /// under the partial trace's final states (trace/recovery.hpp).
   RecoveryLine recovery;
+  /// Causally-ordered flight timeline of the run (obs/flight_recorder.hpp),
+  /// rendered as text -- the forensic history behind the verdict. Empty when
+  /// the build compiles observability out.
+  std::string flight_timeline;
 
   bool failed() const { return kind != Kind::kNone; }
 };
@@ -107,6 +116,10 @@ struct GuardedObservation {
   /// control (graceful degradation): the trace is complete but the safety
   /// guarantee lapsed from the release onward.
   bool degraded = false;
+  /// The run's causal flight recorder (null when observability is compiled
+  /// out, or when the caller supplied their own through SimOptions). Tools
+  /// dump it as predctrl-flight-v1 JSON or re-merge it on demand.
+  std::shared_ptr<obs::FlightRecorder> flight;
 };
 
 class Session {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 
@@ -51,6 +52,8 @@ bool ReliableLink::on_message(sim::AgentContext& ctx, const sim::Message& msg) {
   if (!fresh) {
     ++stats_.duplicates_suppressed;
     PREDCTRL_OBS_COUNT("fault.link.duplicates_suppressed", 1);
+    PREDCTRL_FLIGHT(ctx.flight(), "fault.dedup", kFault, ctx.self(), ctx.now(), msg.from,
+                    msg.type, msg.b);
     return true;  // protocol already saw this one
   }
   return false;  // fresh: hand it up to the protocol
@@ -65,6 +68,9 @@ bool ReliableLink::on_timer(sim::AgentContext& ctx, int64_t timer_id) {
   if (out.attempts >= options_.max_retries) {
     ++stats_.give_ups;
     PREDCTRL_OBS_COUNT("fault.link.give_ups", 1);
+    PREDCTRL_FLIGHT(ctx.flight(), "fault.give_up", kFault, ctx.self(), ctx.now(),
+                    out.msg.to, out.msg.type, out.attempts,
+                    "retries exhausted; peer presumed unreachable");
     const sim::Message lost = out.msg;
     outstanding_.erase(it);
     if (give_up_) give_up_(ctx, lost);
@@ -73,6 +79,8 @@ bool ReliableLink::on_timer(sim::AgentContext& ctx, int64_t timer_id) {
   ++out.attempts;
   ++stats_.retransmits;
   PREDCTRL_OBS_COUNT("fault.link.retransmits", 1);
+  PREDCTRL_FLIGHT(ctx.flight(), "fault.retransmit", kFault, ctx.self(), ctx.now(),
+                  out.msg.to, out.msg.type, out.attempts);
   ctx.send(out.msg.to, out.msg);
   out.next_timeout = std::min<sim::SimTime>(
       static_cast<sim::SimTime>(static_cast<double>(out.next_timeout) * options_.backoff),

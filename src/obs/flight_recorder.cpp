@@ -1,0 +1,363 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "obs/json.hpp"
+#include "obs/trace_event.hpp"
+#include "util/check.hpp"
+
+namespace predctrl::obs {
+
+const char* flight_kind_name(FlightEvent::Kind kind) {
+  switch (kind) {
+    case FlightEvent::Kind::kSend: return "send";
+    case FlightEvent::Kind::kReceive: return "receive";
+    case FlightEvent::Kind::kTimer: return "timer";
+    case FlightEvent::Kind::kPhase: return "phase";
+    case FlightEvent::Kind::kControl: return "control";
+    case FlightEvent::Kind::kFault: return "fault";
+    case FlightEvent::Kind::kVerdict: return "verdict";
+  }
+  return "?";
+}
+
+bool clock_leq(const std::vector<int32_t>& a, const std::vector<int32_t>& b) {
+  PREDCTRL_CHECK(a.size() == b.size(), "clock width mismatch");
+  for (size_t i = 0; i < a.size(); ++i)
+    if (a[i] > b[i]) return false;
+  return true;
+}
+
+bool clock_less(const std::vector<int32_t>& a, const std::vector<int32_t>& b) {
+  return a != b && clock_leq(a, b);
+}
+
+bool clock_concurrent(const std::vector<int32_t>& a, const std::vector<int32_t>& b) {
+  return !clock_leq(a, b) && !clock_leq(b, a);
+}
+
+// ---------------------------------------------------------------------------
+// FlightRing
+
+FlightRing::FlightRing(int32_t capacity) : capacity_(capacity) {
+  PREDCTRL_CHECK(capacity >= 1, "flight ring capacity must be >= 1");
+  // Slots grow lazily: a ring that records 20 events never touches
+  // capacity * sizeof(FlightEvent) of memory, which matters because
+  // begin_run() resets one ring per agent on every run.
+}
+
+void FlightRing::push(FlightEvent event) { emplace() = std::move(event); }
+
+void FlightRing::reset() {
+  size_ = 0;
+  next_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<const FlightEvent*> FlightRing::in_order() const {
+  std::vector<const FlightEvent*> out;
+  out.reserve(size_);
+  if (size_ < static_cast<size_t>(capacity_)) {
+    for (size_t i = 0; i < size_; ++i) out.push_back(&slots_[i]);
+  } else {
+    for (size_t i = 0; i < size_; ++i)
+      out.push_back(&slots_[(next_ + i) % static_cast<size_t>(capacity_)]);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+
+FlightRecorder::FlightRecorder(int32_t capacity)
+    : capacity_(capacity),
+      tp_send_app_(trace_points().point("sim.send.application")),
+      tp_send_ctl_(trace_points().point("sim.send.control")),
+      tp_send_local_(trace_points().point("sim.send.local")),
+      tp_deliver_app_(trace_points().point("sim.deliver.application")),
+      tp_deliver_ctl_(trace_points().point("sim.deliver.control")),
+      tp_deliver_local_(trace_points().point("sim.deliver.local")),
+      tp_timer_(trace_points().point("sim.timer")),
+      tp_crash_(trace_points().point("fault.crash")),
+      tp_restart_(trace_points().point("fault.restart")),
+      tp_discard_(trace_points().point("fault.discard")),
+      tp_drop_(trace_points().point("fault.drop")) {
+  PREDCTRL_CHECK(capacity >= 1, "flight recorder capacity must be >= 1");
+}
+
+void FlightRecorder::begin_run(int32_t num_agents) {
+  PREDCTRL_CHECK(num_agents >= 0, "negative agent count");
+  const auto n = static_cast<size_t>(num_agents);
+  // A blank slate for every run -- a reused recorder (one engine, many runs)
+  // must not interleave stale events from the previous run into the
+  // timeline. When the agent count is unchanged the existing clocks and
+  // ring slots are zeroed in place rather than reallocated: begin_run sits
+  // in the run() prologue, and rebuilding (agents + 1) rings of
+  // `capacity_` slots each run would dwarf the cost of short runs.
+  if (clocks_.size() == n && rings_.size() == n + 1 && ring_base_.size() == n + 1) {
+    for (auto& clock : clocks_) std::fill(clock.begin(), clock.end(), 0);
+    for (auto& ring : rings_) ring.reset();
+    for (auto& base : ring_base_) std::fill(base.begin(), base.end(), 0);
+    std::fill(muted_debt_.begin(), muted_debt_.end(), 0u);
+  } else {
+    clocks_.assign(n, std::vector<int32_t>(n, 0));
+    rings_.clear();
+    rings_.reserve(n + 1);
+    for (size_t i = 0; i <= n; ++i) rings_.emplace_back(capacity_);
+    ring_base_.assign(n + 1, std::vector<int32_t>(n, 0));
+    muted_debt_.assign(n, 0);
+  }
+  session_stamp_.assign(n, 0);
+  next_seq_ = 0;
+  events_recorded_ = 0;
+  if (labels_.size() < n) {
+    labels_.resize(n);
+  }
+  for (size_t i = 0; i < n; ++i)
+    if (labels_[i].empty()) labels_[i] = "A" + std::to_string(i);
+}
+
+void FlightRecorder::set_label(int32_t agent, std::string label) {
+  PREDCTRL_CHECK(agent >= 0, "label of negative agent");
+  if (static_cast<size_t>(agent) >= labels_.size())
+    labels_.resize(static_cast<size_t>(agent) + 1);
+  labels_[static_cast<size_t>(agent)] = std::move(label);
+}
+
+std::string FlightRecorder::label(int32_t agent) const {
+  if (agent < 0) return "session";
+  if (static_cast<size_t>(agent) < labels_.size() &&
+      !labels_[static_cast<size_t>(agent)].empty())
+    return labels_[static_cast<size_t>(agent)];
+  return "A" + std::to_string(agent);
+}
+
+FlightRing& FlightRecorder::ring(int32_t agent) {
+  return rings_[static_cast<size_t>(agent + 1)];
+}
+const FlightRing& FlightRecorder::ring(int32_t agent) const {
+  return rings_[static_cast<size_t>(agent + 1)];
+}
+
+void FlightRecorder::on_crash(int32_t agent, int64_t vt_us) {
+  ++clocks_[static_cast<size_t>(agent)][static_cast<size_t>(agent)];
+  if (tp_crash_.enabled())
+    store(agent, tp_crash_, FlightEvent::Kind::kFault, vt_us, -1, 0, 0, "crash",
+          Stamp::kBump);
+  else
+    ++muted_debt_[static_cast<size_t>(agent)];
+}
+
+void FlightRecorder::on_restart(int32_t agent, int64_t vt_us) {
+  ++clocks_[static_cast<size_t>(agent)][static_cast<size_t>(agent)];
+  if (tp_restart_.enabled())
+    store(agent, tp_restart_, FlightEvent::Kind::kFault, vt_us, -1, 0, 0, "restart",
+          Stamp::kBump);
+  else
+    ++muted_debt_[static_cast<size_t>(agent)];
+}
+
+void FlightRecorder::on_discard(int32_t agent, int64_t vt_us, int64_t msg_type) {
+  // No merge: a discarded delivery never influenced the target.
+  ++clocks_[static_cast<size_t>(agent)][static_cast<size_t>(agent)];
+  if (tp_discard_.enabled())
+    store(agent, tp_discard_, FlightEvent::Kind::kFault, vt_us, -1, msg_type, 0,
+          "delivery discarded (crash epoch)", Stamp::kBump);
+  else
+    ++muted_debt_[static_cast<size_t>(agent)];
+}
+
+void FlightRecorder::on_drop(int32_t from, int32_t to, int64_t vt_us, int64_t msg_type) {
+  // Annotation under the send's stamp (on_send already bumped, or left the
+  // bump pending if the send was muted -- kShared folds it in either way).
+  if (tp_drop_.enabled())
+    store(from, tp_drop_, FlightEvent::Kind::kFault, vt_us, to, msg_type, 0,
+          "dropped by fault hook", Stamp::kShared);
+}
+
+int64_t FlightRecorder::events_dropped() const {
+  int64_t total = 0;
+  for (const auto& r : rings_) total += r.dropped();
+  return total;
+}
+
+FlightTimeline FlightRecorder::merge() const {
+  FlightTimeline out;
+  out.dropped_total = events_dropped();
+
+  // Per-ring cursors over the retained events, oldest first. Stored events
+  // are delta-encoded, so each ring carries a running clock seeded from its
+  // drop-replay base: `running[r]` always holds the fully materialized
+  // stamp of ring r's current head.
+  const size_t nrings = rings_.size();
+  std::vector<std::vector<const FlightEvent*>> seqs(nrings);
+  std::vector<std::vector<int32_t>> running(nrings);
+  std::vector<size_t> cursor(nrings, 0);
+  size_t total = 0;
+  for (size_t r = 0; r < nrings; ++r) {
+    seqs[r] = rings_[r].in_order();
+    total += seqs[r].size();
+    running[r] = ring_base_[r];
+    if (!seqs[r].empty()) replay_delta(running[r], *seqs[r][0]);
+  }
+  out.events.reserve(total);
+
+  std::vector<int32_t> prev_stamp;
+  bool have_prev = false;
+  while (out.events.size() < total) {
+    // Candidate heads.
+    const FlightEvent* best = nullptr;
+    size_t best_ring = 0;
+    for (size_t r = 0; r < nrings; ++r) {
+      if (cursor[r] >= seqs[r].size()) continue;
+      const FlightEvent* head = seqs[r][cursor[r]];
+      if (best == nullptr) {
+        best = head;
+        best_ring = r;
+        continue;
+      }
+      // Causally earlier head wins outright; between concurrent heads the
+      // (vt, seq, agent) triple is the deterministic tiebreak. seq must
+      // precede agent: both vt and seq are linear extensions of
+      // happens-before (a zero-delay local delivery shares its send's vt
+      // but is always RECORDED after it), while agent id is not -- so the
+      // selected head can never be causally dominated by another head.
+      if (clock_less(running[r], running[best_ring])) {
+        best = head;
+        best_ring = r;
+      } else if (!clock_less(running[best_ring], running[r])) {
+        const auto key = [](const FlightEvent* e) {
+          return std::make_tuple(e->vt_us, e->seq, e->agent);
+        };
+        if (key(head) < key(best)) {
+          best = head;
+          best_ring = r;
+        }
+      }
+    }
+    PREDCTRL_CHECK(best != nullptr, "flight merge lost events");
+    out.events.push_back(*best);
+    FlightEvent& emitted = out.events.back();
+    // Materialize the stamp on the emitted copy -- consumers of merge()
+    // output never see the delta encoding.
+    emitted.clock = running[best_ring];
+    emitted.pre_bumps = 0;
+    emitted.self_bump = false;
+    emitted.absolute_stamp = true;
+    emitted.concurrent = have_prev && clock_concurrent(prev_stamp, emitted.clock);
+    prev_stamp = emitted.clock;
+    have_prev = true;
+    ++cursor[best_ring];
+    if (cursor[best_ring] < seqs[best_ring].size())
+      replay_delta(running[best_ring], *seqs[best_ring][cursor[best_ring]]);
+  }
+  return out;
+}
+
+namespace {
+std::string clock_to_string(const std::vector<int32_t>& clock) {
+  std::string out = "[";
+  for (size_t i = 0; i < clock.size(); ++i) {
+    if (i) out += ' ';
+    out += std::to_string(clock[i]);
+  }
+  return out + "]";
+}
+}  // namespace
+
+std::string FlightRecorder::render_text(const FlightTimeline& timeline,
+                                        const FlightRecorder& recorder) {
+  std::string out = "flight timeline (" + std::to_string(timeline.events.size()) +
+                    " events";
+  if (timeline.dropped_total > 0)
+    out += ", " + std::to_string(timeline.dropped_total) + " older events dropped";
+  out += "):\n";
+  size_t label_width = 0;
+  for (const auto& ev : timeline.events)
+    label_width = std::max(label_width, recorder.label(ev.agent).size());
+  for (const auto& ev : timeline.events) {
+    std::string line = ev.concurrent ? " ∥ " : "   ";
+    std::string vt = std::to_string(ev.vt_us);
+    line += "[t=";
+    if (vt.size() < 8) line += std::string(8 - vt.size(), ' ');
+    line += vt + "us] ";
+    std::string who = recorder.label(ev.agent);
+    line += who + std::string(label_width - who.size() + 1, ' ');
+    std::string kind = flight_kind_name(ev.kind);
+    line += kind + std::string(kind.size() < 8 ? 8 - kind.size() : 1, ' ');
+    std::string point = ev.point;
+    line += point;
+    if (point.size() < 24) line += std::string(24 - point.size(), ' ');
+    if (ev.peer >= 0) line += " peer=" + recorder.label(ev.peer);
+    if (ev.kind == FlightEvent::Kind::kSend || ev.kind == FlightEvent::Kind::kReceive)
+      line += " type=" + std::to_string(ev.a);
+    else if (ev.a != 0)
+      line += " a=" + std::to_string(ev.a);
+    if (!ev.detail.empty()) line += " " + ev.detail;
+    line += "  vc=" + clock_to_string(ev.clock);
+    out += line + "\n";
+  }
+  return out;
+}
+
+std::string FlightRecorder::render_text() const { return render_text(merge(), *this); }
+
+Json FlightRecorder::to_json() const {
+  const FlightTimeline timeline = merge();
+  JsonArray labels;
+  for (int32_t id = 0; id < num_agents(); ++id) labels.push_back(Json(label(id)));
+  JsonArray events;
+  events.reserve(timeline.events.size());
+  for (const auto& ev : timeline.events) {
+    JsonArray clock;
+    clock.reserve(ev.clock.size());
+    for (int32_t c : ev.clock) clock.push_back(Json(c));
+    JsonObject e;
+    e.emplace_back("agent", Json(ev.agent));
+    e.emplace_back("label", Json(label(ev.agent)));
+    e.emplace_back("vt_us", Json(ev.vt_us));
+    e.emplace_back("seq", Json(ev.seq));
+    e.emplace_back("point", Json(std::string(ev.point)));
+    e.emplace_back("kind", Json(std::string(flight_kind_name(ev.kind))));
+    e.emplace_back("peer", Json(ev.peer));
+    e.emplace_back("a", Json(ev.a));
+    e.emplace_back("b", Json(ev.b));
+    e.emplace_back("detail", Json(ev.detail));
+    e.emplace_back("clock", Json(std::move(clock)));
+    e.emplace_back("concurrent", Json(ev.concurrent));
+    events.push_back(Json(std::move(e)));
+  }
+  JsonObject root;
+  root.emplace_back("schema", Json("predctrl-flight-v1"));
+  root.emplace_back("agents", Json(num_agents()));
+  root.emplace_back("capacity", Json(capacity_));
+  root.emplace_back("labels", Json(std::move(labels)));
+  root.emplace_back("dropped", Json(timeline.dropped_total));
+  root.emplace_back("events", Json(std::move(events)));
+  return Json(std::move(root));
+}
+
+void FlightRecorder::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << to_json().dump() << "\n";
+}
+
+void FlightRecorder::export_to(TraceRecorder& recorder) const {
+  const FlightTimeline timeline = merge();
+  for (const auto& ev : timeline.events) {
+    recorder.instant(
+        ev.point, "flight",
+        {{"agent", TraceRecorder::arg(label(ev.agent))},
+         {"kind", TraceRecorder::arg(std::string(flight_kind_name(ev.kind)))},
+         {"vt_us", TraceRecorder::arg(ev.vt_us)},
+         {"seq", TraceRecorder::arg(ev.seq)},
+         {"clock", TraceRecorder::arg(clock_to_string(ev.clock))},
+         {"concurrent", TraceRecorder::arg(static_cast<int64_t>(ev.concurrent ? 1 : 0))}});
+  }
+}
+
+}  // namespace predctrl::obs

@@ -1,0 +1,522 @@
+// Causal flight recorder: fixed-capacity per-agent ring buffers of
+// structured events, each stamped with a Fidge--Mattern vector clock over
+// the AGENTS of a run (processes, guards, detector alike -- distinct from
+// the per-process state clocks of causality/clock_matrix.hpp, which only
+// cover application states). When the control plane fails, the rings are
+// merged into one causally-ordered interleaved timeline and attached to the
+// ControlFailure verdict -- the consistent-observation presentation of
+// Cooper--Marzullo, applied to our own control traffic.
+//
+// Determinism rules (load-bearing; the tests pin them):
+//
+//   * Recording NEVER feeds back into the run. The recorder has no Rng, the
+//     engine's draws are identical with and without a recorder installed,
+//     and the byte-identity test compares full RunResults recorder-on vs
+//     recorder-off.
+//   * Clock advancement is independent of trace-point filtering: engine
+//     hooks (send/deliver/timer/crash/restart) always advance the clocks
+//     when a recorder is installed; the filter only gates whether the event
+//     is STORED. Stamps therefore stay correct however the filter changes.
+//   * Annotations (protocol-level events recorded from inside agent
+//     callbacks: guard adoptions, link retransmits, ...) do not advance
+//     clocks -- they share the stamp of the engine event they occur under
+//     and are ordered within the agent by a recorder-global sequence number.
+//
+// Ring invariant: each per-agent ring holds the LAST `capacity` stored
+// events of that agent, in recording order; older events increment the
+// ring's dropped counter and replay their stamp delta into the ring's base
+// clock, so any retained suffix still decodes to exact stamps. Within one
+// agent the (decoded) stored sequence is clock-monotone (never decreasing,
+// equal only for annotations sharing a stamp), which is what makes the
+// k-way merge a topological sort: at every step some ring head is causally
+// minimal.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace_point.hpp"
+#include "util/check.hpp"
+
+#ifndef PREDCTRL_OBS_ENABLED
+#ifdef PREDCTRL_OBS_DISABLE
+#define PREDCTRL_OBS_ENABLED 0
+#else
+#define PREDCTRL_OBS_ENABLED 1
+#endif
+#endif
+
+namespace predctrl::obs {
+
+class Json;
+class TraceRecorder;
+
+/// One recorded event. `point` aliases the static name of the trace point
+/// that recorded it (stable for the registry's lifetime).
+///
+/// Stored events carry their stamp DELTA-ENCODED, not as a full vector
+/// clock: copying a width-agents clock into every event is what recording
+/// overhead is made of, while almost every event changes the clock in a
+/// tiny, replayable way (a few own-component bumps, plus for receives a
+/// merge with the sender's snapshot). merge() replays the deltas and the
+/// events it RETURNS carry fully materialized `clock` stamps, so consumers
+/// (render, JSON, tests) never see the encoding.
+struct FlightEvent {
+  enum class Kind : uint8_t {
+    kSend,     ///< message handed to the engine
+    kReceive,  ///< message delivered to the agent
+    kTimer,    ///< timer fired
+    kPhase,    ///< phase / state transition (state entries, session phases)
+    kControl,  ///< control-protocol step (guard requests, acks, adoptions)
+    kFault,    ///< fault-plane occurrence (drop, crash, retransmit, dedup)
+    kVerdict,  ///< watchdog verdict
+  };
+
+  Kind kind = Kind::kPhase;
+  int32_t agent = -1;  ///< recording agent; -1 = session-level
+  int32_t peer = -1;   ///< counterpart agent (sends/receives), -1 = none
+  int64_t seq = 0;     ///< recorder-global recording order
+  int64_t vt_us = 0;   ///< virtual time of the stamp
+  int64_t a = 0;       ///< first scalar payload (message type, state index)
+  int64_t b = 0;       ///< second scalar payload (plane, timer id)
+  const char* point = "";
+  std::string detail;  ///< optional free text (kept off hot paths)
+
+  // --- stamp encoding (storage) / materialized stamp (merge output) ------
+  /// In storage: empty for pure-bump events, the SENDER's snapshot at send
+  /// time for receives (merged before the self bump), or the full absolute
+  /// post-stamp when `absolute_stamp` is set (session-level events, and any
+  /// event recorded after a muted receive made deltas insufficient).
+  /// In merge() output: the event's fully materialized stamp.
+  std::vector<int32_t> clock;
+  /// Own-component bumps from muted (filter-disabled) engine events that
+  /// preceded this one and were never stored; replayed before `clock`.
+  uint32_t pre_bumps = 0;
+  /// This event bumps the agent's own component (true for engine events,
+  /// false for stamp-sharing annotations).
+  bool self_bump = false;
+  /// `clock` holds the full post-stamp; pre_bumps/self_bump are ignored.
+  bool absolute_stamp = false;
+  /// Set by merge() on output copies: causally concurrent with the event
+  /// emitted immediately before it in the merged timeline.
+  bool concurrent = false;
+};
+
+const char* flight_kind_name(FlightEvent::Kind kind);
+
+/// Fixed-capacity overwrite-oldest ring. Slot storage grows lazily up to
+/// `capacity` and is retained across reset() so that a reused ring records
+/// without allocating: emplace() hands back the slot to fill in place, and
+/// assigning into its `clock`/`detail` members reuses their heap buffers.
+class FlightRing {
+ public:
+  explicit FlightRing(int32_t capacity);
+
+  /// Slot for the next event, oldest-first overwrite once full. The caller
+  /// fills every field (stale values from a previous lap remain otherwise),
+  /// and must drain oldest()'s clock delta into the ring's base clock first
+  /// when full() -- the overwritten event is gone after this call.
+  FlightEvent& emplace() {
+    // After reset() the already-grown slots are reused in place; only a
+    // ring that has never been this full before allocates a new slot.
+    if (next_ == slots_.size()) slots_.emplace_back();
+    FlightEvent& slot = slots_[next_];
+    if (size_ < static_cast<size_t>(capacity_))
+      ++size_;
+    else
+      ++dropped_;
+    if (++next_ == static_cast<size_t>(capacity_)) next_ = 0;
+    return slot;
+  }
+  void push(FlightEvent event);
+  bool full() const { return size_ == static_cast<size_t>(capacity_); }
+  /// The event the next emplace() overwrites; only meaningful when full().
+  const FlightEvent& oldest() const { return slots_[next_]; }
+  /// Empties the ring but keeps slot storage (and per-slot buffer capacity)
+  /// for reuse by the next run.
+  void reset();
+
+  int32_t capacity() const { return capacity_; }
+  int64_t stored() const { return static_cast<int64_t>(size_); }
+  int64_t dropped() const { return dropped_; }
+
+  /// Oldest-to-newest view of the retained events.
+  std::vector<const FlightEvent*> in_order() const;
+
+ private:
+  int32_t capacity_;
+  size_t size_ = 0;
+  size_t next_ = 0;  // slot the next push overwrites
+  int64_t dropped_ = 0;
+  std::vector<FlightEvent> slots_;
+};
+
+/// The merged, causally-ordered timeline.
+struct FlightTimeline {
+  std::vector<FlightEvent> events;  ///< with `concurrent` flags resolved
+  int64_t dropped_total = 0;        ///< events lost to ring overwrites
+};
+
+class FlightRecorder {
+ public:
+  /// Default per-agent ring capacity: enough for the full history of the
+  /// bench scenarios (a wrapped ring both truncates forensics and pays the
+  /// drop-replay fold per overwrite) while keeping a bounded worst-case
+  /// footprint -- slot storage grows lazily, so quiet agents never pay it.
+  static constexpr int32_t kDefaultCapacity = 1024;
+
+  explicit FlightRecorder(int32_t capacity = kDefaultCapacity);
+
+  /// Sizes the clock width and rings for `num_agents` agents (plus the
+  /// session-level ring) and resets clocks, rings, and counters -- a reused
+  /// recorder observes each run from a blank slate. Called by the engine in
+  /// the run() prologue; labels survive across runs.
+  void begin_run(int32_t num_agents);
+
+  int32_t num_agents() const { return static_cast<int32_t>(clocks_.size()); }
+  int32_t capacity() const { return capacity_; }
+
+  /// Human label for an agent in rendered output ("P0", "G2", "detector");
+  /// defaults to "A<id>". May carry arbitrary user strings -- the JSON
+  /// writer escapes them.
+  void set_label(int32_t agent, std::string label);
+  std::string label(int32_t agent) const;
+
+  // --- engine hooks (advance clocks; gated storage) ----------------------
+
+  /// Sender-side: bumps the sender's clock and returns a snapshot reference
+  /// valid until the sender's next event -- the engine copies it onto the
+  /// pending delivery. `plane` is sim::Message::Plane as an integer.
+  const std::vector<int32_t>& on_send(int32_t from, int32_t to, int64_t vt_us,
+                                      int64_t msg_type, int64_t plane);
+  /// Receiver-side: merges the sender's snapshot, bumps, stores. May STEAL
+  /// `sender_clock`'s buffer (swapping the slot's retired one back into it)
+  /// so storing a receive costs no copy; the caller recycles whatever buffer
+  /// remains.
+  void on_deliver(int32_t to, int32_t from, int64_t vt_us, int64_t msg_type,
+                  int64_t plane, std::vector<int32_t>& sender_clock);
+  void on_timer(int32_t agent, int64_t vt_us, int64_t timer_id);
+  void on_crash(int32_t agent, int64_t vt_us);
+  void on_restart(int32_t agent, int64_t vt_us);
+  /// Delivery discarded because the target crashed: bumps (engine-level
+  /// event at the target) but does NOT merge -- the message never influenced
+  /// the agent.
+  void on_discard(int32_t agent, int64_t vt_us, int64_t msg_type);
+  /// Sender-side drop verdict: annotation under the send's stamp.
+  void on_drop(int32_t from, int32_t to, int64_t vt_us, int64_t msg_type);
+
+  // --- protocol annotations (stamp-sharing; no clock advance) ------------
+
+  /// Records a protocol-level event at `agent`'s current stamp. `point`
+  /// must outlive the recorder (static trace-point name). agent == -1
+  /// records at session level, stamped with the component-wise max of all
+  /// agent clocks (causally after everything recorded so far).
+  ///
+  /// MUST be called while the engine is processing an event at `agent`
+  /// (i.e., from inside the agent's callback) -- before the agent's stamp
+  /// can propagate to any peer. Annotating an agent later would record an
+  /// event that is causally BEFORE already-recorded events, breaking the
+  /// recording-order-extends-happens-before invariant merge() relies on.
+  void annotate(int32_t agent, const TracePoint& tp, FlightEvent::Kind kind,
+                int64_t vt_us, int32_t peer = -1, int64_t a = 0, int64_t b = 0,
+                std::string_view detail = {});
+
+  // --- output ------------------------------------------------------------
+
+  int64_t events_recorded() const { return events_recorded_; }
+  int64_t events_dropped() const;
+
+  /// Merges the rings into one causal order: repeatedly emit a ring head
+  /// that no other head happens-before-dominates; mutually concurrent
+  /// minimal heads tie-break on (vt, seq, agent). Events concurrent with
+  /// their predecessor in the merged order carry `concurrent = true`
+  /// (rendered as a leading `∥`).
+  FlightTimeline merge() const;
+
+  /// Human-readable rendering of merge().
+  std::string render_text() const;
+  static std::string render_text(const FlightTimeline& timeline,
+                                 const FlightRecorder& recorder);
+
+  /// `predctrl-flight-v1` dump:
+  ///   {"schema":"predctrl-flight-v1","agents":N,"capacity":C,
+  ///    "labels":[...],"dropped":D,
+  ///    "events":[{"agent":..,"label":..,"vt_us":..,"seq":..,"point":..,
+  ///               "kind":..,"peer":..,"a":..,"b":..,"detail":..,
+  ///               "clock":[..],"concurrent":bool}, ...]}
+  Json to_json() const;
+  void write_json(const std::string& path) const;
+
+  /// Cross-links the merged timeline into a Chrome trace_event recorder as
+  /// instants under category "flight", so --trace-out yields one artifact
+  /// holding spans, metrics context, and the causal story.
+  void export_to(TraceRecorder& recorder) const;
+
+ private:
+  /// How a stored event encodes its stamp. store() promotes any mode to
+  /// kAbsolute when a muted receive left the agent's delta chain unable to
+  /// reproduce the live clock.
+  enum class Stamp : uint8_t {
+    kBump,      ///< engine event: own-component bump, no snapshot
+    kReceive,   ///< engine receive: merge stolen sender snapshot, then bump
+    kShared,    ///< annotation: shares the agent's current stamp
+    kAbsolute,  ///< full post-stamp copied from clocks_ / session_stamp_
+  };
+
+  FlightRing& ring(int32_t agent);
+  const FlightRing& ring(int32_t agent) const;
+  /// Fills the next slot of `agent`'s ring: drains the overwritten event's
+  /// delta into `ring_base_` when the ring is full, folds the agent's
+  /// muted-bump debt into `pre_bumps`, and encodes the stamp per `mode`
+  /// (`sender_clock`, kReceive only, is stolen via swap). `detail` is
+  /// copied into the slot's retained buffer -- call sites pass literals or
+  /// short-lived strings without allocating here.
+  void store(int32_t agent, const TracePoint& tp, FlightEvent::Kind kind,
+             int64_t vt_us, int32_t peer, int64_t a, int64_t b,
+             std::string_view detail, Stamp mode,
+             std::vector<int32_t>* sender_clock = nullptr);
+  /// Replays `ev`'s stamp delta onto `base`: afterwards `base` is `ev`'s
+  /// fully materialized stamp. Used both for drop-replay (overwriting a
+  /// ring slot must not lose its clock effects) and by merge()'s per-ring
+  /// reconstruction.
+  static void replay_delta(std::vector<int32_t>& base, const FlightEvent& ev);
+
+  int32_t capacity_;
+  int64_t next_seq_ = 0;
+  int64_t events_recorded_ = 0;
+  /// clocks_[agent] = that agent's current vector clock (width num_agents).
+  std::vector<std::vector<int32_t>> clocks_;
+  /// rings_[0] = session-level ring; rings_[agent + 1] = agent's ring.
+  std::vector<FlightRing> rings_;
+  /// ring_base_[i] = clock state immediately before rings_[i]'s oldest
+  /// retained event; all zeros until that ring starts overwriting.
+  std::vector<std::vector<int32_t>> ring_base_;
+  /// Muted-event debt, per agent, packed into one word the hot store path
+  /// reads once: low bits count own bumps not yet attached to any stored
+  /// event; kDirtyMerge marks a muted receive that discarded its merge
+  /// snapshot (which forces the agent's next stored event to carry an
+  /// absolute stamp).
+  static constexpr uint32_t kDirtyMerge = 1u << 31;
+  std::vector<uint32_t> muted_debt_;
+  std::vector<std::string> labels_;
+  /// Scratch stamp for session-level annotations (max over all clocks).
+  mutable std::vector<int32_t> session_stamp_;
+
+  // Engine-hook trace points, resolved once.
+  TracePoint& tp_send_app_;
+  TracePoint& tp_send_ctl_;
+  TracePoint& tp_send_local_;
+  TracePoint& tp_deliver_app_;
+  TracePoint& tp_deliver_ctl_;
+  TracePoint& tp_deliver_local_;
+  TracePoint& tp_timer_;
+  TracePoint& tp_crash_;
+  TracePoint& tp_restart_;
+  TracePoint& tp_discard_;
+  TracePoint& tp_drop_;
+};
+
+// ---------------------------------------------------------------------------
+// Hot-path inline definitions. The engine calls these once per simulation
+// event; a cross-TU call (with its ~10-argument marshalling) costs as much
+// as the recording work itself, so they live in the header.
+
+inline void FlightRecorder::replay_delta(std::vector<int32_t>& base,
+                                         const FlightEvent& ev) {
+  if (ev.absolute_stamp) {
+    base.assign(ev.clock.begin(), ev.clock.end());
+    return;
+  }
+  // Live order: the muted own-bumps happened first, then the merge (if
+  // any), then the event's own bump. max() makes bump-vs-merge order
+  // immaterial, but keeping live order makes the replay obviously exact.
+  const auto own = static_cast<size_t>(ev.agent);
+  base[own] += static_cast<int32_t>(ev.pre_bumps);
+  if (!ev.clock.empty()) {
+    PREDCTRL_CHECK(ev.clock.size() == base.size(), "flight clock width mismatch");
+    for (size_t i = 0; i < base.size(); ++i)
+      base[i] = std::max(base[i], ev.clock[i]);
+  }
+  if (ev.self_bump) ++base[own];
+}
+
+inline void FlightRecorder::store(int32_t agent, const TracePoint& tp,
+                                  FlightEvent::Kind kind, int64_t vt_us, int32_t peer,
+                                  int64_t a, int64_t b, std::string_view detail,
+                                  Stamp mode, std::vector<int32_t>* sender_clock) {
+  // Fill the ring slot in place: assigning into `detail`/`clock` reuses the
+  // slot's buffers from the previous lap (or previous run), so steady-state
+  // recording does not allocate. Every field is written -- emplace() hands
+  // back a slot that may still hold a stale event.
+  FlightRing& r = rings_[static_cast<size_t>(agent + 1)];
+  if (r.full()) replay_delta(ring_base_[static_cast<size_t>(agent + 1)], r.oldest());
+  FlightEvent& ev = r.emplace();
+  ev.kind = kind;
+  ev.agent = agent;
+  ev.peer = peer;
+  ev.seq = next_seq_++;
+  ev.vt_us = vt_us;
+  ev.a = a;
+  ev.b = b;
+  ev.point = tp.name().c_str();
+  if (detail.empty())
+    ev.detail.clear();  // assign(nullptr, nullptr) is surprisingly costly
+  else
+    ev.detail.assign(detail.begin(), detail.end());  // reuses slot capacity
+  ev.concurrent = false;
+  ++events_recorded_;
+
+  uint32_t debt = 0;
+  if (agent >= 0) {
+    debt = muted_debt_[static_cast<size_t>(agent)];
+    if (debt & kDirtyMerge) {
+      // A muted receive discarded its merge snapshot, so the delta chain
+      // cannot reproduce this agent's live clock: fall back to the full
+      // post-stamp once, which also resets the chain.
+      mode = Stamp::kAbsolute;
+    }
+    muted_debt_[static_cast<size_t>(agent)] = 0;
+  }
+  switch (mode) {
+    case Stamp::kBump:
+    case Stamp::kShared:
+      ev.clock.clear();
+      ev.pre_bumps = debt;
+      ev.self_bump = mode == Stamp::kBump;
+      ev.absolute_stamp = false;
+      break;
+    case Stamp::kReceive:
+      // Steal the sender snapshot; the slot's retired buffer goes back to
+      // the caller for recycling.
+      ev.clock.swap(*sender_clock);
+      ev.pre_bumps = debt;
+      ev.self_bump = true;
+      ev.absolute_stamp = false;
+      break;
+    case Stamp::kAbsolute: {
+      const std::vector<int32_t>& stamp =
+          agent >= 0 ? clocks_[static_cast<size_t>(agent)] : session_stamp_;
+      ev.clock.assign(stamp.begin(), stamp.end());
+      ev.pre_bumps = 0;
+      ev.self_bump = false;
+      ev.absolute_stamp = true;
+      break;
+    }
+  }
+}
+
+inline const std::vector<int32_t>& FlightRecorder::on_send(int32_t from, int32_t to,
+                                                           int64_t vt_us,
+                                                           int64_t msg_type,
+                                                           int64_t plane) {
+  auto& clock = clocks_[static_cast<size_t>(from)];
+  ++clock[static_cast<size_t>(from)];
+  const TracePoint& tp = plane == 1   ? tp_send_ctl_
+                         : plane == 2 ? tp_send_local_
+                                      : tp_send_app_;
+  if (tp.enabled())
+    store(from, tp, FlightEvent::Kind::kSend, vt_us, to, msg_type, plane, {},
+          Stamp::kBump);
+  else
+    ++muted_debt_[static_cast<size_t>(from)];
+  return clock;
+}
+
+inline void FlightRecorder::on_deliver(int32_t to, int32_t from, int64_t vt_us,
+                                       int64_t msg_type, int64_t plane,
+                                       std::vector<int32_t>& sender_clock) {
+  auto& clock = clocks_[static_cast<size_t>(to)];
+  int32_t merged_any = 0;
+  if (!sender_clock.empty()) {
+    PREDCTRL_CHECK(sender_clock.size() == clock.size(), "flight clock width mismatch");
+    // Branchless on purpose: a data-dependent branch per component costs
+    // more in mispredictions than the whole merge.
+    for (size_t i = 0; i < clock.size(); ++i) {
+      const int32_t s = sender_clock[i];
+      const int32_t c = clock[i];
+      merged_any |= static_cast<int32_t>(s > c);
+      clock[i] = s > c ? s : c;
+    }
+  }
+  ++clock[static_cast<size_t>(to)];
+  const TracePoint& tp = plane == 1   ? tp_deliver_ctl_
+                         : plane == 2 ? tp_deliver_local_
+                                      : tp_deliver_app_;
+  if (tp.enabled()) {
+    if (sender_clock.empty())
+      store(to, tp, FlightEvent::Kind::kReceive, vt_us, from, msg_type, plane, {},
+            Stamp::kBump);
+    else
+      store(to, tp, FlightEvent::Kind::kReceive, vt_us, from, msg_type, plane, {},
+            Stamp::kReceive, &sender_clock);
+  } else {
+    // A merge that changed nothing is equivalent to a pure bump; only a
+    // real merge breaks the delta chain.
+    muted_debt_[static_cast<size_t>(to)] +=
+        1u + (merged_any != 0 ? kDirtyMerge : 0u);
+  }
+}
+
+inline void FlightRecorder::on_timer(int32_t agent, int64_t vt_us, int64_t timer_id) {
+  ++clocks_[static_cast<size_t>(agent)][static_cast<size_t>(agent)];
+  if (tp_timer_.enabled())
+    store(agent, tp_timer_, FlightEvent::Kind::kTimer, vt_us, -1, timer_id, 0, {},
+          Stamp::kBump);
+  else
+    ++muted_debt_[static_cast<size_t>(agent)];
+}
+
+inline void FlightRecorder::annotate(int32_t agent, const TracePoint& tp,
+                                     FlightEvent::Kind kind, int64_t vt_us,
+                                     int32_t peer, int64_t a, int64_t b,
+                                     std::string_view detail) {
+  if (agent < 0) {
+    // Session-level: stamp with the max over all agent clocks -- causally
+    // after everything recorded so far. Always absolute: the session ring
+    // has no own component to delta against.
+    std::fill(session_stamp_.begin(), session_stamp_.end(), 0);
+    for (const auto& clock : clocks_)
+      for (size_t i = 0; i < clock.size(); ++i)
+        session_stamp_[i] = std::max(session_stamp_[i], clock[i]);
+    store(-1, tp, kind, vt_us, peer, a, b, detail, Stamp::kAbsolute);
+    return;
+  }
+  PREDCTRL_CHECK(static_cast<size_t>(agent) < clocks_.size(),
+                 "flight annotation for unknown agent");
+  store(agent, tp, kind, vt_us, peer, a, b, detail, Stamp::kShared);
+}
+
+/// Happens-before on stamps: a <= b component-wise (sizes must match).
+bool clock_leq(const std::vector<int32_t>& a, const std::vector<int32_t>& b);
+/// Strictly-before: leq and not equal.
+bool clock_less(const std::vector<int32_t>& a, const std::vector<int32_t>& b);
+/// Neither before the other.
+bool clock_concurrent(const std::vector<int32_t>& a, const std::vector<int32_t>& b);
+
+}  // namespace predctrl::obs
+
+// Annotation macro for instrumentation sites holding a FlightRecorder*
+// (usually AgentContext::flight()). Caches the trace point in a
+// function-local static; when no recorder is installed the cost is one
+// load + branch, and under PREDCTRL_OBS_DISABLE the macro compiles to
+// nothing.
+#if PREDCTRL_OBS_ENABLED
+#define PREDCTRL_FLIGHT(flight_ptr, point_name, kind, agent, vt_us, ...)       \
+  do {                                                                         \
+    ::predctrl::obs::FlightRecorder* fr_ = (flight_ptr);                       \
+    if (fr_ != nullptr) {                                                      \
+      static ::predctrl::obs::TracePoint& tp_ =                                \
+          ::predctrl::obs::trace_points().point(point_name);                   \
+      if (tp_.enabled())                                                       \
+        fr_->annotate((agent), tp_, ::predctrl::obs::FlightEvent::Kind::kind,  \
+                      (vt_us)__VA_OPT__(, ) __VA_ARGS__);                      \
+    }                                                                          \
+  } while (false)
+#else
+#define PREDCTRL_FLIGHT(flight_ptr, point_name, kind, agent, vt_us, ...) \
+  do {                                                                   \
+  } while (false)
+#endif

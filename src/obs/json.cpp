@@ -53,24 +53,86 @@ const Json* Json::find(const std::string& key) const {
   return nullptr;
 }
 
+namespace {
+void append_u_escape(std::string& out, unsigned code) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "\\u%04x", code);
+  out += buf;
+}
+}  // namespace
+
 std::string json_escape(const std::string& s) {
+  // Strings can carry arbitrary user bytes (trace-point names, flight
+  // recorder agent labels), so the writer must produce valid JSON for ANY
+  // input: control characters and DEL are \u-escaped, valid multi-byte
+  // UTF-8 is re-emitted as \uXXXX escapes (surrogate pairs beyond the BMP),
+  // and bytes that are not valid UTF-8 become U+FFFD. The output is always
+  // pure ASCII, and valid-UTF-8 inputs round-trip byte-identically through
+  // json_parse.
   std::string out;
   out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+  size_t i = 0;
+  while (i < s.size()) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c < 0x80) {
+      ++i;
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (c < 0x20 || c == 0x7F) {
+            append_u_escape(out, c);
+          } else {
+            out += static_cast<char>(c);
+          }
+      }
+      continue;
+    }
+    // Decode one UTF-8 sequence; on any malformation consume ONE byte and
+    // emit U+FFFD (lossy but deterministic and always-valid).
+    int len = 0;
+    unsigned code = 0;
+    if ((c & 0xE0) == 0xC0) {
+      len = 2;
+      code = c & 0x1Fu;
+    } else if ((c & 0xF0) == 0xE0) {
+      len = 3;
+      code = c & 0x0Fu;
+    } else if ((c & 0xF8) == 0xF0) {
+      len = 4;
+      code = c & 0x07u;
+    }
+    bool ok = len != 0 && i + static_cast<size_t>(len) <= s.size();
+    for (int k = 1; ok && k < len; ++k) {
+      const unsigned char cont = static_cast<unsigned char>(s[i + static_cast<size_t>(k)]);
+      if ((cont & 0xC0) != 0x80) ok = false;
+      code = (code << 6) | (cont & 0x3Fu);
+    }
+    // Reject overlong encodings, surrogates, and out-of-range code points.
+    if (ok) {
+      if (len == 2 && code < 0x80) ok = false;
+      if (len == 3 && code < 0x800) ok = false;
+      if (len == 4 && code < 0x10000) ok = false;
+      if (code >= 0xD800 && code <= 0xDFFF) ok = false;
+      if (code > 0x10FFFF) ok = false;
+    }
+    if (!ok) {
+      append_u_escape(out, 0xFFFD);
+      ++i;
+      continue;
+    }
+    i += static_cast<size_t>(len);
+    if (code < 0x10000) {
+      append_u_escape(out, code);
+    } else {
+      code -= 0x10000;
+      append_u_escape(out, 0xD800 + (code >> 10));
+      append_u_escape(out, 0xDC00 + (code & 0x3FFu));
     }
   }
   return out;
@@ -208,6 +270,20 @@ class Parser {
     }
   }
 
+  unsigned hex4() {
+    if (pos_ + 4 > s_.size()) bad("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = s_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else bad("bad \\u escape");
+    }
+    return code;
+  }
+
   std::string string() {
     expect('"');
     std::string out;
@@ -231,25 +307,33 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > s_.size()) bad("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = s_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else bad("bad \\u escape");
+          unsigned code = hex4();
+          // Surrogate pair: a high surrogate must be followed by an escaped
+          // low surrogate; together they name one astral code point
+          // (json_escape emits pairs for code points beyond the BMP).
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > s_.size() || s_[pos_] != '\\' || s_[pos_ + 1] != 'u')
+              bad("unpaired high surrogate");
+            pos_ += 2;
+            const unsigned low = hex4();
+            if (low < 0xDC00 || low > 0xDFFF) bad("bad low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            bad("unpaired low surrogate");
           }
-          // UTF-8 encode (no surrogate-pair handling; our exports never emit
-          // them -- escapes above 0x7f only appear via \u00xx control chars).
+          // UTF-8 encode.
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
             out += static_cast<char>(0xC0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
+          } else if (code < 0x10000) {
             out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
             out += static_cast<char>(0x80 | (code & 0x3F));
           }

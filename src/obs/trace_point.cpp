@@ -1,0 +1,127 @@
+#include "obs/trace_point.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+namespace predctrl::obs {
+
+bool glob_match(const std::string& pattern, const std::string& name) {
+  // Iterative two-pointer matcher with backtracking over the last "*".
+  size_t p = 0, n = 0;
+  size_t star = std::string::npos, mark = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = n;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      n = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+namespace {
+std::string trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+}  // namespace
+
+TracePoint& TracePointRegistry::point(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& p : points_)
+    if (p->name() == name) return *p;
+  points_.push_back(std::make_unique<TracePoint>(name));
+  TracePoint& tp = *points_.back();
+  tp.set_enabled(evaluate_locked(name));
+  return tp;
+}
+
+bool TracePointRegistry::set_filter(const std::string& spec) {
+  std::vector<Pattern> parsed;
+  bool has_positive = false;
+  size_t start = 0;
+  bool any_token = false;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string token = trim(spec.substr(start, comma - start));
+    start = comma + 1;
+    if (token.empty()) {
+      // The all-empty spec ("" or only whitespace) legitimately means
+      // "everything on"; an empty token BETWEEN commas is a typo.
+      if (spec.find(',') != std::string::npos) return false;
+      if (start > spec.size() && !any_token) break;
+      continue;
+    }
+    any_token = true;
+    Pattern p;
+    if (token[0] == '-') {
+      p.negative = true;
+      token = trim(token.substr(1));
+      if (token.empty()) return false;  // bare "-"
+    }
+    p.glob = token;
+    if (!p.negative) has_positive = true;
+    parsed.push_back(std::move(p));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = spec;
+  patterns_ = std::move(parsed);
+  has_positive_ = has_positive;
+  for (auto& tp : points_) tp->set_enabled(evaluate_locked(tp->name()));
+  return true;
+}
+
+bool TracePointRegistry::evaluate(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evaluate_locked(name);
+}
+
+bool TracePointRegistry::evaluate_locked(const std::string& name) const {
+  // Last matching pattern wins; unmatched points default to "on" unless the
+  // spec names something positively (then the spec is a whitelist).
+  bool decided = false;
+  bool on = !has_positive_;
+  for (const auto& p : patterns_)
+    if (glob_match(p.glob, name)) {
+      on = !p.negative;
+      decided = true;
+    }
+  (void)decided;
+  return on;
+}
+
+std::vector<std::pair<std::string, bool>> TracePointRegistry::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, bool>> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.emplace_back(p->name(), p->enabled());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TracePointRegistry& trace_points() {
+  static TracePointRegistry* registry = [] {
+    auto* r = new TracePointRegistry();
+    if (const char* env = std::getenv("PREDCTRL_TRACE"); env != nullptr)
+      r->set_filter(env);
+    else
+      r->set_filter(kDefaultTraceFilter);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace predctrl::obs

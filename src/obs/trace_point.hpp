@@ -1,0 +1,113 @@
+// Hierarchical runtime-toggleable trace points, in the spirit of the
+// classic `dbug` library: every recording site is named inside a
+// dot-separated hierarchy ("sim.deliver", "guard.handoff",
+// "fault.retransmit") and can be flipped on or off at runtime by a filter
+// spec without recompiling -- the prerequisite the ROADMAP names for a
+// long-running predctld.
+//
+// Filter spec grammar (PREDCTRL_TRACE env var, or
+// `predctl_tool --trace-points=...`):
+//
+//   spec     := pattern ("," pattern)*
+//   pattern  := ["-"] glob          -- "-" disables matching points
+//   glob     := name with "*" (any run) and "?" (any one char)
+//
+//   PREDCTRL_TRACE="sim.*,guard.handoff,-fault.delay"
+//
+// Semantics: patterns are evaluated left to right and the LAST matching
+// pattern wins. A point matched by nothing is enabled iff the spec contains
+// no positive pattern -- so "sim.*" means "only sim.*", while "-fault.delay"
+// alone means "everything except fault.delay", and the empty spec enables
+// everything. set_filter() re-evaluates already-registered points, so the
+// spec can change between runs of a live process.
+//
+// Cost model: a call site caches a `TracePoint&` in a function-local static
+// (one registry lookup ever), then each hit is one relaxed atomic load and
+// one predictable branch when the point is disabled. Under
+// PREDCTRL_OBS_DISABLE the wrapping macros compile to nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace predctrl::obs {
+
+/// One named switch. Stable address for the lifetime of its registry;
+/// call sites hold references across filter changes.
+class TracePoint {
+ public:
+  explicit TracePoint(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  bool enabled() const { return on_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { on_.store(on, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<bool> on_{true};
+};
+
+/// Glob match with "*" and "?" (no character classes); the whole pattern
+/// must cover the whole name. Exposed for the filter-parsing tests.
+bool glob_match(const std::string& pattern, const std::string& name);
+
+/// Registry of trace points plus the active filter spec. Find-or-create is
+/// mutex-guarded (it happens once per call site); the returned reference is
+/// stable for the registry's lifetime.
+class TracePointRegistry {
+ public:
+  TracePointRegistry() = default;
+
+  /// Finds or creates the point and applies the current filter to a newly
+  /// created one.
+  TracePoint& point(const std::string& name);
+
+  /// Installs a new filter spec and re-evaluates every registered point.
+  /// Returns false (and keeps the previous filter) if the spec is malformed
+  /// (an empty pattern such as "a,,b" or a bare "-").
+  bool set_filter(const std::string& spec);
+
+  const std::string& filter() const { return spec_; }
+
+  /// Evaluates the current filter for a name without registering it.
+  bool evaluate(const std::string& name) const;
+
+  /// Registered point names with their current state, sorted by name.
+  std::vector<std::pair<std::string, bool>> list() const;
+
+ private:
+  struct Pattern {
+    std::string glob;
+    bool negative = false;
+  };
+
+  bool evaluate_locked(const std::string& name) const;
+
+  mutable std::mutex mu_;
+  std::string spec_;
+  std::vector<Pattern> patterns_;
+  bool has_positive_ = false;
+  /// unique_ptr: point addresses survive vector growth.
+  std::vector<std::unique_ptr<TracePoint>> points_;
+};
+
+/// Default filter for the process-wide registry: local-plane self-messages
+/// are an agent scheduling work for itself, not distributed causality --
+/// program order already carries their happens-before -- so their
+/// send/deliver chatter (the bulk of stored events in guard-heavy runs) is
+/// verbose-tier and off by default. PREDCTRL_TRACE (or --trace-points=)
+/// replaces this wholesale; spec "" or "*" turns everything on.
+inline constexpr const char* kDefaultTraceFilter =
+    "-sim.send.local,-sim.deliver.local";
+
+/// Process-wide registry used by the PREDCTRL_FLIGHT_* macros and the flight
+/// recorder. First use reads the PREDCTRL_TRACE environment variable as the
+/// initial filter spec, falling back to kDefaultTraceFilter.
+TracePointRegistry& trace_points();
+
+}  // namespace predctrl::obs

@@ -1,5 +1,6 @@
 #include "online/generalized_scapegoat.hpp"
 
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 
@@ -39,6 +40,9 @@ void GeneralizedScapegoatController::on_message(AgentContext& ctx, const Message
         PREDCTRL_REQUIRE(!holder_, "holder accumulated deferred requests");
         holder_ = true;
         adoptions_.push_back(ctx.now());
+        PREDCTRL_FLIGHT(ctx.flight(), "guard.adopt", kControl, ctx.self(), ctx.now(),
+                        pending_reqs_.front(), index_, 0,
+                        "anti-token adopted on kNowTrue; nakking the rest");
         reply(ctx, pending_reqs_.front(), kAck);
         for (size_t i = 1; i < pending_reqs_.size(); ++i)
           reply(ctx, pending_reqs_[i], kNak);
@@ -66,6 +70,9 @@ void GeneralizedScapegoatController::on_message(AgentContext& ctx, const Message
         break;
       }
       ++naks_received_;
+      PREDCTRL_FLIGHT(ctx.flight(), "guard.nak", kControl, ctx.self(), ctx.now(),
+                      msg.from, index_, naks_received_,
+                      "target already pinned; retrying elsewhere");
       try_next_target(ctx);  // retry another random controller
       break;
     default:
@@ -121,6 +128,9 @@ void GeneralizedScapegoatController::handle_give_up(AgentContext& ctx,
   size_t next = (static_cast<size_t>(current_target_) + 1) % peers_.size();
   if (next == static_cast<size_t>(index_)) next = (next + 1) % peers_.size();
   PREDCTRL_OBS_COUNT("online.scapegoat.failovers", 1);
+  PREDCTRL_FLIGHT(ctx.flight(), "guard.failover", kControl, ctx.self(), ctx.now(),
+                  peers_[next], index_, static_cast<int64_t>(next),
+                  "handoff req gave up; trying next peer");
   try_target(ctx, next);
 }
 
@@ -134,6 +144,8 @@ void GeneralizedScapegoatController::release_anti_token(AgentContext& ctx) {
   holder_ = false;
   released_ = true;
   PREDCTRL_OBS_COUNT("online.scapegoat.releases", 1);
+  PREDCTRL_FLIGHT(ctx.flight(), "guard.release", kControl, ctx.self(), ctx.now(), -1,
+                  index_, 0, "all peers unreachable; anti-token released");
   grant(ctx);
 }
 
@@ -149,11 +161,15 @@ void GeneralizedScapegoatController::handle_req(AgentContext& ctx, AgentId from)
   }
   holder_ = true;
   adoptions_.push_back(ctx.now());
+  PREDCTRL_FLIGHT(ctx.flight(), "guard.adopt", kControl, ctx.self(), ctx.now(), from,
+                  index_, 0, "anti-token adopted; acking requester");
   reply(ctx, from, kAck);
 }
 
 void GeneralizedScapegoatController::grant(AgentContext& ctx) {
   PREDCTRL_REQUIRE(want_since_.has_value(), "grant without a pending request");
+  PREDCTRL_FLIGHT(ctx.flight(), "guard.grant", kControl, ctx.self(), ctx.now(),
+                  process_agent_, index_, ctx.now() - *want_since_);
   want_since_.reset();
   proc_true_ = false;
   Message g;

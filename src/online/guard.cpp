@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 
@@ -54,7 +55,8 @@ sim::RunResult run_scripts_guarded(const sim::ScriptedSystem& system,
     return guards;
   };
   if (telemetry != nullptr) {
-    gating.on_quiesce = [&controllers, telemetry](sim::SimEngine&) {
+    gating.on_quiesce = [&controllers, telemetry,
+                         &options]([[maybe_unused]] sim::SimEngine& engine) {
       *telemetry = {};
       for (size_t i = 0; i < controllers.size(); ++i) {
         const ScapegoatController* c = controllers[i];
@@ -68,6 +70,13 @@ sim::RunResult run_scripts_guarded(const sim::ScriptedSystem& system,
         if (c->is_scapegoat()) telemetry->holders_at_end.push_back(static_cast<int32_t>(i));
       }
       std::sort(telemetry->chain.begin(), telemetry->chain.end());
+      // Session-level summary event: the harvested control-plane telemetry,
+      // stamped causally after every agent event of the run.
+      PREDCTRL_FLIGHT(options.flight_recorder, "guard.telemetry", kControl, -1,
+                      engine.now(), -1,
+                      static_cast<int64_t>(telemetry->chain.size()),
+                      telemetry->link_give_ups,
+                      "scapegoat chain harvested at quiescence");
     };
   }
   sim::RunResult result = sim::run_scripts(system, options, /*strategy=*/nullptr, &gating,

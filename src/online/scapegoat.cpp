@@ -1,5 +1,6 @@
 #include "online/scapegoat.hpp"
 
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 
@@ -46,6 +47,8 @@ void ScapegoatController::on_message(AgentContext& ctx, const Message& msg) {
                              {"controller", obs::TraceRecorder::arg(
                                                 static_cast<int64_t>(index_))},
                              {"vt_us", obs::TraceRecorder::arg(ctx.now())});
+        PREDCTRL_FLIGHT(ctx.flight(), "guard.adopt", kControl, ctx.self(), ctx.now(), -1,
+                        index_, 0, "adopted on kNowTrue; releasing deferred reqs");
         for (AgentId requester : pending_reqs_) {
           Message ack;
           ack.type = kAck;
@@ -80,6 +83,8 @@ void ScapegoatController::handle_want_false(AgentContext& ctx) {
     return;
   }
   want_since_ = ctx.now();
+  PREDCTRL_FLIGHT(ctx.flight(), "guard.request", kControl, ctx.self(), ctx.now(),
+                  process_agent_, index_, scapegoat_ ? 1 : 0);
   if (!scapegoat_) {
     grant(ctx, /*handoff=*/false);
     return;
@@ -115,6 +120,9 @@ void ScapegoatController::handle_req(AgentContext& ctx, AgentId from) {
   // are deferred until the process is (again) true.
   if (awaiting_ack_ || !proc_true_) {
     pending_reqs_.push_back(from);
+    PREDCTRL_FLIGHT(ctx.flight(), "guard.defer", kControl, ctx.self(), ctx.now(), from,
+                    index_, 0, awaiting_ack_ ? "req deferred: own handoff in flight"
+                                             : "req deferred: process is false");
     return;
   }
   become_scapegoat_and_ack(ctx, from);
@@ -161,6 +169,9 @@ void ScapegoatController::handle_give_up(AgentContext& ctx, const Message& lost)
                        {"controller", obs::TraceRecorder::arg(static_cast<int64_t>(index_))},
                        {"next_peer", obs::TraceRecorder::arg(static_cast<int64_t>(next))},
                        {"vt_us", obs::TraceRecorder::arg(ctx.now())});
+  PREDCTRL_FLIGHT(ctx.flight(), "guard.failover", kControl, ctx.self(), ctx.now(),
+                  peers_[next], index_, static_cast<int64_t>(next),
+                  "handoff req gave up; trying next peer");
   send_req(ctx, next);
 }
 
@@ -179,6 +190,8 @@ void ScapegoatController::release_control(AgentContext& ctx) {
   PREDCTRL_OBS_INSTANT("scapegoat.release", "online",
                        {"controller", obs::TraceRecorder::arg(static_cast<int64_t>(index_))},
                        {"vt_us", obs::TraceRecorder::arg(ctx.now())});
+  PREDCTRL_FLIGHT(ctx.flight(), "guard.release", kControl, ctx.self(), ctx.now(), -1,
+                  index_, 0, "all peers unreachable; anti-token released");
   grant(ctx, /*handoff=*/true);
 }
 
@@ -196,7 +209,11 @@ void ScapegoatController::grant(AgentContext& ctx, bool handoff) {
                                             static_cast<int64_t>(index_))},
                          {"blocked_us", obs::TraceRecorder::arg(ctx.now() - *want_since_)},
                          {"vt_us", obs::TraceRecorder::arg(ctx.now())});
+    PREDCTRL_FLIGHT(ctx.flight(), "guard.handoff", kControl, ctx.self(), ctx.now(),
+                    process_agent_, index_, ctx.now() - *want_since_);
   }
+  PREDCTRL_FLIGHT(ctx.flight(), "guard.grant", kControl, ctx.self(), ctx.now(),
+                  process_agent_, index_, handoff ? 1 : 0);
   want_since_.reset();
   proc_true_ = false;  // committed to a false state until kNowTrue
   Message g;
@@ -212,6 +229,8 @@ void ScapegoatController::become_scapegoat_and_ack(AgentContext& ctx, AgentId re
   PREDCTRL_OBS_INSTANT("scapegoat.adopt", "online",
                        {"controller", obs::TraceRecorder::arg(static_cast<int64_t>(index_))},
                        {"vt_us", obs::TraceRecorder::arg(ctx.now())});
+  PREDCTRL_FLIGHT(ctx.flight(), "guard.adopt", kControl, ctx.self(), ctx.now(), requester,
+                  index_, 0, "anti-token adopted; acking requester");
   Message ack;
   ack.type = kAck;
   ack.plane = Message::Plane::kControl;

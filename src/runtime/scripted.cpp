@@ -6,6 +6,7 @@
 
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/flight_recorder.hpp"
 #include "util/check.hpp"
 
 namespace predctrl::sim {
@@ -87,6 +88,7 @@ class ScriptedProcess : public Agent {
     phase_ = Phase::kIdle;
     grant_requested_ = false;
     grant_received_ = false;
+    PREDCTRL_FLIGHT(ctx.flight(), "proc.resume", kPhase, ctx.self(), ctx.now(), -1, pc_);
     try_start(ctx);
   }
 
@@ -103,6 +105,7 @@ class ScriptedProcess : public Agent {
     if (pc_ >= static_cast<int32_t>(script_.instrs.size())) {
       phase_ = Phase::kDone;
       ctx.mark_done();
+      PREDCTRL_FLIGHT(ctx.flight(), "proc.done", kPhase, ctx.self(), ctx.now(), -1, pc_);
       if (detect_condition_ != nullptr) {
         Message done;
         done.type = kDetectDone;
@@ -195,6 +198,8 @@ class ScriptedProcess : public Agent {
     for (const auto& [k, v] : instr.updates) cur_vars_[k] = v;
     recorder_.vars[static_cast<size_t>(p_)].push_back(cur_vars_);
     recorder_.entry_times[static_cast<size_t>(p_)].push_back(ctx.now());
+    PREDCTRL_FLIGHT(ctx.flight(), "proc.state", kPhase, ctx.self(), ctx.now(), -1,
+                    leaving + 1);
     maybe_send_candidate(ctx, leaving + 1);
 
     // Control sends anchored at the exited state.

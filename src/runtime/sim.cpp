@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
 namespace predctrl::sim {
@@ -33,7 +34,10 @@ void AgentContext::mark_done() { engine_.waiting_[static_cast<size_t>(self_)].cl
 
 Rng& AgentContext::rng() { return engine_.rng_; }
 
-SimEngine::SimEngine(const SimOptions& options) : options_(options), rng_(options.seed) {
+obs::FlightRecorder* AgentContext::flight() const { return engine_.flight_; }
+
+SimEngine::SimEngine(const SimOptions& options)
+    : options_(options), rng_(options.seed), flight_(options.flight_recorder) {
   PREDCTRL_CHECK(options.min_delay >= 0 && options.min_delay <= options.max_delay,
                  "invalid delay range");
 }
@@ -56,20 +60,31 @@ void SimEngine::schedule_crash(AgentId id, SimTime at) {
   PREDCTRL_CHECK(at > 0,
                  "crash at time <= 0 would precede on_start -- agents must start "
                  "before they can crash");
-  queue_.push({PendingEvent::Kind::kCrash, at, next_seq_++, id, 0, 0, now_, {}});
+  queue_.push({PendingEvent::Kind::kCrash, at, next_seq_++, id, 0, 0, now_, {}, {}});
   note_queue_depth();
 }
 
 void SimEngine::schedule_restart(AgentId id, SimTime at) {
   PREDCTRL_CHECK(id >= 0 && id < num_agents(), "restart of unknown agent");
   PREDCTRL_CHECK(at > 0, "restart must happen at a positive virtual time");
-  queue_.push({PendingEvent::Kind::kRestart, at, next_seq_++, id, 0, 0, now_, {}});
+  queue_.push({PendingEvent::Kind::kRestart, at, next_seq_++, id, 0, 0, now_, {}, {}});
   note_queue_depth();
 }
 
-void SimEngine::enqueue_delivery(AgentId to, SimTime at, Message msg) {
-  queue_.push({PendingEvent::Kind::kMessage, at, next_seq_++, to, 0,
-               crash_epoch_[static_cast<size_t>(to)], now_, std::move(msg)});
+void SimEngine::enqueue_delivery(AgentId to, SimTime at, Message msg,
+                                 const std::vector<int32_t>* flight_clock) {
+  PendingEvent ev{PendingEvent::Kind::kMessage, at,   next_seq_++,   to, 0,
+                  crash_epoch_[static_cast<size_t>(to)], now_, std::move(msg), {}};
+  if (flight_clock != nullptr) {
+    // Reuse a retired snapshot buffer when one is available; assign() then
+    // copies into its existing capacity.
+    if (!flight_clock_pool_.empty()) {
+      ev.flight_clock = std::move(flight_clock_pool_.back());
+      flight_clock_pool_.pop_back();
+    }
+    ev.flight_clock.assign(flight_clock->begin(), flight_clock->end());
+  }
+  queue_.push(std::move(ev));
   note_queue_depth();
 }
 
@@ -93,6 +108,25 @@ void SimEngine::send_from(AgentId from, AgentId to, Message msg) {
                          {"type", obs::TraceRecorder::arg(static_cast<int64_t>(msg.type))},
                          {"vt_us", obs::TraceRecorder::arg(now_)});
 
+#if PREDCTRL_OBS_ENABLED
+  // Flight clock: the send bumps the sender's component; the snapshot rides
+  // on the pending delivery so the receiver can merge it. Advancement is
+  // unconditional (trace-point filters only gate event STORAGE) so stamps
+  // stay correct under any filter.
+  const std::vector<int32_t>* flight_snapshot = nullptr;
+  if (flight_ != nullptr) {
+    flight_snapshot =
+        &flight_->on_send(from, to, now_, msg.type, static_cast<int64_t>(msg.plane));
+    // Self-sends (the local plane's bread and butter) never need a
+    // snapshot: the sender's clock at send time is component-wise <= its
+    // own clock at delivery, so the receive-side merge is a no-op. Skipping
+    // the copy keeps the dominant local traffic O(1) per message.
+    if (to == from) flight_snapshot = nullptr;
+  }
+#else
+  const std::vector<int32_t>* flight_snapshot = nullptr;
+#endif
+
   // Fault verdict AFTER the delay draw: installing a hook leaves the
   // engine's Rng sequence untouched (the hook draws from its own Rng).
   FaultVerdict verdict;
@@ -100,6 +134,9 @@ void SimEngine::send_from(AgentId from, AgentId to, Message msg) {
   if (verdict.drop) {
     ++stats_.messages_dropped;
     PREDCTRL_OBS_COUNT(std::string("fault.dropped{plane=") + plane_name(msg.plane) + "}", 1);
+#if PREDCTRL_OBS_ENABLED
+    if (flight_ != nullptr) flight_->on_drop(from, to, now_, msg.type);
+#endif
     return;
   }
   if (verdict.spiked) ++stats_.delay_spikes;
@@ -117,15 +154,15 @@ void SimEngine::send_from(AgentId from, AgentId to, Message msg) {
     ++stats_.messages_duplicated;
     PREDCTRL_OBS_COUNT("fault.duplicated", 1);
     enqueue_delivery(to, deliver_at + (copy + 1) * std::max<SimTime>(verdict.duplicate_delay, 1),
-                     msg);
+                     msg, flight_snapshot);
   }
-  enqueue_delivery(to, deliver_at, std::move(msg));
+  enqueue_delivery(to, deliver_at, std::move(msg), flight_snapshot);
 }
 
 void SimEngine::timer_from(AgentId from, SimTime delay, int64_t timer_id) {
   PREDCTRL_CHECK(delay >= 0, "negative timer delay");
   queue_.push({PendingEvent::Kind::kTimer, now_ + delay, next_seq_++, from, timer_id,
-               crash_epoch_[static_cast<size_t>(from)], now_, {}});
+               crash_epoch_[static_cast<size_t>(from)], now_, {}, {}});
   pending_timers_[static_cast<size_t>(from)].insert(timer_id);
   note_queue_depth();
 }
@@ -133,6 +170,18 @@ void SimEngine::timer_from(AgentId from, SimTime delay, int64_t timer_id) {
 SimStats SimEngine::run() {
   PREDCTRL_CHECK(!running_, "run() is not reentrant");
   running_ = true;
+
+  // Successive runs on one engine start from fresh statistics (message,
+  // fault, and queue counters alike). The high-water mark seeds from
+  // whatever is already queued -- pre-run schedule_crash/schedule_restart
+  // pushes -- which is exactly what a fresh engine would have recorded.
+  stats_ = SimStats{};
+  stats_.max_queue_depth = static_cast<int64_t>(queue_.size());
+  hit_time_limit_ = false;
+
+#if PREDCTRL_OBS_ENABLED
+  if (flight_ != nullptr) flight_->begin_run(num_agents());
+#endif
 
 #if PREDCTRL_OBS_ENABLED
   // Resolve every metric handle once, outside the loop: when recording, the
@@ -163,7 +212,10 @@ SimStats SimEngine::run() {
   }
 
   while (!queue_.empty()) {
-    PendingEvent ev = queue_.top();
+    // Move, don't copy: the heap comparator only reads (time, seq), which a
+    // move leaves intact, and this spares a per-delivery copy of the message
+    // payload and flight-clock snapshot.
+    PendingEvent ev = std::move(const_cast<PendingEvent&>(queue_.top()));
     queue_.pop();
     if (options_.time_limit > 0 && ev.time > options_.time_limit) {
       hit_time_limit_ = true;
@@ -183,6 +235,9 @@ SimStats SimEngine::run() {
       PREDCTRL_OBS_INSTANT("fault.crash", "fault",
                            {"agent", obs::TraceRecorder::arg(static_cast<int64_t>(ev.target))},
                            {"vt_us", obs::TraceRecorder::arg(now_)});
+#if PREDCTRL_OBS_ENABLED
+      if (flight_ != nullptr) flight_->on_crash(ev.target, now_);
+#endif
       continue;
     }
     if (ev.kind == PendingEvent::Kind::kRestart) {
@@ -193,6 +248,11 @@ SimStats SimEngine::run() {
       PREDCTRL_OBS_INSTANT("fault.restart", "fault",
                            {"agent", obs::TraceRecorder::arg(static_cast<int64_t>(ev.target))},
                            {"vt_us", obs::TraceRecorder::arg(now_)});
+#if PREDCTRL_OBS_ENABLED
+      // Recorded before the agent's on_restart callback so the restart
+      // precedes whatever the agent does upon revival.
+      if (flight_ != nullptr) flight_->on_restart(ev.target, now_);
+#endif
       AgentContext ctx(*this, ev.target);
       agents_[target]->on_restart(ctx);
       continue;
@@ -210,9 +270,31 @@ SimStats SimEngine::run() {
     if (crashed_[target] || ev.epoch != crash_epoch_[target]) {
       ++stats_.deliveries_discarded;
       PREDCTRL_OBS_COUNT("fault.discarded_deliveries", 1);
+#if PREDCTRL_OBS_ENABLED
+      if (flight_ != nullptr)
+        flight_->on_discard(ev.target, now_, is_timer ? ev.timer_id : ev.msg.type);
+#endif
+      if (!ev.flight_clock.empty())
+        flight_clock_pool_.push_back(std::move(ev.flight_clock));
       continue;
     }
     if (is_timer) ++stats_.timers_fired;
+
+#if PREDCTRL_OBS_ENABLED
+    // Flight stamp advances before the agent callback runs, so annotations
+    // recorded inside the callback share this event's clock.
+    if (flight_ != nullptr) {
+      if (is_timer) {
+        flight_->on_timer(ev.target, now_, ev.timer_id);
+      } else {
+        flight_->on_deliver(ev.target, ev.msg.from, now_, ev.msg.type,
+                            static_cast<int64_t>(ev.msg.plane), ev.flight_clock);
+      }
+    }
+#endif
+    // on_deliver consumed the snapshot; retire its buffer for the next send.
+    if (!ev.flight_clock.empty())
+      flight_clock_pool_.push_back(std::move(ev.flight_clock));
 
 #if PREDCTRL_OBS_ENABLED
     if (recording) {

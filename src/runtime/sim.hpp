@@ -36,6 +36,10 @@
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
+namespace predctrl::obs {
+class FlightRecorder;
+}
+
 namespace predctrl::sim {
 
 /// Virtual time, in microseconds.
@@ -116,6 +120,11 @@ class AgentContext {
   /// Engine-owned deterministic randomness.
   Rng& rng();
 
+  /// The run's flight recorder, or nullptr -- instrumentation sites pass
+  /// this to PREDCTRL_FLIGHT, which annotates the agent's causal timeline
+  /// (obs/flight_recorder.hpp). Recording never feeds back into the run.
+  obs::FlightRecorder* flight() const;
+
  private:
   SimEngine& engine_;
   AgentId self_;
@@ -158,6 +167,13 @@ struct SimOptions {
   /// require FIFO channels, notably the Chandy-Lamport snapshot
   /// (snapshot/chandy_lamport.hpp).
   bool fifo_channels = false;
+  /// Causal flight recorder observing the run (non-owning; must outlive
+  /// run()). The engine stamps every send/delivery/timer/crash with a
+  /// vector clock over the agents and protocol layers annotate through
+  /// AgentContext::flight(). nullptr (the default) records nothing and the
+  /// run is byte-identical either way -- the recorder never touches the
+  /// engine's Rng or scheduling.
+  obs::FlightRecorder* flight_recorder = nullptr;
 };
 
 struct SimStats {
@@ -273,6 +289,9 @@ class SimEngine {
     int64_t epoch;
     SimTime sent_at;  // enqueue time; delivery latency = time - sent_at
     Message msg;
+    /// Sender's flight-recorder clock at send time (empty when no recorder
+    /// is installed): the snapshot the receiver merges on delivery.
+    std::vector<int32_t> flight_clock;
 
     bool operator>(const PendingEvent& o) const {
       if (time != o.time) return time > o.time;
@@ -282,7 +301,8 @@ class SimEngine {
 
   void send_from(AgentId from, AgentId to, Message msg);
   void timer_from(AgentId from, SimTime delay, int64_t timer_id);
-  void enqueue_delivery(AgentId to, SimTime at, Message msg);
+  void enqueue_delivery(AgentId to, SimTime at, Message msg,
+                        const std::vector<int32_t>* flight_clock = nullptr);
 
   /// High-water mark tracking, called after every enqueue.
   void note_queue_depth() {
@@ -293,6 +313,7 @@ class SimEngine {
   SimOptions options_;
   Rng rng_;
   FaultHook* fault_hook_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   /// Per directed channel: latest scheduled delivery (FIFO mode).
   std::map<std::pair<AgentId, AgentId>, SimTime> channel_front_;
   std::vector<std::unique_ptr<Agent>> agents_;
@@ -303,6 +324,10 @@ class SimEngine {
   std::vector<SimTime> last_delivery_time_;
   std::vector<std::multiset<int64_t>> pending_timers_;
   std::priority_queue<PendingEvent, std::vector<PendingEvent>, std::greater<>> queue_;
+  /// Recycled flight-clock buffers: each delivery returns its snapshot
+  /// vector here and each send takes one back, so steady-state recording
+  /// costs a copy, not an allocation, per message.
+  std::vector<std::vector<int32_t>> flight_clock_pool_;
   SimTime now_ = 0;
   int64_t next_seq_ = 0;
   SimStats stats_;

@@ -305,5 +305,50 @@ TEST(Json, EscapesControlCharacters) {
   EXPECT_EQ(doc.as_string(), "A\xc3\xa9");
 }
 
+TEST(Json, EscapesEveryControlByte) {
+  // All of C0 plus DEL must come out as escapes, never raw bytes.
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string esc = json_escape(std::string(1, static_cast<char>(c)));
+    EXPECT_EQ(esc[0], '\\') << "byte " << c << " emitted raw";
+    for (char ch : esc) EXPECT_GE(static_cast<unsigned char>(ch), 0x20u);
+  }
+  EXPECT_EQ(json_escape("\x7f"), "\\u007f");
+  EXPECT_EQ(json_escape("\b\f\r\t"), "\\b\\f\\r\\t");
+  EXPECT_EQ(json_escape(std::string(1, '\0')), "\\u0000");
+}
+
+TEST(Json, EscapesNonAsciiToPureAscii) {
+  // Valid UTF-8 becomes \uXXXX (astral planes as surrogate pairs); the
+  // output is always pure ASCII.
+  EXPECT_EQ(json_escape("\xc3\xa9"), "\\u00e9");          // é
+  EXPECT_EQ(json_escape("\xe2\x88\xa5"), "\\u2225");      // ∥ (the merge marker)
+  EXPECT_EQ(json_escape("\xf0\x9f\x90\x9b"), "\\ud83d\\udc1b");  // astral
+  for (char ch : json_escape("mix \xe2\x88\xa5 of \xc3\xa9 text"))
+    EXPECT_LT(static_cast<unsigned char>(ch), 0x80u);
+}
+
+TEST(Json, InvalidUtf8BecomesReplacementCharacter) {
+  // A stray continuation byte, a truncated lead, and an overlong encoding
+  // each degrade to U+FFFD instead of corrupting the output.
+  EXPECT_EQ(json_escape("\x80"), "\\ufffd");
+  EXPECT_EQ(json_escape("a\xc3"), "a\\ufffd");
+  EXPECT_EQ(json_escape("\xc0\xaf"), "\\ufffd\\ufffd");  // overlong '/'
+  EXPECT_EQ(json_escape("\xed\xa0\x80"), "\\ufffd\\ufffd\\ufffd");  // surrogate
+}
+
+TEST(Json, EscapedStringsRoundTripThroughParser) {
+  const std::string cases[] = {
+      "plain", "tab\there", std::string("nul\0byte", 8), "\xc3\xa9\xe2\x88\xa5",
+      "\xf0\x9f\x90\x9b astral"};
+  for (const std::string& s : cases) {
+    const Json doc = json_parse("\"" + json_escape(s) + "\"");
+    EXPECT_EQ(doc.as_string(), s);
+  }
+  // Surrogate-pair parsing is strict: unpaired halves are rejected.
+  EXPECT_THROW(json_parse("\"\\ud83d\""), std::invalid_argument);
+  EXPECT_THROW(json_parse("\"\\udc1b\""), std::invalid_argument);
+  EXPECT_THROW(json_parse("\"\\ud83d\\u0041\""), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace predctrl::obs

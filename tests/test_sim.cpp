@@ -181,6 +181,26 @@ TEST(SimEngine, PlaneCountersSeparateTraffic) {
   EXPECT_EQ(stats.messages_sent, 3);
 }
 
+TEST(SimEngine, StatsResetBetweenRunsOnReusedEngine) {
+  // run() re-fires on_start, so a second run on a reused engine does real
+  // work -- but its counters must describe THAT run alone, not accumulate
+  // the first run's totals on top.
+  SimEngine engine;
+  auto chain = std::make_unique<TimerChain>();
+  TimerChain* t = chain.get();
+  engine.add_agent(std::move(chain));
+  SimStats first = engine.run();
+  EXPECT_EQ(first.timers_fired, 4);
+  EXPECT_EQ(first.events_processed, 4);
+  SimStats second = engine.run();
+  EXPECT_EQ(second.timers_fired, 4);  // 8 would mean the counters leaked
+  EXPECT_EQ(second.events_processed, 4);
+  EXPECT_EQ(second.messages_sent, 0);
+  EXPECT_EQ(second.max_queue_depth, 1);
+  EXPECT_EQ(t->fired_at_.size(), 8u);
+  EXPECT_FALSE(engine.hit_time_limit());
+}
+
 TEST(SimEngine, RejectsBadConfiguration) {
   SimOptions opt;
   opt.min_delay = 10;
