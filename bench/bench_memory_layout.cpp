@@ -22,6 +22,7 @@
 #include <chrono>
 #include <iterator>
 #include <queue>
+#include <span>
 #include <vector>
 
 #include "causality/clock_computation.hpp"
@@ -101,7 +102,7 @@ using LegacyClocks = std::vector<std::vector<VectorClock>>;
 // The pre-refactor serial engine, verbatim: per-state heap clocks, a
 // per-state adjacency of vectors, Kahn's algorithm pushing merges.
 LegacyClocks legacy_clock_build(const std::vector<int32_t>& lengths,
-                                const std::vector<MessageEdge>& edges) {
+                                std::span<const MessageEdge> edges) {
   const int32_t n = static_cast<int32_t>(lengths.size());
   std::vector<size_t> offsets(lengths.size() + 1, 0);
   for (size_t p = 0; p < lengths.size(); ++p)

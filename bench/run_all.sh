@@ -14,7 +14,7 @@
 # show as trends between consecutive committed snapshots. Commit the new
 # snapshot dir plus HISTORY/LATEST to refresh the baseline.
 #
-#   bench/run_all.sh [build-dir] [--smoke] [--threads=N]
+#   bench/run_all.sh [build-dir] [--smoke] [--gate] [--threads=N]
 #
 # Workload seeds are compiled into each bench (every case constructs its
 # traces from fixed Rng seeds), so runs are reproducible up to machine
@@ -22,21 +22,35 @@
 # comparable across hosts. --smoke forwards the harness's single-iteration
 # mode for a fast sanity pass; smoke results go to a scratch dir and never
 # touch HISTORY/LATEST -- do NOT commit a smoke baseline.
+#
+# --gate is the CI perf gate: FULL workloads (no --smoke), each fresh JSON
+# checked against the committed LATEST snapshot with check_bench_json
+# --hard, so any regressed counter fails the run (exit 1). Results go to
+# the gate-scratch dir and HISTORY/LATEST are never advanced -- the gate
+# compares against the committed baseline, it does not move it. Meant for
+# a quiet runner (the bench-gate CI job); on a noisy laptop expect false
+# positives at the default tolerance.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=build
 SMOKE=""
+GATE=""
 THREADS=4
 KEEP=5
 for arg in "$@"; do
   case "$arg" in
     --smoke) SMOKE="--smoke" ;;
+    --gate) GATE=1 ;;
     --threads=*) THREADS="${arg#--threads=}" ;;
-    -*) echo "usage: bench/run_all.sh [build-dir] [--smoke] [--threads=N]" >&2; exit 2 ;;
+    -*) echo "usage: bench/run_all.sh [build-dir] [--smoke] [--gate] [--threads=N]" >&2; exit 2 ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
+if [ -n "$SMOKE" ] && [ -n "$GATE" ]; then
+  echo "run_all.sh: --smoke and --gate are mutually exclusive (the gate needs full workloads)" >&2
+  exit 2
+fi
 
 BENCH_DIR="$BUILD_DIR/bench"
 BASE_DIR=bench/baselines
@@ -49,6 +63,9 @@ fi
 SNAP=$(git rev-parse --short HEAD 2>/dev/null || echo "nogit")
 if [ -n "$SMOKE" ]; then
   OUT_DIR="$BASE_DIR/smoke-scratch"
+  rm -rf "$OUT_DIR"
+elif [ -n "$GATE" ]; then
+  OUT_DIR="$BASE_DIR/gate-scratch"
   rm -rf "$OUT_DIR"
 else
   OUT_DIR="$BASE_DIR/$SNAP"
@@ -68,8 +85,9 @@ for bin in "$BENCH_DIR"/bench_*; do
     continue
   fi
   # Compare against the previous snapshot (LATEST is not advanced yet).
+  # In gate mode a regressed counter is a hard failure, not a warning.
   if [ -n "$checker" ]; then
-    "$checker" "--baseline-dir=$BASE_DIR" "$json" || status=1
+    "$checker" "--baseline-dir=$BASE_DIR" ${GATE:+--hard} "$json" || status=1
   fi
 done
 
@@ -77,6 +95,15 @@ echo
 if [ -n "$SMOKE" ]; then
   echo "smoke results written to $OUT_DIR/ (scratch; HISTORY/LATEST untouched)"
   ls -l "$OUT_DIR"/BENCH_*.json
+  exit $status
+fi
+if [ -n "$GATE" ]; then
+  if [ "$status" -ne 0 ]; then
+    echo "PERF GATE FAILED: counters regressed against $(cat "$BASE_DIR/LATEST" 2>/dev/null || echo '<no baseline>') (see check_bench_json output above)" >&2
+  else
+    echo "perf gate passed against $(cat "$BASE_DIR/LATEST" 2>/dev/null || echo '<no baseline>')"
+  fi
+  echo "gate results written to $OUT_DIR/ (scratch; HISTORY/LATEST untouched)"
   exit $status
 fi
 

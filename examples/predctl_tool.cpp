@@ -8,6 +8,9 @@
 //   predctl_tool races      <deposet-file>
 //   predctl_tool quickstart
 //   predctl_tool flight
+//   predctl_tool save-trace  <deposet-file> [predicate-file] --out=FILE
+//   predctl_tool save-trace  --random=P,E[,SEED] --out=FILE
+//   predctl_tool open-trace  <trace-file> [stat|detect|races|control]
 //
 // Global flags (any command; may appear anywhere):
 //   --trace-out=FILE    write a Chrome trace_event JSON (chrome://tracing /
@@ -40,6 +43,18 @@
 // flags) and prints the merged flight timeline unconditionally -- the
 // on-demand forensic view, no failure required.
 //
+// `save-trace` serializes a built deposet (plus its local predicates and
+// false-interval tables, when a predicate is given) to the binary
+// predctrl-trace-v1 format of docs/FORMAT.md. `--random=P,E[,SEED]`
+// generates a P-process, ~E-events-per-process random trace with a random
+// predicate instead of reading text files. `open-trace` mmaps such a file
+// back with zero parsing (trace/trace_file.hpp), reports the open latency
+// and page residency, and optionally runs an analysis on the mapped
+// deposet: `detect` (weak conjunctive detection of the stored predicate),
+// `races` (message-race analysis), or `control` (off-line disjunctive
+// control synthesis from the stored predicate). `stat` -- the default --
+// just prints the header geometry.
+//
 // `quickstart` runs the built-in two-process mutual-exclusion scenario of
 // examples/quickstart.cpp through the full active-debugging cycle
 // (observe -> detect -> control -> replay) on the simulator, plus an
@@ -54,6 +69,7 @@
 // forced-before relation plus the compiled per-process strategy; `dot`
 // emits graphviz for the computation (with the control edges when a
 // predicate is given and a controller exists).
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -72,9 +88,12 @@
 #include "parallel/parallel.hpp"
 #include "predicates/detection.hpp"
 #include "predicates/global_predicate.hpp"
+#include "predicates/intervals.hpp"
 #include "trace/dot.hpp"
 #include "trace/race.hpp"
+#include "trace/random_trace.hpp"
 #include "trace/serialize.hpp"
+#include "trace/trace_file.hpp"
 #include "util/rng.hpp"
 
 using namespace predctrl;
@@ -113,8 +132,140 @@ int usage() {
                "[predicate] [realtime|simultaneous]\n"
                "       predctl_tool [--trace-out=FILE] [--metrics-out=FILE] [--threads=N]\n"
                "                    [--fault-seed=N] [--fault-drop=P] [--fault-crash=A@T] "
-               "quickstart|flight\n";
+               "quickstart|flight\n"
+               "       predctl_tool save-trace <deposet> [predicate] --out=FILE\n"
+               "       predctl_tool save-trace --random=P,E[,SEED] --out=FILE\n"
+               "       predctl_tool open-trace <trace-file> [stat|detect|races|control]\n";
   return 2;
+}
+
+double elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// save-trace: build a deposet (text files or --random) and serialize it to
+// the binary predctrl-trace-v1 format. A predicate -- explicit or random --
+// additionally stores the local-predicate table and its packed
+// false-interval sets, so a later open-trace can run detection and control
+// without any side files.
+int run_save_trace(const std::vector<std::string>& args, const std::string& out,
+                   const std::string& random_spec) {
+  if (out.empty()) {
+    std::cerr << "predctl_tool: save-trace needs --out=FILE\n";
+    return 2;
+  }
+  Deposet d;
+  PredicateTable pred;
+  bool have_pred = false;
+  if (!random_spec.empty()) {
+    int32_t processes = 0;
+    int32_t events = 0;
+    uint64_t seed = 1;
+    char comma = 0;
+    std::istringstream spec(random_spec);
+    spec >> processes >> comma >> events;
+    if (!spec || comma != ',' || processes <= 0 || events <= 0) {
+      std::cerr << "predctl_tool: bad --random value (want P,E[,SEED]) in '" << random_spec
+                << "'\n";
+      return 2;
+    }
+    if (spec >> comma >> seed && comma != ',') {
+      std::cerr << "predctl_tool: bad --random value (want P,E[,SEED]) in '" << random_spec
+                << "'\n";
+      return 2;
+    }
+    Rng rng(seed);
+    RandomTraceOptions topt;
+    topt.num_processes = processes;
+    topt.events_per_process = events;
+    d = random_deposet(topt, rng);
+    pred = random_predicate_table(d, {}, rng);
+    have_pred = true;
+  } else if (args.size() >= 2) {
+    d = deposet_from_string(slurp(args[1]));
+    if (args.size() >= 3) {
+      pred = load_predicate(args[2]);
+      have_pred = true;
+    }
+  } else {
+    return usage();
+  }
+
+  TraceSaveOptions save;
+  FalseIntervalSets intervals;
+  if (have_pred) {
+    intervals = extract_false_intervals(pred);
+    save.intervals = &intervals;
+    save.predicate = &pred;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  save_trace(out, d, save);
+  const double us = elapsed_us(t0);
+  const MappedTrace t = MappedTrace::open(out);
+  std::cout << "wrote " << out << " (predctrl-trace-v1) in " << us << " us\n"
+            << "  " << d.num_processes() << " process(es), " << d.total_states()
+            << " state(s), " << d.messages().size() << " message(s), "
+            << t.mapped_bytes() << " bytes"
+            << (have_pred ? ", with predicate + false intervals" : "") << "\n";
+  return 0;
+}
+
+// open-trace: mmap a predctrl-trace-v1 file with zero parsing and report
+// what that costs -- then optionally analyze the mapped deposet in place.
+int run_open_trace(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const std::string mode = args.size() >= 3 ? args[2] : "stat";
+  if (mode != "stat" && mode != "detect" && mode != "races" && mode != "control")
+    return usage();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const MappedTrace t = MappedTrace::open(args[1]);
+  const double open_us_taken = elapsed_us(t0);
+  const Deposet& d = t.deposet();
+  std::cout << "opened " << args[1] << " in " << open_us_taken
+            << " us (zero-parse mmap)\n"
+            << "  " << d.num_processes() << " process(es), " << d.total_states()
+            << " state(s), " << d.messages().size() << " message(s)\n"
+            << "  " << t.mapped_bytes() << " bytes mapped, " << t.resident_bytes()
+            << " resident after open\n"
+            << "  stored: intervals " << (t.has_intervals() ? "yes" : "no")
+            << ", predicate " << (t.has_predicate() ? "yes" : "no") << "\n";
+  if (mode == "stat") return 0;
+
+  if ((mode == "detect" || mode == "control") && !t.has_predicate()) {
+    std::cerr << "predctl_tool: " << args[1]
+              << " stores no predicate section (save with one to run " << mode << ")\n";
+    return 2;
+  }
+
+  int status = 0;
+  const auto t1 = std::chrono::steady_clock::now();
+  if (mode == "races") {
+    RaceAnalysis r = analyze_races(d);
+    std::cout << "receives: " << r.total_receives << ", racing: " << r.racing_receives.size()
+              << " (" << 100.0 * r.racing_fraction() << "% must be traced for replay)\n";
+  } else if (mode == "detect") {
+    const PredicateTable pred = t.predicate_table();
+    auto det = detect_weak_conjunctive(d, pred);
+    if (det.detected)
+      std::cout << "detected; least satisfying global state: " << det.first_cut << "\n";
+    else
+      std::cout << "stored predicate never conjunctively true\n";
+    status = det.detected ? 0 : 1;
+  } else {  // control
+    const PredicateTable pred = t.predicate_table();
+    auto r = control_disjunctive_offline(d, pred);
+    if (r.controllable)
+      std::cout << "controllable: " << r.control.size() << " forced-before edge(s)\n";
+    else
+      std::cout << "No Controller Exists (predicate infeasible for this trace)\n";
+    status = r.controllable ? 0 : 1;
+  }
+  std::cout << "  " << mode << " on the mapped deposet took " << elapsed_us(t1)
+            << " us; " << t.resident_bytes() << " of " << t.mapped_bytes()
+            << " bytes resident after analysis\n";
+  return status;
 }
 
 // Writes the predctrl-flight-v1 dump next to the verdict (or the `flight`
@@ -269,6 +420,8 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
   std::string flight_out = "predctrl-flight.json";
+  std::string save_out;
+  std::string random_spec;
   fault::FaultPlan fault_plan;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
@@ -279,6 +432,10 @@ int main(int argc, char** argv) {
       metrics_out = arg.substr(std::strlen("--metrics-out="));
     else if (arg.rfind("--flight-out=", 0) == 0)
       flight_out = arg.substr(std::strlen("--flight-out="));
+    else if (arg.rfind("--out=", 0) == 0)
+      save_out = arg.substr(std::strlen("--out="));
+    else if (arg.rfind("--random=", 0) == 0)
+      random_spec = arg.substr(std::strlen("--random="));
     else if (arg.rfind("--trace-points=", 0) == 0) {
       if (!obs::trace_points().set_filter(arg.substr(std::strlen("--trace-points=")))) {
         std::cerr << "predctl_tool: bad --trace-points filter in '" << arg << "'\n";
@@ -340,6 +497,10 @@ int main(int argc, char** argv) {
     } else if (cmd == "flight") {
       fault_plan.validate();
       status = run_flight(&fault_plan, flight_out);
+    } else if (cmd == "save-trace") {
+      status = run_save_trace(args, save_out, random_spec);
+    } else if (cmd == "open-trace") {
+      status = run_open_trace(args);
     } else if (args.size() < 2) {
       return usage();
     } else {

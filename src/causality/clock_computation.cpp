@@ -18,7 +18,7 @@ namespace {
 // CSR index (causality/edge_index.hpp), so the whole computation performs
 // O(1) allocations instead of one per state.
 ClockComputation compute_state_clocks_serial(const std::vector<int32_t>& lengths,
-                                             const std::vector<CausalEdge>& edges) {
+                                             std::span<const CausalEdge> edges) {
   const int32_t n = static_cast<int32_t>(lengths.size());
   for (int32_t len : lengths) PREDCTRL_CHECK(len >= 1, "process with no states");
 
@@ -77,7 +77,7 @@ ClockComputation compute_state_clocks_serial(const std::vector<int32_t>& lengths
 // in both directions, and each segment's slab rows are written by exactly
 // one task while only reading rows of completed segments.
 ClockComputation compute_state_clocks_parallel(const std::vector<int32_t>& lengths,
-                                               const std::vector<CausalEdge>& edges,
+                                               std::span<const CausalEdge> edges,
                                                parallel::ThreadPool& pool) {
   const int32_t n = static_cast<int32_t>(lengths.size());
   for (int32_t len : lengths) PREDCTRL_CHECK(len >= 1, "process with no states");
@@ -188,12 +188,12 @@ ClockComputation compute_state_clocks_parallel(const std::vector<int32_t>& lengt
 }  // namespace
 
 ClockComputation compute_state_clocks(const std::vector<int32_t>& lengths,
-                                      const std::vector<CausalEdge>& edges) {
+                                      std::span<const CausalEdge> edges) {
   return compute_state_clocks(lengths, edges, parallel::shared_pool());
 }
 
 ClockComputation compute_state_clocks(const std::vector<int32_t>& lengths,
-                                      const std::vector<CausalEdge>& edges,
+                                      std::span<const CausalEdge> edges,
                                       parallel::ThreadPool* pool) {
   int64_t total = 0;
   for (int32_t len : lengths) total += len;
@@ -203,7 +203,7 @@ ClockComputation compute_state_clocks(const std::vector<int32_t>& lengths,
 }
 
 bool event_order_acyclic(const std::vector<int32_t>& lengths,
-                         const std::vector<CausalEdge>& edges) {
+                         std::span<const CausalEdge> edges) {
   const int32_t n = static_cast<int32_t>(lengths.size());
 
   // Event k of process p takes state (p, k) to (p, k+1); process p has

@@ -21,6 +21,8 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "causality/clock_matrix.hpp"
@@ -66,15 +68,29 @@ struct ClockComputation {
 /// endpoints must be in range and cross-process. Runs in O(n * S + n * E)
 /// for n processes, S total states, E edges; work is sharded across the
 /// shared thread pool (parallel/parallel.hpp) when one is configured and
-/// the graph is large enough.
+/// the graph is large enough. `edges` is a view (vectors convert
+/// implicitly; Deposet::messages() passes through without a copy).
 ClockComputation compute_state_clocks(const std::vector<int32_t>& lengths,
-                                      const std::vector<CausalEdge>& edges);
+                                      std::span<const CausalEdge> edges);
 
 /// As above with an explicit pool (nullptr forces the serial engine);
 /// the two-argument overload forwards parallel::shared_pool().
 ClockComputation compute_state_clocks(const std::vector<int32_t>& lengths,
-                                      const std::vector<CausalEdge>& edges,
+                                      std::span<const CausalEdge> edges,
                                       parallel::ThreadPool* pool);
+
+/// Braced-list conveniences (std::span cannot bind an initializer list):
+/// compute_state_clocks({3, 2}, {{{0, 0}, {1, 1}}}).
+inline ClockComputation compute_state_clocks(const std::vector<int32_t>& lengths,
+                                             std::initializer_list<CausalEdge> edges) {
+  return compute_state_clocks(lengths, std::span<const CausalEdge>(edges.begin(), edges.size()));
+}
+inline ClockComputation compute_state_clocks(const std::vector<int32_t>& lengths,
+                                             std::initializer_list<CausalEdge> edges,
+                                             parallel::ThreadPool* pool) {
+  return compute_state_clocks(
+      lengths, std::span<const CausalEdge>(edges.begin(), edges.size()), pool);
+}
 
 /// Event-level acyclicity (executability) check.
 ///
@@ -92,6 +108,12 @@ ClockComputation compute_state_clocks(const std::vector<int32_t>& lengths,
 /// target is an initial state (the "entry" precedes everything) are
 /// inherently unexecutable and yield false.
 bool event_order_acyclic(const std::vector<int32_t>& lengths,
-                         const std::vector<CausalEdge>& edges);
+                         std::span<const CausalEdge> edges);
+
+inline bool event_order_acyclic(const std::vector<int32_t>& lengths,
+                                std::initializer_list<CausalEdge> edges) {
+  return event_order_acyclic(lengths,
+                             std::span<const CausalEdge>(edges.begin(), edges.size()));
+}
 
 }  // namespace predctrl

@@ -86,6 +86,16 @@ class ClockRow {
 };
 
 /// The slab: every state's clock in one contiguous buffer, indexed O(1).
+///
+/// Two storage modes share the same accessors:
+///
+///   * owning (the default): the slab is a private heap buffer, writable
+///     through mutable_row -- what the clock engines build into;
+///   * mapped (`adopt_mapped`): the slab is a read-only view of external
+///     memory, typically an mmap'ed predctrl-trace-v1 file section
+///     (trace/trace_file.hpp). No bytes are copied; the external memory
+///     must outlive the matrix and every copy made of it. mutable_row is
+///     a checked error in this mode.
 class ClockMatrix {
  public:
   ClockMatrix() = default;
@@ -99,6 +109,61 @@ class ClockMatrix {
       offsets_[p + 1] = offsets_[p] + static_cast<size_t>(lengths[p]);
     }
     data_.assign(offsets_.back() * static_cast<size_t>(n_), VectorClock::kNone);
+    view_ = data_.data();
+  }
+
+  /// Adopts `slab` (total_states x lengths.size() int32 components, rows in
+  /// (process, index) order) as a read-only view -- the zero-parse open
+  /// path. The slab is NOT copied and must stay alive and unmodified for
+  /// the life of this matrix and its copies.
+  static ClockMatrix adopt_mapped(const std::vector<int32_t>& lengths,
+                                  const int32_t* slab) {
+    ClockMatrix m;
+    m.n_ = static_cast<int32_t>(lengths.size());
+    m.offsets_.assign(lengths.size() + 1, 0);
+    for (size_t p = 0; p < lengths.size(); ++p) {
+      PREDCTRL_CHECK(lengths[p] >= 0, "negative process length");
+      m.offsets_[p + 1] = m.offsets_[p] + static_cast<size_t>(lengths[p]);
+    }
+    PREDCTRL_CHECK(slab != nullptr || m.offsets_.back() == 0,
+                   "null slab for a non-empty mapped clock matrix");
+    m.view_ = slab;
+    m.mapped_ = true;
+    return m;
+  }
+
+  /// True when the slab is an adopted external view (see adopt_mapped).
+  bool mapped() const { return mapped_; }
+
+  // The owning copy re-points the view at the fresh buffer; the mapped copy
+  // shares the external slab (both stay valid views of the same file).
+  ClockMatrix(const ClockMatrix& other)
+      : n_(other.n_), offsets_(other.offsets_), data_(other.data_),
+        view_(other.mapped_ ? other.view_ : data_.data()), mapped_(other.mapped_) {}
+  ClockMatrix& operator=(const ClockMatrix& other) {
+    if (this != &other) {
+      ClockMatrix tmp(other);
+      *this = std::move(tmp);
+    }
+    return *this;
+  }
+  // Moving a vector transfers its buffer, so the stolen view pointer stays
+  // valid in both modes; the source is left empty.
+  ClockMatrix(ClockMatrix&& other) noexcept
+      : n_(other.n_), offsets_(std::move(other.offsets_)), data_(std::move(other.data_)),
+        view_(other.view_), mapped_(other.mapped_) {
+    other.clear();
+  }
+  ClockMatrix& operator=(ClockMatrix&& other) noexcept {
+    if (this != &other) {
+      n_ = other.n_;
+      offsets_ = std::move(other.offsets_);
+      data_ = std::move(other.data_);
+      view_ = other.view_;
+      mapped_ = other.mapped_;
+      other.clear();
+    }
+    return *this;
   }
 
   int32_t num_processes() const { return n_; }
@@ -120,15 +185,22 @@ class ClockMatrix {
 
   ClockRow row(StateId s) const { return {row_data(s), n_}; }
   const int32_t* row_data(StateId s) const {
-    return data_.data() + flat_index(s) * static_cast<size_t>(n_);
+    return view_ + flat_index(s) * static_cast<size_t>(n_);
   }
   int32_t* mutable_row(StateId s) {
+    PREDCTRL_CHECK(!mapped_, "a mapped clock matrix is read-only");
     return data_.data() + flat_index(s) * static_cast<size_t>(n_);
   }
 
   /// Single component load, no view construction: clock(s)[i].
   int32_t component(StateId s, ProcessId i) const {
-    return data_[flat_index(s) * static_cast<size_t>(n_) + static_cast<size_t>(i)];
+    return view_[flat_index(s) * static_cast<size_t>(n_) + static_cast<size_t>(i)];
+  }
+
+  /// The whole slab as one contiguous component span (serialization, bulk
+  /// parity checks): total_states * num_processes int32 values.
+  std::span<const int32_t> slab() const {
+    return {view_, static_cast<size_t>(total_states()) * static_cast<size_t>(n_)};
   }
 
   /// Releases the slab (the cyclic-relation result carries no clocks).
@@ -136,6 +208,8 @@ class ClockMatrix {
     data_.clear();
     offsets_.clear();
     n_ = 0;
+    view_ = nullptr;
+    mapped_ = false;
   }
 
   /// Indexing shim so legacy clocks[p][k][i] call sites keep compiling:
@@ -151,7 +225,14 @@ class ClockMatrix {
   };
   ProcessRows operator[](ProcessId p) const { return {this, p}; }
 
-  friend bool operator==(const ClockMatrix&, const ClockMatrix&) = default;
+  /// Content equality (shape + every component), independent of storage
+  /// mode -- a mapped matrix equals the owning matrix it was saved from.
+  friend bool operator==(const ClockMatrix& a, const ClockMatrix& b) {
+    if (a.n_ != b.n_ || a.offsets_ != b.offsets_) return false;
+    const std::span<const int32_t> sa = a.slab();
+    const std::span<const int32_t> sb = b.slab();
+    return std::equal(sa.begin(), sa.end(), sb.begin(), sb.end());
+  }
 
   friend std::ostream& operator<<(std::ostream& os, const ClockMatrix& m) {
     os << "ClockMatrix{" << m.total_states() << "x" << m.n_ << "}";
@@ -161,7 +242,11 @@ class ClockMatrix {
  private:
   int32_t n_ = 0;
   std::vector<size_t> offsets_;  // per-process first flat row, size n+1
-  std::vector<int32_t> data_;    // total_states * n components, row-major
+  std::vector<int32_t> data_;    // owning mode: total_states * n components
+  /// All reads go through view_: data_.data() in owning mode, the adopted
+  /// external slab in mapped mode -- no per-access branch either way.
+  const int32_t* view_ = nullptr;
+  bool mapped_ = false;
 };
 
 /// Component-wise max of `src` into `dst` (the clock-lattice join on raw

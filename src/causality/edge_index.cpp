@@ -10,7 +10,7 @@ namespace {
 // ends up as the CSR offset array (size total_states+1). Stable: equal keys
 // keep input order.
 template <typename KeyFn>
-void group_by(const std::vector<CausalEdge>& edges, size_t total_states, KeyFn key,
+void group_by(std::span<const CausalEdge> edges, size_t total_states, KeyFn key,
               std::vector<CausalEdge>& sorted, std::vector<size_t>& offsets) {
   offsets.assign(total_states + 1, 0);
   for (const CausalEdge& e : edges) ++offsets[key(e) + 1];
@@ -22,14 +22,18 @@ void group_by(const std::vector<CausalEdge>& edges, size_t total_states, KeyFn k
 
 }  // namespace
 
-CsrEdgeIndex::CsrEdgeIndex(const std::vector<int32_t>& lengths,
-                           const std::vector<CausalEdge>& edges) {
-  const int32_t n = static_cast<int32_t>(lengths.size());
+void CsrEdgeIndex::set_proc_offsets(const std::vector<int32_t>& lengths) {
   proc_offsets_.assign(lengths.size() + 1, 0);
   for (size_t p = 0; p < lengths.size(); ++p) {
     PREDCTRL_CHECK(lengths[p] >= 0, "negative process length");
     proc_offsets_[p + 1] = proc_offsets_[p] + static_cast<size_t>(lengths[p]);
   }
+}
+
+CsrEdgeIndex::CsrEdgeIndex(const std::vector<int32_t>& lengths,
+                           std::span<const CausalEdge> edges) {
+  const int32_t n = static_cast<int32_t>(lengths.size());
+  set_proc_offsets(lengths);
   const size_t total = proc_offsets_.back();
 
   for (const CausalEdge& e : edges) {
@@ -48,6 +52,81 @@ CsrEdgeIndex::CsrEdgeIndex(const std::vector<int32_t>& lengths,
            out_edges_, out_offsets_);
   group_by(edges, total, [this](const CausalEdge& e) { return flat(e.to); },
            in_edges_, in_offsets_);
+
+  out_edges_v_ = out_edges_.data();
+  out_offsets_v_ = out_offsets_.data();
+  in_edges_v_ = in_edges_.data();
+  in_offsets_v_ = in_offsets_.data();
+  num_edges_ = static_cast<int64_t>(edges.size());
+}
+
+CsrEdgeIndex CsrEdgeIndex::adopt_mapped(const std::vector<int32_t>& lengths,
+                                        const CausalEdge* out_edges,
+                                        const size_t* out_offsets,
+                                        const CausalEdge* in_edges,
+                                        const size_t* in_offsets, int64_t num_edges) {
+  PREDCTRL_CHECK(num_edges >= 0, "negative edge count");
+  PREDCTRL_CHECK(num_edges == 0 || (out_edges != nullptr && in_edges != nullptr),
+                 "null edge array for a non-empty mapped index");
+  PREDCTRL_CHECK(out_offsets != nullptr && in_offsets != nullptr,
+                 "null offset array for a mapped index");
+  CsrEdgeIndex idx;
+  idx.set_proc_offsets(lengths);
+  idx.out_edges_v_ = out_edges;
+  idx.out_offsets_v_ = out_offsets;
+  idx.in_edges_v_ = in_edges;
+  idx.in_offsets_v_ = in_offsets;
+  idx.num_edges_ = num_edges;
+  idx.mapped_ = true;
+  return idx;
+}
+
+void CsrEdgeIndex::copy_from(const CsrEdgeIndex& other) {
+  proc_offsets_ = other.proc_offsets_;
+  num_edges_ = other.num_edges_;
+  mapped_ = other.mapped_;
+  if (other.mapped_) {
+    // A mapped copy shares the external arrays (both view the same file).
+    out_edges_v_ = other.out_edges_v_;
+    out_offsets_v_ = other.out_offsets_v_;
+    in_edges_v_ = other.in_edges_v_;
+    in_offsets_v_ = other.in_offsets_v_;
+  } else {
+    out_edges_ = other.out_edges_;
+    out_offsets_ = other.out_offsets_;
+    in_edges_ = other.in_edges_;
+    in_offsets_ = other.in_offsets_;
+    out_edges_v_ = out_edges_.data();
+    out_offsets_v_ = out_offsets_.data();
+    in_edges_v_ = in_edges_.data();
+    in_offsets_v_ = in_offsets_.data();
+  }
+}
+
+CsrEdgeIndex& CsrEdgeIndex::operator=(CsrEdgeIndex&& other) noexcept {
+  if (this != &other) {
+    // Vector moves transfer their buffers, so the stolen view pointers stay
+    // valid in both storage modes.
+    proc_offsets_ = std::move(other.proc_offsets_);
+    out_edges_ = std::move(other.out_edges_);
+    out_offsets_ = std::move(other.out_offsets_);
+    in_edges_ = std::move(other.in_edges_);
+    in_offsets_ = std::move(other.in_offsets_);
+    out_edges_v_ = other.out_edges_v_;
+    out_offsets_v_ = other.out_offsets_v_;
+    in_edges_v_ = other.in_edges_v_;
+    in_offsets_v_ = other.in_offsets_v_;
+    num_edges_ = other.num_edges_;
+    mapped_ = other.mapped_;
+    other.proc_offsets_.clear();
+    other.out_edges_v_ = nullptr;
+    other.out_offsets_v_ = nullptr;
+    other.in_edges_v_ = nullptr;
+    other.in_offsets_v_ = nullptr;
+    other.num_edges_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
 }
 
 }  // namespace predctrl

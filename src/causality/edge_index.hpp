@@ -16,6 +16,12 @@
 // state index, so construction is O(S + E), deterministic, and performs
 // exactly four allocations regardless of trace size. Spans are views into
 // the index; they are invalidated by destroying or reassigning it.
+//
+// Like ClockMatrix, the index has a second storage mode: `adopt_mapped`
+// takes pre-grouped edge and offset arrays (the CSR sections of an
+// mmap'ed predctrl-trace-v1 file, trace/trace_file.hpp) as read-only
+// views without copying or re-sorting -- the arrays must outlive the
+// index and every copy of it.
 #pragma once
 
 #include <cstdint>
@@ -34,47 +40,98 @@ class CsrEdgeIndex {
   /// Builds both groupings. Edge endpoints must be in range for `lengths`
   /// and cross-process (throws std::invalid_argument otherwise, matching
   /// the checks compute_state_clocks performs).
-  CsrEdgeIndex(const std::vector<int32_t>& lengths, const std::vector<CausalEdge>& edges);
+  CsrEdgeIndex(const std::vector<int32_t>& lengths, std::span<const CausalEdge> edges);
+
+  /// Adopts pre-grouped arrays as read-only views: `out_edges`/`in_edges`
+  /// hold `num_edges` edges grouped exactly as the building constructor
+  /// would produce, and the offset arrays have total_states + 1 entries.
+  /// Only shape is validated here (O(n)); content validity is the writer's
+  /// contract, guarded on disk by the file CRCs.
+  static CsrEdgeIndex adopt_mapped(const std::vector<int32_t>& lengths,
+                                   const CausalEdge* out_edges, const size_t* out_offsets,
+                                   const CausalEdge* in_edges, const size_t* in_offsets,
+                                   int64_t num_edges);
+
+  /// True when the arrays are adopted external views (see adopt_mapped).
+  bool mapped() const { return mapped_; }
+
+  CsrEdgeIndex(const CsrEdgeIndex& other) { copy_from(other); }
+  CsrEdgeIndex& operator=(const CsrEdgeIndex& other) {
+    if (this != &other) {
+      CsrEdgeIndex tmp(other);
+      *this = std::move(tmp);
+    }
+    return *this;
+  }
+  CsrEdgeIndex(CsrEdgeIndex&& other) noexcept { *this = std::move(other); }
+  CsrEdgeIndex& operator=(CsrEdgeIndex&& other) noexcept;
 
   int32_t num_processes() const { return static_cast<int32_t>(proc_offsets_.size()) - 1; }
-  int64_t num_edges() const { return static_cast<int64_t>(in_edges_.size()); }
+  int64_t num_edges() const { return num_edges_; }
 
   /// Edges whose source is state s, in stable input order.
   std::span<const CausalEdge> out_of_state(StateId s) const {
     const size_t f = flat(s);
-    return {out_edges_.data() + out_offsets_[f], out_offsets_[f + 1] - out_offsets_[f]};
+    return {out_edges_v_ + out_offsets_v_[f], out_offsets_v_[f + 1] - out_offsets_v_[f]};
   }
 
   /// Edges whose target is state s, in stable input order.
   std::span<const CausalEdge> in_of_state(StateId s) const {
     const size_t f = flat(s);
-    return {in_edges_.data() + in_offsets_[f], in_offsets_[f + 1] - in_offsets_[f]};
+    return {in_edges_v_ + in_offsets_v_[f], in_offsets_v_[f + 1] - in_offsets_v_[f]};
   }
 
   /// All edges sent by process p, sorted by source state index.
   std::span<const CausalEdge> out_of_process(ProcessId p) const {
-    const size_t lo = out_offsets_[proc_offsets_[static_cast<size_t>(p)]];
-    const size_t hi = out_offsets_[proc_offsets_[static_cast<size_t>(p) + 1]];
-    return {out_edges_.data() + lo, hi - lo};
+    const size_t lo = out_offsets_v_[proc_offsets_[static_cast<size_t>(p)]];
+    const size_t hi = out_offsets_v_[proc_offsets_[static_cast<size_t>(p) + 1]];
+    return {out_edges_v_ + lo, hi - lo};
   }
 
   /// All edges received by process p, sorted by target state index.
   std::span<const CausalEdge> in_of_process(ProcessId p) const {
-    const size_t lo = in_offsets_[proc_offsets_[static_cast<size_t>(p)]];
-    const size_t hi = in_offsets_[proc_offsets_[static_cast<size_t>(p) + 1]];
-    return {in_edges_.data() + lo, hi - lo};
+    const size_t lo = in_offsets_v_[proc_offsets_[static_cast<size_t>(p)]];
+    const size_t hi = in_offsets_v_[proc_offsets_[static_cast<size_t>(p) + 1]];
+    return {in_edges_v_ + lo, hi - lo};
+  }
+
+  /// Whole-array views in grouping order, for bulk serialization
+  /// (trace/trace_file.hpp). Offset arrays have total_states + 1 entries.
+  std::span<const CausalEdge> out_edges() const {
+    return {out_edges_v_, static_cast<size_t>(num_edges_)};
+  }
+  std::span<const CausalEdge> in_edges() const {
+    return {in_edges_v_, static_cast<size_t>(num_edges_)};
+  }
+  std::span<const size_t> out_offsets() const {
+    return {out_offsets_v_, total_states() + 1};
+  }
+  std::span<const size_t> in_offsets() const {
+    return {in_offsets_v_, total_states() + 1};
   }
 
  private:
   size_t flat(StateId s) const {
     return proc_offsets_[static_cast<size_t>(s.process)] + static_cast<size_t>(s.index);
   }
+  size_t total_states() const { return proc_offsets_.empty() ? 0 : proc_offsets_.back(); }
+  void set_proc_offsets(const std::vector<int32_t>& lengths);
+  void copy_from(const CsrEdgeIndex& other);
 
-  std::vector<size_t> proc_offsets_;     // first flat state per process, n+1
+  std::vector<size_t> proc_offsets_;     // first flat state per process, n+1; owned
+  // Owning storage (empty in mapped mode) ...
   std::vector<CausalEdge> out_edges_;    // grouped by source flat index
   std::vector<size_t> out_offsets_;      // total_states+1
   std::vector<CausalEdge> in_edges_;     // grouped by target flat index
   std::vector<size_t> in_offsets_;       // total_states+1
+  // ... and the views every accessor reads through: the owned arrays, or
+  // the adopted external ones. No per-access branch either way.
+  const CausalEdge* out_edges_v_ = nullptr;
+  const size_t* out_offsets_v_ = nullptr;
+  const CausalEdge* in_edges_v_ = nullptr;
+  const size_t* in_offsets_v_ = nullptr;
+  int64_t num_edges_ = 0;
+  bool mapped_ = false;
 };
 
 }  // namespace predctrl

@@ -6,7 +6,7 @@ namespace predctrl {
 
 namespace {
 std::vector<CausalEdge> combined_edges(const Deposet& base, const ControlRelation& control) {
-  std::vector<CausalEdge> edges = base.messages();
+  std::vector<CausalEdge> edges(base.messages().begin(), base.messages().end());
   edges.insert(edges.end(), control.begin(), control.end());
   return edges;
 }

@@ -109,6 +109,39 @@ PackedIntervals::PackedIntervals(const Deposet& deposet, const FalseIntervalSets
   }
 }
 
+PackedIntervals PackedIntervals::adopt_mapped(const Deposet& deposet,
+                                              std::span<const size_t> offsets,
+                                              std::span<const int32_t> bounds) {
+  const size_t n = static_cast<size_t>(deposet.num_processes());
+  PREDCTRL_CHECK(offsets.size() == n + 1 && offsets[0] == 0,
+                 "interval offset table does not match deposet");
+  PREDCTRL_CHECK(bounds.size() == 2 * offsets[n],
+                 "interval bounds do not match offset table");
+
+  PackedIntervals packed;
+  packed.offsets_.assign(offsets.begin(), offsets.end());
+  packed.spans_.reserve(offsets[n]);
+
+  const ClockMatrix& clocks = deposet.clocks();
+  for (size_t p = 0; p < n; ++p) {
+    PREDCTRL_CHECK(offsets[p] <= offsets[p + 1], "interval offsets not ascending");
+    const int32_t len = deposet.length(static_cast<ProcessId>(p));
+    for (size_t i = offsets[p]; i < offsets[p + 1]; ++i) {
+      const int32_t lo = bounds[2 * i];
+      const int32_t hi = bounds[2 * i + 1];
+      PREDCTRL_CHECK(lo >= 0 && lo <= hi && hi < len, "interval boundary out of range");
+      Span s;
+      s.lo = lo;
+      s.hi = hi;
+      s.hi_row = clocks.row_data({static_cast<ProcessId>(p), hi});
+      s.succ_hi_row =
+          hi + 1 < len ? clocks.row_data({static_cast<ProcessId>(p), hi + 1}) : nullptr;
+      packed.spans_.push_back(s);
+    }
+  }
+  return packed;
+}
+
 bool is_overlapping_set(const Deposet& deposet, const std::vector<FalseInterval>& selection,
                         StepSemantics semantics) {
   PREDCTRL_CHECK(static_cast<int32_t>(selection.size()) == deposet.num_processes(),

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <optional>
 #include <ostream>
+#include <span>
 #include <vector>
 
 #include "causality/ids.hpp"
@@ -107,6 +108,19 @@ class PackedIntervals {
   /// interval list per process). Throws if the sets do not match the
   /// deposet, mirroring the per-pair checks of the unpacked test.
   PackedIntervals(const Deposet& deposet, const FalseIntervalSets& sets);
+
+  /// Rebuilds the index from the interval tables of an mmap'ed
+  /// predctrl-trace-v1 file (trace/trace_file.hpp) without re-extracting
+  /// intervals from a predicate table: `offsets` is the per-process CSR
+  /// table (n + 1 entries), `bounds` holds (lo, hi) int32 pairs per
+  /// interval. The hi/succ(hi) clock-row pointers are taken from
+  /// `deposet`'s (typically mapped) slab, so the only work is O(total
+  /// intervals) span assembly -- no predicate scan, no clock access.
+  /// Boundary sanity is checked per interval (cheap; the data is
+  /// CRC-guarded on disk).
+  static PackedIntervals adopt_mapped(const Deposet& deposet,
+                                      std::span<const size_t> offsets,
+                                      std::span<const int32_t> bounds);
 
   int32_t num_processes() const { return static_cast<int32_t>(offsets_.size()) - 1; }
   int32_t count(ProcessId p) const {

@@ -85,6 +85,7 @@ Deposet DeposetBuilder::build() const {
   d.lengths_ = lengths_;
   d.messages_ = messages_;
   std::sort(d.messages_.begin(), d.messages_.end());
+  d.messages_view_ = d.messages_;
   d.edge_index_ = CsrEdgeIndex(lengths_, d.messages_);
   d.clocks_ = std::move(cc.clocks);
   d.total_states_ = 0;
@@ -105,10 +106,43 @@ Deposet DeposetBuilder::build_with_clocks(ClockMatrix clocks) const {
   d.lengths_ = lengths_;
   d.messages_ = messages_;
   std::sort(d.messages_.begin(), d.messages_.end());
+  d.messages_view_ = d.messages_;
   d.edge_index_ = CsrEdgeIndex(lengths_, d.messages_);
   d.clocks_ = std::move(clocks);
   d.total_states_ = 0;
   for (int32_t len : lengths_) d.total_states_ += len;
+  return d;
+}
+
+Deposet DeposetBuilder::adopt_mapped(std::vector<int32_t> lengths,
+                                     std::span<const MessageEdge> sorted_messages,
+                                     CsrEdgeIndex edge_index, ClockMatrix clocks) {
+  const int32_t n = static_cast<int32_t>(lengths.size());
+  PREDCTRL_CHECK(n >= 1, "a computation needs at least one process");
+  int64_t total = 0;
+  for (int32_t len : lengths) {
+    PREDCTRL_CHECK(len >= 1, "a process needs at least one state");
+    total += len;
+  }
+  // Shape consistency only -- adoption trusts the writer for content (see
+  // the header comment). These checks are O(n).
+  PREDCTRL_CHECK(clocks.num_processes() == n,
+                 "adopted clock matrix has the wrong process count");
+  PREDCTRL_CHECK(edge_index.num_processes() == n,
+                 "adopted edge index has the wrong process count");
+  for (ProcessId p = 0; p < n; ++p)
+    PREDCTRL_CHECK(clocks.length(p) == lengths[static_cast<size_t>(p)],
+                   "adopted clock matrix has the wrong shape");
+  PREDCTRL_CHECK(edge_index.num_edges() == static_cast<int64_t>(sorted_messages.size()),
+                 "adopted edge index disagrees with the message count");
+
+  Deposet d;
+  d.lengths_ = std::move(lengths);
+  d.messages_view_ = sorted_messages;
+  d.edge_index_ = std::move(edge_index);
+  d.clocks_ = std::move(clocks);
+  d.total_states_ = total;
+  d.mapped_ = true;
   return d;
 }
 

@@ -72,6 +72,19 @@ class DeposetBuilder {
   /// it is sent).
   Deposet build_with_clocks(ClockMatrix clocks) const;
 
+  /// The disk -> memory handoff, mirroring build_with_clocks: assembles a
+  /// deposet whose message list, CSR edge index, and clock matrix are
+  /// read-only views of externally owned memory (the sections of an
+  /// mmap'ed predctrl-trace-v1 file, trace/trace_file.hpp). Nothing is
+  /// copied, re-sorted, validated per-edge, or recomputed -- only O(n)
+  /// shape consistency is checked; content validity is the writer's
+  /// contract (only built Deposets are ever saved), guarded on disk by
+  /// the file CRCs. The external memory must outlive the returned deposet
+  /// and every copy of it.
+  static Deposet adopt_mapped(std::vector<int32_t> lengths,
+                              std::span<const MessageEdge> sorted_messages,
+                              CsrEdgeIndex edge_index, ClockMatrix clocks);
+
  private:
   /// The D1-D3 role validation shared by build() and build_with_clocks().
   void validate_messages() const;
@@ -93,7 +106,11 @@ class Deposet {
 
   int64_t total_states() const { return total_states_; }
 
-  const std::vector<MessageEdge>& messages() const { return messages_; }
+  /// All message edges, sorted by (from, to). A view: into deposet-owned
+  /// storage normally, into the mmap'ed file for an adopted deposet
+  /// (DeposetBuilder::adopt_mapped) -- valid while *this is alive (and, for
+  /// adopted deposets, while the mapping is).
+  std::span<const MessageEdge> messages() const { return messages_view_; }
 
   /// CSR views over the same messages (causality/edge_index.hpp): grouped
   /// contiguously by sending/receiving process and sorted by state index,
@@ -127,6 +144,9 @@ class Deposet {
   /// The whole slab, for bulk consumers (packed interval indexes, benches).
   const ClockMatrix& clocks() const { return clocks_; }
 
+  /// The CSR index itself, for bulk serialization (trace/trace_file.hpp).
+  const CsrEdgeIndex& edge_index() const { return edge_index_; }
+
   /// a ->= b: a causally precedes b, or a == b.
   bool precedes_eq(StateId a, StateId b) const {
     if (a.process == b.process) return a.index <= b.index;
@@ -147,14 +167,38 @@ class Deposet {
            s.index < length(s.process);
   }
 
+  /// True when this deposet is a zero-copy view of a mapped trace file.
+  bool mapped() const { return mapped_; }
+
+  // Copy/move keep messages_view_ honest: an owning copy re-points the view
+  // at the fresh vector, an adopted copy shares the external storage, and a
+  // vector move transfers its buffer so the stolen view stays valid.
+  Deposet(const Deposet& other)
+      : lengths_(other.lengths_), messages_(other.messages_),
+        messages_view_(other.mapped_ ? other.messages_view_
+                                     : std::span<const MessageEdge>(messages_)),
+        edge_index_(other.edge_index_), clocks_(other.clocks_),
+        total_states_(other.total_states_), mapped_(other.mapped_) {}
+  Deposet& operator=(const Deposet& other) {
+    if (this != &other) {
+      Deposet tmp(other);
+      *this = std::move(tmp);
+    }
+    return *this;
+  }
+  Deposet(Deposet&& other) noexcept = default;
+  Deposet& operator=(Deposet&& other) noexcept = default;
+
  private:
   friend class DeposetBuilder;
 
   std::vector<int32_t> lengths_;
-  std::vector<MessageEdge> messages_;
+  std::vector<MessageEdge> messages_;          // owning mode; empty when mapped
+  std::span<const MessageEdge> messages_view_;
   CsrEdgeIndex edge_index_;
   ClockMatrix clocks_;
   int64_t total_states_ = 0;
+  bool mapped_ = false;
 };
 
 }  // namespace predctrl

@@ -1,0 +1,101 @@
+#include "util/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace predctrl::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+size_t page_size() {
+  static const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+}  // namespace
+
+MappedFile MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_errno("cannot open", path);
+
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw_errno("cannot stat", path);
+  }
+
+  MappedFile f;
+  f.size_ = static_cast<size_t>(st.st_size);
+  if (f.size_ > 0) {
+    void* addr = ::mmap(nullptr, f.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      throw_errno("cannot mmap", path);
+    }
+    f.data_ = static_cast<const uint8_t*>(addr);
+  }
+  // The mapping holds its own reference to the file; the descriptor is no
+  // longer needed.
+  ::close(fd);
+  return f;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr)
+      ::munmap(const_cast<uint8_t*>(data_), size_);
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(const_cast<uint8_t*>(data_), size_);
+}
+
+void MappedFile::advise(size_t offset, size_t length, Advice advice) const {
+  if (data_ == nullptr || length == 0 || offset >= size_) return;
+  if (offset + length > size_) length = size_ - offset;
+  const size_t page = page_size();
+  const size_t begin = offset / page * page;          // widen down
+  const size_t end = offset + length;                 // madvise rounds up itself
+  int hint = MADV_NORMAL;
+  switch (advice) {
+    case Advice::kNormal: hint = MADV_NORMAL; break;
+    case Advice::kSequential: hint = MADV_SEQUENTIAL; break;
+    case Advice::kRandom: hint = MADV_RANDOM; break;
+    case Advice::kWillNeed: hint = MADV_WILLNEED; break;
+  }
+  // Best-effort: a refused hint only changes paging heuristics.
+  (void)::madvise(const_cast<uint8_t*>(data_) + begin, end - begin, hint);
+}
+
+size_t MappedFile::resident_bytes() const {
+  if (data_ == nullptr || size_ == 0) return 0;
+  const size_t page = page_size();
+  const size_t pages = (size_ + page - 1) / page;
+  std::vector<unsigned char> vec(pages);
+  if (::mincore(const_cast<uint8_t*>(data_), size_, vec.data()) != 0) return 0;
+  size_t resident = 0;
+  for (unsigned char v : vec)
+    if (v & 1) ++resident;
+  // The final page may be partial; counting whole pages is close enough for
+  // a demand-paging counter.
+  return resident * page;
+}
+
+}  // namespace predctrl::util

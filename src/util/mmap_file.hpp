@@ -1,0 +1,65 @@
+// Read-only memory-mapped files -- the substrate of the zero-parse trace
+// tier (trace/trace_file.hpp).
+//
+// A MappedFile mmaps a whole file PROT_READ/MAP_PRIVATE and hands out the
+// mapping as a byte span. Nothing is read eagerly: the kernel pages bytes
+// in on first touch, so a multi-GB trace opens in O(ms) and an analysis
+// that visits a fraction of the file faults in only that fraction --
+// analyzed traces can exceed RAM. `advise()` forwards access-pattern
+// hints (madvise) per region so the reader can mark the random-access
+// clock slab kRandom while leaving sequentially-consumed sections on the
+// kernel's default readahead; `resident_bytes()` (mincore) reports how
+// much of the mapping is actually paged in, which is how bench_trace_io's
+// demand-paging counters are measured.
+//
+// Move-only; the mapping lives until destruction, so every view handed to
+// adopters (ClockMatrix, CsrEdgeIndex, ...) is valid exactly as long as
+// the owning MappedFile. POSIX-only (the only platform the project
+// targets); all failures throw std::runtime_error with errno context.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace predctrl::util {
+
+class MappedFile {
+ public:
+  enum class Advice { kNormal, kSequential, kRandom, kWillNeed };
+
+  MappedFile() = default;
+
+  /// Maps `path` read-only. Throws std::runtime_error (with errno text) if
+  /// the file cannot be opened, stat'ed, or mapped. An empty file yields a
+  /// valid object with size() == 0 and no mapping.
+  static MappedFile open(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  bool valid() const { return data_ != nullptr; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::span<const uint8_t> bytes() const { return {data_, size_}; }
+
+  /// madvise hint for [offset, offset+length); the range is widened to page
+  /// boundaries. A hint is best-effort: failure is ignored (the mapping
+  /// stays correct, only paging behavior differs).
+  void advise(size_t offset, size_t length, Advice advice) const;
+
+  /// Bytes of the mapping currently resident in memory (mincore), i.e. how
+  /// much the demand-paged file has actually been touched. Returns 0 for an
+  /// empty or invalid mapping, and size() at worst.
+  size_t resident_bytes() const;
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace predctrl::util

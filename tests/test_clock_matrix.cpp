@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "causality/clock_computation.hpp"
@@ -24,7 +25,7 @@ namespace {
 // the state's own index. Deliberately naive (repeated relaxation) so it shares
 // no code with either production engine.
 std::vector<std::vector<VectorClock>> reference_clocks(
-    const std::vector<int32_t>& lengths, const std::vector<MessageEdge>& messages) {
+    const std::vector<int32_t>& lengths, std::span<const MessageEdge> messages) {
   const int32_t n = static_cast<int32_t>(lengths.size());
   std::vector<std::vector<VectorClock>> clocks(static_cast<size_t>(n));
   for (ProcessId p = 0; p < n; ++p)
@@ -53,7 +54,7 @@ std::vector<std::vector<VectorClock>> reference_clocks(
 }
 
 void expect_matches_reference(const ClockMatrix& matrix, const std::vector<int32_t>& lengths,
-                              const std::vector<MessageEdge>& messages) {
+                              std::span<const MessageEdge> messages) {
   const auto ref = reference_clocks(lengths, messages);
   ASSERT_EQ(matrix.num_processes(), static_cast<int32_t>(lengths.size()));
   for (ProcessId p = 0; p < matrix.num_processes(); ++p) {
@@ -315,9 +316,10 @@ TEST(AppendableClockMatrix, EmptyAndShape) {
 
 // --- CsrEdgeIndex round-trips ------------------------------------------------
 
-std::vector<MessageEdge> sorted(std::vector<MessageEdge> edges) {
-  std::sort(edges.begin(), edges.end());
-  return edges;
+std::vector<MessageEdge> sorted(std::span<const MessageEdge> edges) {
+  std::vector<MessageEdge> out(edges.begin(), edges.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 void expect_csr_roundtrip(const Deposet& d) {

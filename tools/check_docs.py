@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Docs consistency checker (the `docs_check` ctest and the CI docs job).
+
+Two drift classes the test suite cannot catch:
+
+1. Intra-repo markdown links. Every relative link target in the curated
+   doc set must exist in the working tree (anchors are stripped; external
+   http(s)/mailto links are out of scope -- CI must not depend on the
+   network).
+
+2. Bench counters named in docs. The docs quote benchmark counters in
+   backticks (`open_speedup_vs_build`, `states_per_sec`, ...). Each token
+   that looks like a counter name must exist in at least one committed
+   baseline snapshot (bench/baselines/*/BENCH_*.json) -- otherwise the
+   docs describe a measurement the bench suite no longer (or never did)
+   emit. Counter-looking is heuristic: a backticked identifier containing
+   one of the unit/metric markers below. Non-counter identifiers that
+   happen to match (event fields like `vt_us`) go in SKIP_TOKENS with a
+   reason.
+
+Exit code 0 when both checks pass; 1 with a per-finding report otherwise.
+Run from anywhere: paths resolve relative to the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# The curated doc set: user-facing documentation whose links and counter
+# references must stay live. Working notes (ISSUE.md, CHANGES.md,
+# SNIPPETS.md, PAPERS.md) are deliberately excluded.
+DOC_FILES = [
+    "README.md",
+    "ROADMAP.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "PAPER.md",
+    "docs/ARCHITECTURE.md",
+    "docs/TUTORIAL.md",
+    "docs/FORMAT.md",
+]
+
+# A backticked identifier counts as a counter reference iff it contains
+# one of these markers.
+COUNTER_MARKERS = (
+    "_per_sec",
+    "_us",
+    "_ns",
+    "_ms",
+    "_pct",
+    "speedup",
+    "bytes",
+    "fraction",
+    "_checks",
+    "overhead",
+)
+
+# Identifiers that match a marker but are not bench counters.
+SKIP_TOKENS = {
+    "vt_us",  # FlightEvent virtual-time field (obs/flight_recorder.hpp)
+    "bytes",  # predctrl-trace-v1 section-table field (docs/FORMAT.md)
+    "file_bytes",  # predctrl-trace-v1 header field (docs/FORMAT.md)
+    "header_bytes",  # predctrl-trace-v1 header field (docs/FORMAT.md)
+}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+TOKEN_RE = re.compile(r"`([a-z][a-z0-9_]+)`")
+
+
+def baseline_counters() -> set[str]:
+    names: set[str] = set()
+    for path in REPO.glob("bench/baselines/*/BENCH_*.json"):
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            continue  # the schema checker owns JSON validity
+        for result in data.get("results", []):
+            names.update(result.get("counters", {}).keys())
+    return names
+
+
+def strip_code_blocks(text: str) -> str:
+    """Drops fenced code blocks: links inside example output are not claims."""
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def check_links(doc: Path, text: str) -> list[str]:
+    errors = []
+    for match in LINK_RE.finditer(strip_code_blocks(text)):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:  # pure in-page anchor
+            continue
+        resolved = (doc.parent / path_part).resolve()
+        if not resolved.exists():
+            errors.append(
+                f"{doc.relative_to(REPO)}: broken link '{target}' "
+                f"(resolved to {resolved})"
+            )
+    return errors
+
+
+def check_counters(doc: Path, text: str, known: set[str]) -> list[str]:
+    errors = []
+    for token in sorted(set(TOKEN_RE.findall(text))):
+        if token in SKIP_TOKENS or not any(m in token for m in COUNTER_MARKERS):
+            continue
+        if token not in known:
+            errors.append(
+                f"{doc.relative_to(REPO)}: counter `{token}` is not emitted by "
+                "any committed baseline snapshot (bench/baselines/*/BENCH_*.json); "
+                "stale doc, renamed counter, or a bench run that was never committed"
+            )
+    return errors
+
+
+def main() -> int:
+    known = baseline_counters()
+    if not known:
+        print("check_docs.py: no baseline snapshots found under bench/baselines/",
+              file=sys.stderr)
+        return 1
+
+    errors: list[str] = []
+    for name in DOC_FILES:
+        doc = REPO / name
+        if not doc.exists():
+            errors.append(f"{name}: listed in DOC_FILES but missing from the tree")
+            continue
+        text = doc.read_text()
+        errors.extend(check_links(doc, text))
+        errors.extend(check_counters(doc, text, known))
+
+    for error in errors:
+        print(f"ERROR: {error}", file=sys.stderr)
+    print(f"check_docs.py: {len(DOC_FILES)} docs, {len(known)} baseline counters, "
+          f"{len(errors)} errors")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
