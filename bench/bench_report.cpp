@@ -21,8 +21,11 @@
 //
 // One markdown table per tracked counter: rows are (bench, case) pairs,
 // columns are snapshots in HISTORY order, and the last column shows the
-// relative change from the first to the newest value. Missing cells (the
-// bench or counter did not exist in that snapshot) render as "--".
+// relative change from the first to the newest value. A cell where the
+// whole bench is absent from the snapshot (it did not exist yet) renders
+// as "(new bench)"; a cell where the bench ran but did not report the
+// counter (or the case) renders as "--" -- the distinction keeps "added
+// later" visually separate from "silently stopped reporting".
 #include <cmath>
 #include <cstdint>
 #include <filesystem>
@@ -212,7 +215,14 @@ int main(int argc, char** argv) {
     md << "---|\n";
     for (const auto& [key, row] : series) {
       md << "| " << key.first << " | " << key.second << " |";
-      for (double v : row) md << " " << format_value(v) << " |";
+      for (size_t s = 0; s < row.size(); ++s) {
+        // Bench absent from the snapshot entirely: it had not been written
+        // yet. Distinct from "--" (ran, but no such counter/case).
+        if (row[s] == kAbsent && snapshots[s].files.find(key.first) == snapshots[s].files.end())
+          md << " (new bench) |";
+        else
+          md << " " << format_value(row[s]) << " |";
+      }
       md << " " << format_trend(row) << " |\n";
     }
   }

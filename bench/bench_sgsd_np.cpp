@@ -27,14 +27,20 @@ void BM_SgsdViaReduction(benchmark::State& state) {
   Cnf formula = formula_for(static_cast<int32_t>(state.range(0)), 11);
   SgsdInstance inst = sat_to_sgsd(formula);
   int64_t expansions = 0;
+  int64_t cuts_visited = 0;
+  int64_t cuts_pruned = 0;
   for (auto _ : state) {
     SgsdResult r = find_satisfying_global_sequence(inst.deposet, inst.predicate,
                                                    StepSemantics::kRealTime,
                                                    /*max_expansions=*/200'000'000);
     expansions = r.expansions;
+    cuts_visited = r.cuts_visited;
+    cuts_pruned = r.cuts_pruned;
     benchmark::DoNotOptimize(r);
   }
   state.counters["expansions"] = static_cast<double>(expansions);
+  state.counters["lattice_cuts_visited"] = static_cast<double>(cuts_visited);
+  state.counters["cuts_pruned"] = static_cast<double>(cuts_pruned);
 }
 
 void BM_DpllBaseline(benchmark::State& state) {

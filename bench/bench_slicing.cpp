@@ -1,0 +1,230 @@
+// Computation slicing (src/slice/) -- cost of the slicer itself and the
+// end-to-end payoff of slice-pruned SGSD synthesis vs the raw exhaustive
+// search (control/sliced_general.hpp vs control/offline_general.hpp).
+//
+// Three families:
+//
+//   * InfeasibleKnockout -- the headline. A grid whose final state of
+//     process 0 violates B: every bottom-to-top sequence is doomed, but the
+//     raw search only learns that after exhausting the entire reachable
+//     B-satisfying lattice (exponential in width), while the slicer finds
+//     the gap state in polynomial time. `synthesis_speedup_vs_raw` is the
+//     end-to-end wall-time ratio (best-of-N manual timing, so the counter
+//     survives --smoke's single-iteration mode).
+//   * ChannelParity -- a channel-bound predicate (feasible whenever the
+//     receiver can drain in time), where sliced search is
+//     decision-identical to raw and enqueues the same cuts: the bench
+//     asserts the work counters match and reports the time ratio as
+//     context (the win here is the cheap consistency rejection replacing
+//     per-cut in-transit scans, visible in cuts_pruned).
+//   * SliceThroughput / LatticeReduction -- slicer cost on large random
+//     traces (slice_events_per_sec, edges_added) and how hard the slice
+//     shrinks the lattice on enumerable instances (lattice_reduction_ratio
+//     = base cuts / slice cuts, deterministic seeds so the gate is quiet).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+
+#include "control/offline_general.hpp"
+#include "control/sliced_general.hpp"
+#include "predicates/regular.hpp"
+#include "slice/slicer.hpp"
+#include "trace/lattice.hpp"
+#include "trace/random_trace.hpp"
+
+using namespace predctrl;
+
+namespace {
+
+// Best-of-N wall time of fn() in seconds; N small so --smoke stays fast.
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    if (dt.count() < best) best = dt.count();
+  }
+  return best;
+}
+
+Deposet grid(int32_t n, int32_t len) {
+  DeposetBuilder b(n);
+  for (ProcessId p = 0; p < n; ++p) b.set_length(p, len);
+  return b.build();
+}
+
+bool eval_table(const PredicateTable& table, const Cut& cut) {
+  for (size_t p = 0; p < table.size(); ++p)
+    if (!table[p][static_cast<size_t>(cut[static_cast<ProcessId>(p)])]) return false;
+  return true;
+}
+
+// A grid where only the top state of process 0 violates B. The raw search
+// explores every other cut of the len^n lattice before concluding
+// infeasibility; the slicer's J((0, len-1)) fixpoint dies immediately.
+void BM_InfeasibleKnockout(benchmark::State& state) {
+  const int32_t n = 4;
+  const int32_t len = static_cast<int32_t>(state.range(0));
+  Deposet d = grid(n, len);
+  PredicateTable table(static_cast<size_t>(n),
+                       std::vector<bool>(static_cast<size_t>(len), true));
+  table[0][static_cast<size_t>(len) - 1] = false;
+  const auto raw_b = [&](const Cut& c) { return eval_table(table, c); };
+  const RegularPredicate approx = RegularPredicate::conjunctive(table);
+
+  GeneralControlResult raw;
+  SlicedControlResult sliced;
+  const double t_raw = best_seconds(3, [&] { raw = control_general_offline(d, raw_b); });
+  const double t_sliced =
+      best_seconds(3, [&] { sliced = control_general_sliced(d, raw_b, approx); });
+  if (raw.controllable != sliced.general.controllable || !sliced.gap_pruned) {
+    state.SkipWithError("sliced verdict diverged from the raw oracle");
+    return;
+  }
+  for (auto _ : state) {
+    SlicedControlResult r = control_general_sliced(d, raw_b, approx);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["synthesis_speedup_vs_raw"] = t_raw / t_sliced;
+  state.counters["lattice_cuts_visited"] = static_cast<double>(raw.cuts_visited);
+  state.counters["cuts_pruned"] = static_cast<double>(raw.cuts_pruned);
+  state.counters["slice_fixpoint_advances"] = static_cast<double>(sliced.slice.fixpoint_advances);
+}
+
+// Channel-bound control on a chatty random trace: the sliced search must
+// enqueue exactly the raw search's cuts (byte-identity), so the
+// interesting numbers are the shared work counters and the
+// (informational) time ratio.
+void BM_ChannelParity(benchmark::State& state) {
+  Rng rng(17);
+  RandomTraceOptions topt;
+  topt.num_processes = 4;
+  topt.events_per_process = static_cast<int32_t>(state.range(0));
+  topt.send_probability = 0.4;
+  Deposet d = random_deposet(topt, rng);
+  const int32_t limit = 2;
+  const auto raw_b = [&](const Cut& c) {
+    return messages_in_transit(d, 0, 1, c) <= limit &&
+           messages_in_transit(d, 1, 0, c) <= limit;
+  };
+  const RegularPredicate approx = RegularPredicate::conjunction(
+      {RegularPredicate::channel_at_most(0, 1, limit),
+       RegularPredicate::channel_at_most(1, 0, limit)});
+
+  GeneralControlResult raw;
+  SlicedControlResult sliced;
+  const double t_raw = best_seconds(3, [&] { raw = control_general_offline(d, raw_b); });
+  const double t_sliced =
+      best_seconds(3, [&] { sliced = control_general_sliced(d, raw_b, approx); });
+  if (raw.controllable != sliced.general.controllable ||
+      raw.cuts_visited != sliced.general.cuts_visited ||
+      !(raw.control == sliced.general.control)) {
+    state.SkipWithError("sliced search diverged from the raw oracle");
+    return;
+  }
+  for (auto _ : state) {
+    SlicedControlResult r = control_general_sliced(d, raw_b, approx);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["lattice_cuts_visited"] = static_cast<double>(sliced.general.cuts_visited);
+  state.counters["cuts_pruned"] = static_cast<double>(sliced.general.cuts_pruned);
+  state.counters["controllable"] = raw.controllable ? 1 : 0;
+  state.counters["raw_to_sliced_time_ratio"] = t_raw / t_sliced;
+}
+
+// Slicer cost on large random traces, nothing enumerated.
+void BM_SliceThroughput(benchmark::State& state) {
+  Rng rng(23);
+  RandomTraceOptions topt;
+  topt.num_processes = static_cast<int32_t>(state.range(0));
+  topt.events_per_process = static_cast<int32_t>(state.range(1));
+  Deposet d = random_deposet(topt, rng);
+  RandomPredicateOptions popt;
+  popt.false_probability = 0.2;
+  popt.flip_probability = 0.15;
+  PredicateTable table = random_predicate_table(d, popt, rng);
+  // A true final state per process keeps the fixpoints from overflowing
+  // (no gap states), so the run also exercises edge derivation and the
+  // slice-deposet rebuild, not just the fixpoint loop.
+  for (ProcessId p = 0; p < d.num_processes(); ++p) table[static_cast<size_t>(p)].back() = true;
+  const RegularPredicate b = RegularPredicate::conjunction(
+      {RegularPredicate::conjunctive(table), RegularPredicate::channel_at_most(0, 1, 8)});
+
+  SliceStats stats;
+  for (auto _ : state) {
+    Slice slice = compute_slice(d, b);
+    stats = slice.stats();
+    benchmark::DoNotOptimize(slice);
+  }
+  const double states = static_cast<double>(d.total_states());
+  state.counters["slice_events_per_sec"] =
+      benchmark::Counter(states, benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["edges_added"] = static_cast<double>(stats.edges_added);
+  state.counters["gap_states"] = static_cast<double>(stats.gap_states);
+  state.counters["fixpoint_advances"] = static_cast<double>(stats.fixpoint_advances);
+}
+
+// Lattice shrinkage on enumerable instances. Deterministic seeds: the
+// ratio is a property of the algorithm, not the machine, so the gate can
+// hold it exactly.
+void BM_LatticeReduction(benchmark::State& state) {
+  Deposet d;
+  PredicateTable table;
+  if (state.range(0) == 3) {
+    // Staircase phases on a message-free grid -- the classic slicing
+    // showcase: B forces c[p] >= 2p. The unconditional (k = 0) part of
+    // each constraint has no deposet encoding and is soundly dropped, so
+    // the slice keeps the below-staircase corner; the conditional edges
+    // still shrink the 8^4 lattice by ~5x.
+    state.SetLabel("staircase");
+    d = grid(4, 8);
+    table.assign(4, std::vector<bool>(8, true));
+    for (ProcessId p = 0; p < 4; ++p)
+      for (int32_t k = 0; k < 2 * p; ++k) table[static_cast<size_t>(p)][static_cast<size_t>(k)] = false;
+  } else {
+    Rng rng(100 + static_cast<uint64_t>(state.range(0)));
+    RandomTraceOptions topt;
+    topt.num_processes = 4;
+    topt.events_per_process = 6;
+    d = random_deposet(topt, rng);
+    RandomPredicateOptions popt;
+    popt.false_probability = 0.35;
+    table = random_predicate_table(d, popt, rng);
+    // Gap-free by construction (see BM_SliceThroughput): the ratio then
+    // measures genuine lattice shrinkage, not an empty slice.
+    for (ProcessId p = 0; p < d.num_processes(); ++p)
+      table[static_cast<size_t>(p)].back() = true;
+  }
+  const RegularPredicate b = RegularPredicate::conjunctive(table);
+
+  double ratio = 0;
+  int64_t edges = 0;
+  for (auto _ : state) {
+    Slice slice = compute_slice(d, b);
+    const double base = static_cast<double>(count_consistent_cuts(d));
+    const double cut =
+        slice.has_gap() ? 1.0 : static_cast<double>(count_consistent_cuts(slice.deposet()));
+    ratio = base / cut;
+    edges = slice.stats().edges_added;
+    benchmark::DoNotOptimize(slice);
+  }
+  state.counters["lattice_reduction_ratio"] = ratio;
+  state.counters["edges_added"] = static_cast<double>(edges);
+}
+
+}  // namespace
+
+BENCHMARK(BM_InfeasibleKnockout)->DenseRange(6, 14, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ChannelParity)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SliceThroughput)
+    ->Args({4, 500})
+    ->Args({8, 1000})
+    ->Args({16, 2000})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LatticeReduction)->DenseRange(0, 3, 1)->Unit(benchmark::kMillisecond);
+
+#include "bench_common.hpp"
+PREDCTRL_BENCH_MAIN();

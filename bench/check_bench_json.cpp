@@ -126,6 +126,14 @@ Direction counter_direction(const std::string& name) {
   if (contains_any(name,
                    {"retransmit", "dropped", "duplicate", "give_up", "fault", "crash"}))
     return Direction::kInformational;
+  // Slicing counters (bench_slicing, bench_sgsd_np): a bigger lattice
+  // reduction ratio means the slice cut away more of the search space, and
+  // fewer cuts visited means the search did less work. cuts_pruned stays
+  // neutral -- rejecting MORE neighbors cheaply is how the slice wins, but
+  // rejecting fewer because the lattice itself shrank is equally fine.
+  if (contains_any(name, {"reduction_ratio"})) return Direction::kHigherBetter;
+  if (contains_any(name, {"cuts_pruned"})) return Direction::kInformational;
+  if (contains_any(name, {"cuts_visited"})) return Direction::kLowerBetter;
   if (contains_any(name, {"per_sec", "speedup", "throughput"}))
     return Direction::kHigherBetter;
   if (contains_any(name, {"bytes", "_checks", "_ns", "_us", "_ms"}))

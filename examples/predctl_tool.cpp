@@ -5,6 +5,7 @@
 //   predctl_tool detect     <deposet-file> <predicate-file>
 //   predctl_tool control    <deposet-file> <predicate-file> [realtime|simultaneous]
 //   predctl_tool dot        <deposet-file> [predicate-file]
+//   predctl_tool slice      <deposet-file> <predicate-file> [--slice-out=FILE]
 //   predctl_tool races      <deposet-file>
 //   predctl_tool quickstart
 //   predctl_tool flight
@@ -42,6 +43,16 @@
 // `flight` runs the quickstart's guarded scenario (honouring the fault
 // flags) and prints the merged flight timeline unconditionally -- the
 // on-demand forensic view, no failure required.
+//
+// `slice` computes the computation slice (src/slice/) of the deposet with
+// respect to the predicate table read as a conjunctive regular predicate:
+// for every state it reports J(s) fixpoint work, then either the gap state
+// proving the predicate unreachable (exit 1 -- the polynomial infeasibility
+// knockout behind slice-pruned control) or the added constraint edges. On
+// enumerable instances it also prints the lattice-reduction ratio.
+// --slice-out=FILE saves the slice as a first-class predctrl-trace-v1 file
+// (with the predicate), so open-trace can stat/detect/control the slice
+// like any other trace.
 //
 // `save-trace` serializes a built deposet (plus its local predicates and
 // false-interval tables, when a predicate is given) to the binary
@@ -89,7 +100,10 @@
 #include "predicates/detection.hpp"
 #include "predicates/global_predicate.hpp"
 #include "predicates/intervals.hpp"
+#include "predicates/regular.hpp"
+#include "slice/slicer.hpp"
 #include "trace/dot.hpp"
+#include "trace/lattice.hpp"
 #include "trace/race.hpp"
 #include "trace/random_trace.hpp"
 #include "trace/serialize.hpp"
@@ -130,6 +144,7 @@ int usage() {
                "                    [--trace-points=SPEC] [--flight-out=FILE]\n"
                "                    feasible|detect|control|dot|races <deposet> "
                "[predicate] [realtime|simultaneous]\n"
+               "       predctl_tool slice <deposet> <predicate> [--slice-out=FILE]\n"
                "       predctl_tool [--trace-out=FILE] [--metrics-out=FILE] [--threads=N]\n"
                "                    [--fault-seed=N] [--fault-drop=P] [--fault-crash=A@T] "
                "quickstart|flight\n"
@@ -421,6 +436,7 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string flight_out = "predctrl-flight.json";
   std::string save_out;
+  std::string slice_out;
   std::string random_spec;
   fault::FaultPlan fault_plan;
   std::vector<std::string> args;
@@ -434,6 +450,8 @@ int main(int argc, char** argv) {
       flight_out = arg.substr(std::strlen("--flight-out="));
     else if (arg.rfind("--out=", 0) == 0)
       save_out = arg.substr(std::strlen("--out="));
+    else if (arg.rfind("--slice-out=", 0) == 0)
+      slice_out = arg.substr(std::strlen("--slice-out="));
     else if (arg.rfind("--random=", 0) == 0)
       random_spec = arg.substr(std::strlen("--random="));
     else if (arg.rfind("--trace-points=", 0) == 0) {
@@ -571,6 +589,45 @@ int main(int argc, char** argv) {
                               << ", wait for token " << a.token << " from P" << a.peer
                               << "\n";
                 }
+            }
+            status = 0;
+          }
+        } else if (cmd == "slice") {
+          const auto t1 = std::chrono::steady_clock::now();
+          Slice slice = compute_slice(d, RegularPredicate::conjunctive(pred));
+          const double us = elapsed_us(t1);
+          const SliceStats& st = slice.stats();
+          std::cout << "sliced " << st.states_total << " state(s) in " << us << " us ("
+                    << st.fixpoint_advances << " fixpoint advance(s))\n";
+          if (slice.has_gap()) {
+            std::cout << "empty slice: " << st.gap_states << " gap state(s), first at "
+                      << slice.gap() << " -- that state lies in no satisfying cut, so\n"
+                      << "every bottom-to-top execution is doomed (control infeasible)\n";
+            status = 1;
+          } else {
+            std::cout << "slice: " << st.edges_added << " constraint edge(s) added, "
+                      << st.edges_dropped_cyclic << " dropped as cyclic ("
+                      << st.meta_events << " meta-event group(s))\n";
+            for (const MessageEdge& e : slice.added_edges())
+              std::cout << "  " << e.from << " must happen before " << e.to << "\n";
+            // Lattice shrinkage, on instances small enough to enumerate.
+            int64_t lattice_bound = 1;
+            for (ProcessId p = 0; p < d.num_processes() && lattice_bound < 1'000'000; ++p)
+              lattice_bound *= d.length(p);
+            if (lattice_bound < 1'000'000) {
+              const int64_t base = count_consistent_cuts(d);
+              const int64_t cut = count_consistent_cuts(slice.deposet());
+              std::cout << "lattice: " << base << " -> " << cut << " consistent cut(s) ("
+                        << static_cast<double>(base) / static_cast<double>(cut)
+                        << "x reduction)\n";
+            }
+            if (!slice_out.empty()) {
+              TraceSaveOptions save;
+              FalseIntervalSets intervals = extract_false_intervals(pred);
+              save.intervals = &intervals;
+              save.predicate = &pred;
+              save_trace(slice_out, slice.deposet(), save);
+              std::cout << "slice written to " << slice_out << " (predctrl-trace-v1)\n";
             }
             status = 0;
           }

@@ -53,6 +53,8 @@ GeneralControlResult control_general_offline(
                                                     StepSemantics::kRealTime, max_expansions);
   result.truncated = sgsd.truncated;
   result.expansions = sgsd.expansions;
+  result.cuts_visited = sgsd.cuts_visited;
+  result.cuts_pruned = sgsd.cuts_pruned;
   if (!sgsd.feasible) return result;
 
   result.controllable = true;

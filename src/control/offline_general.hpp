@@ -36,6 +36,8 @@ struct GeneralControlResult {
   std::vector<Cut> sequence;  ///< the satisfying sequence that was serialized
   bool truncated = false;     ///< search hit max_expansions; result unknown
   int64_t expansions = 0;     ///< SGSD work performed
+  int64_t cuts_visited = 0;   ///< satisfying cuts expanded by the search
+  int64_t cuts_pruned = 0;    ///< neighbors rejected by the consistency check
 };
 
 /// Synthesizes a control relation that serializes `sequence` (a valid

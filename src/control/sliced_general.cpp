@@ -1,0 +1,50 @@
+#include "control/sliced_general.hpp"
+
+#include "util/check.hpp"
+
+namespace predctrl {
+
+SlicedControlResult control_general_sliced(const Deposet& deposet,
+                                           const std::function<bool(const Cut&)>& b,
+                                           const RegularPredicate& approx,
+                                           int64_t max_expansions) {
+  SlicedControlResult result;
+  Slice slice = compute_slice(deposet, approx);
+  result.slice = slice.stats();
+
+  if (slice.has_gap()) {
+    // Some state lies in no approx-satisfying cut, so no b-satisfying
+    // global sequence can pass through it: infeasible, decided in
+    // polynomial time. The raw oracle reaches the same verdict the hard
+    // way.
+    result.gap_pruned = true;
+    return result;
+  }
+
+  SgsdResult sgsd = find_satisfying_global_sequence(slice.deposet(), b,
+                                                    StepSemantics::kRealTime, max_expansions);
+  result.general.truncated = sgsd.truncated;
+  result.general.expansions = sgsd.expansions;
+  result.general.cuts_visited = sgsd.cuts_visited;
+  result.general.cuts_pruned = sgsd.cuts_pruned;
+  if (!sgsd.feasible) return result;
+
+  result.general.controllable = true;
+  result.general.sequence = std::move(sgsd.sequence);
+  // Serialize against the BASE deposet: slice-consistent cuts are
+  // base-consistent, and the already-ordered test must use real causality
+  // (not slice constraints) to emit the same relation as the oracle.
+  result.general.control = serialize_sequence(deposet, result.general.sequence);
+  PREDCTRL_REQUIRE(control_realizable(deposet, result.general.control),
+                   "serialized sequence produced a deadlocking relation");
+  return result;
+}
+
+SlicedControlResult control_general_sliced(const Deposet& deposet, const GlobalPredicate& b,
+                                           int64_t max_expansions) {
+  RegularApproximation approx = regular_approximation(b, deposet);
+  return control_general_sliced(
+      deposet, [&b](const Cut& c) { return b.eval(c); }, approx.predicate, max_expansions);
+}
+
+}  // namespace predctrl

@@ -1,0 +1,64 @@
+// Slice-pruned off-line control for general predicates.
+//
+// control_general_offline (offline_general.hpp) pays the paper's NP-hardness
+// price literally: a BFS over the consistent-cut lattice. Slicing
+// (slice/slicer.hpp) buys back two things without changing the answer:
+//
+//   1. A polynomial infeasibility knockout. If the slice of a sound regular
+//      over-approximation R of B has a *gap state* -- a state contained in
+//      no R-satisfying cut -- then, since every bottom-to-top global
+//      sequence passes through every state, B admits no satisfying
+//      sequence either. The raw search discovers this only after
+//      exhausting every reachable B-satisfying cut (exponential); the
+//      slicer knows after O(poly) forced advances.
+//
+//   2. A cheaper search. Otherwise the same BFS runs against the *slice
+//      deposet*: its clocks encode the added constraint edges, so advances
+//      that leave the R-sublattice die in the O(n) consistency check
+//      instead of a (potentially expensive) predicate evaluation.
+//
+// The pruned search is **decision-identical to the oracle by construction**:
+// every B-satisfying cut is consistent in the slice (soundness of the
+// approximation), and every slice-consistent cut is consistent in the base
+// (added edges only constrain), so the BFS enqueues exactly the same cuts
+// in exactly the same order as the raw search -- same verdict, byte-equal
+// sequence, byte-equal control relation. The randomized suites in
+// tests/test_slice.cpp enforce this cut-for-cut.
+#pragma once
+
+#include <functional>
+
+#include "control/offline_general.hpp"
+#include "predicates/regular.hpp"
+#include "slice/slicer.hpp"
+#include "trace/deposet.hpp"
+
+namespace predctrl {
+
+struct SlicedControlResult {
+  /// The control verdict/sequence/relation -- byte-identical to what
+  /// control_general_offline returns for the same (deposet, b) whenever
+  /// `approx` soundly over-approximates b.
+  GeneralControlResult general;
+  /// True iff infeasibility was decided by the slice alone (gap state), in
+  /// polynomial time, without any lattice search.
+  bool gap_pruned = false;
+  SliceStats slice;
+};
+
+/// Slice-pruned control: slices `deposet` on `approx` (which MUST be a
+/// sound over-approximation of `b`: b(c) implies approx.eval(c) -- e.g.
+/// regular_approximation(b).predicate), short-circuits on a gap, and
+/// otherwise runs the SGSD search over the slice's lattice. Serializes the
+/// found sequence against the *base* deposet.
+SlicedControlResult control_general_sliced(const Deposet& deposet,
+                                           const std::function<bool(const Cut&)>& b,
+                                           const RegularPredicate& approx,
+                                           int64_t max_expansions = 1'000'000);
+
+/// Convenience overload: derives the regular over-approximation from the
+/// expression tree via regular_approximation().
+SlicedControlResult control_general_sliced(const Deposet& deposet, const GlobalPredicate& b,
+                                           int64_t max_expansions = 1'000'000);
+
+}  // namespace predctrl

@@ -280,6 +280,7 @@ SgsdResult find_satisfying_global_sequence(
   while (!frontier.empty()) {
     Cut cur = std::move(frontier.front());
     frontier.pop_front();
+    ++result.cuts_visited;
 
     // Processes with room to advance. Under kRealTime each step advances one
     // process; under kSimultaneous any nonempty subset forms a step.
@@ -309,7 +310,11 @@ SgsdResult find_satisfying_global_sequence(
           if (mask & (1ULL << b)) ++next[room[b]];
       }
       if (parent.contains(next)) continue;
-      if (!is_consistent(deposet, next) || !predicate(next)) continue;
+      if (!is_consistent(deposet, next)) {
+        ++result.cuts_pruned;
+        continue;
+      }
+      if (!predicate(next)) continue;
       parent.emplace(next, cur);
       if (next == goal) {
         result.feasible = true;

@@ -78,6 +78,13 @@ struct SgsdResult {
   /// Number of (cut, subset) expansions performed -- the work measure
   /// reported by the NP-hardness benches.
   int64_t expansions = 0;
+  /// Cuts dequeued and expanded (every one satisfied the predicate).
+  int64_t cuts_visited = 0;
+  /// Generated neighbor cuts rejected by the consistency check before the
+  /// predicate was evaluated. Searching a slice (control/sliced_general.hpp)
+  /// moves rejections from predicate evaluation into this cheap O(n^2)
+  /// check -- the counter that attributes the slicing speedup.
+  int64_t cuts_pruned = 0;
 };
 
 /// The classic detection modalities over a traced computation:

@@ -1,0 +1,140 @@
+// Regular predicates -- the tractable class behind computation slicing
+// (Mittal & Garg, arXiv cs/0303010; see PAPERS.md).
+//
+// A global predicate B is *regular* when the consistent cuts satisfying B
+// are closed under both meet and join -- they form a sublattice of the
+// consistent-cut lattice. Regularity is what makes slicing work: the least
+// satisfying cut above any event (`J(e)`, src/slice/slicer.hpp) is then
+// unique and computable by a monotone forced-advance fixpoint, so the whole
+// sublattice can be represented in polynomial time as a deposet with added
+// edges.
+//
+// The taxonomy here is the closed grammar the slicer consumes:
+//
+//   kConjunctive   AND_p row_p[c[p]]      -- conjunction of local predicates
+//                                            (one truth row per process);
+//   kChannelAtMost |in transit i->j| <= k -- monotone channel predicates
+//                                            ("channel empty" is k = 0);
+//   kAnd           B_1 && ... && B_m      -- intersection of sublattices
+//                                            (regular; join-free children);
+//   kJoin          B_1 |_| ... |_| B_m    -- the *lattice union*: the
+//                                            smallest sublattice containing
+//                                            every child's cuts. Used to
+//                                            over-approximate disjunctions;
+//                                            membership eval is OR of the
+//                                            children.
+//
+// `is_regular` / `regular_approximation` bridge from the free-form
+// GlobalPredicate expression tree: an expression is syntactically regular
+// when (in NNF) every disjunction is confined to a single process, in which
+// case the approximation is exact; otherwise the approximation is a sound
+// over-approximation (every B-satisfying cut satisfies it) built from
+// per-process three-valued projections and top-level joins.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "causality/ids.hpp"
+#include "predicates/global_predicate.hpp"
+#include "trace/cut.hpp"
+#include "trace/deposet.hpp"
+#include "trace/random_trace.hpp"
+
+namespace predctrl {
+
+/// A monotone channel constraint: at most `limit` messages from process
+/// `from` to process `to` are in transit (sent, not yet received) at a cut.
+struct ChannelAtMost {
+  ProcessId from = -1;
+  ProcessId to = -1;
+  int32_t limit = 0;
+
+  friend bool operator==(const ChannelAtMost&, const ChannelAtMost&) = default;
+};
+
+/// One regular "branch": a conjunction of per-process truth rows and channel
+/// constraints. The slicer's J(e) fixpoint runs per branch; a RegularPredicate
+/// flattens to one branch (kConjunctive/kChannelAtMost/kAnd) or several
+/// (kJoin), with J(e) of a join being the meet of its branches' J(e).
+struct RegularBranch {
+  /// rows[p][k]: the local condition of process p at state (p, k). An empty
+  /// row means "no constraint on p" (treated as all-true).
+  PredicateTable rows;
+  std::vector<ChannelAtMost> channels;
+};
+
+/// Immutable regular-predicate tree (value type; cheap to copy at the sizes
+/// the control plane sees).
+class RegularPredicate {
+ public:
+  enum class Kind { kConjunctive, kChannelAtMost, kAnd, kJoin };
+
+  /// AND_p rows[p][c[p]]. Empty rows mean "no constraint on that process".
+  static RegularPredicate conjunctive(PredicateTable rows);
+
+  /// At most `limit` messages from `from` to `to` in transit. limit >= 0;
+  /// limit = 0 is the classic "channel empty" predicate.
+  static RegularPredicate channel_at_most(ProcessId from, ProcessId to, int32_t limit);
+
+  /// Conjunction. Children must be join-free (checked): the slicer keeps
+  /// joins at the top level so every branch stays a forced-advance fixpoint.
+  static RegularPredicate conjunction(std::vector<RegularPredicate> children);
+
+  /// Lattice union (|_|): the smallest sublattice containing every child's
+  /// satisfying cuts. Nested joins flatten.
+  static RegularPredicate join(std::vector<RegularPredicate> children);
+
+  Kind kind() const { return kind_; }
+
+  /// Membership evaluation at a global state. For kJoin this is the OR of
+  /// the children -- the set of cuts the slice is required to cover (the
+  /// generated sublattice itself is never materialized).
+  bool eval(const Deposet& deposet, const Cut& cut) const;
+
+  /// The branch normal form the slicer consumes: one branch per join arm
+  /// (exactly one branch for join-free predicates). Rows are sized to
+  /// `deposet` (missing/short rows padded with true).
+  std::vector<RegularBranch> branches(const Deposet& deposet) const;
+
+ private:
+  RegularPredicate() = default;
+  bool contains_join() const;
+  /// AND-merges this join-free predicate into `branch`.
+  void collect_into(const Deposet& deposet, RegularBranch& branch) const;
+
+  Kind kind_ = Kind::kConjunctive;
+  PredicateTable rows_;              // kConjunctive
+  ChannelAtMost channel_;            // kChannelAtMost
+  std::vector<RegularPredicate> children_;  // kAnd / kJoin
+};
+
+/// Number of messages from `channel.from` to `channel.to` in transit at
+/// `cut` (sent but not received). Exposed for tests and diagnostics.
+int32_t messages_in_transit(const Deposet& deposet, ProcessId from, ProcessId to, const Cut& cut);
+
+/// Syntactic regularity of a free-form expression: true iff, pushing
+/// negations to the leaves, every disjunction's leaves live on a single
+/// process -- i.e. B is a conjunction of per-process conditions. (Such a B
+/// is regular: its satisfying cuts are closed under meet and join.)
+bool is_regular(const GlobalPredicate& b);
+
+/// Result of approximating a general predicate by a regular one.
+struct RegularApproximation {
+  RegularPredicate predicate;
+  /// True iff eval(predicate) == b on every cut (syntactically regular
+  /// input, or a disjunction of regular arms mapped to a join). When false,
+  /// the approximation is still sound: b(c) implies predicate.eval(c).
+  bool exact = false;
+};
+
+/// Weakest regular consequence we can derive syntactically: every cut
+/// satisfying `b` satisfies the result (so a slice of the result soundly
+/// prunes any search for `b`-satisfying cuts). Exact when `is_regular(b)`,
+/// or when `b` is a disjunction whose arms are regular (mapped to a kJoin).
+/// Multi-process disjunctions below a conjunction fall back to per-process
+/// three-valued projection (sound, possibly vacuous).
+RegularApproximation regular_approximation(const GlobalPredicate& b, const Deposet& deposet);
+
+}  // namespace predctrl

@@ -27,6 +27,22 @@ void DeposetBuilder::add_message(StateId from, StateId to) {
   messages_.push_back({from, to});
 }
 
+void DeposetBuilder::validate_edge_shape() const {
+  for (const MessageEdge& m : messages_) {
+    std::ostringstream ctx;
+    ctx << "edge " << m;
+    PREDCTRL_CHECK(m.from.process >= 0 && m.from.process < num_processes() &&
+                       m.to.process >= 0 && m.to.process < num_processes(),
+                   ctx.str() + ": process out of range");
+    PREDCTRL_CHECK(m.from.process != m.to.process,
+                   ctx.str() + ": a dependency edge must cross processes");
+    PREDCTRL_CHECK(m.from.index >= 0 && m.from.index < length(m.from.process),
+                   ctx.str() + ": source state out of range");
+    PREDCTRL_CHECK(m.to.index >= 0 && m.to.index < length(m.to.process),
+                   ctx.str() + ": target state out of range");
+  }
+}
+
 void DeposetBuilder::validate_messages() const {
   // Per-process event roles for the D3 check. Event k of process p takes
   // state (p, k) to (p, k+1); a sequential process performs one action per
@@ -74,9 +90,7 @@ void DeposetBuilder::validate_messages() const {
   }
 }
 
-Deposet DeposetBuilder::build() const {
-  validate_messages();
-
+Deposet DeposetBuilder::finish() const {
   ClockComputation cc = compute_state_clocks(lengths_, messages_);
   PREDCTRL_CHECK(cc.acyclic,
                  "happened-before is cyclic (a message is received before it is sent)");
@@ -91,6 +105,16 @@ Deposet DeposetBuilder::build() const {
   d.total_states_ = 0;
   for (int32_t len : lengths_) d.total_states_ += len;
   return d;
+}
+
+Deposet DeposetBuilder::build() const {
+  validate_messages();
+  return finish();
+}
+
+Deposet DeposetBuilder::build_extended() const {
+  validate_edge_shape();
+  return finish();
 }
 
 Deposet DeposetBuilder::build_with_clocks(ClockMatrix clocks) const {

@@ -61,6 +61,16 @@ class DeposetBuilder {
   /// Throws std::invalid_argument describing the first violation found.
   Deposet build() const;
 
+  /// Like build(), but for deposets whose edges are *dependencies* rather
+  /// than messages: slice constraint edges (src/slice/) and other synthetic
+  /// orderings. Such edges carry no send/receive events, so -- exactly as
+  /// control edges in control/controlled_deposet.hpp -- the D1-D3 role
+  /// discipline does not apply and only range validity, cross-process-ness,
+  /// and acyclicity are enforced. The result is a first-class Deposet
+  /// (detectable, controllable, saveable); its messages() span simply mixes
+  /// real messages with synthetic dependencies.
+  Deposet build_extended() const;
+
   /// Like build(), but adopts `clocks` as the deposet's causal knowledge
   /// instead of recomputing it -- the online -> offline handoff. The matrix
   /// must have this builder's shape (one row per state) and hold exactly
@@ -88,6 +98,10 @@ class DeposetBuilder {
  private:
   /// The D1-D3 role validation shared by build() and build_with_clocks().
   void validate_messages() const;
+  /// The range/cross-process subset of the checks, for build_extended().
+  void validate_edge_shape() const;
+  /// Clock computation + acyclicity check + freeze, shared by build paths.
+  Deposet finish() const;
 
   std::vector<int32_t> lengths_;
   std::vector<MessageEdge> messages_;
