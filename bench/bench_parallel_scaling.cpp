@@ -1,24 +1,46 @@
 // Scaling of the parallel engine (src/parallel/) across the parallelized
 // hot paths: vector-clock computation, false-interval extraction, WCP
-// detection, and offline disjunctive control synthesis.
+// detection, and offline disjunctive control synthesis -- plus a
+// conservative-vs-optimistic engine comparison on the clock build.
 //
-// Each case sweeps the engine width over 1/2/4/8 threads (the same sweep
-// tests/test_parallel.cpp uses for its determinism suites). Two counters
-// are exported per run:
+// Each case sweeps the engine width over 1/2/4/8/16 threads (the same
+// sweep tests/test_parallel.cpp uses for its determinism suites, plus a
+// 16-wide oversubscription point). Counters exported per run:
 //
-//   threads            the engine width of this run (also in the JSON root
-//                      when set globally via --threads)
-//   speedup_vs_serial  mean 1-thread iteration time of the same case,
-//                      measured in-process by the threads=1 run (which the
-//                      sweep order guarantees happens first), divided by
-//                      this run's mean iteration time
+//   threads             the engine width of this run (also in the JSON root
+//                       when set globally via --threads)
+//   speedup_vs_serial   mean 1-thread iteration time of the same case,
+//                       measured in-process by the threads=1 run (which the
+//                       sweep order guarantees happens first), divided by
+//                       this run's mean iteration time
+//   parallel_efficiency speedup_vs_serial / threads -- 1.0 is perfect
+//                       scaling, and the 16-thread point shows how far the
+//                       oversubscribed pool falls off the ideal line
 //
-// On a single-core machine every ratio degrades toward 1 (the pool's
-// condvar workers timeshare instead of spinning, so oversubscription only
-// costs scheduling overhead); on real multicore hardware the 4-thread
-// large-workload cases are expected to clear 2x.
+// The BM_Engine_Clocks_* cases run the clock build under BOTH execution
+// engines (parallel/dag_scheduler.hpp) on a sparse and a dense cross-edge
+// trace, and export the optimistic engine's accounting from
+// ClockComputation::sched:
+//
+//   engine              0 = conservative, 1 = optimistic (also the family
+//                       suffix in speedup baselines)
+//   speculative_events  mean executions begun before all inputs were final
+//   rollbacks           mean straggler re-executions at the commit horizon
+//   rollback_depth      max consecutive-straggler cascade observed
+//   gvt_lag             max executed-but-uncommitted backlog observed
+//   committed_per_sec   segments committed per wall second
+//
+// Dense cross-edge traces fragment the chains into many small segments
+// with many inter-process dependencies -- the optimistic engine speculates
+// (and rolls back) far more there than on sparse traces, which is the
+// trade the comparison exists to expose. On a single-core machine every
+// speedup ratio degrades toward 1 (the pool's condvar workers timeshare
+// instead of spinning, so oversubscription only costs scheduling
+// overhead); on real multicore hardware the 4-thread large-workload cases
+// are expected to clear 2x.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <string>
@@ -66,8 +88,11 @@ void run_case(benchmark::State& state, const std::string& family, Fn&& op) {
   if (threads == 1) baselines()[family] = avg;
   state.counters["threads"] = static_cast<double>(threads);
   const auto it = baselines().find(family);
-  if (it != baselines().end() && avg > 0)
-    state.counters["speedup_vs_serial"] = it->second / avg;
+  if (it != baselines().end() && avg > 0) {
+    const double speedup = it->second / avg;
+    state.counters["speedup_vs_serial"] = speedup;
+    state.counters["parallel_efficiency"] = speedup / static_cast<double>(threads);
+  }
 }
 
 // Large shared workload: 16 processes x ~8000 events (~128k states), well
@@ -147,12 +172,111 @@ void BM_Parallel_Synthesis(benchmark::State& state) {
   });
 }
 
+// Engine-comparison traces. Cross-edge density is the lever that separates
+// the engines: sparse traces leave long chains (little to speculate past),
+// dense traces fragment them into short interdependent segments where the
+// optimistic engine executes far ahead of the commit horizon.
+const Deposet& sparse_trace() {
+  static const Deposet d = [] {
+    Rng rng(45);
+    RandomTraceOptions opt;
+    opt.num_processes = 8;
+    opt.events_per_process = 3000;
+    opt.send_probability = 0.03;
+    return random_deposet(opt, rng);
+  }();
+  return d;
+}
+
+const Deposet& dense_trace() {
+  static const Deposet d = [] {
+    Rng rng(46);
+    RandomTraceOptions opt;
+    opt.num_processes = 8;
+    opt.events_per_process = 3000;
+    opt.send_probability = 0.4;
+    return random_deposet(opt, rng);
+  }();
+  return d;
+}
+
+// Clock build under an explicit engine, exporting the scheduler accounting
+// from ClockComputation::sched. Speedup baselines are kept per (family,
+// engine): each engine's 1-thread run is its own serial reference.
+void run_engine_case(benchmark::State& state, const std::string& family,
+                     const Deposet& d) {
+  const auto threads = static_cast<int32_t>(state.range(0));
+  const parallel::Engine eng = state.range(1) == 1 ? parallel::Engine::kOptimistic
+                                                   : parallel::Engine::kConservative;
+  const parallel::Engine prev = parallel::engine();
+  parallel::set_engine(eng);
+  parallel::set_thread_count(threads);
+
+  double elapsed_ns = 0;
+  int64_t iters = 0;
+  int64_t speculative = 0;
+  int64_t rollbacks = 0;
+  int64_t committed = 0;
+  int64_t max_depth = 0;
+  int64_t max_lag = 0;
+  for (auto _ : state) {
+    const double t0 = now_ns();
+    ClockComputation c = compute_state_clocks(d.lengths(), d.messages());
+    elapsed_ns += now_ns() - t0;
+    benchmark::DoNotOptimize(c);
+    speculative += c.sched.speculative_events;
+    rollbacks += c.sched.rollbacks;
+    committed += c.sched.committed;
+    max_depth = std::max(max_depth, c.sched.max_rollback_depth);
+    max_lag = std::max(max_lag, c.sched.max_gvt_lag);
+    ++iters;
+  }
+  parallel::set_thread_count(1);
+  parallel::set_engine(prev);
+
+  const std::string fam = family + "/" + parallel::engine_name(eng);
+  const double avg = iters > 0 ? elapsed_ns / static_cast<double>(iters) : 0.0;
+  if (threads == 1) baselines()[fam] = avg;
+  const double di = iters > 0 ? static_cast<double>(iters) : 1.0;
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["engine"] = eng == parallel::Engine::kOptimistic ? 1.0 : 0.0;
+  state.counters["speculative_events"] = static_cast<double>(speculative) / di;
+  state.counters["rollbacks"] = static_cast<double>(rollbacks) / di;
+  state.counters["rollback_depth"] = static_cast<double>(max_depth);
+  state.counters["gvt_lag"] = static_cast<double>(max_lag);
+  if (elapsed_ns > 0)
+    state.counters["committed_per_sec"] =
+        static_cast<double>(committed) / (elapsed_ns * 1e-9);
+  const auto it = baselines().find(fam);
+  if (it != baselines().end() && avg > 0) {
+    const double speedup = it->second / avg;
+    state.counters["speedup_vs_serial"] = speedup;
+    state.counters["parallel_efficiency"] = speedup / static_cast<double>(threads);
+  }
+}
+
+void BM_Engine_Clocks_Sparse(benchmark::State& state) {
+  run_engine_case(state, "engine_clocks_sparse", sparse_trace());
+}
+
+void BM_Engine_Clocks_Dense(benchmark::State& state) {
+  run_engine_case(state, "engine_clocks_dense", dense_trace());
+}
+
 }  // namespace
 
-BENCHMARK(BM_Parallel_Clocks)->ArgsProduct({{1, 2, 4, 8}})->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Parallel_Intervals)->ArgsProduct({{1, 2, 4, 8}})->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Parallel_Detection)->ArgsProduct({{1, 2, 4, 8}})->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Parallel_Synthesis)->ArgsProduct({{1, 2, 4, 8}})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Parallel_Clocks)->ArgsProduct({{1, 2, 4, 8, 16}})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Parallel_Intervals)->ArgsProduct({{1, 2, 4, 8, 16}})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Parallel_Detection)->ArgsProduct({{1, 2, 4, 8, 16}})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Parallel_Synthesis)->ArgsProduct({{1, 2, 4, 8, 16}})->Unit(benchmark::kMillisecond);
+// Second arg: 0 = conservative, 1 = optimistic. Threads vary slowest, so
+// each engine's 1-thread baseline lands before its wider runs read it.
+BENCHMARK(BM_Engine_Clocks_Sparse)
+    ->ArgsProduct({{1, 2, 4, 8, 16}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Engine_Clocks_Dense)
+    ->ArgsProduct({{1, 2, 4, 8, 16}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
 
 #include "bench_common.hpp"
 PREDCTRL_BENCH_MAIN();

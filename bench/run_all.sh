@@ -14,14 +14,17 @@
 # show as trends between consecutive committed snapshots. Commit the new
 # snapshot dir plus HISTORY/LATEST to refresh the baseline.
 #
-#   bench/run_all.sh [build-dir] [--smoke] [--gate] [--threads=N]
+#   bench/run_all.sh [build-dir] [--smoke] [--gate] [--threads=N] [--engine=NAME]
 #
 # Workload seeds are compiled into each bench (every case constructs its
 # traces from fixed Rng seeds), so runs are reproducible up to machine
 # speed; --threads pins the pool width (default 4) so parallel cases are
-# comparable across hosts. --smoke forwards the harness's single-iteration
-# mode for a fast sanity pass; smoke results go to a scratch dir and never
-# touch HISTORY/LATEST -- do NOT commit a smoke baseline.
+# comparable across hosts, and --engine pins the execution engine
+# (conservative|optimistic, default conservative) for every binary --
+# recorded in each JSON root, so a snapshot is always single-engine.
+# --smoke forwards the harness's single-iteration mode for a fast sanity
+# pass; smoke results go to a scratch dir and never touch HISTORY/LATEST --
+# do NOT commit a smoke baseline.
 #
 # --gate is the CI perf gate: FULL workloads (no --smoke), each fresh JSON
 # checked against the committed LATEST snapshot with check_bench_json
@@ -37,16 +40,22 @@ BUILD_DIR=build
 SMOKE=""
 GATE=""
 THREADS=4
+ENGINE=conservative
 KEEP=5
 for arg in "$@"; do
   case "$arg" in
     --smoke) SMOKE="--smoke" ;;
     --gate) GATE=1 ;;
     --threads=*) THREADS="${arg#--threads=}" ;;
-    -*) echo "usage: bench/run_all.sh [build-dir] [--smoke] [--gate] [--threads=N]" >&2; exit 2 ;;
+    --engine=*) ENGINE="${arg#--engine=}" ;;
+    -*) echo "usage: bench/run_all.sh [build-dir] [--smoke] [--gate] [--threads=N] [--engine=NAME]" >&2; exit 2 ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
+case "$ENGINE" in
+  conservative|optimistic) ;;
+  *) echo "run_all.sh: bad --engine value '$ENGINE' (want conservative|optimistic)" >&2; exit 2 ;;
+esac
 if [ -n "$SMOKE" ] && [ -n "$GATE" ]; then
   echo "run_all.sh: --smoke and --gate are mutually exclusive (the gate needs full workloads)" >&2
   exit 2
@@ -78,8 +87,8 @@ for bin in "$BENCH_DIR"/bench_*; do
   [ -x "$bin" ] || continue
   name=$(basename "$bin")
   json="$OUT_DIR/BENCH_$name.json"
-  echo "== $name (threads=$THREADS${SMOKE:+, smoke}) =="
-  if ! "$bin" $SMOKE "--threads=$THREADS" "--bench-out=$json"; then
+  echo "== $name (threads=$THREADS, engine=$ENGINE${SMOKE:+, smoke}) =="
+  if ! "$bin" $SMOKE "--threads=$THREADS" "--engine=$ENGINE" "--bench-out=$json"; then
     echo "run_all.sh: $name FAILED" >&2
     status=1
     continue

@@ -26,6 +26,12 @@
 //                       default 1 (serial). Results are identical at any N --
 //                       the parallel hot paths are deterministic by
 //                       construction.
+//   --engine=NAME       execution engine for DAG-shaped parallel work
+//                       (parallel/dag_scheduler.hpp): conservative (default)
+//                       or optimistic. Overrides the PREDCTRL_ENGINE
+//                       environment variable. Results are identical under
+//                       either engine -- optimistic speculation is rolled
+//                       back before it can surface.
 //   --fault-seed=N      seed of the fault plan's own Rng (fault/, default 1)
 //   --fault-drop=P      drop each control-plane message with probability P
 //   --fault-crash=A@T   crash agent A at virtual time T (quickstart's guarded
@@ -141,13 +147,14 @@ StepSemantics semantics_arg(const std::vector<std::string>& args, size_t index) 
 
 int usage() {
   std::cerr << "usage: predctl_tool [--trace-out=FILE] [--metrics-out=FILE] [--threads=N]\n"
+               "                    [--engine=conservative|optimistic]\n"
                "                    [--trace-points=SPEC] [--flight-out=FILE]\n"
                "                    feasible|detect|control|dot|races <deposet> "
                "[predicate] [realtime|simultaneous]\n"
                "       predctl_tool slice <deposet> <predicate> [--slice-out=FILE]\n"
                "       predctl_tool [--trace-out=FILE] [--metrics-out=FILE] [--threads=N]\n"
-               "                    [--fault-seed=N] [--fault-drop=P] [--fault-crash=A@T] "
-               "quickstart|flight\n"
+               "                    [--engine=NAME] [--fault-seed=N] [--fault-drop=P] "
+               "[--fault-crash=A@T] quickstart|flight\n"
                "       predctl_tool save-trace <deposet> [predicate] --out=FILE\n"
                "       predctl_tool save-trace --random=P,E[,SEED] --out=FILE\n"
                "       predctl_tool open-trace <trace-file> [stat|detect|races|control]\n";
@@ -467,6 +474,16 @@ int main(int argc, char** argv) {
         std::cerr << "predctl_tool: bad --threads value in '" << arg << "'\n";
         return 2;
       }
+    else if (arg.rfind("--engine=", 0) == 0) {
+      const std::string name = arg.substr(std::strlen("--engine="));
+      const std::optional<parallel::Engine> eng = parallel::parse_engine(name);
+      if (!eng) {
+        std::cerr << "predctl_tool: bad --engine value '" << name
+                  << "' (want conservative|optimistic)\n";
+        return 2;
+      }
+      parallel::set_engine(*eng);
+    }
     else if (arg.rfind("--fault-seed=", 0) == 0)
       try {
         fault_plan.seed = std::stoull(arg.substr(std::strlen("--fault-seed=")));

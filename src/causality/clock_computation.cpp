@@ -1,11 +1,12 @@
 #include "causality/clock_computation.hpp"
 
-#include <atomic>
 #include <cstddef>
+#include <cstring>
 #include <memory>
 #include <queue>
 
 #include "causality/edge_index.hpp"
+#include "parallel/dag_scheduler.hpp"
 #include "parallel/parallel.hpp"
 #include "util/check.hpp"
 
@@ -70,12 +71,24 @@ ClockComputation compute_state_clocks_serial(const std::vector<int32_t>& lengths
 }
 
 // Parallel engine: split every process chain into segments at cross-edge
-// targets, then schedule the segment DAG onto the pool. Each cross edge
-// targets a segment's *first* state, so "segment X depends on segment Y"
-// (Y holds a source state, or Y is X's chain predecessor) is exactly the
-// state-level precedence coarsened to segments -- acyclicity is preserved
-// in both directions, and each segment's slab rows are written by exactly
-// one task while only reading rows of completed segments.
+// targets, then submit the segment DAG through the execution-engine seam
+// (parallel/dag_scheduler.hpp). Each cross edge targets a segment's *first*
+// state, so "segment X depends on segment Y" (Y holds a source state, or Y
+// is X's chain predecessor) is exactly the state-level precedence coarsened
+// to segments -- acyclicity is preserved in both directions.
+//
+// The two engines get different bodies because their memory disciplines
+// differ:
+//
+//   * conservative: each segment pull-merges straight into the result slab
+//     -- every dependency has completed, so reads never race with writes,
+//     and staging would be a pure copy tax;
+//   * optimistic: a segment may run before its dependencies resolve, so it
+//     computes into a fresh block of its worker's StagedClockArena from
+//     whatever dependency blocks are published (an unpublished dependency
+//     contributes nothing -- the all-kNone seed), and the block is promoted
+//     into the slab only at commit, in virtual-time order against final
+//     inputs. Rolled-back blocks are simply abandoned in the arena.
 ClockComputation compute_state_clocks_parallel(const std::vector<int32_t>& lengths,
                                                std::span<const CausalEdge> edges,
                                                parallel::ThreadPool& pool) {
@@ -108,79 +121,103 @@ ClockComputation compute_state_clocks_parallel(const std::vector<int32_t>& lengt
       seg_of[clocks.flat_index({p, k})] = static_cast<int32_t>(segments.size()) - 1;
     }
   }
-  const size_t num_segments = segments.size();
+  const int32_t num_segments = static_cast<int32_t>(segments.size());
 
-  // Dependency edges over segments: chain successor + one per cross edge.
-  std::vector<std::vector<int32_t>> successors(num_segments);
-  std::unique_ptr<std::atomic<int32_t>[]> pending(new std::atomic<int32_t>[num_segments]);
-  for (size_t s = 0; s < num_segments; ++s) pending[s].store(0, std::memory_order_relaxed);
-  for (size_t s = 0; s + 1 < num_segments; ++s) {
-    if (segments[s].process != segments[s + 1].process) continue;
-    successors[s].push_back(static_cast<int32_t>(s) + 1);
-    pending[s + 1].fetch_add(1, std::memory_order_relaxed);
-  }
-  for (ProcessId p = 0; p < n; ++p) {
-    for (int32_t k = 0; k < lengths[static_cast<size_t>(p)]; ++k) {
-      const size_t state = clocks.flat_index({p, k});
-      for (const CausalEdge& e : csr.in_of_state({p, k})) {
-        const int32_t target_seg = seg_of[state];
-        successors[static_cast<size_t>(seg_of[clocks.flat_index(e.from)])].push_back(
-            target_seg);
-        pending[target_seg].fetch_add(1, std::memory_order_relaxed);
-      }
-    }
+  // The segment DAG. Edge insertion order fixes the deps order the
+  // optimistic body consumes: the chain predecessor first (iff the segment
+  // is not its process's first), then the cross edges into the segment's
+  // first state in CSR order -- all cross edges target first states by
+  // construction.
+  parallel::DagScheduler dag(num_segments);
+  for (int32_t s = 0; s + 1 < num_segments; ++s)
+    if (segments[static_cast<size_t>(s)].process ==
+        segments[static_cast<size_t>(s) + 1].process)
+      dag.add_edge(s, s + 1);
+  for (int32_t t = 0; t < num_segments; ++t) {
+    const Segment& seg = segments[static_cast<size_t>(t)];
+    for (const CausalEdge& e : csr.in_of_state({seg.process, seg.begin}))
+      dag.add_edge(seg_of[clocks.flat_index(e.from)], t);
   }
 
-  // Segment task: pull-merge each state from its chain predecessor and its
-  // cross-edge sources (all in segments that completed before this one was
-  // released, so reads never race with writes).
-  std::atomic<size_t> completed{0};
-  parallel::WaitGroup wg;
-  auto process_segment = [&](int32_t s) {
-    const Segment& seg = segments[static_cast<size_t>(s)];
-    for (int32_t k = seg.begin; k < seg.end; ++k) {
-      int32_t* row = clocks.mutable_row({seg.process, k});
-      if (k > 0) clock_row_merge(row, clocks.row_data({seg.process, k - 1}), n);
-      for (const CausalEdge& e : csr.in_of_state({seg.process, k}))
-        clock_row_merge(row, clocks.row_data(e.from), n);
-      row[seg.process] = k;
-    }
-  };
-  // Chain-collapsing runner: after a segment completes, run one newly
-  // released successor inline (long dependency chains become one task) and
-  // spawn the rest.
-  std::function<void(int32_t)> run_chain = [&](int32_t s) {
-    while (s >= 0) {
-      process_segment(s);
-      completed.fetch_add(1, std::memory_order_relaxed);
-      int32_t next = -1;
-      for (int32_t succ : successors[static_cast<size_t>(s)]) {
-        if (pending[succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          if (next < 0)
-            next = succ;
-          else
-            wg.spawn(pool, [&run_chain, succ] { run_chain(succ); });
+  parallel::DagRunStats stats;
+  if (parallel::engine() == parallel::Engine::kOptimistic) {
+    // Worker-local staged arenas; lane 0 belongs to the coordinator (the
+    // final horizon drain re-executes stragglers on the waiting thread).
+    // The alignas padding keeps one worker's bump pointer off its
+    // neighbors' cache lines.
+    struct alignas(64) ArenaLane {
+      StagedClockArena arena;
+    };
+    std::vector<ArenaLane> arenas(static_cast<size_t>(pool.size()) + 1);
+    for (ArenaLane& lane : arenas) lane.arena = StagedClockArena(n);
+
+    const parallel::DagScheduler::Body stage_segment =
+        [&](int32_t s, std::span<const parallel::DagScheduler::Payload> deps)
+        -> parallel::DagScheduler::Payload {
+      const Segment& seg = segments[static_cast<size_t>(s)];
+      StagedClockArena& arena =
+          arenas[static_cast<size_t>(parallel::worker_index() + 1)].arena;
+      int32_t* staged = arena.stage_rows(seg.end - seg.begin);
+      size_t d = 0;  // cursor over deps, in add_edge order (see above)
+      if (seg.begin > 0) {
+        // Chain predecessor (segment s - 1): its block's last row seeds
+        // this segment's first. Unpublished means "nothing received yet".
+        const auto* pred_block = static_cast<const int32_t*>(deps[d++]);
+        if (pred_block != nullptr) {
+          const Segment& pred = segments[static_cast<size_t>(s) - 1];
+          clock_row_merge(staged, pred_block + (pred.end - pred.begin - 1) * n, n);
         }
       }
-      s = next;
-    }
-  };
+      for (const CausalEdge& e : csr.in_of_state({seg.process, seg.begin})) {
+        const auto* src_block = static_cast<const int32_t*>(deps[d++]);
+        if (src_block != nullptr) {
+          const Segment& src =
+              segments[static_cast<size_t>(seg_of[clocks.flat_index(e.from)])];
+          clock_row_merge(staged, src_block + (e.from.index - src.begin) * n, n);
+        }
+      }
+      staged[seg.process] = seg.begin;
+      // Interior states have no in-edges (segments split at cross-edge
+      // targets): each row is its predecessor row plus the own component.
+      for (int32_t k = seg.begin + 1; k < seg.end; ++k) {
+        int32_t* row = staged + static_cast<size_t>(k - seg.begin) * static_cast<size_t>(n);
+        clock_row_merge(row, row - n, n);
+        row[seg.process] = k;
+      }
+      return staged;
+    };
+    const parallel::DagScheduler::Commit promote =
+        [&](int32_t s, parallel::DagScheduler::Payload payload) {
+      const Segment& seg = segments[static_cast<size_t>(s)];
+      std::memcpy(clocks.mutable_row({seg.process, seg.begin}), payload,
+                  static_cast<size_t>(seg.end - seg.begin) * static_cast<size_t>(n) *
+                      sizeof(int32_t));
+    };
+    stats = dag.run(&pool, parallel::Engine::kOptimistic, stage_segment, promote);
+  } else {
+    const parallel::DagScheduler::Body process_segment =
+        [&](int32_t s, std::span<const parallel::DagScheduler::Payload>)
+        -> parallel::DagScheduler::Payload {
+      // Pull-merge each state from its chain predecessor and its cross-edge
+      // sources, straight into the slab: every dependency segment completed
+      // before this one was released, so reads never race with writes.
+      const Segment& seg = segments[static_cast<size_t>(s)];
+      for (int32_t k = seg.begin; k < seg.end; ++k) {
+        int32_t* row = clocks.mutable_row({seg.process, k});
+        if (k > 0) clock_row_merge(row, clocks.row_data({seg.process, k - 1}), n);
+        for (const CausalEdge& e : csr.in_of_state({seg.process, k}))
+          clock_row_merge(row, clocks.row_data(e.from), n);
+        row[seg.process] = k;
+      }
+      return nullptr;
+    };
+    stats = dag.run(&pool, parallel::Engine::kConservative, process_segment);
+  }
 
-  // Snapshot the roots BEFORE spawning anything: once a root task runs it
-  // drains its successors' pending counts concurrently with this loop, and
-  // reading a freshly-drained zero here would double-run that segment.
-  std::vector<int32_t> roots;
-  for (size_t s = 0; s < num_segments; ++s)
-    if (pending[s].load(std::memory_order_relaxed) == 0)
-      roots.push_back(static_cast<int32_t>(s));
-  for (const int32_t seg : roots)
-    wg.spawn(pool, [&run_chain, seg] { run_chain(seg); });
-  wg.wait();
-
-  // A cycle leaves its segments with positive pending counts forever: they
-  // never ran, so the completion count falls short -- same verdict as the
-  // serial engine's Kahn check.
-  result.acyclic = (completed.load(std::memory_order_relaxed) == num_segments);
+  // A cycle stops either engine short of num_segments commits -- same
+  // verdict as the serial engine's Kahn check.
+  result.sched = stats;
+  result.acyclic = stats.complete;
   if (!result.acyclic) result.clocks.clear();
   return result;
 }

@@ -12,12 +12,17 @@
 //   * serial: Kahn's algorithm over the state graph, pushing merges to
 //     successors as states complete;
 //   * parallel: the chains are split into *segments* at every cross-edge
-//     target, the segment DAG is scheduled onto the shared thread pool
-//     (parallel/), and each segment pulls merges from its completed
-//     predecessors. Segment-level acyclicity is equivalent to state-level
-//     acyclicity (every cross edge targets a segment's first state, and a
-//     segment's first state precedes all of its states), so the cyclicity
-//     verdict is identical too.
+//     target and the segment DAG is submitted through the execution-engine
+//     seam (parallel/dag_scheduler.hpp), under whichever engine
+//     parallel::engine() selects. The conservative engine has each segment
+//     pull merges from completed predecessors straight into the slab; the
+//     optimistic engine computes segments speculatively into worker-local
+//     staged arenas (causality/clock_matrix.hpp StagedClockArena) and
+//     promotes blocks into the slab at commit, in virtual-time order.
+//     Segment-level acyclicity is equivalent to state-level acyclicity
+//     (every cross edge targets a segment's first state, and a segment's
+//     first state precedes all of its states), so the cyclicity verdict is
+//     identical under every engine.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +33,7 @@
 #include "causality/clock_matrix.hpp"
 #include "causality/ids.hpp"
 #include "causality/vector_clock.hpp"
+#include "parallel/dag_scheduler.hpp"
 
 namespace predctrl {
 
@@ -58,6 +64,13 @@ struct ClockComputation {
   /// see causality/clock_matrix.hpp. Present iff acyclic. Both engines
   /// write rows of this matrix in place; no per-state allocation happens.
   ClockMatrix clocks;
+
+  /// Scheduler accounting of the parallel run (all zero when the serial
+  /// engine ran): speculation and rollback counts under the optimistic
+  /// engine, plain execution counts under the conservative one. Benches
+  /// read this to report speculative_events / rollbacks / gvt_lag; the
+  /// numbers are timing-dependent, the clocks never are.
+  parallel::DagRunStats sched;
 };
 
 /// Computes the clock of every state under the transitive closure of

@@ -18,7 +18,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <memory>
+#include <new>
 #include <ostream>
 #include <span>
 #include <vector>
@@ -257,6 +259,95 @@ inline void clock_row_merge(int32_t* dst, const int32_t* src, int32_t width) {
     if (src[i] > dst[i]) dst[i] = src[i];
 }
 
+/// 64-byte-aligned int32 buffer for chunked row arenas: aligning every chunk
+/// to a cache-line boundary keeps per-worker (and per-process) arenas from
+/// false-sharing a line across an allocation boundary. NOTE: unlike
+/// std::make_unique<int32_t[]>, the raw aligned allocation is NOT
+/// zero-initialized -- every consumer below fully writes a row before any
+/// read of it.
+struct AlignedIntDelete {
+  void operator()(int32_t* p) const noexcept {
+    ::operator delete[](static_cast<void*>(p), std::align_val_t{64});
+  }
+};
+using AlignedIntBuffer = std::unique_ptr<int32_t[], AlignedIntDelete>;
+inline AlignedIntBuffer aligned_int_buffer(size_t ints) {
+  return AlignedIntBuffer(static_cast<int32_t*>(
+      ::operator new[](ints * sizeof(int32_t), std::align_val_t{64})));
+}
+
+/// Worker-local staging arena for speculative clock rows -- the optimistic
+/// engine's rollback-aware memory (parallel/dag_scheduler.hpp).
+///
+/// stage_rows(count) hands out a FRESH kNone-filled block of `count` rows;
+/// the worker fills it and publishes the block pointer as its payload.
+/// Promotion into the canonical ClockMatrix happens at commit (one memcpy
+/// of the block); a rollback simply abandons the block. Nothing is freed
+/// until the arena dies, so a superseded speculative block stays readable
+/// while concurrent stragglers may still be consuming it -- the same
+/// no-reclamation-before-quiescence rule the scheduler's published records
+/// follow.
+///
+/// Arenas are strictly worker-local (indexed by parallel::worker_index()):
+/// chunks are allocated -- hence first-touched -- on the owning worker's
+/// thread, so on a NUMA machine speculative rows land in that worker's
+/// local node, and the 64-byte chunk alignment keeps neighboring workers'
+/// arenas off each other's cache lines.
+class StagedClockArena {
+ public:
+  StagedClockArena() = default;
+  explicit StagedClockArena(int32_t width) : width_(width) {
+    PREDCTRL_CHECK(width >= 1, "staged clock arena needs a positive width");
+  }
+
+  StagedClockArena(StagedClockArena&&) = default;
+  StagedClockArena& operator=(StagedClockArena&&) = default;
+  StagedClockArena(const StagedClockArena&) = delete;
+  StagedClockArena& operator=(const StagedClockArena&) = delete;
+
+  int32_t width() const { return width_; }
+  /// Rows handed out so far (committed + rolled back + in flight).
+  int64_t staged_rows() const { return staged_; }
+  /// Bytes currently reserved by the arena's chunks.
+  int64_t reserved_bytes() const {
+    return static_cast<int64_t>(reserved_ints_ * sizeof(int32_t));
+  }
+
+  /// A fresh block of `rows` rows (rows * width int32 components, rows
+  /// consecutive), every component VectorClock::kNone. The block is stable
+  /// for the arena's lifetime and never reused.
+  int32_t* stage_rows(int32_t rows) {
+    PREDCTRL_CHECK(rows >= 1, "staging zero clock rows");
+    const size_t ints = static_cast<size_t>(rows) * static_cast<size_t>(width_);
+    if (ints > left_) grow(ints);
+    int32_t* block = cur_;
+    cur_ += ints;
+    left_ -= ints;
+    std::fill(block, block + ints, VectorClock::kNone);
+    staged_ += rows;
+    return block;
+  }
+
+ private:
+  /// New chunks amortize allocation without over-reserving tiny runs.
+  static constexpr size_t kMinChunkInts = size_t{1} << 14;  // 64 KiB
+
+  void grow(size_t ints) {
+    const size_t chunk_ints = std::max(ints, kMinChunkInts);
+    chunks_.push_back(aligned_int_buffer(chunk_ints));
+    cur_ = chunks_.back().get();
+    left_ = chunk_ints;
+    reserved_ints_ += chunk_ints;
+  }
+
+  int32_t width_ = 0;
+  std::vector<AlignedIntBuffer> chunks_;
+  int32_t* cur_ = nullptr;  // bump pointer into the newest chunk
+  size_t left_ = 0;         // ints remaining in the newest chunk
+  size_t reserved_ints_ = 0;
+  int64_t staged_ = 0;
+};
+
 /// Appendable causal-knowledge slab for computations that grow state by
 /// state: the online half of the memory-layout migration.
 ///
@@ -301,8 +392,11 @@ class AppendableClockMatrix {
     for (size_t p = 0; p < other.chunks_.size(); ++p) {
       chunks_[p].reserve(other.chunks_[p].size());
       for (const auto& chunk : other.chunks_[p]) {
-        chunks_[p].push_back(std::make_unique<int32_t[]>(chunk_ints));
-        std::copy(chunk.get(), chunk.get() + chunk_ints, chunks_[p].back().get());
+        chunks_[p].push_back(aligned_int_buffer(chunk_ints));
+        // memcpy, not element copy: the tail of a partially filled chunk is
+        // uninitialized (aligned chunks are raw storage), and byte copies
+        // of indeterminate storage are well-defined where reads are not.
+        std::memcpy(chunks_[p].back().get(), chunk.get(), chunk_ints * sizeof(int32_t));
       }
     }
   }
@@ -412,8 +506,8 @@ class AppendableClockMatrix {
     auto& chunks = chunks_[static_cast<size_t>(p)];
     const int32_t k = lengths_[static_cast<size_t>(p)];
     if (k == static_cast<int32_t>(chunks.size()) * rows_per_chunk_)
-      chunks.push_back(std::make_unique<int32_t[]>(
-          static_cast<size_t>(rows_per_chunk_) * static_cast<size_t>(n_)));
+      chunks.push_back(aligned_int_buffer(static_cast<size_t>(rows_per_chunk_) *
+                                          static_cast<size_t>(n_)));
     return chunk_row_mutable(p, k);
   }
 
@@ -428,9 +522,11 @@ class AppendableClockMatrix {
 
   int32_t n_ = 0;
   int32_t rows_per_chunk_ = kDefaultRowsPerChunk;
-  /// chunks_[p] is process p's arena: fixed-capacity chunks of
-  /// rows_per_chunk_ rows, addresses stable across appends.
-  std::vector<std::vector<std::unique_ptr<int32_t[]>>> chunks_;
+  /// chunks_[p] is process p's arena: fixed-capacity 64-byte-aligned chunks
+  /// of rows_per_chunk_ rows, addresses stable across appends. Alignment
+  /// keeps adjacent processes' chunks off shared cache lines (the online
+  /// detector appends per-process rows from interleaved deliveries).
+  std::vector<std::vector<AlignedIntBuffer>> chunks_;
   std::vector<int32_t> lengths_;
 };
 

@@ -1,0 +1,450 @@
+#include "parallel/dag_scheduler.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace predctrl::parallel {
+
+namespace {
+
+// Bounded patience before speculating past an unpublished dependency: a few
+// yields give an in-flight dependency a chance to publish first, which cuts
+// rollbacks drastically when the straggler is only microseconds behind --
+// the cheap end of Time Warp's "throttled optimism" spectrum. Past this,
+// the worker proceeds with whatever is published (possibly nothing).
+constexpr int kSpeculationPatience = 4;
+
+}  // namespace
+
+DagScheduler::DagScheduler(int32_t num_nodes)
+    : num_nodes_(num_nodes),
+      succs_(static_cast<size_t>(num_nodes)),
+      deps_(static_cast<size_t>(num_nodes)) {
+  PREDCTRL_CHECK(num_nodes >= 0, "negative DAG node count");
+}
+
+void DagScheduler::add_edge(int32_t from, int32_t to) {
+  PREDCTRL_CHECK(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_,
+                 "DAG edge endpoint out of range");
+  PREDCTRL_CHECK(from != to, "DAG self-edge");
+  succs_[static_cast<size_t>(from)].push_back(to);
+  deps_[static_cast<size_t>(to)].push_back(from);
+}
+
+// The run's shared state, heap-allocated so worker tasks outlive the launch
+// statement safely; freed when the Launch is destroyed (after wait()).
+struct DagScheduler::Launch::State {
+  DagScheduler* dag = nullptr;
+  ThreadPool* pool = nullptr;
+  Engine eng = Engine::kConservative;
+  Body body;      // copies: the run may outlive the caller's locals, but
+  Commit commit;  // captured references must stay valid until wait()
+  bool has_commit = false;
+
+  WaitGroup wg;
+  bool waited = false;
+  bool inline_done = false;  // nullptr-pool path ran at launch()
+  DagRunStats inline_stats;
+
+  // ---- conservative engine (extracted chain-collapsing scheduler) ----
+  std::unique_ptr<std::atomic<int32_t>[]> pending;
+  std::vector<Payload> payloads;  // written before the successor release
+  std::atomic<int64_t> completed{0};
+  std::function<void(int32_t)> run_chain;
+
+  // ---- optimistic (Time Warp) engine ----
+  // One Published record per body execution; records are immutable once
+  // stored (re-execution publishes a FRESH record), so a pointer doubles
+  // as a version stamp: a reader that saw record P of node d read exactly
+  // the rows P carries, and P != final-record-of-d means the read is stale.
+  struct Published {
+    Payload payload = nullptr;
+    std::unique_ptr<const Published*[]> stamps;  // dep records read, add_edge order
+    int32_t version = 1;  // execution attempt for this node (rollbacks bump it)
+  };
+  struct alignas(64) Slot {
+    std::atomic<const Published*> pub{nullptr};
+  };
+  // Records are owned by per-thread lanes (worker_index() + 1; the
+  // coordinator is lane 0) so allocation never contends and nothing is
+  // freed until the whole run ends -- a stale record must stay readable
+  // while any straggler still holds it as a stamp.
+  struct alignas(64) OwnedLane {
+    std::vector<std::unique_ptr<Published>> records;
+  };
+  std::vector<int32_t> vt_order;  // virtual time -> node (fixed topological order)
+  std::vector<int32_t> vt_rank;   // node -> virtual time
+  std::unique_ptr<Slot[]> slots;
+  std::vector<OwnedLane> lanes;
+  std::atomic<int64_t> next{0};       // claim cursor over vt_order
+  std::atomic<int64_t> executed{0};   // body invocations (incl. re-executions)
+  std::atomic<int64_t> speculative{0};
+  std::atomic<int64_t> committed{0};  // mirror of horizon for lock-free reads
+  std::mutex commit_mu;
+  // Guarded by commit_mu:
+  int64_t horizon = 0;  // GVT analogue: vt_order[0, horizon) is final
+  int64_t rollbacks = 0;
+  int64_t cascade = 0;      // current consecutive-straggler run
+  int64_t max_cascade = 0;
+  int64_t max_gvt_lag = 0;
+  std::vector<int64_t> cascade_depths;  // finished cascades, for the histogram
+  bool cyclic = false;
+
+  std::mutex err_mu;
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
+
+  void note_error(std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (!error) error = std::move(e);
+    }
+    failed.store(true, std::memory_order_release);
+  }
+
+  OwnedLane& my_lane() {
+    return lanes[static_cast<size_t>(worker_index() + 1)];
+  }
+
+  void execute_speculative(int32_t node);
+  void try_commit(bool block);
+  void optimistic_worker();
+};
+
+void DagScheduler::Launch::State::execute_speculative(int32_t node) {
+  const std::vector<int32_t>& dl = dag->deps_[static_cast<size_t>(node)];
+  const size_t ndeps = dl.size();
+
+  for (int spin = 0; spin < kSpeculationPatience && ndeps > 0; ++spin) {
+    bool all = true;
+    for (int32_t d : dl)
+      if (slots[static_cast<size_t>(d)].pub.load(std::memory_order_acquire) == nullptr) {
+        all = false;
+        break;
+      }
+    if (all) break;
+    std::this_thread::yield();
+  }
+
+  auto rec = std::make_unique<Published>();
+  if (ndeps > 0) rec->stamps = std::make_unique<const Published*[]>(ndeps);
+  thread_local std::vector<Payload> dep_payloads;
+  dep_payloads.resize(ndeps);
+  // Everything below the horizon is final; reading anything newer (or
+  // nothing at all) makes this execution speculative.
+  const int64_t final_below = committed.load(std::memory_order_acquire);
+  bool spec = false;
+  for (size_t j = 0; j < ndeps; ++j) {
+    const int32_t d = dl[j];
+    const Published* p = slots[static_cast<size_t>(d)].pub.load(std::memory_order_acquire);
+    rec->stamps[j] = p;
+    dep_payloads[j] = p != nullptr ? p->payload : nullptr;
+    if (p == nullptr || vt_rank[static_cast<size_t>(d)] >= final_below) spec = true;
+  }
+  rec->payload = body(node, std::span<const Payload>(dep_payloads.data(), ndeps));
+  const Published* raw = rec.get();
+  my_lane().records.push_back(std::move(rec));
+  slots[static_cast<size_t>(node)].pub.store(raw, std::memory_order_release);
+  executed.fetch_add(1, std::memory_order_relaxed);
+  if (spec) speculative.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DagScheduler::Launch::State::try_commit(bool block) {
+  if (block) {
+    commit_mu.lock();
+  } else if (!commit_mu.try_lock()) {
+    return;  // someone else is advancing the horizon
+  }
+  const int64_t n = static_cast<int64_t>(vt_order.size());
+  try {
+    while (horizon < n && !failed.load(std::memory_order_acquire)) {
+      const int32_t node = vt_order[static_cast<size_t>(horizon)];
+      const Published* rec =
+          slots[static_cast<size_t>(node)].pub.load(std::memory_order_acquire);
+      if (rec == nullptr) break;  // not executed yet: the horizon waits
+      const std::vector<int32_t>& dl = dag->deps_[static_cast<size_t>(node)];
+      bool stale = false;
+      for (size_t j = 0; j < dl.size(); ++j)
+        if (rec->stamps[j] !=
+            slots[static_cast<size_t>(dl[j])].pub.load(std::memory_order_acquire)) {
+          stale = true;
+          break;
+        }
+      if (stale) {
+        // Straggler: the speculative output read rows that were since
+        // republished. Discard it and re-execute against the final inputs
+        // -- every dependency is below the horizon, so its record is
+        // frozen and the redo is exactly the serial value.
+        const std::vector<int32_t>& rdl = dl;
+        auto redo = std::make_unique<Published>();
+        redo->version = rec->version + 1;
+        if (!rdl.empty()) redo->stamps = std::make_unique<const Published*[]>(rdl.size());
+        thread_local std::vector<Payload> dep_payloads;
+        dep_payloads.resize(rdl.size());
+        for (size_t j = 0; j < rdl.size(); ++j) {
+          const Published* p =
+              slots[static_cast<size_t>(rdl[j])].pub.load(std::memory_order_acquire);
+          redo->stamps[j] = p;
+          dep_payloads[j] = p != nullptr ? p->payload : nullptr;
+        }
+        redo->payload =
+            body(node, std::span<const Payload>(dep_payloads.data(), rdl.size()));
+        const Published* raw = redo.get();
+        my_lane().records.push_back(std::move(redo));
+        slots[static_cast<size_t>(node)].pub.store(raw, std::memory_order_release);
+        executed.fetch_add(1, std::memory_order_relaxed);
+        ++rollbacks;
+        ++cascade;
+        if (cascade > max_cascade) max_cascade = cascade;
+        rec = raw;
+      } else if (cascade > 0) {
+        cascade_depths.push_back(cascade);
+        cascade = 0;
+      }
+      if (has_commit) commit(node, rec->payload);
+      ++horizon;
+      committed.store(horizon, std::memory_order_release);
+      const int64_t lag = executed.load(std::memory_order_relaxed) - horizon;
+      if (lag > max_gvt_lag) max_gvt_lag = lag;
+    }
+  } catch (...) {
+    note_error(std::current_exception());
+  }
+  commit_mu.unlock();
+}
+
+void DagScheduler::Launch::State::optimistic_worker() {
+  const int64_t n = static_cast<int64_t>(vt_order.size());
+  while (!failed.load(std::memory_order_acquire)) {
+    const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    try {
+      execute_speculative(vt_order[static_cast<size_t>(i)]);
+    } catch (...) {
+      note_error(std::current_exception());
+      return;
+    }
+    // Opportunistic horizon advance: whoever gets the lock commits the
+    // executed prefix; everyone else keeps claiming.
+    try_commit(false);
+  }
+}
+
+DagScheduler::Launch::Launch(std::unique_ptr<State> state) : state_(std::move(state)) {}
+DagScheduler::Launch::Launch(Launch&&) noexcept = default;
+DagScheduler::Launch& DagScheduler::Launch::operator=(Launch&&) noexcept = default;
+
+DagScheduler::Launch::~Launch() {
+  if (!state_ || state_->waited) return;
+  // Abandoned launch (caller unwound before wait()): stop the optimistic
+  // claim loop and join so no task outlives the state it references.
+  state_->failed.store(true, std::memory_order_release);
+  try {
+    state_->wg.wait();
+  } catch (...) {
+    // The caller is already unwinding; the body's exception is dropped.
+  }
+}
+
+namespace {
+
+// Kahn's algorithm with the output doubling as the FIFO; deterministic for
+// a fixed graph (roots in node order, successors in edge order). A result
+// shorter than the node count means the graph is cyclic.
+std::vector<int32_t> topological_order(const std::vector<std::vector<int32_t>>& deps,
+                                       const std::vector<std::vector<int32_t>>& succs) {
+  const size_t n = deps.size();
+  std::vector<int32_t> indegree(n);
+  for (size_t i = 0; i < n; ++i) indegree[i] = static_cast<int32_t>(deps[i].size());
+  std::vector<int32_t> order;
+  order.reserve(n);
+  for (size_t i = 0; i < n; ++i)
+    if (indegree[i] == 0) order.push_back(static_cast<int32_t>(i));
+  for (size_t q = 0; q < order.size(); ++q)
+    for (int32_t succ : succs[static_cast<size_t>(order[q])])
+      if (--indegree[static_cast<size_t>(succ)] == 0) order.push_back(succ);
+  return order;
+}
+
+}  // namespace
+
+DagScheduler::Launch DagScheduler::launch(ThreadPool* pool, const Body& body,
+                                          const Commit& commit) {
+  return launch(pool, engine(), body, commit);
+}
+
+DagScheduler::Launch DagScheduler::launch(ThreadPool* pool, Engine eng, const Body& body,
+                                          const Commit& commit) {
+  auto st = std::make_unique<Launch::State>();
+  st->dag = this;
+  st->pool = pool;
+  st->eng = eng;
+  st->body = body;
+  st->commit = commit;
+  st->has_commit = static_cast<bool>(commit);
+  const int32_t n = num_nodes_;
+  st->inline_stats.nodes = n;
+
+  if (n == 0) {
+    st->inline_done = true;
+    st->inline_stats.complete = true;
+    return Launch(std::move(st));
+  }
+
+  if (pool == nullptr) {
+    // Degenerate serial engine: run in virtual-time order inline. This is
+    // the schedule both parallel engines must reproduce byte for byte.
+    const std::vector<int32_t> order = topological_order(deps_, succs_);
+    std::vector<Payload> payloads(static_cast<size_t>(n), nullptr);
+    std::vector<Payload> dep_scratch;
+    for (int32_t node : order) {
+      const std::vector<int32_t>& dl = deps_[static_cast<size_t>(node)];
+      dep_scratch.resize(dl.size());
+      for (size_t j = 0; j < dl.size(); ++j)
+        dep_scratch[j] = payloads[static_cast<size_t>(dl[j])];
+      payloads[static_cast<size_t>(node)] =
+          body(node, std::span<const Payload>(dep_scratch.data(), dep_scratch.size()));
+      if (st->has_commit) commit(node, payloads[static_cast<size_t>(node)]);
+    }
+    st->inline_done = true;
+    st->inline_stats.executed = static_cast<int64_t>(order.size());
+    st->inline_stats.committed = static_cast<int64_t>(order.size());
+    st->inline_stats.complete = order.size() == static_cast<size_t>(n);
+    return Launch(std::move(st));
+  }
+
+  if (eng == Engine::kOptimistic) {
+    st->vt_order = topological_order(deps_, succs_);
+    if (st->vt_order.size() < static_cast<size_t>(n)) {
+      // Cycle: there is no virtual time to commit along; run nothing.
+      st->cyclic = true;
+      return Launch(std::move(st));
+    }
+    st->vt_rank.assign(static_cast<size_t>(n), 0);
+    for (size_t i = 0; i < st->vt_order.size(); ++i)
+      st->vt_rank[static_cast<size_t>(st->vt_order[i])] = static_cast<int32_t>(i);
+    st->slots = std::make_unique<Launch::State::Slot[]>(static_cast<size_t>(n));
+    st->lanes.resize(static_cast<size_t>(pool->size()) + 1);
+    Launch::State* state = st.get();
+    const int32_t workers = std::min<int32_t>(pool->size(), n);
+    for (int32_t w = 0; w < workers; ++w)
+      st->wg.spawn(*pool, [state] { state->optimistic_worker(); });
+    return Launch(std::move(st));
+  }
+
+  // Conservative: the chain-collapsing scheduler, verbatim from the clock
+  // engine it was extracted from -- atomic pending counts, inline first
+  // released successor, spawned rest, roots snapshotted before any spawn.
+  st->pending.reset(new std::atomic<int32_t>[static_cast<size_t>(n)]);
+  for (int32_t i = 0; i < n; ++i)
+    st->pending[static_cast<size_t>(i)].store(
+        static_cast<int32_t>(deps_[static_cast<size_t>(i)].size()),
+        std::memory_order_relaxed);
+  st->payloads.assign(static_cast<size_t>(n), nullptr);
+  Launch::State* state = st.get();
+  st->run_chain = [state](int32_t s) {
+    DagScheduler* dag = state->dag;
+    thread_local std::vector<Payload> dep_scratch;
+    while (s >= 0) {
+      const std::vector<int32_t>& dl = dag->deps_[static_cast<size_t>(s)];
+      dep_scratch.resize(dl.size());
+      for (size_t j = 0; j < dl.size(); ++j)
+        dep_scratch[j] = state->payloads[static_cast<size_t>(dl[j])];
+      state->payloads[static_cast<size_t>(s)] = state->body(
+          s, std::span<const Payload>(dep_scratch.data(), dep_scratch.size()));
+      if (state->has_commit)
+        state->commit(s, state->payloads[static_cast<size_t>(s)]);
+      state->completed.fetch_add(1, std::memory_order_relaxed);
+      int32_t next_node = -1;
+      for (int32_t succ : dag->succs_[static_cast<size_t>(s)]) {
+        if (state->pending[static_cast<size_t>(succ)].fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+          if (next_node < 0)
+            next_node = succ;
+          else
+            state->wg.spawn(*state->pool, [state, succ] { state->run_chain(succ); });
+        }
+      }
+      s = next_node;
+    }
+  };
+  // Snapshot the roots BEFORE spawning anything: once a root task runs it
+  // drains its successors' pending counts concurrently with this loop, and
+  // reading a freshly-drained zero here would double-run that node.
+  std::vector<int32_t> roots;
+  for (int32_t i = 0; i < n; ++i)
+    if (st->pending[static_cast<size_t>(i)].load(std::memory_order_relaxed) == 0)
+      roots.push_back(i);
+  for (const int32_t r : roots)
+    st->wg.spawn(*pool, [state, r] { state->run_chain(r); });
+  return Launch(std::move(st));
+}
+
+DagRunStats DagScheduler::Launch::wait() {
+  PREDCTRL_CHECK(state_ != nullptr, "wait() on a moved-from Launch");
+  PREDCTRL_CHECK(!state_->waited, "Launch::wait() called twice");
+  state_->waited = true;
+  State& st = *state_;
+
+  DagRunStats stats;
+  if (st.inline_done) {
+    stats = st.inline_stats;
+  } else if (st.eng == Engine::kConservative) {
+    st.wg.wait();  // rethrows the first body/commit exception
+    stats.nodes = st.dag->num_nodes_;
+    const int64_t done = st.completed.load(std::memory_order_relaxed);
+    stats.executed = done;
+    stats.committed = done;
+    stats.complete = done == stats.nodes;
+  } else {
+    st.wg.wait();  // claim workers capture their own exceptions
+    if (!st.cyclic && !st.failed.load(std::memory_order_acquire))
+      st.try_commit(/*block=*/true);  // final horizon drain
+    if (st.cascade > 0) {  // trailing cascade (workers joined: no races)
+      st.cascade_depths.push_back(st.cascade);
+      st.cascade = 0;
+    }
+    if (st.error) std::rethrow_exception(st.error);
+    stats.nodes = st.dag->num_nodes_;
+    stats.executed = st.executed.load(std::memory_order_relaxed);
+    stats.committed = st.horizon;
+    stats.speculative_events = st.speculative.load(std::memory_order_relaxed);
+    stats.rollbacks = st.rollbacks;
+    stats.max_rollback_depth = st.max_cascade;
+    stats.max_gvt_lag = st.max_gvt_lag;
+    stats.complete = !st.cyclic && st.horizon == stats.nodes;
+  }
+
+  if (obs::recording()) {
+    // Coordinator-only recording, after the join: workers never touch the
+    // single-writer registry (same rule as parallel_for's accounting).
+    PREDCTRL_OBS_COUNT("parallel.dag.runs", 1);
+    PREDCTRL_OBS_COUNT("parallel.dag.nodes", stats.nodes);
+    PREDCTRL_OBS_COUNT("parallel.dag.committed", stats.committed);
+    if (st.eng == Engine::kOptimistic && !st.inline_done) {
+      PREDCTRL_OBS_COUNT("parallel.dag.speculative_events", stats.speculative_events);
+      PREDCTRL_OBS_COUNT("parallel.dag.rollbacks", stats.rollbacks);
+      for (const int64_t depth : st.cascade_depths)
+        PREDCTRL_OBS_RECORD("parallel.dag.rollback_depth", depth);
+      PREDCTRL_OBS_RECORD("parallel.dag.gvt_lag", stats.max_gvt_lag);
+    }
+  }
+  return stats;
+}
+
+DagRunStats DagScheduler::run(ThreadPool* pool, const Body& body, const Commit& commit) {
+  return launch(pool, engine(), body, commit).wait();
+}
+
+DagRunStats DagScheduler::run(ThreadPool* pool, Engine eng, const Body& body,
+                              const Commit& commit) {
+  return launch(pool, eng, body, commit).wait();
+}
+
+}  // namespace predctrl::parallel

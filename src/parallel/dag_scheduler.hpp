@@ -1,0 +1,142 @@
+// The execution-engine seam for DAG-shaped parallel work.
+//
+// Every parallelized routine in the library is DAG-shaped once you squint:
+// vector-clock computation runs a segment DAG, slicing fixpoints and the
+// sharded scans are edge-free DAGs of independent chunks, the WCP shard
+// scan is an edge-free DAG drained concurrently by the coordinator. This
+// class is the one place all of them submit that shape, and the process-wide
+// parallel::set_engine() knob (parallel/parallel.hpp) picks how it runs:
+//
+//   * kConservative -- the chain-collapsing dependency scheduler extracted
+//     from causality/clock_computation.cpp: atomic pending counts per node,
+//     a finished node releases its successors, the first released successor
+//     runs inline on the same worker (long chains become one task) and the
+//     rest are spawned. A node NEVER runs before every dependency finished.
+//
+//   * kOptimistic -- Time-Warp-style speculation (exemplar: ROOT-Sim's
+//     gvt/ + scheduler/ split): workers claim nodes in virtual-time order
+//     (a fixed topological order of the DAG) and execute them even when
+//     dependencies are still unresolved, reading whatever inputs have been
+//     published so far. Each execution is published as an immutable record;
+//     the records a node read are its *stamps*. A commit horizon -- the
+//     GVT analogue: everything below it is final -- advances strictly in
+//     virtual-time order; at commit, a node whose stamps no longer match
+//     its dependencies' final records is a *straggler*: its speculative
+//     output is discarded (rolled back) and the node re-executes against
+//     the final inputs, which the horizon guarantees are complete. Because
+//     commits happen in virtual-time order against final inputs, committed
+//     output is byte-identical to the serial schedule -- speculation can
+//     only waste work, never change the answer.
+//
+// Contract for bodies (both engines):
+//
+//   * body(node, deps) computes the node's output and returns an opaque
+//     payload pointer; deps[i] is the payload of the i-th dependency in
+//     add_edge insertion order. Under the conservative engine every dep
+//     payload is final (never nullptr unless that body returned nullptr).
+//     Under the optimistic engine a dep payload is nullptr when the
+//     dependency has not executed yet -- the body must treat that as
+//     "nothing received" (e.g. an all-kNone clock row) and may be re-run
+//     any number of times, each time returning output in FRESH memory
+//     (never mutate a previously returned payload: concurrent readers may
+//     still hold it).
+//   * commit(node, payload), when provided, is called exactly once per
+//     node with its final payload. The optimistic engine calls it under
+//     the horizon lock in virtual-time order (promote staged rows into the
+//     canonical matrix here); the conservative engine calls it inline on
+//     the worker right after the body (payloads are already final), so
+//     commits may run concurrently and must not require ordering.
+//
+// Cyclic graphs: the conservative engine runs the acyclic prefix and
+// reports complete == false (exactly the extracted clock scheduler's
+// behavior); the optimistic engine detects the cycle while building the
+// virtual-time order and runs nothing. Either way complete == false and
+// the consumer must treat any partial output as garbage.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "parallel/parallel.hpp"
+
+namespace predctrl::parallel {
+
+/// Per-run accounting, also mirrored into obs counters by the coordinator
+/// (parallel.dag.* -- see dag_scheduler.cpp). Speculation numbers are
+/// timing-dependent; committed *output* never is.
+struct DagRunStats {
+  int64_t nodes = 0;          ///< nodes in the graph
+  int64_t executed = 0;       ///< body invocations, including re-executions
+  int64_t committed = 0;      ///< nodes committed (== nodes when complete)
+  int64_t speculative_events = 0;  ///< executions begun before all deps final
+  int64_t rollbacks = 0;      ///< straggler re-executions at the horizon
+  int64_t max_rollback_depth = 0;  ///< longest consecutive straggler cascade
+  int64_t max_gvt_lag = 0;    ///< max executed-but-uncommitted nodes observed
+  bool complete = false;      ///< every node ran and committed (acyclic DAG)
+};
+
+/// A directed acyclic graph of work items scheduled onto the shared pool by
+/// the engine selected with parallel::set_engine(). Build once (add_edge),
+/// then run()/launch(); the graph is read-only during a run.
+class DagScheduler {
+ public:
+  using Payload = const void*;
+  /// See the file comment for the body/commit contract.
+  using Body = std::function<Payload(int32_t node, std::span<const Payload> deps)>;
+  using Commit = std::function<void(int32_t node, Payload payload)>;
+
+  explicit DagScheduler(int32_t num_nodes);
+
+  /// Declares that `from` must run before `to`. Duplicate edges are kept
+  /// (the dep appears once per insertion in the body's deps span).
+  void add_edge(int32_t from, int32_t to);
+
+  int32_t num_nodes() const { return num_nodes_; }
+
+  /// Dependencies of `node` in add_edge insertion order -- the index space
+  /// of the body's deps span.
+  std::span<const int32_t> deps(int32_t node) const {
+    return deps_[static_cast<size_t>(node)];
+  }
+
+  /// A run in flight: created by launch(), finished by wait(). The body
+  /// and commit callables passed to launch() must outlive wait(). The
+  /// coordinator may interact with the running bodies between launch and
+  /// wait (the WCP shard scan drains SPSC queues in that window).
+  class Launch {
+   public:
+    Launch(Launch&&) noexcept;
+    Launch& operator=(Launch&&) noexcept;
+    ~Launch();
+
+    /// Blocks until every node ran (and, optimistic, committed); rethrows
+    /// the first exception any body or commit raised. Call exactly once.
+    DagRunStats wait();
+
+   private:
+    friend class DagScheduler;
+    struct State;
+    explicit Launch(std::unique_ptr<State> state);
+    std::unique_ptr<State> state_;
+  };
+
+  /// Starts the run on `pool` under the process-wide engine (or an explicit
+  /// one) without blocking. nullptr pool runs everything inline in
+  /// virtual-time order before returning (wait() is then immediate).
+  Launch launch(ThreadPool* pool, const Body& body, const Commit& commit = {});
+  Launch launch(ThreadPool* pool, Engine eng, const Body& body, const Commit& commit = {});
+
+  /// launch() + wait().
+  DagRunStats run(ThreadPool* pool, const Body& body, const Commit& commit = {});
+  DagRunStats run(ThreadPool* pool, Engine eng, const Body& body, const Commit& commit = {});
+
+ private:
+  int32_t num_nodes_;
+  std::vector<std::vector<int32_t>> succs_;
+  std::vector<std::vector<int32_t>> deps_;
+};
+
+}  // namespace predctrl::parallel

@@ -1,9 +1,11 @@
 #include "parallel/parallel.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 
 #include "obs/obs.hpp"
+#include "parallel/dag_scheduler.hpp"
 #include "util/check.hpp"
 
 namespace predctrl::parallel {
@@ -14,7 +16,31 @@ int32_t g_thread_count = 1;
 int64_t g_min_parallel_items = 4096;
 std::unique_ptr<ThreadPool> g_pool;
 
+Engine engine_from_env() {
+  const char* env = std::getenv("PREDCTRL_ENGINE");
+  if (env != nullptr) {
+    if (const std::optional<Engine> parsed = parse_engine(env)) return *parsed;
+  }
+  return Engine::kConservative;
+}
+
+Engine g_engine = engine_from_env();
+
 }  // namespace
+
+Engine engine() { return g_engine; }
+
+void set_engine(Engine e) { g_engine = e; }
+
+const char* engine_name(Engine e) {
+  return e == Engine::kOptimistic ? "optimistic" : "conservative";
+}
+
+std::optional<Engine> parse_engine(std::string_view name) {
+  if (name == "conservative") return Engine::kConservative;
+  if (name == "optimistic") return Engine::kOptimistic;
+  return std::nullopt;
+}
 
 int32_t thread_count() { return g_thread_count; }
 
@@ -57,17 +83,23 @@ void parallel_for(ThreadPool* pool, int64_t n,
   std::vector<ThreadPool::WorkerStats> before;
   if (obs::recording()) before = pool->worker_stats();
 
-  WaitGroup wg;
+  // Chunks are an edge-free DAG submitted through the engine seam: the
+  // conservative engine degenerates to one spawned task per chunk (the
+  // historical behavior), the optimistic engine to a claim loop. Chunk
+  // boundaries stay a pure function of (n, chunks) either way, and every
+  // chunk writes pre-assigned slots, so output is engine-invariant.
   const int64_t base = n / static_cast<int64_t>(chunks);
   const int64_t extra = n % static_cast<int64_t>(chunks);
-  int64_t begin = 0;
-  for (size_t c = 0; c < chunks; ++c) {
-    const int64_t len = base + (static_cast<int64_t>(c) < extra ? 1 : 0);
-    const int64_t end = begin + len;
-    wg.spawn(*pool, [&fn, begin, end, c] { fn(begin, end, c); });
-    begin = end;
-  }
-  wg.wait();
+  DagScheduler dag(static_cast<int32_t>(chunks));
+  const DagScheduler::Body body =
+      [&fn, base, extra](int32_t c, std::span<const DagScheduler::Payload>)
+      -> DagScheduler::Payload {
+    const int64_t begin = base * c + std::min<int64_t>(c, extra);
+    const int64_t end = begin + base + (c < extra ? 1 : 0);
+    fn(begin, end, static_cast<size_t>(c));
+    return nullptr;
+  };
+  dag.run(pool, body);
 
   if (obs::recording()) {
     // Per-worker accounting, recorded by the coordinator only: worker

@@ -26,11 +26,50 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
 
 namespace predctrl::parallel {
+
+/// Which execution engine DAG-shaped work runs on (parallel/dag_scheduler.hpp):
+///
+///   kConservative  dependency-driven chain-collapsing scheduler: a node
+///                  runs only after every dependency completed. No wasted
+///                  work, but workers idle whenever the released frontier
+///                  is narrower than the pool.
+///   kOptimistic    Time-Warp-style speculation: workers claim nodes in
+///                  virtual-time order and execute them even when
+///                  dependencies are unresolved, reading whatever inputs
+///                  are published; stale reads are detected by record
+///                  stamps and rolled back (re-executed) at the commit
+///                  horizon, which advances strictly in virtual-time order
+///                  -- so committed output is byte-identical to serial.
+///
+/// Both engines honor the library-wide determinism contract; the knob
+/// trades scheduling overhead (conservative) against speculation waste
+/// (optimistic). Default kConservative; the PREDCTRL_ENGINE environment
+/// variable ("conservative"|"optimistic") overrides the default at process
+/// start, and --engine= on predctl_tool and every bench overrides both.
+enum class Engine : int32_t { kConservative = 0, kOptimistic = 1 };
+
+/// Selected engine for DAG-shaped work. Initialized from PREDCTRL_ENGINE
+/// when set (a bad value is ignored), else kConservative.
+Engine engine();
+
+/// Sets the engine. Same thread-safety rule as set_thread_count: call from
+/// the coordinator only, never while parallel work is in flight.
+void set_engine(Engine e);
+
+/// Stable lowercase name ("conservative"/"optimistic") -- the BENCH_*.json
+/// root "engine" field and flag values.
+const char* engine_name(Engine e);
+
+/// Parses an engine name; nullopt on anything unknown.
+std::optional<Engine> parse_engine(std::string_view name);
 
 /// Configured engine width. 1 = serial (default).
 int32_t thread_count();

@@ -7,6 +7,16 @@
 
 namespace predctrl::parallel {
 
+namespace {
+
+// -1 everywhere except inside a pool worker's thread, where it is the
+// worker's index for the thread's whole lifetime.
+thread_local int32_t t_worker_index = -1;
+
+}  // namespace
+
+int32_t worker_index() { return t_worker_index; }
+
 ThreadPool::ThreadPool(int32_t num_threads) : counters_(static_cast<size_t>(num_threads)) {
   PREDCTRL_CHECK(num_threads >= 1, "thread pool needs at least one worker");
   workers_.reserve(static_cast<size_t>(num_threads));
@@ -42,6 +52,7 @@ std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
 }
 
 void ThreadPool::worker_loop(size_t index) {
+  t_worker_index = static_cast<int32_t>(index);
   WorkerCounters& counters = counters_[index];
   while (true) {
     std::function<void()> task;

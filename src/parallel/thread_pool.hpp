@@ -67,6 +67,11 @@ class ThreadPool {
   /// recorded after the task body and may lag the final task by a beat.
   std::vector<WorkerStats> worker_stats() const;
 
+  /// Pads alignas(64) slots so adjacent per-worker state never shares a
+  /// cache line -- the same treatment WorkerCounters gets below. Consumers
+  /// size per-worker arrays with it (see parallel::worker_index()).
+  static constexpr size_t kCacheLine = 64;
+
  private:
   void worker_loop(size_t index);
 
@@ -102,5 +107,13 @@ class WaitGroup {
   int64_t pending_ = 0;
   std::exception_ptr error_;
 };
+
+/// Index of the calling thread within the pool that owns it: 0..size()-1
+/// inside a worker's task, -1 on any thread that is not a pool worker (the
+/// coordinator, test main threads). Thread-local and set for the worker's
+/// whole lifetime, so consumers use it to pick per-worker slots -- shard
+/// accumulators, staged-row arenas (causality/clock_matrix.hpp) -- instead
+/// of re-deriving an identity from chunk arithmetic.
+int32_t worker_index();
 
 }  // namespace predctrl::parallel

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "parallel/dag_scheduler.hpp"
 #include "parallel/parallel.hpp"
 #include "parallel/spsc_queue.hpp"
 #include "trace/lattice.hpp"
@@ -97,34 +98,42 @@ ConjunctiveDetection detect_weak_conjunctive_parallel(const Deposet& deposet,
   for (size_t w = 0; w < num_workers; ++w) queues.push_back(std::make_unique<TokenQueue>());
   std::atomic<bool> cancel{false};
 
-  parallel::WaitGroup wg;
-  for (size_t w = 0; w < num_workers; ++w) {
-    wg.spawn(pool, [&, w] {
-      TokenQueue& queue = *queues[w];
-      auto push = [&](ScanToken token) {
-        while (!queue.try_push(token)) {
-          if (cancel.load(std::memory_order_relaxed)) return false;
-          std::this_thread::yield();
-        }
-        return true;
-      };
-      // Contiguous process shard of worker w.
-      const int32_t lo = static_cast<int32_t>(w * static_cast<size_t>(n) / num_workers);
-      const int32_t hi = static_cast<int32_t>((w + 1) * static_cast<size_t>(n) / num_workers);
-      for (int32_t p = lo; p < hi; ++p) {
-        const auto& row = conditions[static_cast<size_t>(p)];
-        for (size_t k = 0; k < row.size(); ++k)
-          if (row[k] && !push({p, static_cast<int32_t>(k)})) return;
-        if (!push({p, kRowDone})) return;
+  // The scan shards are an edge-free DAG launched (not run: the coordinator
+  // must drain the queues while the scans stream) through the engine seam.
+  // Tokens arrive per-process in index order whichever engine claims the
+  // shards, and elimination below consumes them per-process, so the verdict
+  // stays engine- and width-invariant.
+  parallel::DagScheduler dag(static_cast<int32_t>(num_workers));
+  const parallel::DagScheduler::Body scan_shard =
+      [&](int32_t worker, std::span<const parallel::DagScheduler::Payload>)
+      -> parallel::DagScheduler::Payload {
+    const size_t w = static_cast<size_t>(worker);
+    TokenQueue& queue = *queues[w];
+    auto push = [&](ScanToken token) {
+      while (!queue.try_push(token)) {
+        if (cancel.load(std::memory_order_relaxed)) return false;
+        std::this_thread::yield();
       }
-    });
-  }
+      return true;
+    };
+    // Contiguous process shard of worker w.
+    const int32_t lo = static_cast<int32_t>(w * static_cast<size_t>(n) / num_workers);
+    const int32_t hi = static_cast<int32_t>((w + 1) * static_cast<size_t>(n) / num_workers);
+    for (int32_t p = lo; p < hi; ++p) {
+      const auto& row = conditions[static_cast<size_t>(p)];
+      for (size_t k = 0; k < row.size(); ++k)
+        if (row[k] && !push({p, static_cast<int32_t>(k)})) return nullptr;
+      if (!push({p, kRowDone})) return nullptr;
+    }
+    return nullptr;
+  };
+  parallel::DagScheduler::Launch scan = dag.launch(&pool, scan_shard);
 
   // Conclude: stop the scans and join the workers. Any worker blocked on a
   // full queue observes `cancel` and bails, so this cannot deadlock.
   auto conclude = [&] {
     cancel.store(true, std::memory_order_relaxed);
-    wg.wait();
+    scan.wait();
   };
 
   std::vector<std::deque<int32_t>> received(static_cast<size_t>(n));

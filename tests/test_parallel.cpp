@@ -1,16 +1,22 @@
 // The parallel engine (src/parallel/) and its determinism contract: every
 // sharded hot path -- vector clocks, false-interval extraction, WCP
 // detection, overlapping-set search, offline disjunctive synthesis --
-// produces byte-identical results at 1/2/4/8 threads. The suites force the
-// parallel code paths onto small instances by dropping min_parallel_items
-// to 1; production gating (stay serial below the threshold) is tested too.
+// produces byte-identical results at 1/2/4/8 threads, under BOTH execution
+// engines (conservative and optimistic; see the EngineParity suites and
+// test_dag_scheduler.cpp for the scheduler seam itself). The suites force
+// the parallel code paths onto small instances by dropping
+// min_parallel_items to 1; production gating (stay serial below the
+// threshold) is tested too.
 //
 // Labeled `tsan` in tests/CMakeLists.txt: run under the ThreadSanitizer
 // preset (cmake --preset tsan) with `ctest -L tsan`.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -18,11 +24,13 @@
 
 #include "causality/clock_computation.hpp"
 #include "control/offline_disjunctive.hpp"
+#include "fault/fault_plan.hpp"
 #include "parallel/parallel.hpp"
 #include "parallel/spsc_queue.hpp"
 #include "parallel/thread_pool.hpp"
 #include "predicates/detection.hpp"
 #include "predicates/intervals.hpp"
+#include "runtime/scripted.hpp"
 #include "trace/random_trace.hpp"
 #include "util/rng.hpp"
 
@@ -45,6 +53,21 @@ class ParallelConfig {
 };
 
 constexpr int32_t kWidths[] = {1, 2, 4, 8};
+
+// Scoped execution-engine selection. Restores the PREVIOUS engine, not the
+// conservative default: the tsan CI job re-runs these suites with
+// PREDCTRL_ENGINE=optimistic, and hardcoding the default here would quietly
+// undo that for every test that runs after one of these guards.
+class EngineGuard {
+ public:
+  explicit EngineGuard(parallel::Engine eng) : prev_(parallel::engine()) {
+    parallel::set_engine(eng);
+  }
+  ~EngineGuard() { parallel::set_engine(prev_); }
+
+ private:
+  parallel::Engine prev_;
+};
 
 // ---------------------------------------------------------------- ThreadPool
 
@@ -108,6 +131,39 @@ TEST(ThreadPool, SizeMatchesRequestedThreads) {
   EXPECT_EQ(pool.worker_stats().size(), 5u);
 }
 
+TEST(ThreadPool, WorkerIndexIsMinusOneOffPool) {
+  EXPECT_EQ(parallel::worker_index(), -1);  // test main thread
+  std::thread t([] { EXPECT_EQ(parallel::worker_index(), -1); });
+  t.join();
+}
+
+TEST(ThreadPool, WorkerIndexStableDistinctAndInRange) {
+  // Every pool thread sees a worker_index() in [0, size) that never changes
+  // across tasks (staged-arena slots depend on that stability), and distinct
+  // threads see distinct indices. Run enough tasks that each worker almost
+  // surely executes several.
+  parallel::ThreadPool pool(4);
+  std::mutex mu;
+  std::map<std::thread::id, int32_t> seen;
+  parallel::WaitGroup wg;
+  for (int i = 0; i < 200; ++i)
+    wg.spawn(pool, [&] {
+      const int32_t idx = parallel::worker_index();
+      ASSERT_GE(idx, 0);
+      ASSERT_LT(idx, pool.size());
+      const std::lock_guard<std::mutex> lock(mu);
+      const auto [it, inserted] = seen.emplace(std::this_thread::get_id(), idx);
+      if (!inserted) {
+        EXPECT_EQ(it->second, idx);  // stable per thread
+      }
+    });
+  wg.wait();
+  std::set<int32_t> distinct;
+  for (const auto& [tid, idx] : seen) EXPECT_TRUE(distinct.insert(idx).second);
+  EXPECT_LE(distinct.size(), 4u);
+  EXPECT_GE(distinct.size(), 1u);
+}
+
 // ----------------------------------------------------------------- SpscQueue
 
 TEST(SpscQueue, FifoOrderAndCapacity) {
@@ -143,6 +199,41 @@ TEST(SpscQueue, TransfersStreamAcrossThreads) {
   }
   producer.join();
   EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, WrapAroundStressTinyCapacity) {
+  // Capacity 2 forces the ring indices to wrap every other push: 100k items
+  // cross the buffer boundary ~50k times, with the consumer riding the
+  // producer's tail the whole way. A two-field payload catches torn writes
+  // (a slot re-used before its pop completed would mix items); running
+  // under tsan catches any missing release/acquire edge on head_/tail_.
+  struct Item {
+    int32_t seq;
+    int32_t check;  // always ~seq; a torn or stale slot breaks the pairing
+  };
+  constexpr int32_t kItems = 100'000;
+  parallel::SpscQueue<Item, 2> q;
+  std::thread producer([&] {
+    for (int32_t i = 0; i < kItems; ++i)
+      while (!q.try_push({i, ~i})) std::this_thread::yield();
+  });
+  for (int32_t expected = 0; expected < kItems;) {
+    Item v{-1, -1};
+    if (q.try_pop(v)) {
+      ASSERT_EQ(v.seq, expected);
+      ASSERT_EQ(v.check, ~expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(q.empty());
+  // The queue is reusable after wrapping: indices keep counting upward.
+  EXPECT_TRUE(q.try_push({kItems, ~kItems}));
+  Item v{-1, -1};
+  ASSERT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v.seq, kItems);
 }
 
 // -------------------------------------------------- parallel_for / reduce
@@ -250,6 +341,32 @@ TEST(ParallelConfigTest, SmallWorkStaysSerialUnderDefaultThreshold) {
   const FalseIntervalSets direct = extract_false_intervals(table, nullptr);
   const FalseIntervalSets dispatched = extract_false_intervals(table);
   EXPECT_EQ(direct, dispatched);
+}
+
+TEST(ParallelConfigTest, EngineKnobParsesNamesAndRoundTrips) {
+  using parallel::Engine;
+  EXPECT_EQ(parallel::parse_engine("conservative"), Engine::kConservative);
+  EXPECT_EQ(parallel::parse_engine("optimistic"), Engine::kOptimistic);
+  EXPECT_EQ(parallel::parse_engine(""), std::nullopt);
+  EXPECT_EQ(parallel::parse_engine("timewarp"), std::nullopt);
+  EXPECT_EQ(parallel::parse_engine("Conservative"), std::nullopt);  // case-sensitive
+
+  EXPECT_STREQ(parallel::engine_name(Engine::kConservative), "conservative");
+  EXPECT_STREQ(parallel::engine_name(Engine::kOptimistic), "optimistic");
+  // Whatever the ambient engine is (PREDCTRL_ENGINE may have set it), its
+  // name parses back to itself and set_engine round-trips.
+  const Engine ambient = parallel::engine();
+  EXPECT_EQ(parallel::parse_engine(parallel::engine_name(ambient)), ambient);
+  {
+    EngineGuard guard(Engine::kOptimistic);
+    EXPECT_EQ(parallel::engine(), Engine::kOptimistic);
+    {
+      EngineGuard inner(Engine::kConservative);
+      EXPECT_EQ(parallel::engine(), Engine::kConservative);
+    }
+    EXPECT_EQ(parallel::engine(), Engine::kOptimistic);  // previous, not default
+  }
+  EXPECT_EQ(parallel::engine(), ambient);
 }
 
 // ------------------------------------------------- determinism: clocks
@@ -458,6 +575,128 @@ TEST(ParallelDeterminism, PipelineMatchesSerialEndToEnd) {
         const auto cd = controlled_deposet_for(d, pred, opt);
         EXPECT_TRUE(cd.has_value()) << "seed " << seed;
       }
+    }
+  }
+}
+
+// --------------------------------------------------- engine parity suites
+//
+// The core promise of the optimistic engine: speculation and rollback may
+// change HOW the work runs, never WHAT it produces. Across 40 traces (32
+// random, 8 from fault-plane simulation runs with live crash/restart
+// injection) the committed clock matrix must be byte-identical under
+// serial, conservative, and optimistic execution at widths 1/2/4/8.
+
+// Clock parity for one trace: serial reference vs both engines x all widths.
+// AppendableClockMatrix::operator== compares row contents, so equality here
+// is the byte-identical-output contract.
+void expect_clock_parity(const Deposet& d, const std::string& what) {
+  const ClockComputation serial = compute_state_clocks(d.lengths(), d.messages(), nullptr);
+  ASSERT_TRUE(serial.acyclic) << what;
+  for (parallel::Engine eng :
+       {parallel::Engine::kConservative, parallel::Engine::kOptimistic}) {
+    EngineGuard engine(eng);
+    for (int32_t width : kWidths) {
+      ParallelConfig cfg(width, 1);
+      const ClockComputation par = compute_state_clocks(d.lengths(), d.messages());
+      EXPECT_EQ(par.acyclic, serial.acyclic)
+          << what << " engine " << parallel::engine_name(eng) << " width " << width;
+      EXPECT_EQ(par.clocks, serial.clocks)
+          << what << " engine " << parallel::engine_name(eng) << " width " << width;
+      if (eng == parallel::Engine::kConservative) {
+        EXPECT_EQ(par.sched.rollbacks, 0) << what;
+        EXPECT_EQ(par.sched.speculative_events, 0) << what;
+      }
+    }
+  }
+}
+
+TEST(EngineParity, StateClocksByteIdenticalOnRandomTraces) {
+  // 32 random traces sweeping size and cross-edge density -- sparse traces
+  // leave long chains (little speculation), dense ones fragment them into
+  // the short interdependent segments where stragglers actually happen.
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    Rng rng(seed);
+    RandomTraceOptions opt;
+    opt.num_processes = 3 + static_cast<int32_t>(seed % 6);
+    opt.events_per_process = 10 + static_cast<int32_t>((seed * 7) % 50);
+    opt.send_probability = 0.05 + 0.45 * static_cast<double>(seed % 8) / 7.0;
+    const Deposet d = random_deposet(opt, rng);
+    expect_clock_parity(d, "random seed " + std::to_string(seed));
+  }
+}
+
+TEST(EngineParity, StateClocksByteIdenticalOnFaultPlaneTraces) {
+  // 8 traces produced by real fault-plane runs: a random deposet is turned
+  // into an executable system (scripts_from_deposet), re-run under a crash/
+  // restart plan, and the deposet the faulted run ACTUALLY produced -- with
+  // deliveries discarded during outages and instruction retries reshaping
+  // the causal structure -- feeds the same parity check. The sweep must
+  // genuinely crash somewhere or it proves nothing.
+  int64_t total_crashes = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(400 + seed);
+    RandomTraceOptions opt;
+    opt.num_processes = 4;
+    opt.events_per_process = 10;
+    opt.send_probability = 0.3;
+    const Deposet base = random_deposet(opt, rng);
+    const sim::ScriptedSystem system = sim::scripts_from_deposet(base, nullptr, rng);
+
+    fault::FaultPlan plan;
+    plan.seed = 700 + seed;
+    plan.crashes.push_back({/*agent=*/static_cast<int32_t>(seed % 4),
+                            /*at=*/3'000, /*restart_at=*/8'000});
+    sim::SimOptions sopt;
+    sopt.seed = seed;
+    const sim::RunResult run =
+        sim::run_scripts(system, sopt, nullptr, nullptr, nullptr, &plan);
+    total_crashes += run.stats.crashes;
+    // Deadlocked or not, the partial deposet is a consistent trace; parity
+    // must hold on whatever the faulted run recorded.
+    expect_clock_parity(run.deposet, "fault seed " + std::to_string(seed));
+  }
+  EXPECT_GT(total_crashes, 0);
+}
+
+TEST(EngineParity, FullPipelineMatchesSerialUnderOptimisticEngine) {
+  // End to end under the optimistic engine: detection, synthesis, and the
+  // controlled-deposet clock rebuild all ride the DagScheduler seam (the
+  // sharded scans as edge-free DAGs), and every result must equal the
+  // serial run's exactly.
+  EngineGuard engine(parallel::Engine::kOptimistic);
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    RandomTraceOptions topt;
+    topt.num_processes = 5;
+    topt.events_per_process = 25;
+    topt.send_probability = 0.3;
+    const Deposet d = random_deposet(topt, rng);
+    RandomPredicateOptions popt;
+    popt.false_probability = 0.45;
+    popt.flip_probability = 0.35;
+    const PredicateTable pred = random_predicate_table(d, popt, rng);
+
+    const ConjunctiveDetection det_serial = detect_weak_conjunctive(d, pred, nullptr);
+    OfflineControlOptions opt;
+    opt.select = SelectPolicy::kFirst;
+    OfflineControlResult serial;
+    {
+      ParallelConfig cfg(1, 1);
+      serial = control_disjunctive_offline(d, pred, opt);
+    }
+    for (int32_t width : kWidths) {
+      ParallelConfig cfg(width, 1);
+      const ConjunctiveDetection det = detect_weak_conjunctive(d, pred);
+      EXPECT_EQ(det.detected, det_serial.detected) << "seed " << seed;
+      if (det_serial.detected) {
+        EXPECT_EQ(det.first_cut, det_serial.first_cut) << "seed " << seed;
+      }
+      const OfflineControlResult par = control_disjunctive_offline(d, pred, opt);
+      EXPECT_EQ(par.controllable, serial.controllable) << "seed " << seed;
+      EXPECT_EQ(par.control, serial.control) << "seed " << seed;
+      EXPECT_EQ(par.iterations, serial.iterations) << "seed " << seed;
+      EXPECT_EQ(par.pair_checks, serial.pair_checks) << "seed " << seed;
     }
   }
 }
