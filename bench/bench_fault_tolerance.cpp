@@ -111,11 +111,68 @@ void BM_HolderCrash(benchmark::State& state) {
           : 0;
 }
 
+// A healed network partition; Arg = epoch length in milliseconds. Process 3
+// and its controller (agent n + 3) are cut off from everyone else for the
+// epoch, then the mask lifts and retransmission must drain the backlog: the
+// run completes and stays safe at every width, with partition_drops counting
+// what the mask actually severed (direction-neutral: a longer epoch severs
+// more by design).
+void BM_PartitionHeal(benchmark::State& state) {
+  const int32_t n = 8;
+  const auto window_ms = static_cast<sim::SimTime>(state.range(0));
+  fault::FaultPlan plan;
+  plan.seed = 29;
+  if (window_ms > 0) {
+    fault::PartitionEpoch epoch;
+    epoch.from = 20'000;
+    epoch.until = 20'000 + window_ms * 1'000;
+    epoch.groups = {{3, n + 3}, {}};
+    for (sim::AgentId id = 0; id < 2 * n; ++id)
+      if (id != 3 && id != n + 3) epoch.groups[1].push_back(id);
+    plan.partitions.push_back(epoch);
+  }
+  MutexRunResult r;
+  for (auto _ : state) {
+    r = run_scapegoat_mutex(workload(n, 7), {}, plan.active() ? &plan : nullptr);
+    benchmark::DoNotOptimize(r);
+  }
+  annotate(state, r, n);
+  state.counters["partition_drops"] = static_cast<double>(r.stats.partition_drops);
+  state.counters["control_failures"] =
+      (r.deadlocked || !r.telemetry.released.empty()) ? 1 : 0;
+}
+
+// Byzantine bit-flips on the control plane; Arg = corruption percentage.
+// Every corrupted delivery is quarantined (flagged, never parsed) and
+// recovered by NAK-triggered retransmission: corrupt_quarantined tracks the
+// flips the links absorbed, and completion proves verified exactly-once
+// delivery under the configured rate.
+void BM_CorruptionRate(benchmark::State& state) {
+  const int32_t n = 8;
+  const auto corrupt_pct = static_cast<double>(state.range(0));
+  fault::FaultPlan plan;
+  plan.seed = 41;
+  plan.plane(sim::Message::Plane::kControl).corrupt = corrupt_pct / 100.0;
+  MutexRunResult r;
+  for (auto _ : state) {
+    r = run_scapegoat_mutex(workload(n, 7), {}, plan.active() ? &plan : nullptr);
+    benchmark::DoNotOptimize(r);
+  }
+  annotate(state, r, n);
+  state.counters["corrupted_messages"] = static_cast<double>(r.stats.corrupted_messages);
+  state.counters["corrupt_quarantined"] =
+      static_cast<double>(r.telemetry.corrupt_quarantined);
+  state.counters["control_failures"] =
+      (r.deadlocked || !r.telemetry.released.empty()) ? 1 : 0;
+}
+
 }  // namespace
 
 BENCHMARK(BM_ScapegoatDropRate)->Arg(0)->Arg(1)->Arg(5)->Arg(10)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_HolderCrash)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PartitionHeal)->Arg(0)->Arg(20)->Arg(60)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CorruptionRate)->Arg(0)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
 
 #include "bench_common.hpp"
 PREDCTRL_BENCH_MAIN();

@@ -131,8 +131,12 @@ Direction counter_direction(const std::string& name) {
   // FIRST: "retransmit_backoff_us" or "dropped_bytes" would otherwise match
   // a lower-better suffix, yet more retransmits under a harsher fault plan
   // is correct behavior, not a regression.
-  if (contains_any(name,
-                   {"retransmit", "dropped", "duplicate", "give_up", "fault", "crash"}))
+  // corrupt / partition / quarantine / nak counters joined this list with
+  // the adversarial plane v2: "corrupted_messages" or "partition_drops"
+  // growing under a harsher plan is the plan working, and the suffix
+  // heuristics below would misread their _us / dropped shapes.
+  if (contains_any(name, {"retransmit", "dropped", "duplicate", "give_up", "fault",
+                          "crash", "corrupt", "partition", "quarantine", "nak"}))
     return Direction::kInformational;
   // Slicing counters (bench_slicing, bench_sgsd_np): a bigger lattice
   // reduction ratio means the slice cut away more of the search space, and

@@ -11,7 +11,8 @@
 //   predctl_tool flight
 //   predctl_tool save-trace  <deposet-file> [predicate-file] --out=FILE
 //   predctl_tool save-trace  --random=P,E[,SEED] --out=FILE
-//   predctl_tool open-trace  <trace-file> [stat|detect|races|control]
+//   predctl_tool open-trace  <trace-file> [stat|detect|races|control] [--salvage]
+//   predctl_tool minimize-fault   (with fault flags forming the plan to shrink)
 //
 // Global flags (any command; may appear anywhere):
 //   --trace-out=FILE    write a Chrome trace_event JSON (chrome://tracing /
@@ -34,9 +35,19 @@
 //                       back before it can surface.
 //   --fault-seed=N      seed of the fault plan's own Rng (fault/, default 1)
 //   --fault-drop=P      drop each control-plane message with probability P
+//   --fault-corrupt=P   Byzantine bit-flip each application- and control-plane
+//                       message with probability P (checksums arm automatically;
+//                       links quarantine and NAK, processes discard)
 //   --fault-crash=A@T   crash agent A at virtual time T (quickstart's guarded
 //                       run: processes are agents 0..n-1, their guards
 //                       n..2n-1)
+//   --fault-drop-at=K   scripted drop of the K-th control-plane send (0-based)
+//   --fault-partition=GROUPS@FROM[-UNTIL]
+//                       sever links between agent groups over a time window,
+//                       e.g. "0,2|1,3@5000-200000" splits agents {0,2} from
+//                       {1,3} from t=5000 until t=200000 (omit -UNTIL for a
+//                       partition that never heals). Repeatable; epochs must
+//                       not overlap in time.
 // Either output flag turns recording on (obs/obs.hpp). The fault flags apply
 // to quickstart's on-line guarded runs: the control plane self-heals via
 // ack+retransmission, and unrecoverable failures are reported as a
@@ -45,6 +56,20 @@
 // carries the causal flight timeline (obs/flight_recorder.hpp): the merged,
 // happens-before-ordered event history of every agent, printed inside the
 // verdict block and dumped as predctrl-flight-v1 JSON.
+//
+// `minimize-fault` takes the fault flags as a plan that produces a failing
+// watchdog verdict on the quickstart's guarded run, and ddmin-shrinks it
+// (fault/minimize.hpp) to a locally minimal plan producing the SAME verdict
+// kind -- each probe is one deterministic re-run of the sim. It prints the
+// surviving units and re-runs the minimal plan twice to demonstrate the
+// verdict reproduces byte-for-byte. docs/TUTORIAL.md walks through it.
+//
+// `open-trace --salvage` recovers what it can from a torn predctrl-trace-v1
+// file (truncated copy, interrupted download): the longest CRC-valid prefix
+// of sections is adopted as a partial deposet -- with the vector clocks
+// recomputed from lengths + messages when the clock slab itself was torn --
+// and the salvage report (sections recovered, payloads dropped) is printed
+// before the analysis runs on what survived.
 //
 // `flight` runs the quickstart's guarded scenario (honouring the fault
 // flags) and prints the merged flight timeline unconditionally -- the
@@ -97,6 +122,7 @@
 #include "control/strategy.hpp"
 #include "debug/session.hpp"
 #include "fault/fault_plan.hpp"
+#include "fault/minimize.hpp"
 #include "mutex/kmutex.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
@@ -154,10 +180,14 @@ int usage() {
                "       predctl_tool slice <deposet> <predicate> [--slice-out=FILE]\n"
                "       predctl_tool [--trace-out=FILE] [--metrics-out=FILE] [--threads=N]\n"
                "                    [--engine=NAME] [--fault-seed=N] [--fault-drop=P] "
-               "[--fault-crash=A@T] quickstart|flight\n"
+               "[--fault-corrupt=P]\n"
+               "                    [--fault-crash=A@T] [--fault-drop-at=K]\n"
+               "                    [--fault-partition=GROUPS@FROM[-UNTIL]] "
+               "quickstart|flight|minimize-fault\n"
                "       predctl_tool save-trace <deposet> [predicate] --out=FILE\n"
                "       predctl_tool save-trace --random=P,E[,SEED] --out=FILE\n"
-               "       predctl_tool open-trace <trace-file> [stat|detect|races|control]\n";
+               "       predctl_tool open-trace <trace-file> [stat|detect|races|control] "
+               "[--salvage]\n";
   return 2;
 }
 
@@ -235,14 +265,16 @@ int run_save_trace(const std::vector<std::string>& args, const std::string& out,
 
 // open-trace: mmap a predctrl-trace-v1 file with zero parsing and report
 // what that costs -- then optionally analyze the mapped deposet in place.
-int run_open_trace(const std::vector<std::string>& args) {
+int run_open_trace(const std::vector<std::string>& args, bool salvage) {
   if (args.size() < 2) return usage();
   const std::string mode = args.size() >= 3 ? args[2] : "stat";
   if (mode != "stat" && mode != "detect" && mode != "races" && mode != "control")
     return usage();
 
+  TraceReadOptions ropt;
+  ropt.salvage = salvage;
   const auto t0 = std::chrono::steady_clock::now();
-  const MappedTrace t = MappedTrace::open(args[1]);
+  const MappedTrace t = MappedTrace::open(args[1], ropt);
   const double open_us_taken = elapsed_us(t0);
   const Deposet& d = t.deposet();
   std::cout << "opened " << args[1] << " in " << open_us_taken
@@ -253,6 +285,15 @@ int run_open_trace(const std::vector<std::string>& args) {
             << " resident after open\n"
             << "  stored: intervals " << (t.has_intervals() ? "yes" : "no")
             << ", predicate " << (t.has_predicate() ? "yes" : "no") << "\n";
+  const SalvageReport& sr = t.salvage_report();
+  if (sr.salvaged) {
+    std::cout << "  SALVAGED: " << sr.sections_recovered << " of " << sr.sections_total
+              << " sections recovered (" << sr.reason << ")\n";
+    if (sr.clocks_recomputed)
+      std::cout << "    clock slab torn; recomputed from lengths + messages\n";
+    if (sr.intervals_dropped) std::cout << "    false-interval tables lost to the tear\n";
+    if (sr.predicate_dropped) std::cout << "    predicate section lost to the tear\n";
+  }
   if (mode == "stat") return 0;
 
   if ((mode == "detect" || mode == "control") && !t.has_predicate()) {
@@ -436,6 +477,80 @@ int run_quickstart(const fault::FaultPlan* faults, const std::string& flight_out
   return replayed.run_violated() ? 1 : 0;
 }
 
+// `minimize-fault`: ddmin the fault flags down to a locally minimal plan
+// that still produces the same watchdog verdict on the quickstart's guarded
+// scenario. Every probe is one deterministic re-run, so "still reproduces"
+// is exact, and re-running the minimal plan reproduces its verdict
+// byte-for-byte (demonstrated at the end).
+int run_minimize_fault(const fault::FaultPlan& plan) {
+  if (!plan.active()) {
+    std::cerr << "predctl_tool: minimize-fault needs fault flags forming a plan "
+                 "(--fault-drop, --fault-crash, --fault-partition, ...)\n";
+    return 2;
+  }
+  debug::Session session = make_quickstart_session();
+  auto verdict_of = [&](const fault::FaultPlan& p) {
+    return session.observe_guarded(/*seed=*/44, {}, &p).failure;
+  };
+  const debug::ControlFailure target = verdict_of(plan);
+  if (!target.failed()) {
+    std::cout << "the plan does not produce a failing verdict on the quickstart "
+                 "scenario; nothing to minimize\n";
+    return 1;
+  }
+  std::cout << "target verdict: " << debug::to_string(target.kind) << "\n"
+            << "  " << target.detail << "\n"
+            << "plan has " << fault::plan_unit_count(plan) << " unit(s):\n";
+  for (const std::string& u : fault::describe_plan_units(plan)) std::cout << "  - " << u << "\n";
+
+  const fault::MinimizeResult r = fault::minimize_fault_plan(
+      plan, [&](const fault::FaultPlan& p) { return verdict_of(p).kind == target.kind; });
+  std::cout << "minimized " << r.units_before << " -> " << r.units_after << " unit(s) in "
+            << r.probes << " probe(s)" << (r.minimal ? " (1-minimal)" : " (probe budget hit)")
+            << ":\n";
+  for (const std::string& u : fault::describe_plan_units(r.plan))
+    std::cout << "  - " << u << "\n";
+
+  // Determinism receipt: the minimal plan's verdict, rendered twice from two
+  // independent runs, must match byte-for-byte.
+  auto render = [&](const debug::ControlFailure& f) {
+    std::ostringstream os;
+    os << debug::to_string(f.kind) << "\n" << f.detail << "\n" << f.blocked_cut;
+    return os.str();
+  };
+  const std::string first = render(verdict_of(r.plan));
+  const std::string second = render(verdict_of(r.plan));
+  std::cout << "minimal plan verdict:\n  " << debug::to_string(target.kind)
+            << " reproduces byte-for-byte: " << (first == second ? "yes" : "NO") << "\n";
+  return first == second ? 0 : 1;
+}
+
+// GROUPS@FROM[-UNTIL], GROUPS = comma-separated agent ids joined by '|'.
+fault::PartitionEpoch parse_partition(const std::string& spec) {
+  const size_t at = spec.find('@');
+  if (at == std::string::npos || at == 0) throw std::invalid_argument(spec);
+  fault::PartitionEpoch epoch;
+  std::string groups = spec.substr(0, at);
+  size_t start = 0;
+  while (start <= groups.size()) {
+    const size_t bar = groups.find('|', start);
+    const std::string group = groups.substr(start, bar - start);
+    std::vector<sim::AgentId> ids;
+    std::istringstream is(group);
+    std::string id;
+    while (std::getline(is, id, ',')) ids.push_back(std::stoi(id));
+    if (ids.empty()) throw std::invalid_argument(spec);
+    epoch.groups.push_back(std::move(ids));
+    if (bar == std::string::npos) break;
+    start = bar + 1;
+  }
+  const std::string window = spec.substr(at + 1);
+  const size_t dash = window.find('-');
+  epoch.from = std::stoll(window.substr(0, dash));
+  if (dash != std::string::npos) epoch.until = std::stoll(window.substr(dash + 1));
+  return epoch;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -445,6 +560,7 @@ int main(int argc, char** argv) {
   std::string save_out;
   std::string slice_out;
   std::string random_spec;
+  bool salvage = false;
   fault::FaultPlan fault_plan;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
@@ -499,6 +615,38 @@ int main(int argc, char** argv) {
         std::cerr << "predctl_tool: bad --fault-drop value in '" << arg << "'\n";
         return 2;
       }
+    else if (arg.rfind("--fault-corrupt=", 0) == 0)
+      try {
+        const double p = std::stod(arg.substr(std::strlen("--fault-corrupt=")));
+        fault_plan.plane(sim::Message::Plane::kApplication).corrupt = p;
+        fault_plan.plane(sim::Message::Plane::kControl).corrupt = p;
+      } catch (const std::exception&) {
+        std::cerr << "predctl_tool: bad --fault-corrupt value in '" << arg << "'\n";
+        return 2;
+      }
+    else if (arg.rfind("--fault-drop-at=", 0) == 0)
+      try {
+        fault::ScriptedFault f;
+        f.plane = sim::Message::Plane::kControl;
+        f.send_index = std::stoll(arg.substr(std::strlen("--fault-drop-at=")));
+        f.action = fault::ScriptedFault::Action::kDrop;
+        fault_plan.script.push_back(f);
+      } catch (const std::exception&) {
+        std::cerr << "predctl_tool: bad --fault-drop-at value in '" << arg << "'\n";
+        return 2;
+      }
+    else if (arg.rfind("--fault-partition=", 0) == 0)
+      try {
+        fault_plan.partitions.push_back(
+            parse_partition(arg.substr(std::strlen("--fault-partition="))));
+      } catch (const std::exception&) {
+        std::cerr << "predctl_tool: bad --fault-partition value "
+                     "(want GROUPS@FROM[-UNTIL], e.g. 0,2|1,3@5000-200000) in '"
+                  << arg << "'\n";
+        return 2;
+      }
+    else if (arg == "--salvage")
+      salvage = true;
     else if (arg.rfind("--fault-crash=", 0) == 0) {
       const std::string spec = arg.substr(std::strlen("--fault-crash="));
       const size_t at = spec.find('@');
@@ -532,10 +680,13 @@ int main(int argc, char** argv) {
     } else if (cmd == "flight") {
       fault_plan.validate();
       status = run_flight(&fault_plan, flight_out);
+    } else if (cmd == "minimize-fault") {
+      fault_plan.validate();
+      status = run_minimize_fault(fault_plan);
     } else if (cmd == "save-trace") {
       status = run_save_trace(args, save_out, random_spec);
     } else if (cmd == "open-trace") {
-      status = run_open_trace(args);
+      status = run_open_trace(args, salvage);
     } else if (args.size() < 2) {
       return usage();
     } else {

@@ -62,16 +62,20 @@ const char* to_string(ControlFailure::Kind kind) {
     case ControlFailure::Kind::kAssumptionViolated: return "assumption-violated";
     case ControlFailure::Kind::kLostControlMessage: return "lost-control-message";
     case ControlFailure::Kind::kCrashedHolder: return "crashed-holder";
+    case ControlFailure::Kind::kPartitioned: return "partitioned";
+    case ControlFailure::Kind::kCorruptedLink: return "corrupted-link";
   }
   return "unknown";
 }
 
 namespace {
 
-// The liveness watchdog's classifier. Runs over the quiescence report and
-// controller telemetry of a guarded run that either stalled (deadlocked) or
-// degraded; precedence: crashed holder > lost control messages > A1.
-ControlFailure classify_control_failure(const GuardedObservation& g, int32_t n) {
+// The liveness watchdog's classifier. Runs over the quiescence report,
+// controller telemetry, and fault plan of a guarded run that either stalled
+// (deadlocked) or degraded; precedence: crashed holder > partition >
+// corrupted link > lost control messages > A1.
+ControlFailure classify_control_failure(const GuardedObservation& g, int32_t n,
+                                        const fault::FaultPlan* faults) {
   ControlFailure f;
   const sim::RunResult& run = g.obs.run;
 
@@ -99,6 +103,49 @@ ControlFailure classify_control_failure(const GuardedObservation& g, int32_t n) 
     f.detail = "controller " + std::to_string(guard_index) +
                " crashed while holding the anti-token; handoffs aimed at it can "
                "never complete";
+    return f;
+  }
+
+  // A partition that swallowed traffic explains a wedged minority side: the
+  // severed links are a deterministic mask, so no amount of retransmission
+  // heals them while the epoch holds -- and drops during an epoch that
+  // later healed stay lost if nothing retransmitted them. Evidence: the
+  // offending epoch itself.
+  if (faults != nullptr && run.stats.partition_drops > 0 && g.obs.run.deadlocked) {
+    const sim::SimTime end = run.stats.end_time;
+    const fault::PartitionEpoch* offending = faults->partition_at(end);
+    const bool still_split = offending != nullptr;
+    if (offending == nullptr) {
+      // Healed before quiescence: blame the last epoch that was in force.
+      for (const fault::PartitionEpoch& e : faults->partitions)
+        if (e.from <= end && (offending == nullptr || e.from > offending->from))
+          offending = &e;
+    }
+    if (offending != nullptr) {
+      f.kind = ControlFailure::Kind::kPartitioned;
+      f.partition = *offending;
+      f.detail = "network partition severed " +
+                 std::to_string(run.stats.partition_drops) + " message(s); " +
+                 (still_split
+                      ? std::string("the partition was still in force at quiescence -- "
+                                    "the minority side can never make progress")
+                      : std::string("messages severed before the heal were never "
+                                    "recovered"));
+      return f;
+    }
+  }
+
+  // Byzantine corruption that actually flipped payloads starves verified
+  // delivery: quarantined control traffic self-heals by nak+retransmit, but
+  // a corrupted APPLICATION message is discarded at the receiver with no
+  // retransmission below it -- the receive wedges forever.
+  if (run.stats.corrupted_messages > 0 && g.obs.run.deadlocked) {
+    f.kind = ControlFailure::Kind::kCorruptedLink;
+    f.detail = "Byzantine link corrupted " + std::to_string(run.stats.corrupted_messages) +
+               " message(s) in flight (" + std::to_string(g.telemetry.corrupt_quarantined) +
+               " quarantined by control links); a discarded application payload "
+               "has no retransmission layer beneath it, so its receiver is "
+               "wedged";
     return f;
   }
 
@@ -174,7 +221,7 @@ GuardedObservation Session::observe_guarded(uint64_t seed,
   // never a bare deadlock flag.
   if (g.obs.run.deadlocked || g.degraded) {
     PREDCTRL_OBS_SPAN(wspan, "session.watchdog", "session");
-    g.failure = classify_control_failure(g, n);
+    g.failure = classify_control_failure(g, n, faults);
     wspan.add_arg("kind", std::string(to_string(g.failure.kind)));
     PREDCTRL_OBS_COUNT("session.watchdog.firings", 1);
 #if PREDCTRL_OBS_ENABLED

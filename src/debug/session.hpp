@@ -70,15 +70,20 @@ struct ControlOutcome {
 
 /// The watchdog's verdict on a guarded run that did not complete cleanly.
 /// Classification precedence: a crashed anti-token holder explains
-/// everything downstream of it; otherwise exhausted retransmissions point at
-/// lost control messages; otherwise the system itself broke assumption A1
-/// (blocked while false -- the paper's impossibility territory).
+/// everything downstream of it; then an active (or unhealed) network
+/// partition that provably swallowed traffic; then Byzantine corruption
+/// that actually flipped payloads; otherwise exhausted retransmissions
+/// point at lost control messages; otherwise the system itself broke
+/// assumption A1 (blocked while false -- the paper's impossibility
+/// territory).
 struct ControlFailure {
   enum class Kind : uint8_t {
     kNone,                 ///< the run completed normally
     kAssumptionViolated,   ///< A1 broken: a process blocked while false
     kLostControlMessage,   ///< handoff traffic lost beyond recovery
     kCrashedHolder,        ///< the scapegoat's controller crashed mid-hold
+    kPartitioned,          ///< a link-mask epoch wedged the minority side
+    kCorruptedLink,        ///< Byzantine bit-flips starved verified delivery
   };
   Kind kind = Kind::kNone;
   /// Human-readable one-line diagnosis.
@@ -95,6 +100,10 @@ struct ControlFailure {
   /// Where a re-execution could safely resume: the greatest consistent cut
   /// under the partial trace's final states (trace/recovery.hpp).
   RecoveryLine recovery;
+  /// The offending link mask, set iff kind == kPartitioned: the epoch whose
+  /// severed links explain the wedge (still in force at quiescence, or the
+  /// last one whose drops were never recovered).
+  std::optional<fault::PartitionEpoch> partition;
   /// Causally-ordered flight timeline of the run (obs/flight_recorder.hpp),
   /// rendered as text -- the forensic history behind the verdict. Empty when
   /// the build compiles observability out.

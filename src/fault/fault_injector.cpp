@@ -6,6 +6,7 @@ namespace predctrl::fault {
 
 FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan), rng_(plan.seed) {
   plan_.validate();
+  stamp_ = plan_.corrupts();
 }
 
 void FaultInjector::install(sim::SimEngine& engine) {
@@ -17,13 +18,26 @@ void FaultInjector::install(sim::SimEngine& engine) {
   }
 }
 
-sim::FaultVerdict FaultInjector::on_send(const sim::Message& msg, sim::SimTime) {
+sim::FaultVerdict FaultInjector::on_send(const sim::Message& msg, sim::SimTime now) {
   const size_t plane = static_cast<size_t>(msg.plane);
   const int64_t index = send_index_[plane]++;
   ++stats_.considered[plane];
   const PlaneRates& rates = plan_.rates[plane];
 
   sim::FaultVerdict verdict;
+  // Partition mask first: a pure function of virtual time and the plan, no
+  // Rng draw -- so a plan whose only feature is a partition perturbs no
+  // random sequence anywhere. The kLocal plane is exempt (a partition cuts
+  // the network, not a co-located process/controller pair).
+  if (msg.plane != sim::Message::Plane::kLocal && !plan_.partitions.empty()) {
+    if (const PartitionEpoch* epoch = plan_.partition_at(now);
+        epoch != nullptr && epoch->severs(msg.from, msg.to)) {
+      ++stats_.partition_severed;
+      verdict.partitioned = true;
+      return verdict;
+    }
+  }
+
   // Scripted faults override the dice for their one send.
   for (const ScriptedFault& s : plan_.script) {
     if (s.plane != msg.plane || s.send_index != index) continue;
@@ -43,6 +57,14 @@ sim::FaultVerdict FaultInjector::on_send(const sim::Message& msg, sim::SimTime) 
       case ScriptedFault::Action::kReorder:
         verdict.reordered = true;
         verdict.extra_delay = plan_.reorder_max;
+        return verdict;
+      case ScriptedFault::Action::kCorrupt:
+        // Deterministic flip (no draw): bit 0 of the first clock component
+        // when a clock rides along, else of payload a.
+        ++stats_.corrupted;
+        verdict.corrupt = true;
+        verdict.corrupt_lane = msg.clock.empty() ? -2 : 0;
+        verdict.corrupt_mask = 1;
         return verdict;
     }
   }
@@ -66,6 +88,17 @@ sim::FaultVerdict FaultInjector::on_send(const sim::Message& msg, sim::SimTime) 
   if (rates.reorder > 0 && rng_.chance(rates.reorder)) {
     verdict.reordered = true;
     verdict.extra_delay += rng_.uniform(plan_.reorder_min, plan_.reorder_max);
+  }
+  // Corruption draws LAST so pre-v2 plans (corrupt == 0 everywhere) see the
+  // exact Rng sequence they always did -- committed bench baselines depend
+  // on it.
+  if (rates.corrupt > 0 && rng_.chance(rates.corrupt)) {
+    ++stats_.corrupted;
+    verdict.corrupt = true;
+    // Lane over {a, b} + every clock component, then a single bit flip.
+    const int64_t lanes = 2 + static_cast<int64_t>(msg.clock.size());
+    verdict.corrupt_lane = static_cast<int32_t>(rng_.uniform(0, lanes - 1)) - 2;
+    verdict.corrupt_mask = int64_t{1} << rng_.uniform(0, 30);
   }
   return verdict;
 }

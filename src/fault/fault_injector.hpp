@@ -21,6 +21,8 @@ namespace predctrl::fault {
 struct InjectorStats {
   int64_t considered[3] = {0, 0, 0};  ///< sends seen, by plane
   int64_t scripted_applied = 0;       ///< scripted faults that matched
+  int64_t partition_severed = 0;      ///< sends swallowed by the link mask
+  int64_t corrupted = 0;              ///< sends whose payload was bit-flipped
 };
 
 class FaultInjector : public sim::FaultHook {
@@ -35,6 +37,11 @@ class FaultInjector : public sim::FaultHook {
 
   sim::FaultVerdict on_send(const sim::Message& msg, sim::SimTime now) override;
 
+  /// Checksums are stamped exactly when the plan can corrupt: fault-free
+  /// and corruption-free plans leave every message unstamped (check == 0),
+  /// keeping them byte-identical to pre-checksum builds.
+  bool stamp_checksums() const override { return stamp_; }
+
   const FaultPlan& plan() const { return plan_; }
   const InjectorStats& stats() const { return stats_; }
 
@@ -42,6 +49,7 @@ class FaultInjector : public sim::FaultHook {
   FaultPlan plan_;
   Rng rng_;
   InjectorStats stats_;
+  bool stamp_ = false;
   /// Per-plane send counters for scripted-fault matching.
   int64_t send_index_[3] = {0, 0, 0};
 };

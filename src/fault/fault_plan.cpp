@@ -4,10 +4,38 @@
 
 namespace predctrl::fault {
 
+int32_t PartitionEpoch::group_of(sim::AgentId id) const {
+  for (size_t g = 0; g < groups.size(); ++g)
+    for (sim::AgentId member : groups[g])
+      if (member == id) return static_cast<int32_t>(g);
+  return -1;
+}
+
+bool PartitionEpoch::severs(sim::AgentId a, sim::AgentId b) const {
+  const int32_t ga = group_of(a);
+  if (ga < 0) return false;
+  const int32_t gb = group_of(b);
+  return gb >= 0 && ga != gb;
+}
+
+const PartitionEpoch* FaultPlan::partition_at(sim::SimTime t) const {
+  for (const PartitionEpoch& e : partitions)
+    if (e.covers(t)) return &e;
+  return nullptr;
+}
+
+bool FaultPlan::corrupts() const {
+  for (const PlaneRates& r : rates)
+    if (r.corrupt > 0) return true;
+  for (const ScriptedFault& s : script)
+    if (s.action == ScriptedFault::Action::kCorrupt) return true;
+  return false;
+}
+
 bool FaultPlan::active() const {
   for (const PlaneRates& r : rates)
     if (r.any()) return true;
-  return !crashes.empty() || !script.empty();
+  return !crashes.empty() || !script.empty() || !partitions.empty();
 }
 
 void FaultPlan::validate(int32_t num_agents) const {
@@ -19,6 +47,7 @@ void FaultPlan::validate(int32_t num_agents) const {
     check_rate(r.duplicate, "duplicate");
     check_rate(r.delay_spike, "delay_spike");
     check_rate(r.reorder, "reorder");
+    check_rate(r.corrupt, "corrupt");
   }
   PREDCTRL_CHECK(spike_min >= 0 && spike_min <= spike_max, "bad spike delay range");
   PREDCTRL_CHECK(reorder_min >= 0 && reorder_min <= reorder_max, "bad reorder delay range");
@@ -34,6 +63,34 @@ void FaultPlan::validate(int32_t num_agents) const {
   }
   for (const ScriptedFault& s : script)
     PREDCTRL_CHECK(s.send_index >= 0, "scripted fault send_index must be >= 0");
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    const PartitionEpoch& e = partitions[i];
+    PREDCTRL_CHECK(e.from >= 0, "partition epoch starts at a negative time");
+    PREDCTRL_CHECK(e.until < 0 || e.until > e.from,
+                   "partition epoch must heal strictly after it forms (or never, until = -1)");
+    PREDCTRL_CHECK(e.groups.size() >= 2,
+                   "partition epoch needs at least two groups to sever anything");
+    std::vector<sim::AgentId> seen;
+    for (const auto& group : e.groups) {
+      PREDCTRL_CHECK(!group.empty(), "partition epoch has an empty group");
+      for (sim::AgentId id : group) {
+        PREDCTRL_CHECK(id >= 0, "partition group names a negative agent id");
+        if (num_agents >= 0)
+          PREDCTRL_CHECK(id < num_agents, "partition group names an unknown agent");
+        for (sim::AgentId s : seen)
+          PREDCTRL_CHECK(s != id, "agent listed in two groups of one partition epoch");
+        seen.push_back(id);
+      }
+    }
+    // Epochs must not overlap: at most one mask is in force at any instant,
+    // so the active epoch (and hence the verdict) is unambiguous.
+    for (size_t j = i + 1; j < partitions.size(); ++j) {
+      const PartitionEpoch& o = partitions[j];
+      const bool disjoint = (e.until >= 0 && e.until <= o.from) ||
+                            (o.until >= 0 && o.until <= e.from);
+      PREDCTRL_CHECK(disjoint, "partition epochs overlap in time");
+    }
+  }
 }
 
 }  // namespace predctrl::fault

@@ -40,8 +40,36 @@ struct PlaneRates {
   /// explicit reorder against any FIFO expectation): the extra delay is
   /// drawn from [reorder_min, reorder_max].
   double reorder = 0.0;
+  /// Probability of flipping payload bits in flight (Byzantine link). The
+  /// message still arrives; detection is the receiver's job via the
+  /// engine-stamped checksum. Drawn LAST in the injector's fixed order so
+  /// adding corruption to a plan does not shift the plan's existing
+  /// drop/duplicate/spike/reorder draw sequence.
+  double corrupt = 0.0;
 
-  bool any() const { return drop > 0 || duplicate > 0 || delay_spike > 0 || reorder > 0; }
+  bool any() const {
+    return drop > 0 || duplicate > 0 || delay_spike > 0 || reorder > 0 || corrupt > 0;
+  }
+};
+
+/// One partition epoch: from virtual time `from` until `until` (exclusive;
+/// -1 = never heals), agents in different `groups` cannot exchange
+/// application- or control-plane messages -- every such send is swallowed.
+/// Agents not listed in any group are unaffected, and the kLocal plane
+/// (co-located process/controller pairs) is never severed: a partition cuts
+/// the network, not a process in half. The mask is a pure function of
+/// virtual time, so enforcing it draws nothing from any Rng.
+struct PartitionEpoch {
+  sim::SimTime from = 0;
+  sim::SimTime until = -1;  ///< exclusive end; -1 = the partition never heals
+  std::vector<std::vector<sim::AgentId>> groups;
+
+  bool covers(sim::SimTime t) const { return t >= from && (until < 0 || t < until); }
+  /// Index of the group containing `id`, or -1 when unlisted.
+  int32_t group_of(sim::AgentId id) const;
+  /// True iff the epoch separates the two agents (both listed, different
+  /// groups).
+  bool severs(sim::AgentId a, sim::AgentId b) const;
 };
 
 /// One scheduled agent crash, with an optional restart.
@@ -54,7 +82,7 @@ struct CrashEvent {
 /// One scripted fault: forces an action on the k-th send (0-based, counted
 /// per plane across the whole run), regardless of the random rates.
 struct ScriptedFault {
-  enum class Action : uint8_t { kDrop, kDuplicate, kDelaySpike, kReorder };
+  enum class Action : uint8_t { kDrop, kDuplicate, kDelaySpike, kReorder, kCorrupt };
   sim::Message::Plane plane = sim::Message::Plane::kControl;
   int64_t send_index = 0;
   Action action = Action::kDrop;
@@ -75,11 +103,23 @@ struct FaultPlan {
   sim::SimTime reorder_max = 40'000;
   std::vector<CrashEvent> crashes;
   std::vector<ScriptedFault> script;
+  /// Time-varying link mask. Epochs must not overlap (validate() rejects
+  /// it), so at most one is active at any instant.
+  std::vector<PartitionEpoch> partitions;
 
   PlaneRates& plane(sim::Message::Plane p) { return rates[static_cast<size_t>(p)]; }
   const PlaneRates& plane(sim::Message::Plane p) const {
     return rates[static_cast<size_t>(p)];
   }
+
+  /// The epoch covering virtual time `t`, or nullptr when the network is
+  /// whole at `t`.
+  const PartitionEpoch* partition_at(sim::SimTime t) const;
+
+  /// True iff the plan can ever corrupt a payload (any corrupt rate > 0 or
+  /// a scripted kCorrupt) -- the signal for the engine to start stamping
+  /// per-message checksums.
+  bool corrupts() const;
 
   /// True iff the plan can change anything at all. An inactive plan is
   /// byte-identical to running with no plan -- and callers (online/guard,

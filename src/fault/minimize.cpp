@@ -1,0 +1,205 @@
+#include "fault/minimize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace predctrl::fault {
+
+namespace {
+
+// One discrete grain of adversity. Canonical order: crashes, scripted
+// faults, partition epochs (each by position), then nonzero rate knobs by
+// (plane, kind) -- the order describe_plan_units() prints and every rebuild
+// preserves, so candidate plans are a pure function of the kept unit set.
+struct Unit {
+  enum class Kind : uint8_t { kCrash, kScripted, kPartition, kRate };
+  Kind kind;
+  size_t index = 0;  ///< position in the source vector (kCrash/kScripted/kPartition)
+  size_t plane = 0;  ///< kRate: plane index
+  int rate = 0;      ///< kRate: 0 drop, 1 duplicate, 2 spike, 3 reorder, 4 corrupt
+};
+
+const char* kRateNames[] = {"drop", "duplicate", "delay_spike", "reorder", "corrupt"};
+const char* kPlaneNames[] = {"application", "control", "local"};
+
+double rate_value(const PlaneRates& r, int which) {
+  switch (which) {
+    case 0: return r.drop;
+    case 1: return r.duplicate;
+    case 2: return r.delay_spike;
+    case 3: return r.reorder;
+    default: return r.corrupt;
+  }
+}
+
+void set_rate(PlaneRates& r, int which, double value) {
+  switch (which) {
+    case 0: r.drop = value; break;
+    case 1: r.duplicate = value; break;
+    case 2: r.delay_spike = value; break;
+    case 3: r.reorder = value; break;
+    default: r.corrupt = value; break;
+  }
+}
+
+std::vector<Unit> units_of(const FaultPlan& plan) {
+  std::vector<Unit> units;
+  for (size_t i = 0; i < plan.crashes.size(); ++i)
+    units.push_back({Unit::Kind::kCrash, i, 0, 0});
+  for (size_t i = 0; i < plan.script.size(); ++i)
+    units.push_back({Unit::Kind::kScripted, i, 0, 0});
+  for (size_t i = 0; i < plan.partitions.size(); ++i)
+    units.push_back({Unit::Kind::kPartition, i, 0, 0});
+  for (size_t p = 0; p < 3; ++p)
+    for (int r = 0; r < 5; ++r)
+      if (rate_value(plan.rates[p], r) > 0)
+        units.push_back({Unit::Kind::kRate, 0, p, r});
+  return units;
+}
+
+// Rebuilds a plan carrying exactly `keep` of the base plan's units. Seed and
+// delay ranges always survive (plan identity, not adversity).
+FaultPlan rebuild(const FaultPlan& base, const std::vector<Unit>& keep) {
+  FaultPlan out = base;
+  out.crashes.clear();
+  out.script.clear();
+  out.partitions.clear();
+  for (PlaneRates& r : out.rates) r = PlaneRates{};
+  for (const Unit& u : keep) {
+    switch (u.kind) {
+      case Unit::Kind::kCrash: out.crashes.push_back(base.crashes[u.index]); break;
+      case Unit::Kind::kScripted: out.script.push_back(base.script[u.index]); break;
+      case Unit::Kind::kPartition: out.partitions.push_back(base.partitions[u.index]); break;
+      case Unit::Kind::kRate:
+        set_rate(out.rates[u.plane], u.rate, rate_value(base.rates[u.plane], u.rate));
+        break;
+    }
+  }
+  return out;
+}
+
+std::string describe(const FaultPlan& plan, const Unit& u) {
+  switch (u.kind) {
+    case Unit::Kind::kCrash: {
+      const CrashEvent& c = plan.crashes[u.index];
+      std::string s = "crash agent " + std::to_string(c.agent) + " @ " + std::to_string(c.at);
+      if (c.restart_at >= 0) s += " (restart @ " + std::to_string(c.restart_at) + ")";
+      return s;
+    }
+    case Unit::Kind::kScripted: {
+      const ScriptedFault& f = plan.script[u.index];
+      const char* action = "?";
+      switch (f.action) {
+        case ScriptedFault::Action::kDrop: action = "drop"; break;
+        case ScriptedFault::Action::kDuplicate: action = "duplicate"; break;
+        case ScriptedFault::Action::kDelaySpike: action = "delay-spike"; break;
+        case ScriptedFault::Action::kReorder: action = "reorder"; break;
+        case ScriptedFault::Action::kCorrupt: action = "corrupt"; break;
+      }
+      return std::string("scripted ") + action + " of " +
+             kPlaneNames[static_cast<size_t>(f.plane)] + " send #" +
+             std::to_string(f.send_index);
+    }
+    case Unit::Kind::kPartition: {
+      const PartitionEpoch& e = plan.partitions[u.index];
+      std::string s = "partition @ [" + std::to_string(e.from) + ", " +
+                      (e.until < 0 ? std::string("inf") : std::to_string(e.until)) + ") ";
+      for (size_t g = 0; g < e.groups.size(); ++g) {
+        s += g == 0 ? "{" : " | ";
+        for (size_t m = 0; m < e.groups[g].size(); ++m)
+          s += (m == 0 ? "" : " ") + std::to_string(e.groups[g][m]);
+      }
+      s += "}";
+      return s;
+    }
+    case Unit::Kind::kRate:
+      return std::string(kPlaneNames[u.plane]) + "." + kRateNames[u.rate] + " = " +
+             std::to_string(rate_value(plan.rates[u.plane], u.rate));
+  }
+  return "?";
+}
+
+}  // namespace
+
+int64_t plan_unit_count(const FaultPlan& plan) {
+  return static_cast<int64_t>(units_of(plan).size());
+}
+
+std::vector<std::string> describe_plan_units(const FaultPlan& plan) {
+  std::vector<std::string> out;
+  for (const Unit& u : units_of(plan)) out.push_back(describe(plan, u));
+  return out;
+}
+
+MinimizeResult minimize_fault_plan(const FaultPlan& plan, const ReproOracle& repro,
+                                   const MinimizeOptions& options) {
+  PREDCTRL_CHECK(static_cast<bool>(repro), "minimizer needs an oracle");
+  MinimizeResult result;
+  std::vector<Unit> current = units_of(plan);
+  result.units_before = static_cast<int64_t>(current.size());
+
+  if (!repro(plan))
+    throw std::invalid_argument(
+        "the input plan does not reproduce the failure; nothing to minimize");
+  ++result.probes;
+
+  auto probe = [&](const std::vector<Unit>& keep) {
+    ++result.probes;
+    return repro(rebuild(plan, keep));
+  };
+  const auto exhausted = [&] { return result.probes >= options.max_probes; };
+
+  // Zeller's ddmin. Invariant: rebuild(plan, current) reproduces. Chunks
+  // respect the canonical unit order, so the search path -- and therefore
+  // the local minimum it lands on -- is deterministic.
+  size_t granularity = 2;
+  while (current.size() >= 2 && !exhausted()) {
+    const size_t chunk_count = std::min(granularity, current.size());
+    std::vector<std::vector<Unit>> chunks(chunk_count);
+    for (size_t i = 0; i < current.size(); ++i)
+      chunks[i * chunk_count / current.size()].push_back(current[i]);
+
+    bool reduced = false;
+    // Try each chunk alone ("reduce to subset")...
+    for (size_t i = 0; i < chunk_count && !exhausted(); ++i) {
+      if (chunks[i].size() == current.size()) continue;
+      if (probe(chunks[i])) {
+        current = chunks[i];
+        granularity = 2;
+        reduced = true;
+        break;
+      }
+    }
+    // ...then each chunk removed ("reduce to complement").
+    if (!reduced && chunk_count > 2) {
+      for (size_t i = 0; i < chunk_count && !exhausted(); ++i) {
+        std::vector<Unit> complement;
+        for (size_t j = 0; j < chunk_count; ++j)
+          if (j != i) complement.insert(complement.end(), chunks[j].begin(), chunks[j].end());
+        if (complement.size() == current.size() || complement.empty()) continue;
+        if (probe(complement)) {
+          current = complement;
+          granularity = std::max<size_t>(chunk_count - 1, 2);
+          reduced = true;
+          break;
+        }
+      }
+    }
+    if (!reduced) {
+      if (chunk_count == current.size()) {
+        result.minimal = !exhausted();
+        break;  // singleton granularity and nothing removable: 1-minimal
+      }
+      granularity = std::min(granularity * 2, current.size());
+    }
+  }
+  if (current.size() < 2) result.minimal = !exhausted() || current.empty();
+
+  result.plan = rebuild(plan, current);
+  result.units_after = static_cast<int64_t>(current.size());
+  return result;
+}
+
+}  // namespace predctrl::fault

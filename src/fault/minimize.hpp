@@ -1,0 +1,72 @@
+// FaultPlan minimization: a ddmin-style delta debugger over fault plans.
+//
+// A plan that reproduces a ControlFailure verdict usually carries far more
+// adversity than the failure needs -- eight scripted drops when one wedges
+// the handoff, a partition epoch nobody hits, rate knobs that never fired.
+// minimize_fault_plan() shrinks the plan to a LOCALLY MINIMAL one (removing
+// any single remaining unit loses the repro) by re-running a caller-supplied
+// oracle against candidate sub-plans.
+//
+// The whole scheme leans on the repo's absolute determinism rule: the same
+// seed + the same plan is byte-identical, so "still reproduces" is an exact
+// equality on the structured verdict, not a flaky heuristic -- the oracle is
+// a pure function of the plan, and so is the minimizer (fixed unit order,
+// fixed probe order, no randomness). Minimizing an already-minimal plan is a
+// fixpoint.
+//
+// The decomposition unit is one discrete grain of adversity:
+//   * one CrashEvent,
+//   * one ScriptedFault,
+//   * one PartitionEpoch,
+//   * one nonzero rate knob (plane x kind -- removing it zeroes the rate).
+// Seed and delay ranges are plan identity, not adversity: every candidate
+// keeps them, so kept units replay exactly as they did in the full plan
+// prefix-for-prefix (rate draws consume the injector Rng in fixed order, so
+// dropping a LATER unit never perturbs an earlier one).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+
+namespace predctrl::fault {
+
+/// Returns true iff the candidate plan still reproduces the failure under
+/// investigation. Must be deterministic (run the sim at a fixed seed and
+/// compare the structured verdict).
+using ReproOracle = std::function<bool(const FaultPlan&)>;
+
+struct MinimizeOptions {
+  /// Hard cap on oracle invocations; the result is still valid (a subset of
+  /// the input that reproduces) when the cap is hit, just not certified
+  /// 1-minimal.
+  int64_t max_probes = 1024;
+};
+
+struct MinimizeResult {
+  FaultPlan plan;           ///< the shrunk plan (== input if nothing shrank)
+  int64_t units_before = 0;
+  int64_t units_after = 0;
+  int64_t probes = 0;       ///< oracle invocations spent
+  /// True iff the search ran to completion: the plan is 1-minimal (removing
+  /// any single unit loses the repro). False only when max_probes cut the
+  /// search short.
+  bool minimal = false;
+};
+
+/// Number of discrete adversity units in a plan.
+int64_t plan_unit_count(const FaultPlan& plan);
+
+/// Human-readable unit descriptions, in the minimizer's canonical order.
+std::vector<std::string> describe_plan_units(const FaultPlan& plan);
+
+/// ddmin over `plan`'s units. Requires repro(plan) to hold (checked: throws
+/// std::invalid_argument otherwise -- a non-reproducing input has nothing to
+/// minimize).
+MinimizeResult minimize_fault_plan(const FaultPlan& plan, const ReproOracle& repro,
+                                   const MinimizeOptions& options = {});
+
+}  // namespace predctrl::fault

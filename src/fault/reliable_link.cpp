@@ -14,7 +14,8 @@ void ReliableLink::send(sim::AgentContext& ctx, sim::AgentId to, sim::Message ms
     ctx.send(to, std::move(msg));
     return;
   }
-  const int64_t seq = next_seq_++;
+  const int64_t seq = next_seq_[to]++;
+  const int64_t token = next_token_++;
   msg.b = seq;
   msg.from = ctx.self();
   msg.to = to;
@@ -22,14 +23,54 @@ void ReliableLink::send(sim::AgentContext& ctx, sim::AgentId to, sim::Message ms
   out.msg = msg;
   out.attempts = 0;
   out.next_timeout = options_.timeout;
-  outstanding_.emplace(seq, std::move(out));
+  outstanding_.emplace(token, std::move(out));
+  token_of_[{to, seq}] = token;
   ctx.send(to, std::move(msg));
-  ctx.set_timer(options_.timeout, kLinkTimerBase + seq);
+  ctx.set_timer(options_.timeout, kLinkTimerBase + token);
 }
 
 bool ReliableLink::on_message(sim::AgentContext& ctx, const sim::Message& msg) {
+  // Integrity first: a stamped message whose checksum no longer matches was
+  // corrupted in flight. Quarantine it -- the protocol must never parse a
+  // Byzantine payload -- and, for a reliable data message, request an
+  // immediate retransmit. The seq in the nak may itself be the corrupted
+  // field; then the nak misses at the sender and the retransmit timer still
+  // covers recovery. Corrupt acks/naks are simply dropped for the same
+  // reason. Never acked, never marked seen: the clean retransmission will
+  // be delivered as fresh.
+  if (msg.check != 0 && sim::message_checksum(msg) != msg.check) {
+    ++stats_.corrupt_quarantined;
+    PREDCTRL_OBS_COUNT("fault.link.corrupt_quarantined", 1);
+    PREDCTRL_FLIGHT(ctx.flight(), "fault.corrupt", kFault, ctx.self(), ctx.now(), msg.from,
+                    msg.type, msg.b, "checksum mismatch; payload quarantined");
+    if (options_.enabled && msg.plane == sim::Message::Plane::kControl &&
+        msg.type != kLinkAck && msg.type != kLinkNak) {
+      sim::Message nak;
+      nak.type = kLinkNak;
+      nak.a = msg.b;
+      nak.plane = sim::Message::Plane::kControl;
+      ctx.send(msg.from, std::move(nak));
+      ++stats_.naks_sent;
+    }
+    return true;
+  }
   if (msg.type == kLinkAck) {
-    outstanding_.erase(msg.a);
+    auto it = token_of_.find({msg.from, msg.a});
+    if (it != token_of_.end()) {
+      outstanding_.erase(it->second);
+      token_of_.erase(it);
+    }
+    return true;
+  }
+  if (msg.type == kLinkNak) {
+    // The peer quarantined a corrupted copy: retransmit right away instead
+    // of waiting out the backoff. Attempts still count toward max_retries,
+    // so a permanently corrupting link converges to the same give-up.
+    auto it = token_of_.find({msg.from, msg.a});
+    if (it != token_of_.end()) {
+      Outstanding& out = outstanding_.at(it->second);
+      if (out.attempts < options_.max_retries) retransmit(ctx, out);
+    }
     return true;
   }
   if (!options_.enabled) return false;
@@ -47,8 +88,11 @@ bool ReliableLink::on_message(sim::AgentContext& ctx, const sim::Message& msg) {
   ctx.send(msg.from, std::move(ack));
   ++stats_.acks_sent;
 
-  auto [it, fresh] = seen_[msg.from].emplace(msg.b);
-  (void)it;
+  PeerWindow& win = seen_[msg.from];
+  // Below the low-water mark: this link already delivered (and acked) that
+  // seq, or the mark could not have advanced past it. Provably a duplicate.
+  bool fresh = msg.b >= win.low_water;
+  if (fresh) fresh = win.seen.emplace(msg.b).second;
   if (!fresh) {
     ++stats_.duplicates_suppressed;
     PREDCTRL_OBS_COUNT("fault.link.duplicates_suppressed", 1);
@@ -56,13 +100,19 @@ bool ReliableLink::on_message(sim::AgentContext& ctx, const sim::Message& msg) {
                     msg.type, msg.b);
     return true;  // protocol already saw this one
   }
+  // Prune the contiguous delivered prefix: per-destination seqs are gapless,
+  // so once 0..k have all arrived nothing below k+1 needs remembering.
+  while (!win.seen.empty() && *win.seen.begin() == win.low_water) {
+    win.seen.erase(win.seen.begin());
+    ++win.low_water;
+  }
   return false;  // fresh: hand it up to the protocol
 }
 
 bool ReliableLink::on_timer(sim::AgentContext& ctx, int64_t timer_id) {
   if (timer_id < kLinkTimerBase) return false;
-  const int64_t seq = timer_id - kLinkTimerBase;
-  auto it = outstanding_.find(seq);
+  const int64_t token = timer_id - kLinkTimerBase;
+  auto it = outstanding_.find(token);
   if (it == outstanding_.end()) return true;  // acked; stale timer
   Outstanding& out = it->second;
   if (out.attempts >= options_.max_retries) {
@@ -72,22 +122,37 @@ bool ReliableLink::on_timer(sim::AgentContext& ctx, int64_t timer_id) {
                     out.msg.to, out.msg.type, out.attempts,
                     "retries exhausted; peer presumed unreachable");
     const sim::Message lost = out.msg;
+    token_of_.erase({lost.to, lost.b});
     outstanding_.erase(it);
     if (give_up_) give_up_(ctx, lost);
     return true;
   }
-  ++out.attempts;
-  ++stats_.retransmits;
-  PREDCTRL_OBS_COUNT("fault.link.retransmits", 1);
-  PREDCTRL_FLIGHT(ctx.flight(), "fault.retransmit", kFault, ctx.self(), ctx.now(),
-                  out.msg.to, out.msg.type, out.attempts);
-  ctx.send(out.msg.to, out.msg);
+  retransmit(ctx, out);
   out.next_timeout = std::min<sim::SimTime>(
       static_cast<sim::SimTime>(static_cast<double>(out.next_timeout) * options_.backoff),
       options_.max_timeout);
   PREDCTRL_OBS_RECORD("fault.link.backoff_us", out.next_timeout);
   ctx.set_timer(out.next_timeout, timer_id);
   return true;
+}
+
+void ReliableLink::retransmit(sim::AgentContext& ctx, Outstanding& out) {
+  ++out.attempts;
+  ++stats_.retransmits;
+  PREDCTRL_OBS_COUNT("fault.link.retransmits", 1);
+  PREDCTRL_FLIGHT(ctx.flight(), "fault.retransmit", kFault, ctx.self(), ctx.now(),
+                  out.msg.to, out.msg.type, out.attempts);
+  ctx.send(out.msg.to, out.msg);
+}
+
+int64_t ReliableLink::dedup_entries(sim::AgentId peer) const {
+  auto it = seen_.find(peer);
+  return it == seen_.end() ? 0 : static_cast<int64_t>(it->second.seen.size());
+}
+
+int64_t ReliableLink::dedup_low_water(sim::AgentId peer) const {
+  auto it = seen_.find(peer);
+  return it == seen_.end() ? 0 : it->second.low_water;
 }
 
 }  // namespace predctrl::fault

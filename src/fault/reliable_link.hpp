@@ -6,8 +6,8 @@
 // kWantFalse gate and the run deadlocks). A ReliableLink wraps an agent's
 // control-plane sends in a classic positive-ack scheme:
 //
-//   * every reliable send stamps a per-sender sequence number into
-//     Message::b and arms a virtual-time retransmit timer;
+//   * every reliable send stamps a per-(sender, destination) sequence
+//     number into Message::b and arms a virtual-time retransmit timer;
 //   * the receiving link immediately answers kLinkAck (idempotent -- every
 //     delivery is acked, because the ack itself can be dropped) and
 //     suppresses duplicate deliveries by (sender, seq), so the protocol
@@ -17,7 +17,22 @@
 //   * unacked sends retransmit with exponential backoff (deterministic:
 //     timeout * backoff^attempt, capped) up to max_retries, then the link
 //     gives up and reports the loss to its owner -- the hook controllers
-//     use to fail over to another peer or gracefully release control.
+//     use to fail over to another peer or gracefully release control;
+//   * a delivery whose engine-stamped checksum (Message::check) no longer
+//     matches its payload was corrupted in flight (Byzantine link). The
+//     link QUARANTINES it -- counted, never parsed, never acked, never
+//     marked seen -- and answers kLinkNak to request an immediate
+//     retransmit, so protocols above see exactly-once VERIFIED delivery.
+//     Corruption is flagged, never fatal: a corrupt ack or nak is simply
+//     dropped and the retransmit timer covers recovery.
+//
+// Dedup state is windowed, not unbounded: sequence numbers are per
+// destination, so each receiver sees a gapless 0,1,2,... stream per sender
+// and can discard dedup entries below the contiguous delivered-and-acked
+// prefix (the low-water mark). Any later arrival below the mark is provably
+// a duplicate -- the mark only advances past seqs this link itself
+// delivered. The live set holds just the out-of-order frontier, bounded by
+// the reorder window rather than the run length.
 //
 // Everything runs on virtual-time timers inside the deterministic
 // simulator: same seed + same fault plan => the same retransmit schedule,
@@ -31,6 +46,7 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <utility>
 
 #include "runtime/sim.hpp"
 
@@ -39,6 +55,10 @@ namespace predctrl::fault {
 /// Transport-level acknowledgment (distinct from the scapegoat protocol's
 /// kAck): `a` carries the acked sequence number.
 constexpr int32_t kLinkAck = 140;
+
+/// Transport-level retransmit request: the receiver quarantined a corrupted
+/// delivery; `a` carries the (possibly itself corrupted) sequence number.
+constexpr int32_t kLinkNak = 141;
 
 /// Timer-id namespace for retransmit timers, far above any protocol timer.
 constexpr int64_t kLinkTimerBase = 1'000'000'000;
@@ -58,6 +78,10 @@ struct LinkStats {
   int64_t give_ups = 0;
   int64_t duplicates_suppressed = 0;
   int64_t acks_sent = 0;
+  /// Deliveries quarantined because their checksum no longer matched the
+  /// payload (corrupted in flight) -- the flag-don't-crash counter.
+  int64_t corrupt_quarantined = 0;
+  int64_t naks_sent = 0;  ///< retransmit requests issued for quarantined seqs
 };
 
 /// One agent's reliable control-plane endpoint. The owning agent routes
@@ -80,9 +104,10 @@ class ReliableLink {
   /// timer armed) when enabled, a plain ctx.send otherwise.
   void send(sim::AgentContext& ctx, sim::AgentId to, sim::Message msg);
 
-  /// Returns true iff the link consumed the message (a kLinkAck, or a
-  /// duplicate delivery it suppressed). Fresh reliable messages are acked
-  /// here and then returned to the caller (false) for protocol handling.
+  /// Returns true iff the link consumed the message (a kLinkAck / kLinkNak,
+  /// a duplicate delivery it suppressed, or a corrupted delivery it
+  /// quarantined). Fresh verified reliable messages are acked here and then
+  /// returned to the caller (false) for protocol handling.
   bool on_message(sim::AgentContext& ctx, const sim::Message& msg);
 
   /// Returns true iff the timer id belongs to the link (retransmit or
@@ -93,6 +118,11 @@ class ReliableLink {
   bool idle() const { return outstanding_.empty(); }
   const LinkStats& stats() const { return stats_; }
 
+  /// Dedup-window introspection (tests): live entries / contiguous
+  /// delivered prefix for one sending peer.
+  int64_t dedup_entries(sim::AgentId peer) const;
+  int64_t dedup_low_water(sim::AgentId peer) const;
+
  private:
   struct Outstanding {
     sim::Message msg;  ///< as sent, with .to/.from/.b filled in
@@ -100,11 +130,24 @@ class ReliableLink {
     sim::SimTime next_timeout = 0;
   };
 
+  /// Receiver-side dedup state for one sending peer: every seq below
+  /// low_water was delivered (and acked) by this link, so only the
+  /// out-of-order frontier stays in the set.
+  struct PeerWindow {
+    int64_t low_water = 0;
+    std::set<int64_t> seen;
+  };
+
+  void retransmit(sim::AgentContext& ctx, Outstanding& out);
+
   ReliableLinkOptions options_;
   GiveUp give_up_;
-  int64_t next_seq_ = 0;
-  std::map<int64_t, Outstanding> outstanding_;     // by sequence number
-  std::map<sim::AgentId, std::set<int64_t>> seen_;  // per sender, delivered seqs
+  std::map<sim::AgentId, int64_t> next_seq_;    // per destination peer
+  int64_t next_token_ = 0;                      // timer-id namespace, this link
+  std::map<int64_t, Outstanding> outstanding_;  // by token
+  /// (peer, seq) -> token, for ack / nak lookups.
+  std::map<std::pair<sim::AgentId, int64_t>, int64_t> token_of_;
+  std::map<sim::AgentId, PeerWindow> seen_;  // per sender
   LinkStats stats_;
 };
 

@@ -250,6 +250,7 @@ MutexRunResult run_scapegoat_mutex(const CsWorkloadOptions& options,
     result.telemetry.retransmits += c->link_stats().retransmits;
     result.telemetry.link_give_ups += c->link_stats().give_ups;
     result.telemetry.duplicates_suppressed += c->link_stats().duplicates_suppressed;
+    result.telemetry.corrupt_quarantined += c->link_stats().corrupt_quarantined;
     if (c->released_control()) result.telemetry.released.push_back(static_cast<int32_t>(i));
     if (c->is_scapegoat())
       result.telemetry.holders_at_end.push_back(static_cast<int32_t>(i));

@@ -66,6 +66,7 @@ sim::RunResult run_scripts_guarded(const sim::ScriptedSystem& system,
         telemetry->retransmits += c->link_stats().retransmits;
         telemetry->link_give_ups += c->link_stats().give_ups;
         telemetry->duplicates_suppressed += c->link_stats().duplicates_suppressed;
+        telemetry->corrupt_quarantined += c->link_stats().corrupt_quarantined;
         if (c->released_control()) telemetry->released.push_back(static_cast<int32_t>(i));
         if (c->is_scapegoat()) telemetry->holders_at_end.push_back(static_cast<int32_t>(i));
       }

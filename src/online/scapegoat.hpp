@@ -95,6 +95,10 @@ struct ScapegoatTelemetry {
   int64_t retransmits = 0;
   int64_t link_give_ups = 0;
   int64_t duplicates_suppressed = 0;
+  /// Deliveries the links quarantined as corrupted in flight (checksum
+  /// mismatch) -- nonzero iff a Byzantine plan actually flipped control
+  /// traffic this run.
+  int64_t corrupt_quarantined = 0;
   /// Controllers that released control (graceful degradation): they granted
   /// their process without a handoff after exhausting every peer.
   std::vector<int32_t> released;

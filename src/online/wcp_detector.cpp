@@ -22,6 +22,14 @@ WcpDetector::WcpDetector(int32_t num_processes,
 
 void WcpDetector::on_message(AgentContext& ctx, const Message& msg) {
   if (outcome().conclusive) return;  // verdict already final
+  // Byzantine-link defense: a stamped delivery whose checksum no longer
+  // matches carries an untrustworthy state index, sequence number, or clock
+  // row. Reject it BEFORE it reaches the candidate store -- one poisoned
+  // row in clock_store_ would corrupt every later precedence test.
+  if (msg.check != 0 && sim::message_checksum(msg) != msg.check) {
+    ++outcome().corrupt_rejected;
+    return;
+  }
   const size_t p = static_cast<size_t>(msg.from);
   PREDCTRL_CHECK(msg.from >= 0 && msg.from < n_, "candidate from unknown process");
 

@@ -41,6 +41,11 @@ struct WcpDetectionOutcome {
   bool conclusive = false;
   /// Candidate messages the detector consumed.
   int64_t candidates_received = 0;
+  /// Deliveries rejected because their checksum no longer matched (payload
+  /// corrupted in flight): the clock row never touched the candidate store.
+  /// A rejected candidate may leave the verdict inconclusive -- honest
+  /// "don't know" beats a verdict computed from a poisoned clock.
+  int64_t corrupt_rejected = 0;
 };
 
 /// The detector agent. Deliveries may reorder on the control plane, so

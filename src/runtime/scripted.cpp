@@ -58,7 +58,30 @@ class ScriptedProcess : public Agent {
   }
 
   void on_message(AgentContext& ctx, const Message& msg) override {
+    // Byzantine-link defense: a stamped message whose checksum no longer
+    // matches was corrupted in flight -- discard it unparsed (a flipped
+    // token id, gate verdict, or clock component must never enter this
+    // process's state). Application messages additionally get a structural
+    // check on the piggybacked row: the sender stamps its pre-send state
+    // into both `a` and its own clock component, so a mismatch means the
+    // row cannot be trusted even if the flip canceled in the checksum.
+    // Discarding can wedge this process at its receive -- deliberately:
+    // the watchdog then reports a structured kCorruptedLink verdict
+    // instead of the run computing on poisoned causality.
+    if (msg.check != 0 && message_checksum(msg) != msg.check) {
+      PREDCTRL_FLIGHT(ctx.flight(), "proc.corrupt", kFault, ctx.self(), ctx.now(),
+                      msg.from, msg.type, msg.b, "checksum mismatch; discarded");
+      return;
+    }
     if (msg.type == kAppMsg) {
+      if (msg.check != 0 &&
+          (msg.clock.size() != static_cast<size_t>(n_) || msg.a < 0 ||
+           msg.clock[static_cast<size_t>(process_of(msg.from))] !=
+               static_cast<int32_t>(msg.a))) {
+        PREDCTRL_FLIGHT(ctx.flight(), "proc.corrupt", kFault, ctx.self(), ctx.now(),
+                        msg.from, msg.type, msg.b, "inconsistent piggyback row; discarded");
+        return;
+      }
       inbox_[msg.from].emplace(msg.b, msg);
     } else if (msg.type == kCtlToken) {
       tokens_.insert(msg.a);

@@ -18,6 +18,29 @@ namespace {
 }
 }  // namespace
 
+int64_t message_checksum(const Message& msg) {
+  // FNV-1a over every field but `check`. 64-bit, folded field by field so
+  // the checksum is a pure function of the logical message, independent of
+  // struct layout or padding.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<uint64_t>(static_cast<int64_t>(msg.from)));
+  mix(static_cast<uint64_t>(static_cast<int64_t>(msg.to)));
+  mix(static_cast<uint64_t>(static_cast<int64_t>(msg.type)));
+  mix(static_cast<uint64_t>(msg.a));
+  mix(static_cast<uint64_t>(msg.b));
+  mix(static_cast<uint64_t>(msg.plane));
+  mix(static_cast<uint64_t>(msg.clock.size()));
+  for (int32_t c : msg.clock) mix(static_cast<uint64_t>(static_cast<int64_t>(c)));
+  int64_t out = static_cast<int64_t>(h);
+  return out == 0 ? 1 : out;  // 0 is reserved for "unstamped"
+}
+
 SimTime AgentContext::now() const { return engine_.now(); }
 
 void AgentContext::send(AgentId to, Message msg) { engine_.send_from(self_, to, std::move(msg)); }
@@ -130,7 +153,21 @@ void SimEngine::send_from(AgentId from, AgentId to, Message msg) {
   // Fault verdict AFTER the delay draw: installing a hook leaves the
   // engine's Rng sequence untouched (the hook draws from its own Rng).
   FaultVerdict verdict;
-  if (fault_hook_ != nullptr) verdict = fault_hook_->on_send(msg, now_);
+  if (fault_hook_ != nullptr) {
+    // Stamp before the verdict so corruption (applied below) provably
+    // breaks the stamp -- that mismatch is what receivers detect.
+    if (fault_hook_->stamp_checksums()) msg.check = message_checksum(msg);
+    verdict = fault_hook_->on_send(msg, now_);
+  }
+  if (verdict.partitioned) {
+    ++stats_.partition_drops;
+    PREDCTRL_OBS_COUNT(std::string("fault.partition_drops{plane=") + plane_name(msg.plane) + "}",
+                       1);
+#if PREDCTRL_OBS_ENABLED
+    if (flight_ != nullptr) flight_->on_drop(from, to, now_, msg.type);
+#endif
+    return;
+  }
   if (verdict.drop) {
     ++stats_.messages_dropped;
     PREDCTRL_OBS_COUNT(std::string("fault.dropped{plane=") + plane_name(msg.plane) + "}", 1);
@@ -143,6 +180,20 @@ void SimEngine::send_from(AgentId from, AgentId to, Message msg) {
   if (verdict.reordered) ++stats_.messages_reordered;
   if (verdict.spiked) PREDCTRL_OBS_COUNT("fault.delay_spikes", 1);
   if (verdict.reordered) PREDCTRL_OBS_COUNT("fault.reordered", 1);
+  if (verdict.corrupt) {
+    // Flip payload bits after the stamp; duplicates below carry the same
+    // corruption (one bad link event, however many copies it delivers).
+    ++stats_.corrupted_messages;
+    PREDCTRL_OBS_COUNT("fault.corrupted", 1);
+    int32_t lane = verdict.corrupt_lane;
+    if (lane >= static_cast<int32_t>(msg.clock.size())) lane = -2;
+    if (lane >= 0)
+      msg.clock[static_cast<size_t>(lane)] ^= static_cast<int32_t>(verdict.corrupt_mask);
+    else if (lane == -1)
+      msg.b ^= verdict.corrupt_mask;
+    else
+      msg.a ^= verdict.corrupt_mask;
+  }
 
   SimTime deliver_at = now_ + delay + verdict.extra_delay;
   if (options_.fifo_channels && msg.plane != Message::Plane::kLocal) {

@@ -57,6 +57,13 @@ struct Message {
   int32_t type = 0;
   int64_t a = 0;  ///< first scalar payload
   int64_t b = 0;  ///< second scalar payload
+  /// Integrity checksum over the payload (a, b, clock) and routing fields,
+  /// stamped by the engine at send time when the installed FaultHook asks
+  /// for it (stamp_checksums()). 0 = unstamped: receivers skip verification,
+  /// so fault-free runs carry no integrity machinery at all. A corrupting
+  /// fault plan flips payload bits AFTER the stamp, so a mismatch at the
+  /// receiver is exactly the Byzantine-link signal.
+  int64_t check = 0;
   /// Optional piggybacked vector clock (state-based, one component per
   /// process); empty when the sender does not track causality. Scripted
   /// processes attach the clock of the pre-send state, matching the
@@ -77,12 +84,29 @@ struct Message {
 /// exist only so the engine can keep per-kind counters.
 struct FaultVerdict {
   bool drop = false;        ///< the message is never delivered
+  /// The send crosses an active partition cut: dropped like `drop`, but
+  /// counted separately (SimStats::partition_drops) because the cause is a
+  /// deterministic link mask, not a random loss draw.
+  bool partitioned = false;
   int32_t duplicates = 0;   ///< extra deliveries of the same message
   SimTime extra_delay = 0;  ///< added to the drawn delay (spike / reorder)
   SimTime duplicate_delay = 0;  ///< further delay of each duplicate copy
   bool spiked = false;      ///< extra_delay stems from a delay spike
   bool reordered = false;   ///< extra_delay stems from a reorder deferral
+  /// Byzantine corruption: xor `corrupt_mask` into one payload lane after
+  /// the checksum stamp. Lane -2 = Message::a, -1 = Message::b, >= 0 = that
+  /// clock component. Routing fields (from/to/type/plane) are never
+  /// corrupted -- the fault models a link flipping payload bits, not the
+  /// simulator misdelivering.
+  bool corrupt = false;
+  int32_t corrupt_lane = 0;
+  int64_t corrupt_mask = 0;
 };
+
+/// Deterministic integrity checksum over a message's routing and payload
+/// fields (everything except `check` itself). FNV-1a, never returns 0 so
+/// that check == 0 can mean "unstamped".
+int64_t message_checksum(const Message& msg);
 
 /// Injection point for message-plane faults. Implemented by
 /// fault::FaultInjector; the engine consults it once per send (after
@@ -92,6 +116,11 @@ class FaultHook {
  public:
   virtual ~FaultHook() = default;
   virtual FaultVerdict on_send(const Message& msg, SimTime now) = 0;
+  /// When true the engine stamps Message::check with message_checksum()
+  /// before consulting on_send, giving receivers something to verify
+  /// against. Default off: plans that never corrupt keep messages
+  /// unstamped and byte-identical to a hook-free run.
+  virtual bool stamp_checksums() const { return false; }
 };
 
 class SimEngine;
@@ -191,7 +220,13 @@ struct SimStats {
   // Fault-plane accounting (all zero without an installed FaultHook /
   // crash schedule).
   int64_t messages_dropped = 0;
+  /// Sends swallowed by an active partition epoch (counted apart from
+  /// messages_dropped: the cause is the link mask, not a loss draw).
+  int64_t partition_drops = 0;
   int64_t messages_duplicated = 0;  ///< extra copies enqueued
+  /// Messages whose payload was bit-flipped in flight (the delivery still
+  /// happens -- detection is the receiver's job, via Message::check).
+  int64_t corrupted_messages = 0;
   int64_t delay_spikes = 0;
   int64_t messages_reordered = 0;
   int64_t crashes = 0;

@@ -1,8 +1,12 @@
 #include "trace/trace_file.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <type_traits>
 #include <vector>
 
@@ -271,13 +275,34 @@ void save_trace(const std::string& path, const Deposet& deposet,
   }
   const uint32_t meta_crc = tracefile::crc32c(meta.data(), meta.size());
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out)
-    throw TraceFileError(Kind::kIo, "cannot open '" + path + "' for writing");
+  // Crash-safe publication: build the complete file as a sibling temp,
+  // force it to stable storage (fdatasync), then rename(2) over `path`.
+  // The rename is the commit point -- a reader racing a crash sees either
+  // the whole old file or the whole new one, never a torn tail.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0)
+    throw TraceFileError(Kind::kIo, "cannot open '" + tmp + "' for writing: " +
+                                        std::strerror(errno));
+  auto fail = [&](const std::string& what) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw TraceFileError(Kind::kIo, what + " '" + tmp + "' failed: " + std::strerror(saved));
+  };
   uint64_t written = 0;
   auto write_bytes = [&](const void* data, uint64_t bytes) {
-    if (bytes > 0) out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
-    written += bytes;
+    const auto* p = static_cast<const uint8_t*>(data);
+    while (bytes > 0) {
+      const ssize_t got = ::write(fd, p, bytes);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        fail("write to");
+      }
+      p += got;
+      bytes -= static_cast<uint64_t>(got);
+      written += static_cast<uint64_t>(got);
+    }
   };
   auto pad_to = [&](uint64_t target) {
     static const char zeros[tracefile::kSectionAlign] = {};
@@ -295,9 +320,25 @@ void save_trace(const std::string& path, const Deposet& deposet,
   tracefile::put_u32(footer, meta_crc);
   std::memcpy(footer + 8, tracefile::kFooterMagic, sizeof(tracefile::kFooterMagic));
   write_bytes(footer, sizeof(footer));
-  out.flush();
-  if (!out)
-    throw TraceFileError(Kind::kIo, "write to '" + path + "' failed");
+  if (::fdatasync(fd) != 0) fail("fdatasync of");
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw TraceFileError(Kind::kIo, "close of '" + tmp + "' failed: " + std::strerror(errno));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    throw TraceFileError(Kind::kIo, "rename '" + tmp + "' -> '" + path +
+                                        "' failed: " + std::strerror(saved));
+  }
+  // Make the rename itself durable (best-effort: the data already is).
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
 }
 
 namespace {
@@ -325,6 +366,22 @@ uint64_t expected_section_bytes(SectionId id, const tracefile::TraceHeader& h) {
 }  // namespace
 
 MappedTrace MappedTrace::open(const std::string& path, const TraceReadOptions& options) {
+  if (!options.salvage) return open_strict(path, options);
+  try {
+    return open_strict(path, options);  // intact file: salvaged stays false
+  } catch (const TraceFileError& e) {
+    // Tears manifest as truncation, trailing-magic loss, CRC mismatch, or a
+    // table/shape that no longer fits the file. Anything structural -- I/O,
+    // foreign endianness, unsupported version -- is not a tear and still
+    // throws; open_salvaged re-checks the leading header the same way.
+    if (e.kind() == Kind::kIo || e.kind() == Kind::kEndianMismatch ||
+        e.kind() == Kind::kBadVersion)
+      throw;
+    return open_salvaged(path, e);
+  }
+}
+
+MappedTrace MappedTrace::open_strict(const std::string& path, const TraceReadOptions& options) {
   MappedTrace t;
   try {
     t.file_ = util::MappedFile::open(path);
@@ -448,6 +505,178 @@ MappedTrace MappedTrace::open(const std::string& path, const TraceReadOptions& o
   // The clock slab is probed point-wise by precedence queries; everything
   // else is consumed in order, where default readahead wins.
   t.file_.advise(entries[6].offset, entries[6].bytes, util::MappedFile::Advice::kRandom);
+  return t;
+}
+
+MappedTrace MappedTrace::open_salvaged(const std::string& path, const TraceFileError& trigger) {
+  MappedTrace t;
+  t.salvage_.salvaged = true;
+  t.salvage_.reason = trigger.what();
+  try {
+    t.file_ = util::MappedFile::open(path);
+  } catch (const std::runtime_error& e) {
+    throw TraceFileError(Kind::kIo, e.what());
+  }
+  const uint8_t* data = t.file_.data();
+  const size_t size = t.file_.size();
+
+  // Lenient header decode: the same leading-structure checks decode_header
+  // makes, minus everything that involves the (possibly missing) tail --
+  // the file-size claim and the footer. A failure here is structural
+  // damage, not a tear, and stays fatal.
+  if (size < tracefile::kHeaderBytes)
+    throw TraceFileError(Kind::kTruncated,
+                         "torn beyond recovery: file smaller than the fixed header");
+  if (std::memcmp(data, tracefile::kMagic, sizeof(tracefile::kMagic)) != 0)
+    throw TraceFileError(Kind::kBadMagic, "not a predctrl-trace file (bad leading magic)");
+  const uint32_t endian = tracefile::get_u32(data + 8);
+  if (endian == 0x04030201u)
+    throw TraceFileError(Kind::kEndianMismatch,
+                         "trace file was written on a big-endian host");
+  if (endian != tracefile::kEndianTag)
+    throw TraceFileError(Kind::kBadHeader, "corrupt endianness tag");
+  tracefile::TraceHeader h;
+  h.version = tracefile::get_u32(data + 12);
+  if (h.version != tracefile::kVersion)
+    throw TraceFileError(Kind::kBadVersion,
+                         "unsupported trace format version " + std::to_string(h.version));
+  if (tracefile::get_u32(data + 16) != tracefile::kHeaderBytes)
+    throw TraceFileError(Kind::kBadHeader, "unexpected header size field");
+  h.section_count = tracefile::get_u32(data + 20);
+  h.flags = tracefile::get_u32(data + 24);
+  h.num_processes = static_cast<int32_t>(tracefile::get_u32(data + 28));
+  h.total_states = static_cast<int64_t>(tracefile::get_u64(data + 32));
+  h.num_edges = static_cast<int64_t>(tracefile::get_u64(data + 40));
+  h.file_bytes = tracefile::get_u64(data + 48);
+  if (h.num_processes < 1 || h.total_states < h.num_processes || h.num_edges < 0 ||
+      (h.flags & ~(tracefile::kFlagIntervals | tracefile::kFlagPredicate)) != 0)
+    throw TraceFileError(Kind::kBadHeader, "inconsistent header geometry fields");
+  t.header_ = h;
+
+  std::vector<SectionId> expected = {
+      SectionId::kLengths,  SectionId::kMessages,   SectionId::kOutEdges,
+      SectionId::kOutOffsets, SectionId::kInEdges,  SectionId::kInOffsets,
+      SectionId::kClocks,
+  };
+  if (h.flags & tracefile::kFlagIntervals) {
+    expected.push_back(SectionId::kIntervalOffsets);
+    expected.push_back(SectionId::kIntervalBounds);
+  }
+  if (h.flags & tracefile::kFlagPredicate) expected.push_back(SectionId::kPredicate);
+  if (h.section_count != expected.size())
+    throw TraceFileError(Kind::kBadSectionTable,
+                         "section count disagrees with the header flags");
+  t.salvage_.sections_total = static_cast<int64_t>(expected.size());
+
+  // The section table is written before any payload, so a torn tail leaves
+  // it intact; without the footer its meta CRC is unverifiable, but every
+  // entry it points at must still pass its own payload CRC below, which is
+  // what the recovery actually trusts.
+  const size_t table_end = tracefile::kHeaderBytes +
+                           expected.size() * tracefile::kSectionEntryBytes;
+  if (table_end > size)
+    throw TraceFileError(Kind::kTruncated, "torn beyond recovery: section table incomplete");
+
+  // Prefix CRC walk: a section is recovered iff its table entry is sane,
+  // its payload lies fully within the file, and the payload CRC verifies.
+  // The first failure ends the recoverable prefix.
+  std::vector<SectionEntry> entries;
+  uint64_t prev_end = table_end;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    SectionEntry e = tracefile::decode_section_entry(
+        data + tracefile::kHeaderBytes + i * tracefile::kSectionEntryBytes);
+    if (e.id != static_cast<uint32_t>(expected[i])) break;
+    if (e.offset % tracefile::kSectionAlign != 0 || e.offset < prev_end ||
+        e.bytes > size || e.offset > size - e.bytes)
+      break;
+    const uint64_t want = expected_section_bytes(expected[i], h);
+    const bool variable = expected[i] == SectionId::kIntervalBounds;
+    if ((!variable && e.bytes != want) || (variable && e.bytes % (2 * sizeof(int32_t)) != 0))
+      break;
+    if (tracefile::crc32c(data + e.offset, e.bytes) != e.crc) break;
+    prev_end = e.offset + e.bytes;
+    entries.push_back(e);
+  }
+  t.salvage_.sections_recovered = static_cast<int64_t>(entries.size());
+
+  // Sections 0..5 (lengths .. in-offsets) are the least we can rebuild a
+  // deposet from; the clock slab (6) is recomputable from them.
+  if (entries.size() < 6)
+    throw TraceFileError(Kind::kTruncated,
+                         "torn beyond recovery: only " + std::to_string(entries.size()) +
+                             " of " + std::to_string(expected.size()) +
+                             " sections survived (need the 6 pre-clock sections); strict error: " +
+                             t.salvage_.reason);
+
+  auto payload = [&](size_t i) { return data + entries[i].offset; };
+
+  std::vector<int32_t> lengths(
+      reinterpret_cast<const int32_t*>(payload(0)),
+      reinterpret_cast<const int32_t*>(payload(0)) + h.num_processes);
+  int64_t states_sum = 0;
+  for (int32_t len : lengths) {
+    if (len < 1) throw TraceFileError(Kind::kBadShape, "a process length is < 1");
+    states_sum += len;
+  }
+  if (states_sum != h.total_states)
+    throw TraceFileError(Kind::kBadShape,
+                         "recovered process lengths disagree with the header");
+
+  try {
+    if (entries.size() >= 7) {
+      // Clock slab intact: adopt everything in place, exactly as a strict
+      // open would.
+      ClockMatrix clocks =
+          ClockMatrix::adopt_mapped(lengths, reinterpret_cast<const int32_t*>(payload(6)));
+      CsrEdgeIndex index = CsrEdgeIndex::adopt_mapped(
+          lengths, reinterpret_cast<const CausalEdge*>(payload(2)),
+          reinterpret_cast<const size_t*>(payload(3)),
+          reinterpret_cast<const CausalEdge*>(payload(4)),
+          reinterpret_cast<const size_t*>(payload(5)), h.num_edges);
+      t.deposet_ = DeposetBuilder::adopt_mapped(
+          std::move(lengths),
+          {reinterpret_cast<const MessageEdge*>(payload(1)), static_cast<size_t>(h.num_edges)},
+          std::move(index), std::move(clocks));
+      t.file_.advise(entries[6].offset, entries[6].bytes, util::MappedFile::Advice::kRandom);
+    } else {
+      // The tear took the clock slab. Clocks are a pure function of
+      // lengths + messages (compute_state_clocks is deterministic), so a
+      // full rebuild reproduces the writer's slab byte-for-byte. The
+      // result owns its memory; the mapping only backs this rebuild.
+      DeposetBuilder builder(h.num_processes);
+      for (int32_t p = 0; p < h.num_processes; ++p)
+        builder.set_length(p, lengths[static_cast<size_t>(p)]);
+      const auto* msgs = reinterpret_cast<const MessageEdge*>(payload(1));
+      for (int64_t i = 0; i < h.num_edges; ++i) builder.add_message(msgs[i].from, msgs[i].to);
+      t.deposet_ = builder.build();
+      t.salvage_.clocks_recomputed = true;
+    }
+
+    if (h.flags & tracefile::kFlagIntervals) {
+      if (entries.size() >= 9) {
+        const std::span<const size_t> offsets{
+            reinterpret_cast<const size_t*>(payload(7)),
+            static_cast<size_t>(h.num_processes) + 1};
+        const std::span<const int32_t> bounds{
+            reinterpret_cast<const int32_t*>(payload(8)),
+            entries[8].bytes / sizeof(int32_t)};
+        t.intervals_ = PackedIntervals::adopt_mapped(t.deposet_, offsets, bounds);
+        t.has_intervals_ = true;
+      } else {
+        t.salvage_.intervals_dropped = true;
+      }
+    }
+    if (h.flags & tracefile::kFlagPredicate) {
+      if (entries.size() == expected.size()) {
+        t.predicate_bytes_ = payload(entries.size() - 1);
+        t.has_predicate_ = true;
+      } else {
+        t.salvage_.predicate_dropped = true;
+      }
+    }
+  } catch (const std::invalid_argument& e) {
+    throw TraceFileError(Kind::kBadShape, e.what());
+  }
   return t;
 }
 

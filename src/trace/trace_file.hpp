@@ -169,13 +169,52 @@ struct TraceSaveOptions {
 /// predctrl-trace-v1 format, overwriting an existing file. The deposet must
 /// be non-empty (>= 1 process). Throws TraceFileError(kIo) on filesystem
 /// failure, std::invalid_argument if optional payload shapes mismatch.
+///
+/// Crash-safe: the bytes go to a sibling temp file, are forced to stable
+/// storage with fdatasync, and replace `path` with one atomic rename(2). A
+/// crash at any instant leaves either the complete old file or the complete
+/// new file at `path` -- never a torn mixture (a leftover `.tmp.*` sibling
+/// is the only possible debris). Torn files therefore only arise from
+/// writers outside this function (cp mid-crash, filesystem damage, an
+/// interrupted download); TraceReadOptions::salvage is the matching reader.
 void save_trace(const std::string& path, const Deposet& deposet,
                 const TraceSaveOptions& options = {});
+
+/// What MappedTrace::open recovered from a torn file (salvage mode).
+struct SalvageReport {
+  /// True iff the file failed strict validation and a valid prefix was
+  /// adopted instead. False for an intact file (the other fields are then
+  /// vacuous: everything present, nothing dropped).
+  bool salvaged = false;
+  /// Leading sections whose payload CRC-32C verified, out of the count the
+  /// header promised. Recovery is strictly prefix-shaped: a torn tail
+  /// invalidates everything at and after the tear.
+  int64_t sections_recovered = 0;
+  int64_t sections_total = 0;
+  /// The clock slab was at/after the tear and was recomputed from the
+  /// recovered lengths + messages (deterministic, so byte-equal to what the
+  /// writer stored).
+  bool clocks_recomputed = false;
+  /// The header promised these optional payloads but their sections were
+  /// lost to the tear.
+  bool intervals_dropped = false;
+  bool predicate_dropped = false;
+  /// The strict-validation failure that triggered salvage.
+  std::string reason;
+};
 
 struct TraceReadOptions {
   /// Also verify every section payload CRC at open. This reads the whole
   /// file (defeating demand paging) -- integrity audits only.
   bool verify_section_crcs = false;
+  /// Recover what a torn write left behind instead of rejecting it: adopt
+  /// the longest prefix of CRC-valid sections as a (possibly partial)
+  /// deposet. Needs at least the six pre-clock sections intact; when the
+  /// clock slab itself is torn it is recomputed from lengths + messages.
+  /// Structural damage (bad leading magic, foreign version, corrupt header)
+  /// still throws -- salvage targets tears, not arbitrary corruption.
+  /// Implies a full CRC walk of the recovered prefix.
+  bool salvage = false;
 };
 
 /// An open predctrl-trace-v1 file: the mmap plus zero-copy container views
@@ -216,8 +255,16 @@ class MappedTrace {
 
   const tracefile::TraceHeader& header() const { return header_; }
 
+  /// What salvage mode recovered; `salvaged` is false for an intact file
+  /// (and always false when TraceReadOptions::salvage was off -- strict
+  /// opens throw instead).
+  const SalvageReport& salvage_report() const { return salvage_; }
+
  private:
   MappedTrace() = default;
+
+  static MappedTrace open_strict(const std::string& path, const TraceReadOptions& options);
+  static MappedTrace open_salvaged(const std::string& path, const TraceFileError& trigger);
 
   util::MappedFile file_;
   tracefile::TraceHeader header_;
@@ -226,6 +273,7 @@ class MappedTrace {
   const uint8_t* predicate_bytes_ = nullptr;
   bool has_intervals_ = false;
   bool has_predicate_ = false;
+  SalvageReport salvage_;
 };
 
 }  // namespace predctrl

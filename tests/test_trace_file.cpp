@@ -13,6 +13,7 @@
 #include "trace/trace_file.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstring>
 #include <fstream>
@@ -36,6 +37,14 @@ using Kind = TraceFileError::Kind;
 
 std::string temp_path(const std::string& name) {
   return testing::TempDir() + "predctrl_" + name + ".pctrace";
+}
+
+// ctest runs each gtest case as its own invocation, possibly in parallel
+// (-j), so fixtures that rewrite their file per test must not share a
+// path across cases.
+std::string per_test_temp_path(const std::string& prefix) {
+  return temp_path(prefix + "_" +
+                   testing::UnitTest::GetInstance()->current_test_info()->name());
 }
 
 // --------------------------------------------------------------- the codec
@@ -281,7 +290,7 @@ class TraceFileCorruption : public ::testing::Test {
   void SetUp() override {
     Rng rng(99);
     built_ = random_deposet({.num_processes = 3, .events_per_process = 10}, rng);
-    path_ = temp_path("corrupt");
+    path_ = per_test_temp_path("corrupt");
     save_trace(path_, built_);
     original_ = read_file(path_);
     ASSERT_GT(original_.size(), tracefile::kHeaderBytes + tracefile::kFooterBytes);
@@ -408,6 +417,195 @@ TEST_F(TraceFileCorruption, KindNamesAreStable) {
   EXPECT_STREQ(TraceFileError::kind_name(Kind::kBadCrc), "bad_crc");
   EXPECT_STREQ(TraceFileError::kind_name(Kind::kEndianMismatch), "endian_mismatch");
   EXPECT_STREQ(TraceFileError::kind_name(Kind::kTruncated), "truncated");
+}
+
+// -------------------------------------------------- crash-safe persistence
+
+TEST(TraceAtomicSave, LeavesNoTempDebrisAndOverwritesDurably) {
+  Rng rng(11);
+  const std::string path = temp_path("atomic");
+  const Deposet first = random_deposet({.num_processes = 2, .events_per_process = 5}, rng);
+  save_trace(path, first);
+  // The commit point is rename(2): the staging sibling must be gone.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  EXPECT_NE(::access(tmp.c_str(), F_OK), 0);
+
+  // Overwriting in place goes through the same staged path: afterwards the
+  // file is entirely the new trace, never a mix of the two.
+  const Deposet second = random_deposet({.num_processes = 4, .events_per_process = 9}, rng);
+  save_trace(path, second);
+  EXPECT_NE(::access(tmp.c_str(), F_OK), 0);
+  const MappedTrace t = MappedTrace::open(path);
+  EXPECT_EQ(t.deposet().num_processes(), 4);
+  EXPECT_EQ(t.deposet().lengths(), second.lengths());
+}
+
+TEST(TraceAtomicSave, UnwritableDestinationIsIo) {
+  Rng rng(12);
+  const Deposet d = random_deposet({.num_processes = 2, .events_per_process = 4}, rng);
+  try {
+    save_trace(testing::TempDir() + "predctrl_no_such_dir/x.pctrace", d);
+    FAIL() << "save into a missing directory succeeded";
+  } catch (const TraceFileError& e) {
+    EXPECT_EQ(e.kind(), Kind::kIo);
+  }
+}
+
+// ------------------------------------------------------------ salvage mode
+
+class TraceSalvage : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(20260807);
+    built_ = random_deposet({.num_processes = 3, .events_per_process = 12}, rng);
+    table_ = random_predicate_table(built_, {}, rng);
+    sets_ = extract_false_intervals(table_);
+    path_ = per_test_temp_path("salvage");
+    TraceSaveOptions save;
+    save.intervals = &sets_;
+    save.predicate = &table_;
+    save_trace(path_, built_, save);
+    original_ = read_file(path_);
+
+    section_count_ = get_u32(original_.data() + 20);
+    ASSERT_EQ(section_count_, 10u);  // 7 core + interval offsets/bounds + predicate
+    // The sweep below cuts at section starts; a zero-byte section would
+    // make "exactly k survive" ambiguous, so pin the fixture to a trace
+    // where every section has payload.
+    for (uint32_t i = 0; i < section_count_; ++i) ASSERT_GT(section(i).second, 0u) << i;
+  }
+
+  // (offset, bytes) of table slot i.
+  std::pair<uint64_t, uint64_t> section(uint32_t i) const {
+    const uint8_t* e =
+        original_.data() + tracefile::kHeaderBytes + i * tracefile::kSectionEntryBytes;
+    return {get_u64(e + 8), get_u64(e + 16)};
+  }
+
+  // Truncates the valid file to `cut` bytes and opens it in salvage mode.
+  MappedTrace salvage_at(size_t cut) {
+    std::vector<uint8_t> torn(original_.begin(),
+                              original_.begin() + static_cast<ptrdiff_t>(cut));
+    write_file(path_, torn);
+    TraceReadOptions opt;
+    opt.salvage = true;
+    return MappedTrace::open(path_, opt);
+  }
+
+  void expect_prefix_recovered(const MappedTrace& t, uint32_t k) {
+    const SalvageReport& r = t.salvage_report();
+    EXPECT_TRUE(r.salvaged);
+    EXPECT_EQ(r.sections_recovered, k);
+    EXPECT_EQ(r.sections_total, 10);
+    EXPECT_FALSE(r.reason.empty());
+    // The rebuilt deposet matches the writer's byte for byte -- structure
+    // directly, the clock slab either adopted or deterministically
+    // recomputed from lengths + messages.
+    EXPECT_EQ(r.clocks_recomputed, k < 7);
+    ASSERT_EQ(t.deposet().lengths(), built_.lengths());
+    const auto msgs_a = built_.messages(), msgs_b = t.deposet().messages();
+    ASSERT_EQ(msgs_a.size(), msgs_b.size());
+    EXPECT_EQ(std::memcmp(msgs_a.data(), msgs_b.data(), msgs_a.size_bytes()), 0);
+    const auto slab_a = built_.clocks().slab(), slab_b = t.deposet().clocks().slab();
+    ASSERT_EQ(slab_a.size(), slab_b.size());
+    EXPECT_EQ(std::memcmp(slab_a.data(), slab_b.data(), slab_a.size_bytes()), 0);
+    // Optional sections survive only as part of the intact prefix.
+    EXPECT_EQ(t.has_intervals(), k >= 9);
+    EXPECT_EQ(r.intervals_dropped, k < 9);
+    EXPECT_EQ(t.has_predicate(), k == 10);
+    EXPECT_EQ(r.predicate_dropped, k < 10);
+    if (t.has_predicate()) EXPECT_EQ(t.predicate_table(), table_);
+  }
+
+  Deposet built_;
+  PredicateTable table_;
+  FalseIntervalSets sets_;
+  std::string path_;
+  std::vector<uint8_t> original_;
+  uint32_t section_count_ = 0;
+};
+
+TEST_F(TraceSalvage, IntactFileTakesTheStrictPath) {
+  TraceReadOptions opt;
+  opt.salvage = true;
+  const MappedTrace t = MappedTrace::open(path_, opt);
+  EXPECT_FALSE(t.salvage_report().salvaged);
+  EXPECT_TRUE(t.has_predicate());
+}
+
+TEST_F(TraceSalvage, RecoversLongestValidPrefixAtEveryBoundary) {
+  // Tear the file at the start of every section k (exactly k sections
+  // survive) and, where the payload allows, mid-way through section k
+  // (same k). Below 6 surviving sections recovery is impossible; at 6 the
+  // clock slab is recomputed; from 7 on it is adopted in place; optional
+  // sections come back one prefix step at a time.
+  for (uint32_t k = 0; k <= section_count_; ++k) {
+    std::vector<size_t> cuts;
+    if (k < section_count_) {
+      cuts.push_back(section(k).first);
+      if (section(k).second >= 2) cuts.push_back(section(k).first + section(k).second / 2);
+    } else {
+      cuts.push_back(section(k - 1).first + section(k - 1).second);  // footer torn off
+    }
+    for (size_t cut : cuts) {
+      if (k < 6) {
+        try {
+          salvage_at(cut);
+          FAIL() << "salvage succeeded with only " << k << " sections (cut " << cut << ")";
+        } catch (const TraceFileError& e) {
+          EXPECT_EQ(e.kind(), Kind::kTruncated) << e.what();
+          EXPECT_NE(std::string(e.what()).find("torn beyond recovery"), std::string::npos);
+        }
+      } else {
+        SCOPED_TRACE("cut " + std::to_string(cut) + " -> " + std::to_string(k) + " sections");
+        expect_prefix_recovered(salvage_at(cut), k);
+      }
+    }
+  }
+}
+
+TEST_F(TraceSalvage, CorruptClockSlabHealsByRecompute) {
+  // A bit-flip inside the clock slab (not a tear): strict verified open
+  // says kBadCrc; salvage stops its prefix walk at the damaged section and
+  // rebuilds the clocks from the intact pre-clock six -- byte-identical to
+  // the writer's, since clocks are a pure function of lengths + messages.
+  std::vector<uint8_t> bytes = original_;
+  bytes[section(6).first] ^= 0x01;
+  write_file(path_, bytes);
+
+  EXPECT_EQ(open_kind(path_, /*verify_sections=*/true), Kind::kBadCrc);
+
+  TraceReadOptions opt;
+  opt.salvage = true;
+  opt.verify_section_crcs = true;
+  const MappedTrace t = MappedTrace::open(path_, opt);
+  expect_prefix_recovered(t, 6);
+  EXPECT_TRUE(t.salvage_report().clocks_recomputed);
+}
+
+TEST_F(TraceSalvage, StructuralDamageStillThrows) {
+  // Salvage targets tears and payload damage, not wrong-format files: the
+  // leading header checks keep their strict rejection kinds.
+  std::vector<uint8_t> bytes = original_;
+  bytes[0] = 'X';
+  write_file(path_, bytes);
+  TraceReadOptions opt;
+  opt.salvage = true;
+  try {
+    MappedTrace::open(path_, opt);
+    FAIL() << "salvage accepted a bad magic";
+  } catch (const TraceFileError& e) {
+    EXPECT_EQ(e.kind(), Kind::kBadMagic);
+  }
+  // A tear inside the section table itself is beyond recovery.
+  std::vector<uint8_t> torn(original_.begin(), original_.begin() + tracefile::kHeaderBytes + 8);
+  write_file(path_, torn);
+  try {
+    MappedTrace::open(path_, opt);
+    FAIL() << "salvage accepted a torn section table";
+  } catch (const TraceFileError& e) {
+    EXPECT_EQ(e.kind(), Kind::kTruncated);
+  }
 }
 
 }  // namespace
